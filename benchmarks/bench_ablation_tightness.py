@@ -1,0 +1,48 @@
+"""Ablation A3: how much tighter is LP-ILP's blocking than LP-max's?
+
+Samples group-1 lower-priority sets and reports the Δ^m ratio
+(LP-max / LP-ILP) — the quantity whose compounding over preemption
+points produces the schedulability gap of Figure 2. Asserts the ratio
+is never below 1 (Eq. 8 ≤ Eq. 5 always) and strictly above 1 on
+average for the mixed-parallelism group.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
+from repro.generator.profiles import GROUP1, GROUP2
+from repro.generator.taskset_gen import generate_taskset
+
+
+def collect_ratios(profile, m, samples, seed):
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for _ in range(samples):
+        taskset = generate_taskset(rng, m / 2, profile)
+        lp_tasks = taskset.lp(taskset.names[0])
+        if not lp_tasks:
+            continue
+        ilp_m, _ = lp_ilp_deltas(lp_tasks, m)
+        max_m, _ = lp_max_deltas(lp_tasks, m)
+        if ilp_m > 0:
+            ratios.append(max_m / ilp_m)
+    return ratios
+
+
+@pytest.mark.parametrize("m", [4, 8])
+def test_group1_tightness(benchmark, m):
+    ratios = benchmark.pedantic(
+        collect_ratios, args=(GROUP1, m, 30, 5), rounds=1, iterations=1
+    )
+    assert all(r >= 1.0 - 1e-9 for r in ratios)
+    assert float(np.mean(ratios)) > 1.0
+
+
+def test_group2_tightness_smaller_than_group1(benchmark):
+    """Group 2's uniform parallelism shrinks LP-max's pessimism."""
+    g2 = benchmark.pedantic(
+        collect_ratios, args=(GROUP2, 8, 30, 5), rounds=1, iterations=1
+    )
+    g1 = collect_ratios(GROUP1, 8, 30, 5)
+    assert float(np.mean(g2)) <= float(np.mean(g1)) + 0.05

@@ -1,0 +1,43 @@
+"""Extension experiment: the preemption-point placement tradeoff.
+
+Limited preemption sits between fully-preemptive (split every NPR to
+dust: no blocking caused, every release preempts) and fully
+non-preemptive (one NPR per task: maximal blocking). Splitting NPRs of
+*lower-priority* tasks shrinks the Δ terms they impose, but raises
+``q_k`` of the split task itself, so ``p_k·Δ^{m−1}`` of its own bound
+may grow — exactly the tension the paper's refs [12], [17], [18]
+optimise.
+
+This bench sweeps a WCET threshold over the Figure-1 example plus a
+task under analysis, asserting the blocking monotonically shrinks as
+NPRs get finer, and times the transformed analyses.
+"""
+
+import pytest
+
+from repro.core.blocking import lp_ilp_deltas
+from repro.experiments.figure1 import figure1_lp_tasks
+from repro.model.transforms import with_split_nodes
+
+THRESHOLDS = [6.0, 4.0, 2.0, 1.0]
+
+
+def deltas_at_threshold(threshold):
+    tasks = [with_split_nodes(t, threshold) for t in figure1_lp_tasks()]
+    return lp_ilp_deltas(tasks, 4)
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_split_blocking(benchmark, threshold):
+    deltas = benchmark(deltas_at_threshold, threshold)
+    assert deltas[0] <= 19.0  # never worse than the unsplit example
+
+
+def test_blocking_monotone_in_granularity():
+    """Finer preemption points never increase the blocking terms."""
+    series = [deltas_at_threshold(t) for t in THRESHOLDS]
+    for (dm_a, dm1_a), (dm_b, dm1_b) in zip(series, series[1:]):
+        assert dm_b <= dm_a + 1e-9
+        assert dm1_b <= dm1_a + 1e-9
+    # At threshold 1 every NPR is <= 1 time unit: Delta^4 <= 4.
+    assert series[-1][0] <= 4.0 + 1e-9

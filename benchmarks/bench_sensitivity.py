@@ -1,0 +1,45 @@
+"""Extension experiment: breakdown-utilisation comparison of the analyses.
+
+Summarises each analysis by the scalar "how far can the workload be
+scaled before rejection" instead of a full acceptance-ratio curve.
+Asserts the paper's pessimism ordering transfers to the metric:
+LP-max breakdown <= LP-ILP breakdown <= FP-ideal breakdown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import AnalysisMethod
+from repro.core.sensitivity import breakdown_utilization
+from repro.generator.profiles import GROUP1
+from repro.generator.taskset_gen import generate_taskset
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(31)
+    return [generate_taskset(rng, 1.0, GROUP1) for _ in range(5)]
+
+
+def breakdowns(corpus, method):
+    return [breakdown_utilization(ts, 4, method) for ts in corpus]
+
+
+@pytest.mark.parametrize(
+    "method",
+    [AnalysisMethod.FP_IDEAL, AnalysisMethod.LP_ILP, AnalysisMethod.LP_MAX],
+)
+def test_breakdown(benchmark, corpus, method):
+    values = benchmark.pedantic(
+        breakdowns, args=(corpus, method), rounds=1, iterations=1
+    )
+    assert all(v >= 0.0 for v in values)
+
+
+def test_breakdown_ordering(corpus):
+    fp = breakdowns(corpus, AnalysisMethod.FP_IDEAL)
+    ilp = breakdowns(corpus, AnalysisMethod.LP_ILP)
+    mx = breakdowns(corpus, AnalysisMethod.LP_MAX)
+    for a, b, c in zip(mx, ilp, fp):
+        assert a <= b + 1e-6
+        assert b <= c + 1e-6

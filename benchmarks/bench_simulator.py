@@ -1,0 +1,41 @@
+"""Substrate benchmark: discrete-event simulator throughput.
+
+Not a paper artefact — the simulator is this repo's validation
+substrate (experiment V1 in DESIGN.md); the bench tracks its cost so
+soundness sweeps stay cheap, and asserts the soundness property on the
+benchmarked runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.generator.profiles import GROUP1
+from repro.generator.taskset_gen import generate_taskset
+from repro.sim import simulate, synchronous_periodic_releases
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(21)
+    picked = []
+    while len(picked) < 3:
+        taskset = generate_taskset(rng, 2.0, GROUP1)
+        analysis = analyze_taskset(taskset, 4, AnalysisMethod.LP_ILP)
+        if analysis.schedulable:
+            horizon = 4.0 * max(t.period for t in taskset)
+            releases = synchronous_periodic_releases(taskset, horizon)
+            picked.append((taskset, releases, analysis))
+    return picked
+
+
+def run_all(workload):
+    return [simulate(ts, 4, rel) for ts, rel, _ in workload]
+
+
+def test_simulator_throughput(benchmark, workload):
+    results = benchmark(run_all, workload)
+    for (taskset, _, analysis), result in zip(workload, results):
+        assert result.all_deadlines_met
+        for name, bound in analysis.responses.items():
+            assert result.max_response(name) <= bound + 1e-6

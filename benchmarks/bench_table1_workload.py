@@ -1,0 +1,26 @@
+"""Table I: per-task worst-case parallel workloads μ_i[c] (paper Sec. V-A).
+
+Regenerates all sixteen μ values of the paper's Table I and times the
+three exact solvers. Expected output (asserted): exactly the paper's
+numbers from every solver.
+"""
+
+import pytest
+
+from repro.core.workload import mu_array
+from repro.experiments.figure1 import TABLE1_EXPECTED, figure1_lp_tasks
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return figure1_lp_tasks()
+
+
+def compute_table1(tasks, method):
+    return {task.name: mu_array(task, 4, method=method) for task in tasks}
+
+
+@pytest.mark.parametrize("method", ["search", "ilp", "ilp-paper"])
+def test_table1(benchmark, tasks, method):
+    table = benchmark(compute_table1, tasks, method)
+    assert table == TABLE1_EXPECTED

@@ -1,0 +1,28 @@
+"""Table II: execution scenarios e_m (integer partitions of m).
+
+Regenerates the five scenarios of e_4 (asserted against Table II) and
+times scenario enumeration for the paper's three platform sizes, plus
+the pentagonal-recurrence p(m) the paper cites.
+"""
+
+import pytest
+
+from repro.combinatorics import partition_count_pentagonal
+from repro.core.scenarios import execution_scenarios
+from repro.experiments.figure1 import TABLE2_EXPECTED
+
+
+def test_table2_e4(benchmark):
+    scenarios = benchmark(execution_scenarios, 4)
+    assert {(s.parts, s.cardinality) for s in scenarios} == set(TABLE2_EXPECTED)
+
+
+@pytest.mark.parametrize("m,expected_count", [(4, 5), (8, 22), (16, 231)])
+def test_scenario_enumeration(benchmark, m, expected_count):
+    scenarios = benchmark(execution_scenarios, m)
+    assert len(scenarios) == expected_count
+    assert partition_count_pentagonal(m) == expected_count
+
+
+def test_pentagonal_counting(benchmark):
+    assert benchmark(partition_count_pentagonal, 100) == 190569292

@@ -1,0 +1,42 @@
+"""Table III: overall worst-case workloads ρ_k[s_l] (paper Sec. V-B).
+
+Regenerates ρ for every scenario of e_4 on the Figure-1 example
+(asserted against Table III) with both exact solvers, and the blocking
+terms Δ⁴ = 19 / Δ³ = 15 that they imply.
+"""
+
+import pytest
+
+from repro.core.blocking import lp_ilp_deltas
+from repro.core.scenarios import execution_scenarios, rho_assignment, rho_ilp
+from repro.core.workload import mu_array
+from repro.experiments.figure1 import TABLE3_EXPECTED, figure1_lp_tasks
+
+
+@pytest.fixture(scope="module")
+def mu_table():
+    return {t.name: mu_array(t, 4) for t in figure1_lp_tasks()}
+
+
+def all_rho_assignment(mu_table):
+    return {
+        s.parts: rho_assignment(mu_table, s) for s in execution_scenarios(4)
+    }
+
+
+def all_rho_ilp(mu_table):
+    return {s.parts: rho_ilp(mu_table, s, 4) for s in execution_scenarios(4)}
+
+
+def test_table3_assignment(benchmark, mu_table):
+    assert benchmark(all_rho_assignment, mu_table) == TABLE3_EXPECTED
+
+
+def test_table3_paper_ilp(benchmark, mu_table):
+    assert benchmark(all_rho_ilp, mu_table) == TABLE3_EXPECTED
+
+
+def test_deltas_from_table3(benchmark):
+    tasks = figure1_lp_tasks()
+    deltas = benchmark(lp_ilp_deltas, tasks, 4)
+    assert deltas == (19.0, 15.0)

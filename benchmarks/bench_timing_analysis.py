@@ -1,0 +1,50 @@
+"""Analysis runtime vs core count (paper Section VI-B, last paragraph).
+
+The paper reports LP-ILP schedulability-test times of 0.45 s (m = 4),
+4.75 s (m = 8) and 43 min (m = 16) with MATLAB + CPLEX. Our exact
+combinatorial solvers are orders of magnitude faster in absolute terms;
+the reproduced claim is the steep growth with m, which the assertion
+checks (m = 16 costs at least 3x m = 4 per task-set).
+"""
+
+import pytest
+
+from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.generator.profiles import GROUP1
+from repro.generator.taskset_gen import generate_taskset
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def tasksets_by_m():
+    """A fixed corpus of task-sets per platform size."""
+    corpus = {}
+    for m in (4, 8, 16):
+        rng = np.random.default_rng(1000 + m)
+        corpus[m] = [generate_taskset(rng, m / 2, GROUP1) for _ in range(5)]
+    return corpus
+
+
+def analyse_corpus(tasksets, m):
+    return [
+        analyze_taskset(ts, m, AnalysisMethod.LP_ILP).schedulable
+        for ts in tasksets
+    ]
+
+
+_timings: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("m", [4, 8, 16])
+def test_lp_ilp_runtime(benchmark, tasksets_by_m, m):
+    benchmark.pedantic(
+        analyse_corpus, args=(tasksets_by_m[m], m), rounds=3, iterations=1
+    )
+    _timings[m] = benchmark.stats["mean"]
+    if 4 in _timings and m == 16:
+        growth = _timings[16] / _timings[4]
+        assert growth >= 3.0, (
+            f"expected steep growth with m (paper: 0.45s -> 43min); "
+            f"got only {growth:.1f}x"
+        )

@@ -1,0 +1,47 @@
+"""Shared benchmark configuration.
+
+Benchmark sizes are environment-tunable so the suite stays tractable on
+a laptop while allowing paper-scale runs:
+
+* ``REPRO_BENCH_TASKSETS`` — task-sets per utilisation point in the
+  Figure-2 / group-2 sweeps (default 15; the paper used 300);
+* ``REPRO_BENCH_POINTS`` — utilisation grid points per sweep
+  (default 7, spread evenly over ``[1, m]``).
+
+Every bench asserts the paper's qualitative result in addition to
+timing, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return max(1, int(os.environ.get(name, default)))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_tasksets() -> int:
+    """Task-sets per sweep point (paper: 300)."""
+    return _env_int("REPRO_BENCH_TASKSETS", 15)
+
+
+@pytest.fixture(scope="session")
+def bench_points() -> int:
+    """Utilisation grid points per sweep."""
+    return _env_int("REPRO_BENCH_POINTS", 7)
+
+
+def sweep_grid(m: int, points: int) -> list[float]:
+    """``points`` utilisations spread evenly over [1, m]."""
+    if points == 1:
+        return [float(m)]
+    step = (m - 1.0) / (points - 1)
+    return [round(1.0 + i * step, 4) for i in range(points)]

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Embedded-domain scenario: control loops + data-flow pipelines (group 1).
+
+Run with::
+
+    python examples/embedded_control_dataflow.py
+
+Models the system the paper's evaluation motivates for the embedded
+domain: a mix of (almost) sequential control-flow tasks and highly
+parallel data-flow tasks — e.g. an engine controller next to a camera
+pipeline. This mix is exactly where LP-max is pessimistic (it treats
+the control tasks' many NPRs as if they could all block in parallel)
+and LP-ILP recovers schedulability.
+
+The example builds the task-set by hand (no randomness), analyses it on
+2..8 cores with all three methods, and prints which method admits the
+system at which core count.
+"""
+
+from repro import AnalysisMethod, DAGTask, DagBuilder, TaskSet, analyze_taskset
+
+
+def control_task(name: str, wcets: list[float], period: float, priority: int) -> DAGTask:
+    """A sequential control loop: a chain of NPRs."""
+    builder = DagBuilder()
+    names = [f"{name}.{i}" for i in range(len(wcets))]
+    for node, wcet in zip(names, wcets):
+        builder.node(node, wcet)
+    builder.chain(*names)
+    return DAGTask(name, builder.build(), period=period, priority=priority)
+
+
+def pipeline_task(
+    name: str, width: int, stage_wcet: float, period: float, priority: int
+) -> DAGTask:
+    """A data-flow pipeline: scatter -> `width` parallel workers -> gather."""
+    builder = DagBuilder().node(f"{name}.in", 2).node(f"{name}.out", 2)
+    workers = []
+    for i in range(width):
+        worker = f"{name}.w{i}"
+        builder.node(worker, stage_wcet)
+        workers.append(worker)
+    builder.fork(f"{name}.in", workers).join(workers, f"{name}.out")
+    return DAGTask(name, builder.build(), period=period, priority=priority)
+
+
+taskset = TaskSet(
+    [
+        # Fast engine-control loop: 5 sequential NPRs, tight period.
+        control_task("engine_ctrl", [4, 6, 8, 6, 4], period=90.0, priority=0),
+        # Brake monitor: short chain.
+        control_task("brake_mon", [5, 9, 5], period=120.0, priority=1),
+        # Camera pipeline: 6-way parallel, heavy.
+        pipeline_task("camera", width=6, stage_wcet=30.0, period=300.0, priority=2),
+        # Lidar clustering: 4-way parallel.
+        pipeline_task("lidar", width=4, stage_wcet=40.0, period=400.0, priority=3),
+    ]
+)
+
+print(f"Embedded mix: {len(taskset)} tasks, U = {taskset.total_utilization:.2f}")
+for task in taskset:
+    kind = "control " if task.volume == task.longest_path else "dataflow"
+    print(f"  [{kind}] {task.name:<12} vol={task.volume:6.1f} L={task.longest_path:6.1f} "
+          f"T={task.period:6.1f} u={task.utilization:.2f}")
+print()
+
+header = f"{'m':>3} | {'FP-ideal':>9} | {'LP-ILP':>9} | {'LP-max':>9}"
+print(header)
+print("-" * len(header))
+admitted = {}
+for m in (2, 3, 4, 5, 6, 8):
+    row = [f"{m:>3}"]
+    for method in (AnalysisMethod.FP_IDEAL, AnalysisMethod.LP_ILP,
+                   AnalysisMethod.LP_MAX):
+        result = analyze_taskset(taskset, m, method)
+        row.append(f"{'yes' if result.schedulable else 'no':>9}")
+        if result.schedulable and method.value not in admitted:
+            admitted[method.value] = m
+    print(" | ".join(row))
+
+print()
+for method, m in admitted.items():
+    print(f"{method}: admitted from m = {m} cores")
+missing = {m.value for m in AnalysisMethod} - set(admitted)
+for method in sorted(missing):
+    print(f"{method}: never admitted up to m = 8")
+print()
+print("LP-ILP needs fewer cores than LP-max because it knows the control")
+print("chains occupy one core each; LP-max pools their NPRs as if parallel.")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Visualise an eager limited-preemptive schedule as an ASCII Gantt chart.
+
+Run with::
+
+    python examples/gantt_trace.py
+
+Builds the classic blocking scenario the LP analysis exists for — a
+high-priority task released just after lower-priority NPRs grabbed all
+cores — simulates it with trace recording, validates the schedule
+invariants, and prints one Gantt lane per core. You can *see* the eager
+rule: the high-priority task takes the first core whose NPR completes,
+not the lowest-priority one.
+"""
+
+from repro.model import DAGTask, DagBuilder, TaskSet
+from repro.sim import simulate
+
+# Two low-priority tasks with mismatched NPR lengths occupy both cores.
+lo1 = DAGTask(
+    "B",  # chain: 3 then 6
+    DagBuilder().nodes({"B1": 3, "B2": 6}).chain("B1", "B2").build(),
+    period=100.0,
+    priority=1,
+)
+lo2 = DAGTask(
+    "C",  # chain: 8 then 2
+    DagBuilder().nodes({"C1": 8, "C2": 2}).chain("C1", "C2").build(),
+    period=100.0,
+    priority=2,
+)
+# The high-priority task arrives at t=1, after B and C started.
+hi = DAGTask(
+    "A",
+    DagBuilder().nodes({"A1": 4}).build(),
+    period=100.0,
+    priority=0,
+)
+
+taskset = TaskSet([hi, lo1, lo2])
+releases = [(0.0, "B"), (0.0, "C"), (1.0, "A")]
+
+result = simulate(taskset, m=2, releases=releases, record_trace=True)
+result.trace.validate(taskset)
+
+print("Scenario: B (prio 1) and C (prio 2) occupy both cores at t=0;")
+print("A (prio 0, highest) is released at t=1 and must wait for the")
+print("first NPR boundary — eager limited preemption.\n")
+print(result.trace.ascii_gantt(width=64, until=12.0))
+print()
+for record in result.records:
+    print(f"  job {record.task}: released {record.release:g}, "
+          f"finished {record.finish:g}, response {record.response:g}")
+print()
+print("A starts at t=3 on B's core (B reached its preemption point first,")
+print("although C has the lower priority): response 6, not 2 — exactly the")
+print("blocking the paper's Delta terms upper-bound.")

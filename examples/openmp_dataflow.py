@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""HPC-domain scenario: uniformly parallel OpenMP-style task graphs (group 2).
+
+Run with::
+
+    python examples/openmp_dataflow.py
+
+The paper's second task-set group: every task is a wide data-flow DAG
+(the OpenMP tasking shape the paper targets). Here many NPRs per task
+*can* legally run in parallel, so LP-max's ignorance of precedence
+costs little: its blocking terms approach LP-ILP's. This example
+quantifies that claim on randomly generated group-2 task-sets by
+comparing the Δ^m terms directly, and contrasts them against a group-1
+mix where the gap is wide.
+"""
+
+import numpy as np
+
+from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
+from repro.generator import GROUP1, GROUP2, generate_taskset
+
+
+def delta_gap(profile, label: str, seed: int, m: int = 8, samples: int = 40) -> None:
+    """Mean LP-max / LP-ILP ratio of the Δ^m blocking term."""
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for _ in range(samples):
+        taskset = generate_taskset(rng, m / 2, profile)
+        # Blocking seen by the highest-priority task (largest lp set).
+        lp_tasks = taskset.lp(taskset.names[0])
+        if not lp_tasks:
+            continue
+        ilp, _ = lp_ilp_deltas(lp_tasks, m)
+        mx, _ = lp_max_deltas(lp_tasks, m)
+        if ilp > 0:
+            ratios.append(mx / ilp)
+    mean = float(np.mean(ratios))
+    worst = float(np.max(ratios))
+    print(f"  {label:<28} mean Delta^m ratio (LP-max/LP-ILP): "
+          f"{mean:5.2f}x   worst: {worst:5.2f}x   ({len(ratios)} samples)")
+
+
+print("Blocking-term pessimism of LP-max relative to LP-ILP, m = 8:\n")
+delta_gap(GROUP2, "group 2 (uniform parallel)", seed=42)
+delta_gap(GROUP1, "group 1 (mixed parallelism)", seed=42)
+print()
+print("With uniformly parallel tasks the two bounds nearly coincide (the")
+print("paper reports their schedulability curves overlap); the mixed group")
+print("is where LP-ILP's precedence awareness pays off.")
+print()
+
+# A concrete wide-DAG task-set, end to end.
+rng = np.random.default_rng(7)
+taskset = generate_taskset(rng, 4.0, GROUP2)
+print(f"Sample group-2 task-set (U = {taskset.total_utilization:.2f}):")
+for task in taskset:
+    width = task.volume / task.longest_path
+    print(f"  {task.name}: |V|={task.n_nodes:>2}  vol={task.volume:7.1f}  "
+          f"L={task.longest_path:6.1f}  avg width={width:.1f}  u={task.utilization:.2f}")
+
+from repro import AnalysisMethod, analyze_taskset  # noqa: E402
+
+for m in (4, 8):
+    verdicts = ", ".join(
+        f"{method.value}={'yes' if analyze_taskset(taskset, m, method).schedulable else 'no'}"
+        for method in AnalysisMethod
+    )
+    print(f"  m={m}: {verdicts}")

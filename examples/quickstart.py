@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small DAG task-set, analyse it, read the results.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the core public API in ~40 lines: the DAG builder, task / task-set
+construction, the three analyses of the paper (FP-ideal, LP-max, LP-ILP)
+and the per-task response-time bounds.
+"""
+
+from repro import AnalysisMethod, DAGTask, DagBuilder, TaskSet, analyze_taskset
+
+# A fork-join "sensor fusion" task: read -> {filter_a, filter_b, filter_c} -> fuse
+fusion_dag = (
+    DagBuilder()
+    .nodes({"read": 2, "filter_a": 8, "filter_b": 6, "filter_c": 7, "fuse": 3})
+    .fork("read", ["filter_a", "filter_b", "filter_c"])
+    .join(["filter_a", "filter_b", "filter_c"], "fuse")
+    .build()
+)
+
+# A sequential control loop: sense -> compute -> actuate
+control_dag = (
+    DagBuilder()
+    .nodes({"sense": 3, "compute": 9, "actuate": 2})
+    .chain("sense", "compute", "actuate")
+    .build()
+)
+
+# Lower priority value = higher priority (the paper's convention).
+taskset = TaskSet(
+    [
+        DAGTask("control", control_dag, period=60.0, priority=0),
+        DAGTask("fusion", fusion_dag, period=100.0, priority=1),
+    ]
+)
+
+M_CORES = 2
+
+print(f"Task-set: {len(taskset)} tasks, total utilisation "
+      f"{taskset.total_utilization:.3f}, analysed on m={M_CORES} cores\n")
+
+for task in taskset:
+    print(f"  {task.name}: volume={task.volume:g}, longest path={task.longest_path:g}, "
+          f"T=D={task.period:g}, {task.q} preemption points")
+print()
+
+for method in (AnalysisMethod.FP_IDEAL, AnalysisMethod.LP_ILP, AnalysisMethod.LP_MAX):
+    result = analyze_taskset(taskset, M_CORES, method)
+    verdict = "SCHEDULABLE" if result.schedulable else "NOT schedulable"
+    print(f"{method.value:>9}: {verdict}")
+    for task_result in result.tasks:
+        bound = f"{task_result.response:.1f}" if task_result.bounded else "diverged"
+        extra = ""
+        if method is not AnalysisMethod.FP_IDEAL:
+            extra = (f"  (blocking: D^m={task_result.delta_m:g}, "
+                     f"D^(m-1)={task_result.delta_m_minus_1:g}, "
+                     f"p={task_result.preemptions})")
+        print(f"           R({task_result.name}) <= {bound}{extra}")
+    print()
+
+print("Note how the limited-preemption bounds exceed the (unsound for LP")
+print("scheduling) FP-ideal ones, and LP-ILP is tighter than LP-max.")

@@ -1,0 +1,38 @@
+"""Collect paper-scale experiment data for EXPERIMENTS.md."""
+import json, time
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.group2 import run_group2
+from repro.experiments.timing import run_timing
+from repro.experiments.reporting import write_sweep_csv, sweep_table
+
+out = {}
+t0 = time.time()
+for m, n in [(4, 150), (8, 80), (16, 30)]:
+    res = run_figure2(m=m, n_tasksets=n, seed=2016)
+    write_sweep_csv(res, f"/root/repo/results/figure2_m{m}.csv")
+    with open(f"/root/repo/results/figure2_m{m}.txt", "w") as f:
+        f.write(sweep_table(res, title=f"Figure 2 m={m} ({n} task-sets/point)"))
+    out[f"figure2_m{m}"] = {
+        "elapsed_s": res.elapsed_seconds,
+        "crossover50": {meth: res.crossover(meth) for meth in res.methods},
+        "series": {meth: res.series(meth) for meth in res.methods},
+    }
+    print(f"figure2 m={m} done {time.time()-t0:.0f}s", flush=True)
+
+for m in (4, 8):
+    rep = run_group2(m=m, n_tasksets=80, seed=2016)
+    write_sweep_csv(rep.sweep, f"/root/repo/results/group2_m{m}.csv")
+    out[f"group2_m{m}"] = {"max_gap": rep.max_gap, "mean_gap": rep.mean_gap}
+    print(f"group2 m={m} done {time.time()-t0:.0f}s", flush=True)
+
+rows = run_timing(core_counts=(4, 8, 16), samples=15, seed=2016)
+out["timing"] = [
+    {"m": r.m, "mean_s": r.mean_seconds, "max_s": r.max_seconds,
+     "positive": r.positive_answers, "samples": r.samples}
+    for r in rows
+]
+print("timing done", flush=True)
+
+with open("/root/repo/results/summary.json", "w") as f:
+    json.dump(out, f, indent=2)
+print(f"ALL DONE in {time.time()-t0:.0f}s", flush=True)

@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Sub-commands map one-to-one onto the paper's artefacts:
+
+* ``figure1`` — the worked example (Tables I–III and the Δ terms);
+* ``figure2`` — a schedulability sweep (choose ``--m 4|8|16``);
+* ``group2``  — the uniform-parallelism sweep (LP-max ≈ LP-ILP);
+* ``timing``  — analysis runtime vs core count;
+* ``demo``    — generate one task-set, analyse and simulate it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Response-Time Analysis of DAG Tasks under "
+            "Fixed Priority Scheduling with Limited Preemptions' (DATE 2016)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    parser.set_defaults(command=None)
+
+    p1 = sub.add_parser("figure1", help="worked example: Tables I-III and deltas")
+    p1.set_defaults(handler=_cmd_figure1)
+
+    p2 = sub.add_parser("figure2", help="schedulability sweep (Figure 2)")
+    p2.add_argument("--m", type=int, default=4, help="core count (paper: 4, 8, 16)")
+    p2.add_argument("--tasksets", type=int, default=300, help="task-sets per point")
+    p2.add_argument("--seed", type=int, default=2016)
+    p2.add_argument("--step", type=float, default=None, help="utilisation grid step")
+    p2.add_argument("--csv", type=str, default=None, help="write series to CSV")
+    p2.add_argument("--chart", action="store_true", help="print an ASCII chart")
+    p2.set_defaults(handler=_cmd_figure2)
+
+    p3 = sub.add_parser("group2", help="uniform-parallelism sweep (LP-max ~ LP-ILP)")
+    p3.add_argument("--m", type=int, default=4)
+    p3.add_argument("--tasksets", type=int, default=300)
+    p3.add_argument("--seed", type=int, default=2016)
+    p3.add_argument("--step", type=float, default=None)
+    p3.add_argument("--csv", type=str, default=None)
+    p3.set_defaults(handler=_cmd_group2)
+
+    p4 = sub.add_parser("timing", help="analysis runtime vs core count")
+    p4.add_argument("--m", type=int, nargs="+", default=[4, 8, 16])
+    p4.add_argument("--samples", type=int, default=20)
+    p4.add_argument("--seed", type=int, default=2016)
+    p4.set_defaults(handler=_cmd_timing)
+
+    p5 = sub.add_parser("demo", help="generate, analyse and simulate one task-set")
+    p5.add_argument("--m", type=int, default=4)
+    p5.add_argument("--utilization", type=float, default=2.0)
+    p5.add_argument("--seed", type=int, default=1)
+    p5.add_argument("--group", type=int, choices=(1, 2), default=1)
+    p5.set_defaults(handler=_cmd_demo)
+
+    p6 = sub.add_parser(
+        "breakdown", help="breakdown utilisation of a random task-set per method"
+    )
+    p6.add_argument("--m", type=int, default=4)
+    p6.add_argument("--utilization", type=float, default=1.0)
+    p6.add_argument("--seed", type=int, default=1)
+    p6.add_argument("--samples", type=int, default=5)
+    p6.set_defaults(handler=_cmd_breakdown)
+
+    p7 = sub.add_parser(
+        "splitsweep",
+        help="schedulability vs preemption-point granularity (NPR splitting)",
+    )
+    p7.add_argument("--m", type=int, default=4)
+    p7.add_argument("--utilization", type=float, default=1.75)
+    p7.add_argument("--tasksets", type=int, default=30)
+    p7.add_argument("--seed", type=int, default=2016)
+    p7.add_argument(
+        "--thresholds", type=float, nargs="+",
+        default=[1000.0, 100.0, 50.0, 25.0, 10.0, 5.0],
+    )
+    p7.add_argument(
+        "--overhead", type=float, default=0.0,
+        help="WCET inflation per inserted preemption point",
+    )
+    p7.set_defaults(handler=_cmd_splitsweep)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_figure1(_: argparse.Namespace) -> int:
+    from repro.experiments.figure1 import (
+        figure1_table1,
+        figure1_table2,
+        figure1_table3,
+        paper_deltas,
+    )
+    from repro.experiments.reporting import format_table
+
+    table1 = figure1_table1()
+    rows = [
+        [c + 1] + [table1[f"tau{i}"][c] for i in range(1, 5)] for c in range(4)
+    ]
+    print(format_table(["c", "mu1[c]", "mu2[c]", "mu3[c]", "mu4[c]"], rows,
+                       title="Table I - worst-case workloads"))
+    print()
+    rows2 = [
+        [str(s.parts), s.cardinality, s.describe()] for s in figure1_table2()
+    ]
+    print(format_table(["s_l", "|s_l|", "description"], rows2,
+                       title="Table II - execution scenarios e_4"))
+    print()
+    table3 = figure1_table3()
+    rows3 = [[str(parts), value] for parts, value in table3.items()]
+    print(format_table(["s_l", "rho[s_l]"], rows3,
+                       title="Table III - overall worst-case workloads"))
+    print()
+    for method, (d_m, d_m1) in paper_deltas().items():
+        print(f"{method}: Delta^4 = {d_m:g}, Delta^3 = {d_m1:g}")
+    print("(paper: LP-ILP 19/15, LP-max 20/16)")
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import run_figure2
+    from repro.experiments.reporting import sweep_chart, sweep_table, write_sweep_csv
+
+    result = run_figure2(
+        m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step
+    )
+    print(sweep_table(result, title=f"Figure 2 (m={args.m}, group 1, "
+                                    f"{args.tasksets} task-sets/point)"))
+    if args.chart:
+        print()
+        print(sweep_chart(result))
+    print(f"\nelapsed: {result.elapsed_seconds:.1f}s")
+    if args.csv:
+        path = write_sweep_csv(result, args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
+def _cmd_group2(args: argparse.Namespace) -> int:
+    from repro.experiments.group2 import run_group2
+    from repro.experiments.reporting import sweep_table, write_sweep_csv
+
+    report = run_group2(
+        m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step
+    )
+    print(sweep_table(report.sweep, title=f"Group 2 (m={args.m})"))
+    print(f"\nLP-max vs LP-ILP ratio gap: max {100 * report.max_gap:.1f} pts, "
+          f"mean {100 * report.mean_gap:.1f} pts "
+          f"({'agree' if report.methods_agree else 'diverge'})")
+    if args.csv:
+        path = write_sweep_csv(report.sweep, args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.experiments.timing import run_timing
+
+    rows = run_timing(core_counts=tuple(args.m), samples=args.samples, seed=args.seed)
+    print(format_table(
+        ["m", "samples", "mean (s)", "max (s)", "schedulable"],
+        [[r.m, r.samples, f"{r.mean_seconds:.4f}", f"{r.max_seconds:.4f}",
+          r.positive_answers] for r in rows],
+        title="LP-ILP analysis runtime (paper: 0.45s / 4.75s / 43min on CPLEX)",
+    ))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import AnalysisMethod, analyze_taskset
+    from repro.experiments.reporting import format_table
+    from repro.generator.profiles import GROUP1, GROUP2
+    from repro.generator.taskset_gen import generate_taskset
+    from repro.sim import simulate, synchronous_periodic_releases
+
+    rng = np.random.default_rng(args.seed)
+    profile = GROUP1 if args.group == 1 else GROUP2
+    taskset = generate_taskset(rng, args.utilization, profile)
+    print(f"generated {len(taskset)} tasks, U = {taskset.total_utilization:.3f}\n")
+    rows = []
+    for task in taskset:
+        rows.append([task.name, task.n_nodes, f"{task.volume:g}",
+                     f"{task.longest_path:g}", f"{task.period:.1f}",
+                     f"{task.utilization:.3f}"])
+    print(format_table(["task", "|V|", "vol", "L", "T=D", "util"], rows))
+    print()
+
+    analyses = {}
+    for method in (AnalysisMethod.FP_IDEAL, AnalysisMethod.LP_ILP,
+                   AnalysisMethod.LP_MAX):
+        analyses[method.value] = analyze_taskset(taskset, args.m, method)
+    rows = []
+    for task in taskset:
+        row = [task.name]
+        for method, result in analyses.items():
+            r = result.task(task.name)
+            row.append(f"{r.response:.1f}" if r.bounded else "FAIL")
+        rows.append(row)
+    print(format_table(["task"] + list(analyses), rows,
+                       title=f"response-time bounds on m={args.m}"))
+    verdicts = ", ".join(f"{k}: {'SCHED' if v.schedulable else 'UNSCHED'}"
+                         for k, v in analyses.items())
+    print(f"\n{verdicts}")
+
+    horizon = 4 * max(t.period for t in taskset)
+    sim = simulate(taskset, args.m,
+                   synchronous_periodic_releases(taskset, horizon))
+    print(f"\nsimulation over {horizon:.0f} time units: "
+          f"{len(sim.records)} jobs, {sim.deadline_misses} deadline misses")
+    rows = []
+    for name, stats in sorted(sim.task_stats().items()):
+        bound = analyses["LP-ILP"].task(name)
+        rows.append([name, stats.jobs, f"{stats.max_response:.1f}",
+                     f"{bound.response:.1f}" if bound.bounded else "-"])
+    print(format_table(["task", "jobs", "max observed R", "LP-ILP bound"], rows))
+    return 0
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    from repro.core import AnalysisMethod
+    from repro.core.sensitivity import breakdown_utilization
+    from repro.experiments.reporting import format_table
+    from repro.generator.profiles import GROUP1
+    from repro.generator.taskset_gen import generate_taskset
+
+    rng = np.random.default_rng(args.seed)
+    rows = []
+    for i in range(args.samples):
+        taskset = generate_taskset(rng, args.utilization, GROUP1)
+        row = [f"set {i} (n={len(taskset)})"]
+        for method in (AnalysisMethod.FP_IDEAL, AnalysisMethod.LP_ILP,
+                       AnalysisMethod.LP_MAX):
+            value = breakdown_utilization(taskset, args.m, method)
+            row.append(f"{value:.2f}")
+        rows.append(row)
+    print(format_table(
+        ["task-set", "FP-ideal", "LP-ILP", "LP-max"],
+        rows,
+        title=f"Breakdown utilisation on m={args.m} "
+              f"(base U={args.utilization})",
+    ))
+    print("\nHigher is better; the ordering LP-max <= LP-ILP <= FP-ideal")
+    print("mirrors the pessimism of the three analyses.")
+    return 0
+
+
+def _cmd_splitsweep(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.experiments.splitsweep import run_split_sweep
+
+    points = run_split_sweep(
+        m=args.m,
+        utilization=args.utilization,
+        thresholds=sorted(args.thresholds, reverse=True),
+        n_tasksets=args.tasksets,
+        seed=args.seed,
+        overhead=args.overhead,
+    )
+    print(format_table(
+        ["NPR size cap", "mean q", "mean U", "LP-ILP schedulable %"],
+        [[f"{p.threshold:g}", f"{p.mean_q:.1f}", f"{p.mean_utilization:.2f}",
+          f"{100 * p.ratio:.1f}"] for p in points],
+        title=(f"Preemption-point granularity sweep "
+               f"(m={args.m}, U={args.utilization}, "
+               f"overhead={args.overhead:g}, {args.tasksets} task-sets)"),
+    ))
+    if args.overhead == 0.0:
+        print("\nOverhead-free (the paper's model): finer NPRs only shrink the")
+        print("blocking terms, so LP-ILP approaches FP-ideal monotonically.")
+        print("Re-run with --overhead > 0 to see the placement tradeoff the")
+        print("paper's introduction motivates (each point inflates WCETs).")
+    else:
+        print("\nWith per-point overhead, inserted points inflate WCETs: past")
+        print("some granularity the added utilisation outweighs the blocking")
+        print("reduction - the tradeoff of the paper's refs [12], [17], [18].")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Combinatorial substrates: integer partitions (execution scenarios)."""
+
+from repro.combinatorics.partitions import (
+    partition_count,
+    partition_count_pentagonal,
+    partitions,
+)
+
+__all__ = ["partitions", "partition_count", "partition_count_pentagonal"]

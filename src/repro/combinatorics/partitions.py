@@ -1,0 +1,95 @@
+"""Integer partitions and Euler's pentagonal-number recurrence.
+
+The paper (Section IV-B2) defines the set of *execution scenarios*
+``e_m`` of the lower-priority tasks as the integer partitions of the
+core count ``m`` (Table II lists ``e_4``), and quotes the partition
+counting function ``p(m)`` computed from the pentagonal number theorem.
+Both are implemented here; they are pure combinatorics with no task
+semantics, which lives in :mod:`repro.core.scenarios`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from functools import lru_cache
+
+from repro.exceptions import ReproError
+
+
+def partitions(m: int) -> Iterator[tuple[int, ...]]:
+    """Yield every partition of ``m`` as a non-increasing tuple.
+
+    Partitions are emitted in reverse-lexicographic order, e.g.
+    ``partitions(4)`` yields ``(4,), (3, 1), (2, 2), (2, 1, 1),
+    (1, 1, 1, 1)``. ``partitions(0)`` yields the single empty partition.
+
+    Raises
+    ------
+    ReproError
+        If ``m`` is negative.
+    """
+    if m < 0:
+        raise ReproError(f"cannot partition a negative integer: {m}")
+
+    def generate(remaining: int, cap: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        if remaining == 0:
+            yield prefix
+            return
+        for part in range(min(cap, remaining), 0, -1):
+            yield from generate(remaining - part, part, prefix + (part,))
+
+    yield from generate(m, m, ())
+
+
+def partition_count(m: int) -> int:
+    """``p(m)``: number of partitions of ``m`` (direct recurrence).
+
+    Uses the classic ``count(n, k)`` (partitions of ``n`` with parts of
+    size at most ``k``) recurrence — an implementation independent from
+    :func:`partition_count_pentagonal` so the two can cross-check each
+    other in tests.
+    """
+    if m < 0:
+        raise ReproError(f"cannot partition a negative integer: {m}")
+
+    @lru_cache(maxsize=None)
+    def count(n: int, k: int) -> int:
+        if n == 0:
+            return 1
+        if k == 0:
+            return 0
+        total = count(n, k - 1)
+        if n >= k:
+            total += count(n - k, k)
+        return total
+
+    return count(m, m)
+
+
+def partition_count_pentagonal(m: int) -> int:
+    """``p(m)`` via Euler's pentagonal number theorem (as cited in the paper).
+
+    ``p(m) = Σ_q (−1)^(q−1) · p(m − q(3q−1)/2)`` over all non-zero
+    integers ``q`` (positive and negative) with ``q(3q−1)/2 <= m``,
+    with ``p(0) = 1`` and ``p(n < 0) = 0``.
+    """
+    if m < 0:
+        raise ReproError(f"cannot partition a negative integer: {m}")
+    table = [0] * (m + 1)
+    table[0] = 1
+    for n in range(1, m + 1):
+        total = 0
+        q = 1
+        while True:
+            progressed = False
+            for signed_q in (q, -q):
+                pentagonal = signed_q * (3 * signed_q - 1) // 2
+                if pentagonal <= n:
+                    progressed = True
+                    sign = -1 if q % 2 == 0 else 1
+                    total += sign * table[n - pentagonal]
+            if not progressed:
+                break
+            q += 1
+        table[n] = total
+    return table[m]

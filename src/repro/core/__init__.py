@@ -1,0 +1,67 @@
+"""The paper's contribution: limited-preemptive RTA for DAG task-sets.
+
+Public surface:
+
+* :func:`repro.core.workload.mu_array` — per-task worst-case parallel
+  workload ``μ_i[c]`` (paper Eq. 6, Section V-A);
+* :func:`repro.core.scenarios.execution_scenarios` and the ``ρ_k[s_l]``
+  solvers (paper Eq. 7, Section V-B);
+* :func:`repro.core.blocking.lp_max_deltas` /
+  :func:`repro.core.blocking.lp_ilp_deltas` — the blocking terms
+  ``Δ^m_k`` / ``Δ^{m−1}_k`` (paper Eqs. 5 and 8);
+* :func:`repro.core.rta.response_time_bounds` — the fixpoint RTA
+  (paper Eqs. 1 and 4);
+* :func:`repro.core.analyzer.analyze_taskset` — one-call schedulability
+  analysis returning structured results.
+"""
+
+from repro.core.analyzer import AnalysisMethod, analyze_taskset, is_schedulable
+from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
+from repro.core.interference import (
+    higher_priority_interference,
+    lower_priority_interference,
+    workload_bound,
+)
+from repro.core.preemptions import max_preemptions, releases_upper_bound
+from repro.core.results import TaskAnalysis, TasksetAnalysis
+from repro.core.rta import response_time_bounds
+from repro.core.sensitivity import blocking_slack, breakdown_utilization
+from repro.core.sequential import (
+    analyze_sequential_taskset,
+    is_sequential,
+    sequential_lp_deltas,
+)
+from repro.core.scenarios import (
+    execution_scenarios,
+    rho_assignment,
+    rho_bruteforce,
+    rho_ilp,
+)
+from repro.core.workload import mu_array, mu_value
+
+__all__ = [
+    "AnalysisMethod",
+    "analyze_taskset",
+    "is_schedulable",
+    "mu_array",
+    "mu_value",
+    "execution_scenarios",
+    "rho_assignment",
+    "rho_ilp",
+    "rho_bruteforce",
+    "lp_max_deltas",
+    "lp_ilp_deltas",
+    "workload_bound",
+    "higher_priority_interference",
+    "lower_priority_interference",
+    "max_preemptions",
+    "releases_upper_bound",
+    "response_time_bounds",
+    "breakdown_utilization",
+    "blocking_slack",
+    "sequential_lp_deltas",
+    "analyze_sequential_taskset",
+    "is_sequential",
+    "TaskAnalysis",
+    "TasksetAnalysis",
+]

@@ -1,0 +1,111 @@
+"""Inter-task interference terms: ``W_i(L)``, ``I^hp_k``, ``I^lp_k``.
+
+Higher-priority interference follows Melani et al. (ECRTS 2015) [10],
+the analysis the paper builds on (its Eq. 2). The workload of an
+interfering DAG task ``τ_i`` in a window of length ``L`` is bounded by
+sliding the window to the scenario where the carry-in job finishes as
+late as possible (its response-time bound ``R_i``) while executing
+densely on all ``m`` cores:
+
+    W_i(L) = floor(L' / T_i) · vol(G_i)
+             + min(vol(G_i), m · (L' mod T_i)),
+    where L' = L + R_i − vol(G_i)/m
+
+The ``floor`` term counts whole interfering jobs, each contributing its
+full volume; the ``min`` term bounds the residual job by both its volume
+and the maximal dense execution ``m · remainder``.
+
+Lower-priority interference is the paper's Eq. 3 (from Thekkilakattil et
+al., RTNS 2015 [15]): ``I^lp_k = Δ^m_k + p_k · Δ^{m−1}_k``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import AnalysisError
+from repro.model.task import DAGTask
+
+
+def workload_bound(task: DAGTask, window: float, m: int, response: float) -> float:
+    """``W_i(L)``: workload of interfering task ``τ_i`` in a window ``L``.
+
+    Parameters
+    ----------
+    task:
+        The interfering (higher-priority) task ``τ_i``.
+    window:
+        Window length ``L`` (≥ 0).
+    m:
+        Core count.
+    response:
+        ``R_i`` — a response-time upper bound of ``τ_i``; must have been
+        computed before (tasks are analysed in priority order).
+
+    Returns
+    -------
+    float
+        An upper bound on the execution performed by jobs of ``τ_i``
+        inside the window.
+    """
+    if window < 0:
+        raise AnalysisError(f"window must be >= 0, got {window}")
+    if m < 1:
+        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    if response < 0:
+        raise AnalysisError(f"response bound must be >= 0, got {response}")
+    vol = task.volume
+    shifted = window + response - vol / m
+    if shifted <= 0:
+        return 0.0
+    whole_jobs = int(shifted // task.period)
+    remainder = shifted - whole_jobs * task.period
+    return whole_jobs * vol + min(vol, m * remainder)
+
+
+def higher_priority_interference(
+    hp_tasks: Sequence[DAGTask],
+    window: float,
+    m: int,
+    responses: Mapping[str, float],
+) -> float:
+    """``I^hp_k = Σ_{τ_i ∈ hp(k)} W_i(L)`` (paper Eq. 2).
+
+    Parameters
+    ----------
+    hp_tasks:
+        Tasks in ``hp(k)`` (may be empty — the highest-priority task).
+    window:
+        The window ``L`` (the current response-time estimate of τ_k).
+    m:
+        Core count.
+    responses:
+        Already-computed response-time bounds, keyed by task name.
+
+    Raises
+    ------
+    AnalysisError
+        If some higher-priority task has no recorded response bound.
+    """
+    total = 0.0
+    for task in hp_tasks:
+        if task.name not in responses:
+            raise AnalysisError(
+                f"response bound of higher-priority task {task.name!r} "
+                "is not available; analyse tasks in priority order"
+            )
+        total += workload_bound(task, window, m, responses[task.name])
+    return total
+
+
+def lower_priority_interference(
+    delta_m: float,
+    delta_m_minus_1: float,
+    preemptions: int,
+) -> float:
+    """``I^lp_k = Δ^m_k + p_k · Δ^{m−1}_k`` (paper Eq. 3)."""
+    if delta_m < 0 or delta_m_minus_1 < 0:
+        raise AnalysisError("blocking terms must be non-negative")
+    if preemptions < 0:
+        raise AnalysisError(f"preemption count must be >= 0, got {preemptions}")
+    return delta_m + preemptions * delta_m_minus_1

@@ -1,0 +1,54 @@
+"""Upper bound on the number of preemptions ``p_k`` (paper Section III-A).
+
+In a window of length ``t`` a task ``τ_k`` can be preempted by
+higher-priority jobs at most
+
+    h_k(t) = Σ_{τ_i ∈ hp(k)} ceil(t / T_i)
+
+times, and it can only actually be preempted at its ``q_k = |V_k| − 1``
+preemption points, so ``p_k = min(q_k, h_k(t))``. The RTA evaluates
+this at the current response-time estimate ``t = R_k`` inside the
+fixpoint (both terms are monotone in ``t``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exceptions import AnalysisError
+from repro.model.task import DAGTask
+
+#: Relative tolerance when a window is an exact multiple of a period —
+#: guards ``ceil`` against float noise (e.g. ``t/T = 3.0000000000000004``).
+_CEIL_EPS = 1e-9
+
+
+def _safe_ceil(x: float) -> int:
+    return math.ceil(x - _CEIL_EPS)
+
+
+def releases_upper_bound(hp_tasks: Sequence[DAGTask], window: float) -> int:
+    """``h_k(t)``: releases of higher-priority jobs in a window of ``t``.
+
+    Parameters
+    ----------
+    hp_tasks:
+        Tasks in ``hp(k)``.
+    window:
+        Window length ``t`` (≥ 0).
+    """
+    if window < 0:
+        raise AnalysisError(f"window must be >= 0, got {window}")
+    if window == 0:
+        return 0
+    return sum(max(0, _safe_ceil(window / task.period)) for task in hp_tasks)
+
+
+def max_preemptions(
+    task: DAGTask,
+    hp_tasks: Sequence[DAGTask],
+    window: float,
+) -> int:
+    """``p_k = min(q_k, h_k(t))`` for ``t = window``."""
+    return min(task.q, releases_upper_bound(hp_tasks, window))

@@ -1,0 +1,91 @@
+"""Structured results of a schedulability analysis."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class TaskAnalysis:
+    """Per-task outcome of the response-time analysis.
+
+    Attributes
+    ----------
+    name:
+        Task name.
+    schedulable:
+        True iff the fixpoint converged with ``R <= D``.
+    response:
+        The response-time upper bound ``R^ub_k`` at the fixpoint;
+        ``inf`` when the iteration exceeded the deadline (the analysis
+        deems the task unschedulable — the true response may be lower,
+        this is a sufficient test).
+    iterations:
+        Fixpoint iterations performed.
+    delta_m / delta_m_minus_1:
+        Blocking terms used (0 for FP-ideal).
+    preemptions:
+        ``p_k`` at the final window (0 for FP-ideal).
+    analyzed:
+        False when the task was skipped because a higher-priority task
+        already failed (its ``W_i`` would need a finite ``R_i``).
+    """
+
+    name: str
+    schedulable: bool
+    response: float
+    iterations: int
+    delta_m: float = 0.0
+    delta_m_minus_1: float = 0.0
+    preemptions: int = 0
+    analyzed: bool = True
+
+    @property
+    def bounded(self) -> bool:
+        """True when a finite response-time bound was obtained."""
+        return math.isfinite(self.response)
+
+
+@dataclass(frozen=True, slots=True)
+class TasksetAnalysis:
+    """Whole-task-set outcome.
+
+    Attributes
+    ----------
+    method:
+        ``"FP-ideal"``, ``"LP-max"`` or ``"LP-ILP"`` (values of
+        :class:`repro.core.analyzer.AnalysisMethod`).
+    m:
+        Core count the analysis ran for.
+    tasks:
+        Per-task results, in priority order (highest first).
+    """
+
+    method: str
+    m: int
+    tasks: tuple[TaskAnalysis, ...] = field(default_factory=tuple)
+
+    @property
+    def schedulable(self) -> bool:
+        """True iff every task met its deadline under the analysis."""
+        return all(t.schedulable for t in self.tasks)
+
+    @property
+    def responses(self) -> dict[str, float]:
+        """Response-time bounds keyed by task name."""
+        return {t.name: t.response for t in self.tasks}
+
+    def task(self, name: str) -> TaskAnalysis:
+        """Result of one task by name."""
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def first_failure(self) -> TaskAnalysis | None:
+        """The highest-priority unschedulable task, if any."""
+        for t in self.tasks:
+            if not t.schedulable:
+                return t
+        return None

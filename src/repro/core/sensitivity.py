@@ -1,0 +1,114 @@
+"""Sensitivity analysis: breakdown utilisation and blocking tolerance.
+
+Two classic questions a system integrator asks on top of a yes/no
+schedulability test:
+
+* :func:`breakdown_utilization` — how far can the workload be scaled up
+  (periods scaled down) before the analysis rejects the system? The
+  resulting "breakdown" total utilisation is a scalar quality metric
+  for comparing analyses, complementary to acceptance-ratio sweeps.
+* :func:`blocking_slack` — per task, how much *additional* blocking it
+  could absorb before missing its deadline; useful when sizing NPRs
+  (e.g. deciding whether a node needs an extra preemption point).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AnalysisError
+from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.core.rta import response_time_bounds
+from repro.model.transforms import scale_periods
+from repro.model.taskset import TaskSet
+
+#: Relative precision of the breakdown-utilisation binary search.
+_BREAKDOWN_TOL = 1e-3
+
+
+def breakdown_utilization(
+    taskset: TaskSet,
+    m: int,
+    method: AnalysisMethod = AnalysisMethod.LP_ILP,
+    max_scale: float = 64.0,
+    **analyzer_kwargs,
+) -> float:
+    """Largest total utilisation at which ``taskset`` stays schedulable.
+
+    Scales every period (and deadline) by a common factor ``1/α`` —
+    leaving graph shapes and WCETs untouched — and binary-searches the
+    largest ``α`` the analysis accepts. Returns ``α · U(taskset)``.
+    Monotonicity holds because shrinking all periods simultaneously
+    only increases interference, blocking counts and densities.
+
+    Parameters
+    ----------
+    taskset:
+        The task-set to stress (not modified).
+    m:
+        Core count.
+    method:
+        Which analysis to stress.
+    max_scale:
+        Upper bound on the searched α (also the lower bound's inverse:
+        the system is declared hopeless below ``1/max_scale``).
+
+    Returns
+    -------
+    float
+        The breakdown total utilisation; 0.0 when even ``1/max_scale``
+        of the workload is rejected.
+    """
+    if m < 1:
+        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    if max_scale <= 1e-9:
+        raise AnalysisError(f"max_scale must be positive, got {max_scale}")
+
+    def schedulable_at(alpha: float) -> bool:
+        try:
+            scaled = scale_periods(taskset, 1.0 / alpha)
+        except Exception:
+            # Period below the critical-path length: trivially infeasible.
+            return False
+        return analyze_taskset(scaled, m, method, **analyzer_kwargs).schedulable
+
+    lo = 1.0 / max_scale
+    if not schedulable_at(lo):
+        return 0.0
+    hi = max_scale
+    if schedulable_at(hi):
+        return hi * taskset.total_utilization
+    # Invariant: schedulable at lo, not at hi.
+    while (hi - lo) > _BREAKDOWN_TOL * hi:
+        mid = (lo + hi) / 2.0
+        if schedulable_at(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo * taskset.total_utilization
+
+
+def blocking_slack(
+    taskset: TaskSet,
+    m: int,
+) -> dict[str, float]:
+    """Per task, the extra lower-priority interference it can absorb.
+
+    Runs the FP-ideal iteration (no blocking) and reports, for each
+    schedulable task, the largest constant ``B`` such that adding
+    ``floor(B/m)`` to its response bound still meets the deadline —
+    i.e. ``m · (D_k − R^fp_k)``. Tasks whose FP-ideal bound already
+    exceeds the deadline get slack 0.
+
+    This is a diagnostic, not a schedulability test: actual LP blocking
+    also perturbs the fixpoint (larger windows admit more interference),
+    so real tolerance is at most this value.
+    """
+    if m < 1:
+        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    results = response_time_bounds(taskset, m)
+    slack: dict[str, float] = {}
+    for task, result in zip(taskset, results):
+        if result.schedulable:
+            slack[task.name] = m * (task.deadline - result.response)
+        else:
+            slack[task.name] = 0.0
+    return slack

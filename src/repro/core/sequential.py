@@ -1,0 +1,103 @@
+"""The sequential-task limited-preemption analysis of Thekkilakattil et
+al. (RTNS 2015) — the paper's reference [15] and starting point.
+
+For *sequential* tasks (a chain of NPRs; no intra-task parallelism) the
+lower-priority blocking under eager limited-preemptive G-FP is bounded
+by (paper Section IV, first paragraph):
+
+1. collect the **longest NPR of each** lower-priority task — one value
+   per task, because a sequential task occupies at most one core;
+2. ``Δ^m`` is the sum of the ``m`` largest collected values, ``Δ^{m−1}``
+   of the ``m − 1`` largest;
+3. ``I^lp_k = Δ^m_k + p_k · Δ^{m−1}_k`` as usual (Eq. 3).
+
+The DAG analysis of this repo degenerates to exactly this bound when
+every task is a chain (LP-ILP's best scenario is then ``(1, 1, ..., 1)``
+filled with per-task maxima) — asserted in
+``tests/test_core_sequential.py`` — while LP-max does **not** (it pools
+several NPRs of the same chain as if they could overlap), which is the
+pessimism gap the paper's Figure 2 exploits.
+
+This module exists (a) as the natural entry point for users with
+sequential task-sets, and (b) as an independent oracle for the DAG
+machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import AnalysisError
+from repro.core.results import TasksetAnalysis
+from repro.core.rta import response_time_bounds
+from repro.graph.properties import max_parallelism
+from repro.model.task import DAGTask
+from repro.model.taskset import TaskSet
+
+
+def is_sequential(task: DAGTask) -> bool:
+    """True when the task's DAG is a chain (poset width 1)."""
+    return max_parallelism(task.graph) == 1
+
+
+def sequential_lp_deltas(
+    lp_tasks: Sequence[DAGTask],
+    m: int,
+    allow_dag: bool = False,
+) -> tuple[float, float]:
+    """``(Δ^m, Δ^{m−1})`` per Thekkilakattil et al. for sequential tasks.
+
+    Parameters
+    ----------
+    lp_tasks:
+        The lower-priority tasks; each contributes its single longest
+        NPR to the candidate pool.
+    m:
+        Core count (≥ 1).
+    allow_dag:
+        The bound is **unsound** for parallel tasks (several NPRs of
+        one DAG can block simultaneously); by default non-sequential
+        input raises. Pass True only to measure how wrong the
+        sequential bound would be (used by ablation studies).
+
+    Raises
+    ------
+    AnalysisError
+        On ``m < 1`` or (unless ``allow_dag``) a non-sequential task.
+    """
+    if m < 1:
+        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    if not allow_dag:
+        offenders = [t.name for t in lp_tasks if not is_sequential(t)]
+        if offenders:
+            raise AnalysisError(
+                f"sequential LP bound applied to parallel tasks {offenders}; "
+                "use the DAG analysis (lp_ilp_deltas) or pass allow_dag=True"
+            )
+    longest_per_task = sorted(
+        (max(n.wcet for n in t.graph.nodes) for t in lp_tasks), reverse=True
+    )
+    return (
+        sum(longest_per_task[:m]),
+        sum(longest_per_task[: m - 1]),
+    )
+
+
+def analyze_sequential_taskset(
+    taskset: TaskSet,
+    m: int,
+    allow_dag: bool = False,
+) -> TasksetAnalysis:
+    """Full RTA of a sequential task-set under eager LP G-FP.
+
+    Combines the [15] blocking bound with the same response-time
+    fixpoint machinery as the DAG analysis (to which it is equivalent
+    for chains, where ``L = vol``).
+    """
+    def provider(task: DAGTask) -> tuple[float, float]:
+        return sequential_lp_deltas(taskset.lp(task.name), m, allow_dag=allow_dag)
+
+    results = response_time_bounds(
+        taskset, m, delta_provider=provider, limited_preemption=True
+    )
+    return TasksetAnalysis("LP-sequential", m, tuple(results))

@@ -1,0 +1,245 @@
+"""Worst-case parallel workload of one task: ``μ_i[c]`` (paper Section V-A).
+
+Definition 1 of the paper: the worst-case workload of a task executing
+on ``c`` cores is the sum of the WCETs of the ``c`` largest NPRs that can
+execute in parallel — i.e. the maximum-weight *antichain of exactly size
+c* in the task's precedence order (Eq. 6):
+
+    μ_i[c] = Σ max^parallel_c {C_{i,j}}
+
+``μ_i[c] = 0`` when no ``c`` NPRs are pairwise parallel (Table I:
+``μ2[3] = μ2[4] = 0``).
+
+Three exact solvers are provided; all return identical values (asserted
+in tests) and differ only in mechanics and cost:
+
+* ``"search"`` (default) — bitmask branch-and-bound over the
+  parallelism relation; fastest, used by the production analysis path;
+* ``"ilp"`` — a clean pairwise-conflict binary ILP
+  (``b_j + b_k <= 1`` for every *non*-parallel pair) solved by
+  :mod:`repro.ilp`;
+* ``"ilp-paper"`` — the paper's Section V-A2 formulation with auxiliary
+  ``b_{j,k} = b_j ∧ b_k`` variables. The paper's constraint (2) reads
+  ``Σ b_{j,k}·IsPar_{j,k} = c`` but ``c`` mutually-parallel nodes form
+  ``c(c−1)/2`` pairs; we implement the evidently intended right-hand
+  side ``c(c−1)/2`` (see DESIGN.md, "Known paper issues").
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.exceptions import AnalysisError
+from repro.graph.parallel import par_sets_oracle
+from repro.ilp import BinaryProgram, solve
+from repro.model.dag import DAG
+from repro.model.task import DAGTask
+
+MuMethod = Literal["search", "ilp", "ilp-paper"]
+
+_MU_METHODS: tuple[MuMethod, ...] = ("search", "ilp", "ilp-paper")
+
+
+def mu_array(
+    task: DAGTask | DAG,
+    m: int,
+    method: MuMethod = "search",
+) -> list[float]:
+    """``μ_i[c]`` for ``c = 1..m`` as a list indexed by ``c − 1``.
+
+    Parameters
+    ----------
+    task:
+        The DAG task (or bare DAG) whose parallel workload is needed.
+    m:
+        Number of cores; the array has ``m`` entries.
+    method:
+        Which exact solver to use (see module docstring).
+
+    Returns
+    -------
+    list of float
+        ``[μ[1], μ[2], ..., μ[m]]``; entries beyond the task's maximum
+        parallelism are 0.
+
+    Raises
+    ------
+    AnalysisError
+        For ``m < 1`` or an unknown method.
+    """
+    if m < 1:
+        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    if method not in _MU_METHODS:
+        raise AnalysisError(f"unknown mu method {method!r}; choose from {_MU_METHODS}")
+    dag = task.graph if isinstance(task, DAGTask) else task
+    return [mu_value(dag, c, method) for c in range(1, m + 1)]
+
+
+def mu_value(dag: DAG, c: int, method: MuMethod = "search") -> float:
+    """``μ[c]`` for a single core count ``c`` (0 when unattainable)."""
+    if c < 1:
+        raise AnalysisError(f"core count c must be >= 1, got {c}")
+    if method not in _MU_METHODS:
+        raise AnalysisError(f"unknown mu method {method!r}; choose from {_MU_METHODS}")
+    if c > len(dag):
+        return 0.0
+    if c == 1:
+        # The paper computes μ[1] directly as the largest NPR.
+        return max(node.wcet for node in dag.nodes)
+    if method == "search":
+        return _mu_search(dag, c)
+    if method == "ilp":
+        return _mu_ilp_pairwise(dag, c)
+    return _mu_ilp_paper(dag, c)
+
+
+# ----------------------------------------------------------------------
+# solver 1: bitmask branch-and-bound over antichains
+# ----------------------------------------------------------------------
+def _mu_search(dag: DAG, c: int) -> float:
+    """Maximum-weight antichain of exactly ``c`` nodes, or 0 if none.
+
+    Nodes are ordered by decreasing WCET; the search keeps a bitmask of
+    nodes still compatible with the current partial antichain and prunes
+    on (a) not enough compatible nodes left, and (b) an optimistic bound
+    (current weight + the ``c − k`` heaviest remaining compatible
+    nodes) failing to beat the incumbent.
+    """
+    names = sorted(dag.node_names, key=lambda n: (-dag.wcet(n), n))
+    index = {name: i for i, name in enumerate(names)}
+    weights = [dag.wcet(name) for name in names]
+    par = par_sets_oracle(dag)
+    masks = [0] * len(names)
+    for name, others in par.items():
+        i = index[name]
+        for other in others:
+            masks[i] |= 1 << index[other]
+
+    n = len(names)
+    best = 0.0
+    found = False
+
+    # prefix_weights[i] = weights[i:] summed over the k heaviest is just
+    # the first k of the slice, because ``weights`` is sorted descending.
+    def optimistic(start: int, candidates: int, need: int) -> float:
+        total = 0.0
+        taken = 0
+        bits = candidates >> start
+        i = start
+        while bits and taken < need:
+            if bits & 1:
+                total += weights[i]
+                taken += 1
+            bits >>= 1
+            i += 1
+        if taken < need:
+            return float("-inf")
+        return total
+
+    def search(start: int, candidates: int, chosen: int, weight: float) -> None:
+        nonlocal best, found
+        if chosen == c:
+            if not found or weight > best:
+                best = weight
+                found = True
+            return
+        need = c - chosen
+        if weight + optimistic(start, candidates, need) <= (best if found else float("-inf")):
+            return
+        for i in range(start, n - need + 1):
+            if not (candidates >> i) & 1:
+                continue
+            search(i + 1, candidates & masks[i], chosen + 1, weight + weights[i])
+
+    search(0, (1 << n) - 1, 0, 0.0)
+    return best if found else 0.0
+
+
+# ----------------------------------------------------------------------
+# solver 2: pairwise-conflict ILP
+# ----------------------------------------------------------------------
+def _mu_ilp_pairwise(dag: DAG, c: int) -> float:
+    """μ[c] via a binary ILP with one conflict constraint per ordered pair."""
+    par = par_sets_oracle(dag)
+    program = BinaryProgram(maximize=True)
+    names = list(dag.node_names)
+    for name in names:
+        program.add_var(name, objective=dag.wcet(name))
+    program.add_constraint({name: 1.0 for name in names}, "==", c, name="pick c nodes")
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            if v not in par[u]:
+                program.add_constraint(
+                    {u: 1.0, v: 1.0}, "<=", 1, name=f"conflict {u}/{v}"
+                )
+    solution = solve(program)
+    if not solution.is_optimal:
+        return 0.0
+    return solution.objective
+
+
+# ----------------------------------------------------------------------
+# solver 3: the paper's Section V-A2 formulation
+# ----------------------------------------------------------------------
+def _mu_ilp_paper(dag: DAG, c: int) -> float:
+    """μ[c] via the paper's formulation with ``b_{j,k}`` auxiliaries.
+
+    Variables: ``b_j`` per node, ``b_{j,k}`` per unordered pair.
+    Constraints: ``Σ b_j = c``; ``Σ b_{j,k}·IsPar_{j,k} = c(c−1)/2``
+    (corrected RHS, see module docstring); linking
+    ``b_{j,k} >= b_j + b_k − 1``, ``b_{j,k} <= b_j``, ``b_{j,k} <= b_k``.
+    Objective: ``max Σ C_j · b_j``.
+    """
+    par = par_sets_oracle(dag)
+    names = list(dag.node_names)
+    program = BinaryProgram(maximize=True)
+    for name in names:
+        program.add_var(f"b[{name}]", objective=dag.wcet(name))
+    pair_names: list[tuple[str, str, bool]] = []
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            program.add_var(f"b[{u},{v}]")
+            pair_names.append((u, v, v in par[u]))
+
+    program.add_constraint(
+        {f"b[{name}]": 1.0 for name in names}, "==", c, name="pick c nodes"
+    )
+    parallel_pair_coeffs = {
+        f"b[{u},{v}]": 1.0 for u, v, is_par in pair_names if is_par
+    }
+    required_pairs = c * (c - 1) // 2
+    if parallel_pair_coeffs:
+        program.add_constraint(
+            parallel_pair_coeffs, "==", required_pairs, name="all pairs parallel"
+        )
+    elif required_pairs > 0:
+        # No parallel pair exists at all, but c >= 2 of them are needed.
+        return 0.0
+    for u, v, _ in pair_names:
+        pair = f"b[{u},{v}]"
+        bu, bv = f"b[{u}]", f"b[{v}]"
+        program.add_constraint(
+            {pair: 1.0, bu: -1.0, bv: -1.0}, ">=", -1, name=f"and-lb {pair}"
+        )
+        program.add_constraint({pair: 1.0, bu: -1.0}, "<=", 0, name=f"and-ub1 {pair}")
+        program.add_constraint({pair: 1.0, bv: -1.0}, "<=", 0, name=f"and-ub2 {pair}")
+
+    solution = solve(program)
+    if not solution.is_optimal:
+        return 0.0
+    return solution.objective
+
+
+def mu_bruteforce(dag: DAG, c: int) -> float:
+    """Exhaustive μ[c] oracle over all antichains (tests only)."""
+    from repro.graph.properties import antichains
+
+    best = 0.0
+    found = False
+    for chain in antichains(dag, max_size=c):
+        if len(chain) == c:
+            weight = sum(dag.wcet(v) for v in chain)
+            if not found or weight > best:
+                best = weight
+                found = True
+    return best if found else 0.0

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class. Narrower subclasses signal which subsystem
+rejected the input:
+
+* :class:`ModelError` — malformed tasks, graphs or task-sets;
+* :class:`GraphError` — graph-algorithm preconditions (cycles, unknown
+  nodes, non-DAG inputs);
+* :class:`AnalysisError` — response-time analysis misuse (bad core
+  counts, unordered priorities);
+* :class:`IlpError` / :class:`IlpInfeasibleError` — ILP substrate
+  failures;
+* :class:`GenerationError` — task-set generator parameter problems;
+* :class:`SimulationError` — simulator misuse or invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """A task, DAG or task-set violates the model's structural rules."""
+
+
+class GraphError(ReproError):
+    """A graph algorithm received input outside its preconditions."""
+
+
+class CycleError(GraphError):
+    """The input graph contains a directed cycle (it is not a DAG)."""
+
+
+class AnalysisError(ReproError):
+    """The response-time analysis was invoked with invalid parameters."""
+
+
+class IlpError(ReproError):
+    """The ILP model is malformed (bad coefficients, unknown variables)."""
+
+
+class IlpInfeasibleError(IlpError):
+    """The ILP instance has no feasible assignment."""
+
+
+class GenerationError(ReproError):
+    """Task-set generation parameters are inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was misused or detected a bug."""

@@ -1,0 +1,187 @@
+"""The paper's running example: Figure 1 and Tables I–III.
+
+Figure 1 shows the four lower-priority DAG tasks used throughout
+Section IV to illustrate the LP-max and LP-ILP blocking bounds on an
+``m = 4`` platform. The figure itself is an image, but Tables I–III and
+the narrative pin the graphs down completely; the DAGs below reproduce
+**every** number the paper quotes:
+
+* Table I — all sixteen ``μ_i[c]`` values (including which nodes attain
+  them, e.g. ``μ4[2] = C4,4 + C4,3 = 9``);
+* the text's ``SUCC`` / ``Par`` examples
+  (``SUCC(v1,2) = {v1,6, v1,8}``,
+  ``Par(v1,3) = {v1,2, v1,4, v1,5, v1,7}``,
+  ``Par(v1,7) ⊇ {v1,2, v1,3, v1,6}``);
+* Table II — the five execution scenarios of ``e_4``;
+* Table III — ``ρ_k[s_l] = 18, 16, 19, 18, 11``;
+* Section IV-B3 — ``Δ⁴ = 19`` (LP-ILP) vs ``20`` (LP-max, attained by
+  ``C3,1 + C4,1 + C4,4 + C2,2``), and ``Δ³ = 15`` vs ``16``.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
+from repro.core.scenarios import ExecutionScenario, execution_scenarios, rho_assignment
+from repro.core.workload import mu_array
+from repro.model.builder import DagBuilder
+from repro.model.dag import DAG
+from repro.model.task import DAGTask
+
+#: Core count of the worked example.
+FIGURE1_M = 4
+
+
+def tau1_dag() -> DAG:
+    """τ1: fork into four parallel NPRs, two pairwise joins, final sink.
+
+    ``v1,1 → v1,2..v1,5``; ``v1,2, v1,3 → v1,6``; ``v1,4, v1,5 → v1,7``;
+    ``v1,6, v1,7 → v1,8``. WCETs (1, 1, 1, 2, 1, 3, 2, 3).
+    """
+    return (
+        DagBuilder()
+        .nodes(
+            {
+                "v1,1": 1,
+                "v1,2": 1,
+                "v1,3": 1,
+                "v1,4": 2,
+                "v1,5": 1,
+                "v1,6": 3,
+                "v1,7": 2,
+                "v1,8": 3,
+            }
+        )
+        .fork("v1,1", ["v1,2", "v1,3", "v1,4", "v1,5"])
+        .join(["v1,2", "v1,3"], "v1,6")
+        .join(["v1,4", "v1,5"], "v1,7")
+        .join(["v1,6", "v1,7"], "v1,8")
+        .build()
+    )
+
+
+def tau2_dag() -> DAG:
+    """τ2: a diamond — maximum parallelism 2 (hence ``μ2[3] = μ2[4] = 0``).
+
+    ``v2,1 → v2,2, v2,3 → v2,4``. WCETs (1, 4, 3, 2).
+    """
+    return (
+        DagBuilder()
+        .nodes({"v2,1": 1, "v2,2": 4, "v2,3": 3, "v2,4": 2})
+        .fork("v2,1", ["v2,2", "v2,3"])
+        .join(["v2,2", "v2,3"], "v2,4")
+        .build()
+    )
+
+
+def tau3_dag() -> DAG:
+    """τ3: a fan-out of four leaves below a heavy source (``C3,1 = 6``).
+
+    ``v3,1 → v3,2..v3,5``. WCETs (6, 2, 4, 3, 2).
+    """
+    return (
+        DagBuilder()
+        .nodes({"v3,1": 6, "v3,2": 2, "v3,3": 4, "v3,4": 3, "v3,5": 2})
+        .fork("v3,1", ["v3,2", "v3,3", "v3,4", "v3,5"])
+        .build()
+    )
+
+
+def tau4_dag() -> DAG:
+    """τ4: two-level fork — ``v4,1`` and ``v4,4`` can never run in parallel.
+
+    ``v4,1 → v4,2, v4,3``; ``v4,2 → v4,4, v4,5``.
+    WCETs (5, 1, 4, 5, 3). Maximum parallelism 3 (``μ4[4] = 0``).
+    """
+    return (
+        DagBuilder()
+        .nodes({"v4,1": 5, "v4,2": 1, "v4,3": 4, "v4,4": 5, "v4,5": 3})
+        .fork("v4,1", ["v4,2", "v4,3"])
+        .fork("v4,2", ["v4,4", "v4,5"])
+        .build()
+    )
+
+
+def figure1_lp_tasks(period: float = 1000.0) -> list[DAGTask]:
+    """The four lower-priority tasks ``lp(k) = {τ1, τ2, τ3, τ4}``.
+
+    The paper never assigns periods in the example (only the DAG shapes
+    matter for the blocking terms); a generous common period keeps the
+    tasks valid. Priorities 1..4 leave priority 0 free for the task
+    under analysis ``τ_k``.
+    """
+    dags = [tau1_dag(), tau2_dag(), tau3_dag(), tau4_dag()]
+    return [
+        DAGTask(f"tau{i}", dag, period=period, priority=i)
+        for i, dag in enumerate(dags, start=1)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Expected values straight from the paper
+# ----------------------------------------------------------------------
+#: Table I: ``μ_i[c]`` for c = 1..4 (columns τ1..τ4).
+TABLE1_EXPECTED: dict[str, list[float]] = {
+    "tau1": [3.0, 5.0, 6.0, 5.0],
+    "tau2": [4.0, 7.0, 0.0, 0.0],
+    "tau3": [6.0, 7.0, 9.0, 11.0],
+    "tau4": [5.0, 9.0, 12.0, 0.0],
+}
+
+#: Table II: the execution scenarios of ``e_4`` with their cardinality.
+TABLE2_EXPECTED: list[tuple[tuple[int, ...], int]] = [
+    ((1, 1, 1, 1), 4),
+    ((2, 2), 2),
+    ((2, 1, 1), 3),
+    ((3, 1), 2),
+    ((4,), 1),
+]
+
+#: Table III: ``ρ_k[s_l]`` per scenario (same order as Table II).
+TABLE3_EXPECTED: dict[tuple[int, ...], float] = {
+    (1, 1, 1, 1): 18.0,
+    (2, 2): 16.0,
+    (2, 1, 1): 19.0,
+    (3, 1): 18.0,
+    (4,): 11.0,
+}
+
+#: Section IV-B3: blocking terms of the example.
+DELTA4_LP_ILP = 19.0
+DELTA3_LP_ILP = 15.0
+DELTA4_LP_MAX = 20.0
+DELTA3_LP_MAX = 16.0
+
+
+# ----------------------------------------------------------------------
+# Regeneration entry points (used by benches, tests and the CLI)
+# ----------------------------------------------------------------------
+def figure1_table1(mu_method: str = "search") -> dict[str, list[float]]:
+    """Recompute Table I: ``μ_i[c]`` for each example task, c = 1..4."""
+    return {
+        task.name: mu_array(task, FIGURE1_M, method=mu_method)  # type: ignore[arg-type]
+        for task in figure1_lp_tasks()
+    }
+
+
+def figure1_table2() -> list[ExecutionScenario]:
+    """Recompute Table II: the execution scenarios ``e_4``."""
+    return execution_scenarios(FIGURE1_M)
+
+
+def figure1_table3() -> dict[tuple[int, ...], float]:
+    """Recompute Table III: ``ρ_k[s_l]`` for every scenario of ``e_4``."""
+    tasks = figure1_lp_tasks()
+    mu_by_task = {t.name: mu_array(t, FIGURE1_M) for t in tasks}
+    return {
+        scenario.parts: rho_assignment(mu_by_task, scenario)
+        for scenario in execution_scenarios(FIGURE1_M)
+    }
+
+
+def paper_deltas() -> dict[str, tuple[float, float]]:
+    """Recompute the example's ``(Δ⁴, Δ³)`` for both methods."""
+    tasks = figure1_lp_tasks()
+    return {
+        "LP-ILP": lp_ilp_deltas(tasks, FIGURE1_M),
+        "LP-max": lp_max_deltas(tasks, FIGURE1_M),
+    }

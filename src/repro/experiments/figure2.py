@@ -1,0 +1,109 @@
+"""Figure 2: schedulability ratio vs utilisation for m = 4, 8, 16.
+
+The paper's main evaluation (Section VI-B): group-1 task-sets (mixed
+parallelism), 300 task-sets per utilisation point, three analyses
+(FP-ideal, LP-ILP, LP-max). Sub-figures (a)/(b)/(c) differ only in the
+core count and utilisation range.
+
+Expected shape (the reproduction target):
+
+* ordering ``LP-max <= LP-ILP <= FP-ideal`` at every point;
+* LP-max collapses much earlier than LP-ILP (paper: at U = 2.25 on
+  m = 4 the ratios are 11% / 59% / 95%);
+* the LP-ILP-to-FP-ideal gap widens slightly as m grows.
+
+Note Figure 2(c)'s x-axis is labelled "Number of tasks" in the paper;
+the surrounding text discusses it as the same utilisation sweep as
+(a)/(b), which is what we reproduce (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AnalysisError
+from repro.experiments.runner import (
+    DEFAULT_METHODS,
+    SweepResult,
+    run_sweep,
+    utilization_grid,
+)
+from repro.generator.profiles import GROUP1
+
+#: Core counts of sub-figures (a), (b), (c).
+FIGURE2_CORE_COUNTS = (4, 8, 16)
+
+#: Task-sets per utilisation point in the paper.
+PAPER_TASKSETS_PER_POINT = 300
+
+#: Default root seed (the paper's publication year, for what it's worth).
+DEFAULT_SEED = 2016
+
+
+def run_figure2(
+    m: int,
+    n_tasksets: int = PAPER_TASKSETS_PER_POINT,
+    seed: int = DEFAULT_SEED,
+    step: float | None = None,
+    mu_method: str = "search",
+    rho_solver: str = "assignment",
+) -> SweepResult:
+    """Regenerate one sub-figure of Figure 2.
+
+    Parameters
+    ----------
+    m:
+        4, 8 or 16 for the paper's sub-figures; any ≥ 1 accepted.
+    n_tasksets:
+        Task-sets per utilisation point (paper: 300; reduce for quick
+        runs).
+    seed:
+        Root seed for reproducibility.
+    step:
+        Utilisation grid step; default scales with m.
+    """
+    if m < 1:
+        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    return run_sweep(
+        m=m,
+        utilizations=utilization_grid(m, step=step),
+        n_tasksets=n_tasksets,
+        profile=GROUP1,
+        seed=seed,
+        methods=DEFAULT_METHODS,
+        label=f"figure2-m{m}-group1",
+        mu_method=mu_method,
+        rho_solver=rho_solver,
+    )
+
+
+def check_figure2_shape(result: SweepResult, tolerance: float = 0.05) -> list[str]:
+    """Verify the qualitative claims of Figure 2 on a sweep result.
+
+    Returns a list of violations (empty = shape reproduced):
+
+    * at every utilisation, ``LP-max <= LP-ILP <= FP-ideal`` within
+      ``tolerance`` (sampling noise allowance);
+    * each method is monotonically non-increasing in U within
+      ``2 * tolerance``.
+    """
+    violations: list[str] = []
+    fp, ilp, lpmax = "FP-ideal", "LP-ILP", "LP-max"
+    for point in result.points:
+        if point.ratio(lpmax) > point.ratio(ilp) + tolerance:
+            violations.append(
+                f"U={point.utilization}: LP-max ratio {point.ratio(lpmax):.2f} "
+                f"exceeds LP-ILP {point.ratio(ilp):.2f}"
+            )
+        if point.ratio(ilp) > point.ratio(fp) + tolerance:
+            violations.append(
+                f"U={point.utilization}: LP-ILP ratio {point.ratio(ilp):.2f} "
+                f"exceeds FP-ideal {point.ratio(fp):.2f}"
+            )
+    for method in result.methods:
+        series = result.series(method)
+        for (u1, p1), (u2, p2) in zip(series, series[1:]):
+            if p2 > p1 + 200.0 * tolerance:
+                violations.append(
+                    f"{method}: ratio increases from {p1:.0f}% at U={u1} "
+                    f"to {p2:.0f}% at U={u2}"
+                )
+    return violations

@@ -1,0 +1,168 @@
+"""Generic schedulability-ratio sweep runner.
+
+One *sweep* fixes a platform (``m`` cores) and a task-set profile, then
+for each target utilisation generates ``n_tasksets`` random task-sets
+and counts how many each analysis method deems schedulable — the
+machinery behind the paper's Figure 2 and the group-2 experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.generator.profiles import TasksetProfile
+from repro.generator.taskset_gen import generate_taskset
+
+#: Methods compared in the paper's evaluation, in plot order.
+DEFAULT_METHODS: tuple[AnalysisMethod, ...] = (
+    AnalysisMethod.FP_IDEAL,
+    AnalysisMethod.LP_ILP,
+    AnalysisMethod.LP_MAX,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """Result at one utilisation: schedulable counts per method."""
+
+    utilization: float
+    n_tasksets: int
+    schedulable: dict[str, int]
+
+    def ratio(self, method: str) -> float:
+        """Fraction of schedulable task-sets for ``method`` (0..1)."""
+        return self.schedulable[method] / self.n_tasksets if self.n_tasksets else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """A full sweep: one :class:`SweepPoint` per utilisation."""
+
+    m: int
+    label: str
+    seed: int
+    points: tuple[SweepPoint, ...]
+    methods: tuple[str, ...]
+    elapsed_seconds: float = 0.0
+
+    def series(self, method: str) -> list[tuple[float, float]]:
+        """``(utilization, percent schedulable)`` pairs for one method."""
+        if method not in self.methods:
+            raise AnalysisError(f"method {method!r} not part of this sweep")
+        return [(p.utilization, 100.0 * p.ratio(method)) for p in self.points]
+
+    def crossover(self, method: str, threshold: float = 0.5) -> float | None:
+        """First utilisation at which the ratio drops below ``threshold``.
+
+        A coarse summary statistic for comparing methods: the paper's
+        "performance drops earlier" claims are about exactly this.
+        Returns ``None`` when the method never drops below.
+        """
+        for point in self.points:
+            if point.ratio(method) < threshold:
+                return point.utilization
+        return None
+
+
+ProgressHook = Callable[[float, int, int], None]
+
+
+def run_sweep(
+    m: int,
+    utilizations: Sequence[float],
+    n_tasksets: int,
+    profile: TasksetProfile,
+    seed: int,
+    methods: Sequence[AnalysisMethod] = DEFAULT_METHODS,
+    label: str = "",
+    mu_method: str = "search",
+    rho_solver: str = "assignment",
+    progress: ProgressHook | None = None,
+) -> SweepResult:
+    """Run one schedulability sweep.
+
+    Parameters
+    ----------
+    m:
+        Core count.
+    utilizations:
+        The x-axis grid.
+    n_tasksets:
+        Task-sets generated per grid point (paper: 300).
+    profile:
+        Generator profile (group 1 / group 2 / custom).
+    seed:
+        Root seed; every grid point derives its own child generator so
+        points are independent yet reproducible.
+    methods:
+        Analyses to run on every task-set.
+    label:
+        Free-form tag carried into the result (e.g. ``"group1"``).
+    mu_method / rho_solver:
+        LP-ILP solver selection, passed through to the analyzer.
+    progress:
+        Optional callback ``(utilization, done, total)`` per task-set.
+
+    Returns
+    -------
+    SweepResult
+    """
+    if n_tasksets < 1:
+        raise AnalysisError(f"n_tasksets must be >= 1, got {n_tasksets}")
+    start = time.perf_counter()
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(utilizations))
+    points: list[SweepPoint] = []
+    for child, utilization in zip(children, utilizations):
+        rng = np.random.default_rng(child)
+        counts = {method.value: 0 for method in methods}
+        for i in range(n_tasksets):
+            taskset = generate_taskset(rng, utilization, profile)
+            for method in methods:
+                result = analyze_taskset(
+                    taskset,
+                    m,
+                    method,
+                    mu_method=mu_method,  # type: ignore[arg-type]
+                    rho_solver=rho_solver,  # type: ignore[arg-type]
+                )
+                if result.schedulable:
+                    counts[method.value] += 1
+            if progress is not None:
+                progress(utilization, i + 1, n_tasksets)
+        points.append(SweepPoint(utilization, n_tasksets, counts))
+    elapsed = time.perf_counter() - start
+    return SweepResult(
+        m=m,
+        label=label,
+        seed=seed,
+        points=tuple(points),
+        methods=tuple(method.value for method in methods),
+        elapsed_seconds=elapsed,
+    )
+
+
+def utilization_grid(m: int, step: float | None = None, start: float = 1.0) -> list[float]:
+    """The x-axis of Figure 2: ``start .. m`` in steps of ``step``.
+
+    The default step scales with ``m`` (0.25 for m=4, 0.5 for m=8, 1.0
+    for m=16) matching the resolution visible in the paper's plots.
+    """
+    if m < 1:
+        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    if step is None:
+        step = m / 16.0
+    if step <= 0:
+        raise AnalysisError(f"step must be > 0, got {step}")
+    grid: list[float] = []
+    u = start
+    while u <= m + 1e-9:
+        grid.append(round(u, 6))
+        u += step
+    return grid

@@ -1,0 +1,118 @@
+"""Extension experiment: preemption-point granularity sweep.
+
+Limited preemption interpolates between fully non-preemptive (few,
+large NPRs — heavy blocking imposed, few preemptions suffered) and
+fully preemptive (many tiny NPRs — no blocking, every release
+preempts). This sweep takes group-1 task-sets, re-splits every NPR
+above a WCET threshold (:func:`repro.model.transforms.split_all_nodes`)
+and measures LP-ILP schedulability as the threshold shrinks — the
+system-level view of the preemption-point placement problem (paper
+refs [12], [17], [18], and its future-work item (ii)).
+
+Two regimes, matching the paper's framing:
+
+* **overhead-free** (the paper's model): finer NPRs monotonically help
+  — Δ shrinks while ``p_k = min(q_k, h_k)`` is already capped by the
+  release count ``h_k``, so LP-ILP approaches FP-ideal;
+* **with preemption overheads** (``overhead > 0``; the costs the
+  paper's introduction motivates): every inserted point inflates WCETs,
+  so utilisation grows as NPRs shrink and schedulability becomes
+  non-monotone — the placement problem of refs [12], [17], [18].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.generator.profiles import GROUP1, TasksetProfile
+from repro.generator.taskset_gen import generate_taskset
+from repro.model.taskset import TaskSet
+from repro.model.transforms import with_split_nodes
+
+
+@dataclass(frozen=True, slots=True)
+class SplitSweepPoint:
+    """Acceptance ratio at one NPR-size threshold."""
+
+    threshold: float
+    n_tasksets: int
+    schedulable: int
+    mean_q: float
+    mean_utilization: float
+
+    @property
+    def ratio(self) -> float:
+        return self.schedulable / self.n_tasksets if self.n_tasksets else 0.0
+
+
+def split_taskset(
+    taskset: TaskSet, threshold: float, overhead: float = 0.0
+) -> TaskSet:
+    """Split every NPR above ``threshold`` across a whole task-set."""
+    if not (threshold > 0) or math.isinf(threshold):
+        raise AnalysisError(f"threshold must be positive and finite, got {threshold}")
+    return TaskSet(
+        [with_split_nodes(task, threshold, overhead=overhead) for task in taskset]
+    )
+
+
+def run_split_sweep(
+    m: int,
+    utilization: float,
+    thresholds: list[float],
+    n_tasksets: int = 30,
+    seed: int = 2016,
+    profile: TasksetProfile = GROUP1,
+    method: AnalysisMethod = AnalysisMethod.LP_ILP,
+    overhead: float = 0.0,
+) -> list[SplitSweepPoint]:
+    """Schedulability vs NPR-size threshold on a fixed task-set corpus.
+
+    The same ``n_tasksets`` task-sets are re-analysed at every
+    threshold, so points are directly comparable.
+
+    Parameters
+    ----------
+    m / utilization / n_tasksets / seed / profile:
+        Corpus definition (same knobs as the Figure-2 sweeps).
+    thresholds:
+        NPR-size caps to test, e.g. ``[1000, 100, 50, 25, 10]``.
+    method:
+        Analysis applied (LP-ILP by default).
+    overhead:
+        WCET inflation per inserted preemption point (see
+        :func:`repro.model.transforms.split_node`); 0 reproduces the
+        paper's overhead-free model.
+    """
+    if not thresholds:
+        raise AnalysisError("need at least one threshold")
+    rng = np.random.default_rng(seed)
+    corpus = [generate_taskset(rng, utilization, profile) for _ in range(n_tasksets)]
+    points: list[SplitSweepPoint] = []
+    for threshold in thresholds:
+        good = 0
+        total_q = 0
+        total_tasks = 0
+        total_u = 0.0
+        for taskset in corpus:
+            split = split_taskset(taskset, threshold, overhead=overhead)
+            total_q += sum(t.q for t in split)
+            total_tasks += len(split)
+            total_u += split.total_utilization
+            if analyze_taskset(split, m, method).schedulable:
+                good += 1
+        points.append(
+            SplitSweepPoint(
+                threshold=threshold,
+                n_tasksets=n_tasksets,
+                schedulable=good,
+                mean_q=total_q / total_tasks if total_tasks else 0.0,
+                mean_utilization=total_u / n_tasksets,
+            )
+        )
+    return points

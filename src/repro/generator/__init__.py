@@ -1,0 +1,42 @@
+"""Random DAG task-set generation (paper Section VI-A).
+
+Reproduces the simulation environment of Melani et al. [10] with the
+parameters the paper publishes: nested fork–join expansion with
+``p_term = 0.4`` / ``p_par = 0.6``, at most ``n_par = 6`` successors,
+longest path of at most 7 nodes, at most 30 NPRs per DAG, WCETs uniform
+in ``[1, 100]``, minimum task utilisation ``β = 0.5`` and implicit
+deadlines. Two task-set groups:
+
+* **group 1** — mixed parallelism: data-flow style highly parallel DAGs
+  together with control-flow style (almost) sequential tasks — the
+  embedded-domain mix of the paper's Figure 2;
+* **group 2** — uniformly high parallelism (HPC-domain mix), on which
+  LP-max ≈ LP-ILP.
+"""
+
+from repro.generator.profiles import (
+    GROUP1,
+    GROUP2,
+    DagProfile,
+    TasksetProfile,
+)
+from repro.generator.dag_gen import random_dag, sequential_dag
+from repro.generator.taskset_gen import (
+    assign_priorities_dm,
+    generate_task,
+    generate_taskset,
+)
+from repro.generator.utilization import draw_task_utilization
+
+__all__ = [
+    "DagProfile",
+    "TasksetProfile",
+    "GROUP1",
+    "GROUP2",
+    "random_dag",
+    "sequential_dag",
+    "generate_task",
+    "generate_taskset",
+    "assign_priorities_dm",
+    "draw_task_utilization",
+]

@@ -1,0 +1,46 @@
+"""Period assignment helpers.
+
+The evaluation derives the period from a target utilisation
+(``T = vol/u``, implicit deadline ``D = T``); a log-uniform sampler is
+also provided for users who prefer period-driven generation (common in
+other schedulability studies, not used by the paper's experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.model.dag import DAG
+
+
+def period_from_utilization(dag: DAG, utilization: float) -> float:
+    """``T = vol(G)/u`` — the period that realises ``utilization``.
+
+    Raises
+    ------
+    GenerationError
+        If ``utilization`` is not positive.
+    """
+    if utilization <= 0:
+        raise GenerationError(f"utilization must be > 0, got {utilization}")
+    return dag.volume / utilization
+
+
+def log_uniform_period(
+    rng: np.random.Generator,
+    minimum: float,
+    maximum: float,
+) -> float:
+    """Draw a period log-uniformly from ``[minimum, maximum]``.
+
+    Raises
+    ------
+    GenerationError
+        If the bounds are not ``0 < minimum <= maximum``.
+    """
+    if not (0 < minimum <= maximum):
+        raise GenerationError(
+            f"need 0 < minimum <= maximum, got [{minimum}, {maximum}]"
+        )
+    return float(np.exp(rng.uniform(np.log(minimum), np.log(maximum))))

@@ -1,0 +1,161 @@
+"""Generation profiles: the published knobs of the paper's evaluation.
+
+All defaults are the values printed in Section VI-A. A profile is a
+plain frozen dataclass so experiments can derive variants (e.g. smaller
+DAGs for quick benchmark runs) without touching the generator code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GenerationError
+
+
+@dataclass(frozen=True, slots=True)
+class DagProfile:
+    """Shape parameters of one random DAG.
+
+    Attributes
+    ----------
+    p_term:
+        Probability that an expansion step creates a terminal node
+        (paper: 0.4).
+    p_par:
+        Probability of continuing the parallel expansion (paper: 0.6).
+        ``p_term + p_par`` must be 1 — they are the two outcomes of one
+        draw.
+    n_par_max:
+        Maximum number of successors a node can have (paper: 6). Each
+        fork spawns between 2 and ``n_par_max`` branches.
+    max_path_nodes:
+        Maximum number of nodes on any source→sink path (paper: 7).
+        Bounds the fork nesting depth at ``(max_path_nodes − 1) // 2``.
+    max_nodes:
+        Maximum number of NPRs per DAG (paper: 30).
+    wcet_min / wcet_max:
+        Uniform integer WCET range (paper: [1, 100]).
+    sequential_probability:
+        Probability that a *task* of this profile is a plain chain
+        instead of a fork–join DAG — 0.5 models the paper's first group
+        (mixed data-flow / control-flow), 0.0 its second group.
+    seq_min_nodes / seq_max_nodes:
+        Chain length range of the sequential (control-flow) tasks. The
+        paper does not publish these; chains of at least 5 nodes model
+        control loops with substantial volume, which is what makes the
+        paper's group-1 curves plateau at 100% up to mid utilisations
+        (see DESIGN.md, "Generator calibration").
+    root_forks:
+        When True (default) the root of a fork–join expansion always
+        forks, so parallel DAGs have at least 4 nodes — single-NPR
+        "parallel" tasks have near-zero slack and would dominate the
+        failure statistics in a way the paper's curves rule out.
+    """
+
+    p_term: float = 0.4
+    p_par: float = 0.6
+    n_par_max: int = 6
+    max_path_nodes: int = 7
+    max_nodes: int = 30
+    wcet_min: int = 1
+    wcet_max: int = 100
+    sequential_probability: float = 0.0
+    seq_min_nodes: int = 5
+    seq_max_nodes: int = 30
+    root_forks: bool = True
+
+    def __post_init__(self) -> None:
+        if abs(self.p_term + self.p_par - 1.0) > 1e-9:
+            raise GenerationError(
+                f"p_term + p_par must equal 1, got {self.p_term} + {self.p_par}"
+            )
+        if not (0 <= self.p_term <= 1):
+            raise GenerationError(f"p_term out of [0, 1]: {self.p_term}")
+        if self.n_par_max < 2:
+            raise GenerationError(f"n_par_max must be >= 2, got {self.n_par_max}")
+        if self.max_path_nodes < 1:
+            raise GenerationError(
+                f"max_path_nodes must be >= 1, got {self.max_path_nodes}"
+            )
+        if self.max_nodes < 1:
+            raise GenerationError(f"max_nodes must be >= 1, got {self.max_nodes}")
+        if not (0 < self.wcet_min <= self.wcet_max):
+            raise GenerationError(
+                f"need 0 < wcet_min <= wcet_max, got [{self.wcet_min}, {self.wcet_max}]"
+            )
+        if not (0 <= self.sequential_probability <= 1):
+            raise GenerationError(
+                f"sequential_probability out of [0, 1]: {self.sequential_probability}"
+            )
+        # Chains can never exceed the global node cap; clamp the default
+        # range instead of forcing every caller to restate it.
+        object.__setattr__(
+            self, "seq_max_nodes", min(self.seq_max_nodes, self.max_nodes)
+        )
+        object.__setattr__(
+            self, "seq_min_nodes", min(self.seq_min_nodes, self.seq_max_nodes)
+        )
+        if self.seq_min_nodes < 1:
+            raise GenerationError(
+                f"seq_min_nodes must be >= 1, got {self.seq_min_nodes}"
+            )
+
+    @property
+    def max_nesting(self) -> int:
+        """Fork nesting depth that keeps paths within ``max_path_nodes``.
+
+        Every nesting level adds a fork and a join node to each path, a
+        terminal adds one node, so a nesting of ``d`` yields paths of
+        ``2d + 1`` nodes.
+        """
+        return (self.max_path_nodes - 1) // 2
+
+
+@dataclass(frozen=True, slots=True)
+class TasksetProfile:
+    """Task-set assembly parameters.
+
+    Attributes
+    ----------
+    dag:
+        Per-task DAG shape profile.
+    beta:
+        Minimum individual task utilisation (paper: β = 0.5). In the
+        default ``"beta-scaled"`` mode the per-task draw is
+        ``u ~ U[β, β · vol/L]`` — the utilisation window scales with the
+        task's degree of parallelism, so sequential tasks sit at β and
+        wide tasks may exceed 1. This is the reading of "β is used to
+        define the minimum DAG-task utilization" that reproduces the
+        published curve shapes (see DESIGN.md, "Generator calibration").
+    u_task_max:
+        Optional hard cap on the drawn utilisation (``None`` = only the
+        structural ``vol/L`` limit applies).
+    utilization_mode:
+        ``"beta-scaled"`` (default, see above) or ``"uniform"``
+        (``u ~ U[β, min(u_task_max, vol/L)]``).
+    """
+
+    dag: DagProfile
+    beta: float = 0.5
+    u_task_max: float | None = None
+    utilization_mode: str = "beta-scaled"
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise GenerationError(f"beta must be > 0, got {self.beta}")
+        if self.u_task_max is not None and self.u_task_max < self.beta:
+            raise GenerationError(
+                f"need beta <= u_task_max, got beta={self.beta}, "
+                f"u_task_max={self.u_task_max}"
+            )
+        if self.utilization_mode not in ("beta-scaled", "uniform"):
+            raise GenerationError(
+                f"unknown utilization_mode {self.utilization_mode!r}"
+            )
+
+
+#: Group 1 (paper Figure 2): mixed data-flow / control-flow parallelism.
+GROUP1 = TasksetProfile(dag=DagProfile(sequential_probability=0.5))
+
+#: Group 2 (paper Section VI-B, unplotted): uniformly high parallelism.
+GROUP2 = TasksetProfile(dag=DagProfile(sequential_probability=0.0))

@@ -1,0 +1,21 @@
+"""Exact 0/1 integer linear programming substrate.
+
+The paper solves its two ILP formulations (worst-case parallel workload
+``μ_i[c]``, Section V-A2; overall scenario workload ``ρ_k[s_l]``,
+Section V-B) with IBM CPLEX. No commercial solver is available offline,
+so this package provides a from-scratch *exact* branch-and-bound solver
+for binary linear programs. Instances in this domain are small (≤ 30
+variables for μ, ``n·m`` for ρ), well within reach of an exact search
+with simple bounding.
+
+The solver is deliberately generic: :class:`~repro.ilp.model.BinaryProgram`
+holds variables/constraints/objective, :func:`~repro.ilp.solver.solve`
+optimises it. The paper-specific formulations are built in
+:mod:`repro.core.workload` and :mod:`repro.core.scenarios`.
+"""
+
+from repro.ilp.model import BinaryProgram, Constraint
+from repro.ilp.solution import IlpSolution, IlpStatus
+from repro.ilp.solver import solve
+
+__all__ = ["BinaryProgram", "Constraint", "IlpSolution", "IlpStatus", "solve"]

@@ -1,0 +1,176 @@
+"""Binary linear program container.
+
+A :class:`BinaryProgram` is a set of 0/1 variables, linear constraints
+(``<=``, ``==`` or ``>=``) and a linear objective to maximise or
+minimise. It performs eager validation so formulation bugs surface at
+build time, not inside the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
+
+from repro.exceptions import IlpError
+
+Sense = Literal["<=", "==", ">="]
+
+_VALID_SENSES: tuple[Sense, ...] = ("<=", "==", ">=")
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """A linear constraint ``sum(coeffs[v] * v) sense rhs``."""
+
+    coeffs: tuple[tuple[str, float], ...]
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+    def lhs_range(self, fixed: Mapping[str, int]) -> tuple[float, float]:
+        """(min, max) achievable LHS given partially ``fixed`` variables.
+
+        Free variables contribute their coefficient when it helps the
+        bound (negative coefficients lower the min, positive raise the
+        max). Used by the solver for feasibility pruning.
+        """
+        low = 0.0
+        high = 0.0
+        for var, coeff in self.coeffs:
+            value = fixed.get(var)
+            if value is not None:
+                low += coeff * value
+                high += coeff * value
+            elif coeff > 0:
+                high += coeff
+            else:
+                low += coeff
+        return low, high
+
+    def is_satisfied(self, assignment: Mapping[str, int]) -> bool:
+        """Evaluate the constraint under a complete assignment."""
+        total = sum(coeff * assignment[var] for var, coeff in self.coeffs)
+        if self.sense == "<=":
+            return total <= self.rhs + 1e-9
+        if self.sense == ">=":
+            return total >= self.rhs - 1e-9
+        return abs(total - self.rhs) <= 1e-9
+
+
+class BinaryProgram:
+    """A 0/1 integer linear program.
+
+    Parameters
+    ----------
+    maximize:
+        Optimisation direction; the solver always works on a maximise
+        form internally (minimise is negated).
+
+    Examples
+    --------
+    >>> program = BinaryProgram()
+    >>> program.add_var("x", objective=2.0)
+    >>> program.add_var("y", objective=1.0)
+    >>> program.add_constraint({"x": 1, "y": 1}, "<=", 1, name="pick one")
+    >>> sorted(program.variables)
+    ['x', 'y']
+    """
+
+    def __init__(self, maximize: bool = True) -> None:
+        self.maximize = maximize
+        self._objective: dict[str, float] = {}
+        self._constraints: list[Constraint] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Variable names, in declaration order."""
+        return tuple(self._objective)
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        """All constraints, in declaration order."""
+        return tuple(self._constraints)
+
+    def objective_coefficient(self, var: str) -> float:
+        """Objective coefficient of ``var``."""
+        try:
+            return self._objective[var]
+        except KeyError:
+            raise IlpError(f"unknown variable {var!r}") from None
+
+    # ------------------------------------------------------------------
+    def add_var(self, name: str, objective: float = 0.0) -> None:
+        """Declare a binary variable with the given objective coefficient.
+
+        Raises
+        ------
+        IlpError
+            On duplicate names or non-finite coefficients.
+        """
+        if not isinstance(name, str) or not name:
+            raise IlpError(f"variable name must be a non-empty string, got {name!r}")
+        if name in self._objective:
+            raise IlpError(f"duplicate variable {name!r}")
+        if not _finite(objective):
+            raise IlpError(f"variable {name!r}: non-finite objective {objective!r}")
+        self._objective[name] = float(objective)
+
+    def add_constraint(
+        self,
+        coeffs: Mapping[str, float],
+        sense: Sense,
+        rhs: float,
+        name: str = "",
+    ) -> None:
+        """Add ``sum(coeffs[v] * v) sense rhs``.
+
+        Raises
+        ------
+        IlpError
+            On unknown variables, empty coefficient maps, bad senses or
+            non-finite numbers.
+        """
+        if sense not in _VALID_SENSES:
+            raise IlpError(f"constraint {name!r}: invalid sense {sense!r}")
+        if not coeffs:
+            raise IlpError(f"constraint {name!r}: empty coefficient map")
+        if not _finite(rhs):
+            raise IlpError(f"constraint {name!r}: non-finite rhs {rhs!r}")
+        frozen: list[tuple[str, float]] = []
+        for var, coeff in coeffs.items():
+            if var not in self._objective:
+                raise IlpError(f"constraint {name!r}: unknown variable {var!r}")
+            if not _finite(coeff):
+                raise IlpError(f"constraint {name!r}: non-finite coefficient for {var!r}")
+            if coeff != 0:
+                frozen.append((var, float(coeff)))
+        if not frozen:
+            raise IlpError(f"constraint {name!r}: all coefficients are zero")
+        self._constraints.append(Constraint(tuple(frozen), sense, float(rhs), name))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, int]) -> float:
+        """Objective value of a complete assignment (no feasibility check)."""
+        missing = [v for v in self._objective if v not in assignment]
+        if missing:
+            raise IlpError(f"assignment missing variables: {missing}")
+        return sum(self._objective[v] * assignment[v] for v in self._objective)
+
+    def is_feasible(self, assignment: Mapping[str, int]) -> bool:
+        """Check a complete assignment against every constraint."""
+        return all(c.is_satisfied(assignment) for c in self._constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        direction = "max" if self.maximize else "min"
+        return (
+            f"BinaryProgram({direction}, vars={len(self._objective)}, "
+            f"constraints={len(self._constraints)})"
+        )
+
+
+def _finite(x: float) -> bool:
+    try:
+        return x == x and abs(x) != float("inf")
+    except TypeError:
+        return False

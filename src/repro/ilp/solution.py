@@ -1,0 +1,47 @@
+"""Solver result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class IlpStatus(Enum):
+    """Terminal state of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True, slots=True)
+class IlpSolution:
+    """Outcome of :func:`repro.ilp.solver.solve`.
+
+    Attributes
+    ----------
+    status:
+        :attr:`IlpStatus.OPTIMAL` or :attr:`IlpStatus.INFEASIBLE`.
+    objective:
+        Optimal objective value in the *original* direction
+        (meaningless when infeasible; set to ``nan`` there).
+    assignment:
+        Variable name → 0/1 value for an optimal solution (empty when
+        infeasible).
+    nodes_explored:
+        Branch-and-bound nodes visited — exposed for the complexity
+        experiments.
+    """
+
+    status: IlpStatus
+    objective: float
+    assignment: dict[str, int] = field(default_factory=dict)
+    nodes_explored: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when an optimal feasible assignment was found."""
+        return self.status is IlpStatus.OPTIMAL
+
+    def selected(self) -> tuple[str, ...]:
+        """Names of variables set to 1, in deterministic sorted order."""
+        return tuple(sorted(v for v, value in self.assignment.items() if value == 1))

@@ -1,0 +1,54 @@
+"""Task model: NPR nodes, DAG graphs, DAG tasks and task-sets.
+
+This package implements the system model of Section III-A of the paper:
+sporadic DAG tasks ``tau_k = (G_k, T_k, D_k)`` where each node of
+``G_k = (V_k, E_k)`` is a non-preemptive region (NPR) labelled with its
+WCET, scheduled by global fixed priority on ``m`` identical cores.
+"""
+
+from repro.model.node import Node
+from repro.model.dag import DAG
+from repro.model.task import DAGTask
+from repro.model.taskset import TaskSet
+from repro.model.builder import DagBuilder
+from repro.model.priorities import POLICIES, assign_priorities
+from repro.model.transforms import (
+    scale_periods,
+    scale_wcets,
+    split_all_nodes,
+    split_node,
+    with_split_nodes,
+)
+from repro.model.serialization import (
+    dag_from_dict,
+    dag_to_dict,
+    task_from_dict,
+    task_to_dict,
+    taskset_from_dict,
+    taskset_from_json,
+    taskset_to_dict,
+    taskset_to_json,
+)
+
+__all__ = [
+    "Node",
+    "DAG",
+    "DAGTask",
+    "TaskSet",
+    "DagBuilder",
+    "assign_priorities",
+    "POLICIES",
+    "scale_periods",
+    "scale_wcets",
+    "split_node",
+    "split_all_nodes",
+    "with_split_nodes",
+    "dag_to_dict",
+    "dag_from_dict",
+    "task_to_dict",
+    "task_from_dict",
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "taskset_to_json",
+    "taskset_from_json",
+]

@@ -1,0 +1,39 @@
+"""NPR node type.
+
+A node of a DAG task is a *non-preemptive region* (NPR) of code — a "task
+part" in OpenMP nomenclature (paper Section III-A). Once an NPR starts on
+a core it runs to completion; preemption can only occur at its boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A non-preemptive region ``v_{i,j}`` with its WCET ``C_{i,j}``.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the node inside its DAG (e.g. ``"v1,3"``).
+    wcet:
+        Worst-case execution time of the region. Must be positive; the
+        paper's generator draws integers in ``[1, 100]`` but any positive
+        real is accepted.
+    """
+
+    name: str
+    wcet: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ModelError(f"node name must be a non-empty string, got {self.name!r}")
+        if not (self.wcet > 0):
+            raise ModelError(f"node {self.name!r}: WCET must be > 0, got {self.wcet!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.name!r}, wcet={self.wcet:g})"

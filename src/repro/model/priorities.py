@@ -1,0 +1,94 @@
+"""Priority-assignment policies for DAG task-sets.
+
+The paper assumes priorities are given (Section III-A) and its
+evaluation does not state the policy; the generator defaults to
+deadline-monotonic. This module collects the plausible policies so
+their effect can be studied (see ``benchmarks/bench_ablation_priorities``):
+
+* ``deadline_monotonic`` — shorter relative deadline first (= rate
+  monotonic here, deadlines being implicit);
+* ``critical_path_monotonic`` — longer critical path ``L_k`` first:
+  tasks with long chains tolerate interference badly (their window
+  cannot be compressed by more cores), so shielding them can help;
+* ``density_monotonic`` — higher ``vol/D`` first;
+* ``slack_monotonic`` — smaller ``D − L`` first (least laxity at the
+  DAG level).
+
+Note that Audsley's OPA is *not* applicable to this RTA: the
+interference term ``W_i`` depends on the response times of
+higher-priority tasks, i.e. on their relative order, violating OPA's
+independence requirement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.exceptions import ModelError
+from repro.model.task import DAGTask
+from repro.model.taskset import TaskSet
+
+#: A policy maps a task to its sort key; smaller key = higher priority.
+PolicyKey = Callable[[DAGTask], tuple]
+
+
+def deadline_monotonic(task: DAGTask) -> tuple:
+    """Shorter deadline first; volume then name as tie-breaks."""
+    return (task.deadline, -task.volume, task.name)
+
+
+def critical_path_monotonic(task: DAGTask) -> tuple:
+    """Longer critical path first."""
+    return (-task.longest_path, task.deadline, task.name)
+
+
+def density_monotonic(task: DAGTask) -> tuple:
+    """Higher density (vol/D) first."""
+    return (-task.density, task.deadline, task.name)
+
+
+def slack_monotonic(task: DAGTask) -> tuple:
+    """Smaller DAG-level laxity (D − L) first."""
+    return (task.deadline - task.longest_path, task.deadline, task.name)
+
+
+POLICIES: dict[str, PolicyKey] = {
+    "deadline-monotonic": deadline_monotonic,
+    "critical-path-monotonic": critical_path_monotonic,
+    "density-monotonic": density_monotonic,
+    "slack-monotonic": slack_monotonic,
+}
+
+
+def assign_priorities(
+    tasks: Iterable[DAGTask],
+    policy: str | PolicyKey = "deadline-monotonic",
+) -> TaskSet:
+    """Order ``tasks`` by ``policy`` and re-index priorities from 0.
+
+    Parameters
+    ----------
+    tasks:
+        Tasks whose existing priorities (if any) are discarded.
+    policy:
+        A name from :data:`POLICIES` or a custom key function.
+
+    Raises
+    ------
+    ModelError
+        On an empty task list or an unknown policy name.
+    """
+    task_list = list(tasks)
+    if not task_list:
+        raise ModelError("cannot assign priorities to an empty task list")
+    if isinstance(policy, str):
+        try:
+            key = POLICIES[policy]
+        except KeyError:
+            raise ModelError(
+                f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
+            ) from None
+    else:
+        key = policy
+    ordered = sorted(task_list, key=key)
+    return TaskSet([t.with_priority(i) for i, t in enumerate(ordered)])

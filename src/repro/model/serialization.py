@@ -1,0 +1,103 @@
+"""JSON-friendly (de)serialisation of DAGs, tasks and task-sets.
+
+The on-disk format is deliberately plain so task-sets can be exchanged
+with other tools or stored as experiment artefacts:
+
+.. code-block:: json
+
+    {
+      "tasks": [
+        {
+          "name": "tau1",
+          "period": 100.0,
+          "deadline": 100.0,
+          "priority": 0,
+          "graph": {
+            "nodes": {"v1": 3.0, "v2": 2.0},
+            "edges": [["v1", "v2"]]
+          }
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import ModelError
+from repro.model.dag import DAG
+from repro.model.task import DAGTask
+from repro.model.taskset import TaskSet
+
+
+def dag_to_dict(dag: DAG) -> dict[str, Any]:
+    """Serialise a :class:`DAG` to plain dict."""
+    return {
+        "nodes": dag.wcets(),
+        "edges": [list(edge) for edge in dag.edges],
+    }
+
+
+def dag_from_dict(payload: dict[str, Any]) -> DAG:
+    """Rebuild a :class:`DAG` produced by :func:`dag_to_dict`."""
+    try:
+        nodes = payload["nodes"]
+        edges = payload.get("edges", [])
+    except (TypeError, KeyError) as exc:
+        raise ModelError(f"malformed DAG payload: {payload!r}") from exc
+    return DAG(dict(nodes), [tuple(edge) for edge in edges])
+
+
+def task_to_dict(task: DAGTask) -> dict[str, Any]:
+    """Serialise a :class:`DAGTask` to plain dict."""
+    return {
+        "name": task.name,
+        "period": task.period,
+        "deadline": task.deadline,
+        "priority": task.priority,
+        "graph": dag_to_dict(task.graph),
+    }
+
+
+def task_from_dict(payload: dict[str, Any]) -> DAGTask:
+    """Rebuild a :class:`DAGTask` produced by :func:`task_to_dict`."""
+    try:
+        return DAGTask(
+            name=payload["name"],
+            graph=dag_from_dict(payload["graph"]),
+            period=payload["period"],
+            deadline=payload.get("deadline"),
+            priority=payload.get("priority"),
+        )
+    except (TypeError, KeyError) as exc:
+        raise ModelError(f"malformed task payload: {payload!r}") from exc
+
+
+def taskset_to_dict(taskset: TaskSet) -> dict[str, Any]:
+    """Serialise a :class:`TaskSet` to plain dict."""
+    return {"tasks": [task_to_dict(t) for t in taskset]}
+
+
+def taskset_from_dict(payload: dict[str, Any]) -> TaskSet:
+    """Rebuild a :class:`TaskSet` produced by :func:`taskset_to_dict`."""
+    try:
+        tasks = payload["tasks"]
+    except (TypeError, KeyError) as exc:
+        raise ModelError(f"malformed task-set payload: {payload!r}") from exc
+    return TaskSet([task_from_dict(t) for t in tasks])
+
+
+def taskset_to_json(taskset: TaskSet, *, indent: int | None = 2) -> str:
+    """Serialise a :class:`TaskSet` to a JSON string."""
+    return json.dumps(taskset_to_dict(taskset), indent=indent)
+
+
+def taskset_from_json(text: str) -> TaskSet:
+    """Parse a :class:`TaskSet` from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON: {exc}") from exc
+    return taskset_from_dict(payload)

@@ -1,0 +1,87 @@
+"""Structural validators beyond the constructors' hard rules.
+
+Constructors of :class:`~repro.model.dag.DAG` / task / task-set already
+reject inputs that would make the analysis meaningless (cycles, bad
+WCETs, duplicate priorities). This module holds the *soft* structural
+properties a caller may additionally want to enforce — e.g. the
+generator emits single-source, single-sink, weakly-connected DAGs
+matching the OpenMP-style model the paper targets.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelError
+from repro.model.dag import DAG
+from repro.model.task import DAGTask
+from repro.model.taskset import TaskSet
+
+
+def is_weakly_connected(dag: DAG) -> bool:
+    """True when the undirected version of ``dag`` is connected."""
+    if len(dag) <= 1:
+        return True
+    neighbours: dict[str, set[str]] = {n: set() for n in dag}
+    for u, v in dag.edges:
+        neighbours[u].add(v)
+        neighbours[v].add(u)
+    start = dag.node_names[0]
+    seen = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for nxt in neighbours[current]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return len(seen) == len(dag)
+
+
+def validate_openmp_style(dag: DAG) -> None:
+    """Require a single source, single sink, weakly-connected DAG.
+
+    This is the shape of OpenMP task graphs (one entry task part, one
+    final synchronisation point) that the paper's model targets, and the
+    shape our generator always produces.
+
+    Raises
+    ------
+    ModelError
+        When any of the three properties fails.
+    """
+    if len(dag.sources) != 1:
+        raise ModelError(f"expected exactly 1 source node, found {list(dag.sources)}")
+    if len(dag.sinks) != 1:
+        raise ModelError(f"expected exactly 1 sink node, found {list(dag.sinks)}")
+    if not is_weakly_connected(dag):
+        raise ModelError("DAG is not weakly connected")
+
+
+def validate_taskset_for_analysis(taskset: TaskSet, m: int) -> None:
+    """Pre-flight checks before running the response-time analysis.
+
+    Verifies that ``m`` is a positive core count and that every task's
+    deadline is constrained (``D <= T``, already guaranteed by the task
+    constructor) — collected here so the analyzer can give one coherent
+    error message.
+
+    Raises
+    ------
+    ModelError
+        When ``m < 1`` or the task-set is structurally unusable.
+    """
+    if m < 1:
+        raise ModelError(f"core count m must be >= 1, got {m}")
+    for task in taskset:
+        if task.priority is None:  # pragma: no cover - TaskSet guarantees this
+            raise ModelError(f"task {task.name!r} has no priority")
+
+
+def check_task_fits(task: DAGTask, m: int) -> bool:
+    """Heuristic necessary condition: ``L <= D`` and ``vol/m <= D``.
+
+    ``L <= D`` is enforced at construction; ``vol(G)/m <= D`` must hold
+    for the task to be schedulable in isolation on ``m`` cores (the
+    paper's Eq. 1 lower bound with no interference). Returns a bool
+    rather than raising, since generators use it to resample.
+    """
+    return task.longest_path <= task.deadline and task.volume / m <= task.deadline

@@ -1,0 +1,30 @@
+"""Discrete-event simulator of global FP scheduling with limited preemptions.
+
+The paper's analysis is validated here against an executable model: a
+global fixed-priority scheduler on ``m`` identical cores where each DAG
+node (NPR) runs to completion once started — preemption happens only at
+node boundaries, and *eagerly* (whenever any core frees up, the
+highest-priority ready NPR takes it, so the first lower-priority task
+to reach a preemption point is the one preempted).
+
+The simulator is **not** part of the paper; it exists so the library
+can check the soundness claim every RTA implicitly makes: observed
+response times never exceed the analytic bound. See
+``tests/test_integration_sim_vs_analysis.py``.
+"""
+
+from repro.sim.engine import simulate
+from repro.sim.results import JobRecord, SimulationResult, TaskStats
+from repro.sim.trace import Interval, Trace
+from repro.sim.workloads import sporadic_releases, synchronous_periodic_releases
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "TaskStats",
+    "JobRecord",
+    "Trace",
+    "Interval",
+    "synchronous_periodic_releases",
+    "sporadic_releases",
+]

@@ -1,0 +1,95 @@
+"""Job state: one released instance of a DAG task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.model.task import DAGTask
+
+
+@dataclass(slots=True)
+class Job:
+    """A released instance of a DAG task progressing through its nodes.
+
+    Attributes
+    ----------
+    task:
+        The task this job instantiates.
+    jid:
+        Monotonic job identifier (global release order; used for
+        deterministic tie-breaking).
+    release:
+        Absolute release time.
+    pending_preds:
+        Per node, how many direct predecessors have not completed yet.
+    completed:
+        Names of completed nodes.
+    finish:
+        Completion time of the last node, or ``None`` while running.
+    """
+
+    task: DAGTask
+    jid: int
+    release: float
+    pending_preds: dict[str, int] = field(default_factory=dict)
+    completed: set[str] = field(default_factory=set)
+    started: set[str] = field(default_factory=set)
+    finish: float | None = None
+
+    def __post_init__(self) -> None:
+        graph = self.task.graph
+        self.pending_preds = {
+            name: len(graph.predecessors(name)) for name in graph.node_names
+        }
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Release time plus the task's relative deadline."""
+        return self.release + self.task.deadline
+
+    def ready_nodes(self) -> list[str]:
+        """Nodes whose predecessors all completed and that never started."""
+        return [
+            name
+            for name, pending in self.pending_preds.items()
+            if pending == 0 and name not in self.started
+        ]
+
+    def mark_started(self, node: str) -> None:
+        """Record that ``node`` was dispatched to a core."""
+        if node in self.started:
+            raise SimulationError(
+                f"job {self.jid} of {self.task.name!r}: node {node!r} started twice"
+            )
+        if self.pending_preds[node] != 0:
+            raise SimulationError(
+                f"job {self.jid} of {self.task.name!r}: node {node!r} started "
+                "before its predecessors completed"
+            )
+        self.started.add(node)
+
+    def mark_completed(self, node: str, time: float) -> bool:
+        """Record completion of ``node``; returns True when the job is done."""
+        if node in self.completed:
+            raise SimulationError(
+                f"job {self.jid} of {self.task.name!r}: node {node!r} completed twice"
+            )
+        self.completed.add(node)
+        for succ in self.task.graph.successors(node):
+            self.pending_preds[succ] -= 1
+            if self.pending_preds[succ] < 0:  # pragma: no cover - invariant
+                raise SimulationError("negative pending predecessor count")
+        if len(self.completed) == len(self.task.graph):
+            self.finish = time
+            return True
+        return False
+
+    @property
+    def response_time(self) -> float:
+        """Completion minus release; only valid for finished jobs."""
+        if self.finish is None:
+            raise SimulationError(
+                f"job {self.jid} of {self.task.name!r} has not finished"
+            )
+        return self.finish - self.release

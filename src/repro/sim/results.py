@@ -1,0 +1,102 @@
+"""Simulation outputs: per-job records and per-task statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class JobRecord:
+    """Outcome of one finished job."""
+
+    task: str
+    jid: int
+    release: float
+    finish: float
+    response: float
+    deadline_met: bool
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStats:
+    """Aggregated response-time statistics of one task."""
+
+    task: str
+    jobs: int
+    max_response: float
+    mean_response: float
+    deadline_misses: int
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Everything a simulation run produced.
+
+    Attributes
+    ----------
+    horizon:
+        Simulated time span.
+    m:
+        Core count.
+    records:
+        Finished jobs, in completion order.
+    unfinished_jobs:
+        Jobs still in flight at the horizon (their response times are
+        unknown; a schedulable set simulated past its last deadline
+        should have none pending past their deadlines).
+    busy_time:
+        Total core-seconds spent executing NPRs.
+    trace:
+        Full execution trace (``None`` unless the simulation was run
+        with ``record_trace=True``).
+    """
+
+    horizon: float
+    m: int
+    records: tuple[JobRecord, ...]
+    unfinished_jobs: int
+    busy_time: float
+    trace: "Trace | None" = None
+
+    @property
+    def deadline_misses(self) -> int:
+        """Number of finished jobs that missed their deadline."""
+        return sum(1 for r in self.records if not r.deadline_met)
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        """True when every finished job met its deadline."""
+        return self.deadline_misses == 0
+
+    def max_response(self, task: str) -> float:
+        """Largest observed response time of ``task`` (0.0 if no jobs)."""
+        responses = [r.response for r in self.records if r.task == task]
+        return max(responses, default=0.0)
+
+    def task_stats(self) -> dict[str, TaskStats]:
+        """Per-task aggregation of the job records."""
+        grouped: dict[str, list[JobRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.task, []).append(record)
+        stats: dict[str, TaskStats] = {}
+        for task, records in grouped.items():
+            responses = [r.response for r in records]
+            stats[task] = TaskStats(
+                task=task,
+                jobs=len(records),
+                max_response=max(responses),
+                mean_response=sum(responses) / len(responses),
+                deadline_misses=sum(1 for r in records if not r.deadline_met),
+            )
+        return stats
+
+    @property
+    def utilization_observed(self) -> float:
+        """Average core busyness over the horizon (0..1)."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.busy_time / (self.m * self.horizon)

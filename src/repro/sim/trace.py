@@ -1,0 +1,133 @@
+"""Execution traces: per-core node intervals, validation, ASCII Gantt.
+
+When :func:`repro.sim.engine.simulate` is called with
+``record_trace=True`` it returns a :class:`Trace` alongside the usual
+statistics. A trace is a list of :class:`Interval` records — which node
+of which job ran on which core and when — plus validators for the
+schedule invariants a correct limited-preemptive G-FP schedule must
+satisfy:
+
+* no two intervals overlap on the same core;
+* every node runs exactly once, for exactly its WCET;
+* precedence: a node starts only after all its predecessors finished;
+* non-preemption: each node is one contiguous interval.
+
+The ASCII Gantt renderer is deliberately small — it exists so examples
+and bug reports can show a schedule without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """One contiguous execution of a node instance on a core."""
+
+    core: int
+    task: str
+    jid: int
+    node: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """A complete schedule trace."""
+
+    m: int
+    intervals: tuple[Interval, ...]
+
+    def by_core(self, core: int) -> list[Interval]:
+        """Intervals of one core, sorted by start time."""
+        return sorted(
+            (i for i in self.intervals if i.core == core),
+            key=lambda i: i.start,
+        )
+
+    def by_job(self, task: str, jid: int) -> list[Interval]:
+        """Intervals of one job, sorted by start time."""
+        return sorted(
+            (i for i in self.intervals if i.task == task and i.jid == jid),
+            key=lambda i: i.start,
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, taskset: TaskSet) -> None:
+        """Check the schedule invariants; raise on any violation.
+
+        Raises
+        ------
+        SimulationError
+            Describing the first violated invariant.
+        """
+        for core in range(self.m):
+            intervals = self.by_core(core)
+            for a, b in zip(intervals, intervals[1:]):
+                if b.start < a.end - 1e-9:
+                    raise SimulationError(
+                        f"core {core}: {a.node} and {b.node} overlap "
+                        f"([{a.start}, {a.end}) vs [{b.start}, {b.end}))"
+                    )
+        seen: dict[tuple[str, int, str], Interval] = {}
+        for interval in self.intervals:
+            key = (interval.task, interval.jid, interval.node)
+            if key in seen:
+                raise SimulationError(f"node {key} executed twice")
+            seen[key] = interval
+            wcet = taskset.task(interval.task).graph.wcet(interval.node)
+            if abs(interval.duration - wcet) > 1e-9:
+                raise SimulationError(
+                    f"node {key} ran {interval.duration}, WCET is {wcet}"
+                )
+        for (task_name, jid, node), interval in seen.items():
+            graph = taskset.task(task_name).graph
+            for pred in graph.predecessors(node):
+                pred_interval = seen.get((task_name, jid, pred))
+                if pred_interval is None:
+                    raise SimulationError(
+                        f"node ({task_name}, {jid}, {node}) ran but its "
+                        f"predecessor {pred} never did"
+                    )
+                if interval.start < pred_interval.end - 1e-9:
+                    raise SimulationError(
+                        f"precedence violated: {node} started at "
+                        f"{interval.start} before {pred} finished at "
+                        f"{pred_interval.end}"
+                    )
+
+    # ------------------------------------------------------------------
+    def ascii_gantt(self, width: int = 72, until: float | None = None) -> str:
+        """Render the trace as one text lane per core.
+
+        Each interval is drawn with the first letter of its task name
+        (falling back to ``#``); idle time is ``.``. Time is scaled so
+        the horizon fits in ``width`` characters — fine for eyeballing,
+        not for measuring.
+        """
+        if not self.intervals:
+            return "(empty trace)"
+        horizon = until if until is not None else max(i.end for i in self.intervals)
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be > 0, got {horizon}")
+        scale = width / horizon
+        lines = [f"gantt 0 .. {horizon:g} ({self.m} cores)"]
+        for core in range(self.m):
+            lane = ["."] * width
+            for interval in self.by_core(core):
+                lo = min(width - 1, int(interval.start * scale))
+                hi = min(width, max(lo + 1, int(interval.end * scale)))
+                marker = (interval.task[:1] or "#")
+                for x in range(lo, hi):
+                    lane[x] = marker
+            lines.append(f"core{core} |{''.join(lane)}|")
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's Figure-1 tasks and small reference DAGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import (
+    figure1_lp_tasks,
+    tau1_dag,
+    tau2_dag,
+    tau3_dag,
+    tau4_dag,
+)
+from repro.model import DAG, DagBuilder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for generator-dependent tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig1_tasks():
+    """The four lower-priority tasks of the paper's Figure 1."""
+    return figure1_lp_tasks()
+
+
+@pytest.fixture
+def fig1_tau1() -> DAG:
+    return tau1_dag()
+
+
+@pytest.fixture
+def fig1_tau2() -> DAG:
+    return tau2_dag()
+
+
+@pytest.fixture
+def fig1_tau3() -> DAG:
+    return tau3_dag()
+
+
+@pytest.fixture
+def fig1_tau4() -> DAG:
+    return tau4_dag()
+
+
+@pytest.fixture
+def diamond() -> DAG:
+    """A 4-node diamond: s -> a, b -> t."""
+    return (
+        DagBuilder()
+        .nodes({"s": 1, "a": 2, "b": 3, "t": 4})
+        .fork("s", ["a", "b"])
+        .join(["a", "b"], "t")
+        .build()
+    )
+
+
+@pytest.fixture
+def chain() -> DAG:
+    """A 3-node chain: a -> b -> c."""
+    return DagBuilder().nodes({"a": 5, "b": 7, "c": 2}).chain("a", "b", "c").build()
+
+
+@pytest.fixture
+def single_node() -> DAG:
+    """A single-NPR graph."""
+    return DagBuilder().node("only", 9).build()

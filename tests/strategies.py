@@ -1,0 +1,54 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.model.dag import DAG
+from repro.model.node import Node
+
+
+@st.composite
+def random_dags(
+    draw,
+    min_nodes: int = 1,
+    max_nodes: int = 10,
+    max_wcet: int = 20,
+    edge_probability: float = 0.35,
+    single_source: bool = False,
+) -> DAG:
+    """Random DAGs: edges only go from lower to higher node index.
+
+    With ``single_source=True`` every later node with no predecessor is
+    wired to node 0, producing the OpenMP-style shape the paper's
+    Algorithm 1 assumes.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    wcets = [draw(st.integers(1, max_wcet)) for _ in range(n)]
+    nodes = [Node(f"n{i}", float(w)) for i, w in enumerate(wcets)]
+    edges: list[tuple[str, str]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.floats(0, 1)) < edge_probability:
+                edges.append((f"n{i}", f"n{j}"))
+    if single_source and n > 1:
+        with_preds = {v for _, v in edges}
+        for j in range(1, n):
+            if f"n{j}" not in with_preds:
+                edges.append((f"n0", f"n{j}"))
+    return DAG(nodes, edges)
+
+
+@st.composite
+def mu_tables(draw, max_tasks: int = 5, m: int = 4) -> dict[str, list[float]]:
+    """Random per-task μ arrays: non-negative, zero-padded past a cut."""
+    n_tasks = draw(st.integers(1, max_tasks))
+    table: dict[str, list[float]] = {}
+    for i in range(n_tasks):
+        cut = draw(st.integers(1, m))
+        values = sorted(
+            (draw(st.integers(0, 30)) for _ in range(cut)),
+        )
+        arr = [float(v) for v in values] + [0.0] * (m - cut)
+        table[f"t{i}"] = arr
+    return table

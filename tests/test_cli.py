@@ -1,0 +1,89 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigure1:
+    def test_prints_paper_tables(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "Delta^4 = 19" in out
+        assert "Delta^4 = 20" in out
+
+
+class TestFigure2:
+    def test_small_run(self, capsys, tmp_path):
+        csv = tmp_path / "fig2.csv"
+        code = main([
+            "figure2", "--m", "2", "--tasksets", "4", "--seed", "3",
+            "--step", "1.0", "--csv", str(csv), "--chart",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FP-ideal %" in out
+        assert "LP-ILP" in out
+        assert csv.exists()
+        assert csv.read_text().startswith("utilization,")
+
+
+class TestGroup2:
+    def test_small_run(self, capsys):
+        assert main(["group2", "--m", "2", "--tasksets", "4",
+                     "--seed", "3", "--step", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio gap" in out
+
+
+class TestTiming:
+    def test_small_run(self, capsys):
+        assert main(["timing", "--m", "2", "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--m", "2", "--utilization", "1.0",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "response-time bounds" in out
+        assert "simulation over" in out
+
+
+class TestBreakdown:
+    def test_small_run(self, capsys):
+        assert main(["breakdown", "--m", "2", "--samples", "2",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Breakdown utilisation" in out
+        assert "LP-ILP" in out
+
+
+class TestSplitSweep:
+    def test_overhead_free_run(self, capsys):
+        assert main(["splitsweep", "--m", "2", "--tasksets", "3",
+                     "--thresholds", "100", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "granularity sweep" in out
+        assert "Overhead-free" in out
+
+    def test_overhead_run(self, capsys):
+        assert main(["splitsweep", "--m", "2", "--tasksets", "3",
+                     "--thresholds", "100", "20", "--overhead", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "per-point overhead" in out
+
+
+class TestDispatch:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "figure1" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

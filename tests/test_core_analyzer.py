@@ -1,0 +1,101 @@
+"""Unit tests for :mod:`repro.core.analyzer`."""
+
+import pytest
+
+from repro.core import AnalysisMethod, analyze_taskset, is_schedulable
+from repro.exceptions import AnalysisError
+from repro.model import DAGTask, DagBuilder, TaskSet
+
+
+@pytest.fixture
+def small_taskset(diamond, chain):
+    return TaskSet([
+        DAGTask("hi", diamond, period=60.0, priority=0),
+        DAGTask("lo", chain, period=90.0, priority=1),
+    ])
+
+
+class TestMethods:
+    def test_all_methods_run(self, small_taskset):
+        for method in AnalysisMethod:
+            result = analyze_taskset(small_taskset, 2, method)
+            assert result.method == method.value
+            assert result.m == 2
+            assert len(result.tasks) == 2
+
+    def test_method_accepts_string(self, small_taskset):
+        result = analyze_taskset(small_taskset, 2, "LP-max")
+        assert result.method == "LP-max"
+
+    def test_unknown_method_string(self, small_taskset):
+        with pytest.raises(AnalysisError, match="unknown method"):
+            analyze_taskset(small_taskset, 2, "EDF")
+
+    def test_fp_ideal_has_no_blocking(self, small_taskset):
+        result = analyze_taskset(small_taskset, 2, AnalysisMethod.FP_IDEAL)
+        for task in result.tasks:
+            assert task.delta_m == 0.0
+            assert task.delta_m_minus_1 == 0.0
+
+    def test_lp_methods_record_blocking(self, small_taskset):
+        result = analyze_taskset(small_taskset, 2, AnalysisMethod.LP_MAX)
+        hi = result.task("hi")
+        # lo is a chain with WCETs 5,7,2: two largest are 7+5 = 12.
+        assert hi.delta_m == 12.0
+        # m-1 = 1 largest = 7.
+        assert hi.delta_m_minus_1 == 7.0
+        lo = result.task("lo")
+        assert lo.delta_m == 0.0  # lowest priority: no lp tasks
+
+    def test_lp_ilp_blocking_respects_chain(self, small_taskset):
+        result = analyze_taskset(small_taskset, 2, AnalysisMethod.LP_ILP)
+        hi = result.task("hi")
+        # lo is sequential: only one NPR can block at a time.
+        assert hi.delta_m == 7.0
+        assert hi.delta_m_minus_1 == 7.0
+
+
+class TestDominance:
+    def test_fp_bound_not_above_lp(self, small_taskset):
+        fp = analyze_taskset(small_taskset, 2, AnalysisMethod.FP_IDEAL)
+        ilp = analyze_taskset(small_taskset, 2, AnalysisMethod.LP_ILP)
+        mx = analyze_taskset(small_taskset, 2, AnalysisMethod.LP_MAX)
+        for name in ("hi", "lo"):
+            assert fp.task(name).response <= ilp.task(name).response
+            assert ilp.task(name).response <= mx.task(name).response
+
+
+class TestResults:
+    def test_responses_mapping(self, small_taskset):
+        result = analyze_taskset(small_taskset, 2, AnalysisMethod.FP_IDEAL)
+        assert set(result.responses) == {"hi", "lo"}
+
+    def test_unknown_task_lookup(self, small_taskset):
+        result = analyze_taskset(small_taskset, 2, AnalysisMethod.FP_IDEAL)
+        with pytest.raises(KeyError):
+            result.task("nope")
+
+    def test_first_failure_none_when_schedulable(self, small_taskset):
+        result = analyze_taskset(small_taskset, 2, AnalysisMethod.FP_IDEAL)
+        assert result.schedulable
+        assert result.first_failure() is None
+
+    def test_first_failure_reported(self):
+        hi = DAGTask(
+            "hi", DagBuilder().node("h", 9).build(), period=10.0, priority=0
+        )
+        lo = DAGTask(
+            "lo", DagBuilder().node("l", 5).build(), period=12.0, priority=1
+        )
+        result = analyze_taskset(TaskSet([hi, lo]), 1, AnalysisMethod.FP_IDEAL)
+        assert not result.schedulable
+        failure = result.first_failure()
+        assert failure is not None and failure.name == "lo"
+
+
+class TestShortcut:
+    def test_is_schedulable(self, small_taskset):
+        assert is_schedulable(small_taskset, 2, AnalysisMethod.FP_IDEAL)
+        assert is_schedulable(small_taskset, 2, AnalysisMethod.LP_ILP) == (
+            analyze_taskset(small_taskset, 2, AnalysisMethod.LP_ILP).schedulable
+        )

@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.core.blocking` (Δ^m, Δ^{m−1})."""
+
+import pytest
+
+from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
+from repro.exceptions import AnalysisError
+from repro.experiments.figure1 import (
+    DELTA3_LP_ILP,
+    DELTA3_LP_MAX,
+    DELTA4_LP_ILP,
+    DELTA4_LP_MAX,
+)
+from repro.model import DAGTask, DagBuilder
+
+
+class TestPaperExample:
+    def test_lp_ilp_deltas(self, fig1_tasks):
+        assert lp_ilp_deltas(fig1_tasks, 4) == (DELTA4_LP_ILP, DELTA3_LP_ILP)
+
+    def test_lp_max_deltas(self, fig1_tasks):
+        assert lp_max_deltas(fig1_tasks, 4) == (DELTA4_LP_MAX, DELTA3_LP_MAX)
+
+    def test_lp_max_composition(self, fig1_tasks):
+        """Δ⁴ = C3,1 + C4,1 + C4,4 + C2,2 = 6+5+5+4 = 20 (paper text)."""
+        delta4, _ = lp_max_deltas(fig1_tasks, 4)
+        assert delta4 == 6 + 5 + 5 + 4
+
+    def test_ilp_tighter_than_max(self, fig1_tasks):
+        ilp = lp_ilp_deltas(fig1_tasks, 4)
+        mx = lp_max_deltas(fig1_tasks, 4)
+        assert ilp[0] <= mx[0]
+        assert ilp[1] <= mx[1]
+
+    def test_rho_solver_variants_agree(self, fig1_tasks):
+        assert lp_ilp_deltas(fig1_tasks, 4, rho_solver="ilp") == (
+            DELTA4_LP_ILP,
+            DELTA3_LP_ILP,
+        )
+
+
+class TestEdgeCases:
+    def test_empty_lp_set(self):
+        assert lp_max_deltas([], 4) == (0.0, 0.0)
+        assert lp_ilp_deltas([], 4) == (0.0, 0.0)
+
+    def test_single_core(self, fig1_tasks):
+        """m = 1: Δ^0 must be 0 (no parallel blocking after start)."""
+        delta_m, delta_m1 = lp_ilp_deltas(fig1_tasks, 1)
+        assert delta_m == 6.0  # the largest single NPR (C3,1)
+        assert delta_m1 == 0.0
+        mx = lp_max_deltas(fig1_tasks, 1)
+        assert mx == (6.0, 0.0)
+
+    def test_bad_m(self, fig1_tasks):
+        with pytest.raises(AnalysisError):
+            lp_max_deltas(fig1_tasks, 0)
+        with pytest.raises(AnalysisError):
+            lp_ilp_deltas(fig1_tasks, 0)
+
+    def test_bad_rho_solver(self, fig1_tasks):
+        with pytest.raises(AnalysisError, match="unknown rho solver"):
+            lp_ilp_deltas(fig1_tasks, 2, rho_solver="cplex")  # type: ignore[arg-type]
+
+
+class TestSequentialTasksGap:
+    """Chains expose LP-max's pessimism: it treats their NPRs as parallel."""
+
+    @pytest.fixture
+    def chain_tasks(self):
+        tasks = []
+        for i, wcets in enumerate(([9, 8, 7], [6, 5, 4])):
+            builder = DagBuilder()
+            names = [f"c{i}n{j}" for j in range(len(wcets))]
+            for name, w in zip(names, wcets):
+                builder.node(name, w)
+            builder.chain(*names)
+            tasks.append(
+                DAGTask(f"chain{i}", builder.build(), period=1000.0, priority=i)
+            )
+        return tasks
+
+    def test_gap_on_chains(self, chain_tasks):
+        # LP-max pools 3 largest from each chain: 9+8+7+6 = 30 on m=4.
+        mx = lp_max_deltas(chain_tasks, 4)
+        assert mx[0] == 30.0
+        # LP-ILP knows a chain occupies one core: 9 + 6 = 15.
+        ilp = lp_ilp_deltas(chain_tasks, 4)
+        assert ilp[0] == 15.0
+
+    def test_mu_cache_reused(self, chain_tasks):
+        cache: dict[str, list[float]] = {}
+        first = lp_ilp_deltas(chain_tasks, 4, mu_cache=cache)
+        assert set(cache) == {"chain0", "chain1"}
+        # Tamper with the cache: the function must trust it.
+        cache["chain0"] = [100.0, 0.0, 0.0, 0.0]
+        second = lp_ilp_deltas(chain_tasks, 4, mu_cache=cache)
+        assert second[0] > first[0]
+
+    def test_short_cached_mu_rejected(self, chain_tasks):
+        cache = {"chain0": [9.0]}
+        with pytest.raises(AnalysisError, match="cached mu"):
+            lp_ilp_deltas(chain_tasks, 4, mu_cache=cache)
+
+
+class TestMonotonicity:
+    def test_deltas_grow_with_m(self, fig1_tasks):
+        previous = (0.0, 0.0)
+        for m in range(1, 6):
+            current = lp_ilp_deltas(fig1_tasks, m)
+            assert current[0] >= previous[0]
+            assert current[1] >= previous[1]
+            previous = current
+
+    def test_more_lp_tasks_more_blocking(self, fig1_tasks):
+        partial = lp_ilp_deltas(fig1_tasks[:2], 4)
+        full = lp_ilp_deltas(fig1_tasks, 4)
+        assert full[0] >= partial[0]
+        assert full[1] >= partial[1]

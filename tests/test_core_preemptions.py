@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.core.preemptions` (h_k and p_k)."""
+
+import pytest
+
+from repro.core.preemptions import max_preemptions, releases_upper_bound
+from repro.exceptions import AnalysisError
+from repro.model import DAGTask, DagBuilder
+
+
+def make_task(
+    name: str,
+    period: float,
+    n_nodes: int = 3,
+    priority: int = 0,
+    wcet: float = 1.0,
+):
+    builder = DagBuilder()
+    names = [f"{name}-{i}" for i in range(n_nodes)]
+    for n in names:
+        builder.node(n, wcet)
+    builder.chain(*names)
+    return DAGTask(name, builder.build(), period=period, priority=priority)
+
+
+class TestReleasesUpperBound:
+    def test_empty_hp(self):
+        assert releases_upper_bound((), 100.0) == 0
+
+    def test_zero_window(self):
+        assert releases_upper_bound([make_task("a", 10.0)], 0.0) == 0
+
+    def test_single_task_ceil(self):
+        hp = [make_task("a", 10.0)]
+        assert releases_upper_bound(hp, 5.0) == 1
+        assert releases_upper_bound(hp, 10.0) == 1
+        assert releases_upper_bound(hp, 10.5) == 2
+        assert releases_upper_bound(hp, 25.0) == 3
+
+    def test_exact_multiple_not_inflated_by_float_noise(self):
+        """ceil(t/T) at an exact multiple must not jump one too high."""
+        hp = [make_task("a", 0.1, wcet=0.01)]
+        # 0.3 / 0.1 = 2.9999999999999996 in floats; ceil must give 3.
+        assert releases_upper_bound(hp, 0.3) == 3
+
+    def test_sums_over_tasks(self):
+        hp = [make_task("a", 10.0), make_task("b", 7.0)]
+        assert releases_upper_bound(hp, 21.0) == 3 + 3
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            releases_upper_bound((), -1.0)
+
+
+class TestMaxPreemptions:
+    def test_capped_by_q(self):
+        task = make_task("k", 100.0, n_nodes=3)  # q = 2
+        hp = [make_task("a", 1.0, wcet=0.1)]
+        assert max_preemptions(task, hp, 50.0) == 2
+
+    def test_capped_by_h(self):
+        task = make_task("k", 100.0, n_nodes=10)  # q = 9
+        hp = [make_task("a", 40.0)]
+        assert max_preemptions(task, hp, 50.0) == 2
+
+    def test_no_hp_tasks(self):
+        task = make_task("k", 100.0)
+        assert max_preemptions(task, (), 50.0) == 0
+
+    def test_single_node_task_never_preempted(self):
+        task = make_task("k", 100.0, n_nodes=1)  # q = 0
+        hp = [make_task("a", 1.0, wcet=0.1)]
+        assert max_preemptions(task, hp, 50.0) == 0

@@ -1,0 +1,120 @@
+"""Unit tests for :mod:`repro.core.rta` (Eqs. 1 and 4)."""
+
+import math
+
+import pytest
+
+from repro.core.rta import response_time_bounds
+from repro.exceptions import AnalysisError
+from repro.model import DAGTask, DagBuilder, TaskSet
+
+
+def chain_task(name, wcets, period, priority):
+    builder = DagBuilder()
+    names = [f"{name}{i}" for i in range(len(wcets))]
+    for n, w in zip(names, wcets):
+        builder.node(n, w)
+    builder.chain(*names)
+    return DAGTask(name, builder.build(), period=period, priority=priority)
+
+
+def diamond_task(name, period, priority, scale=1.0):
+    dag = (
+        DagBuilder()
+        .nodes({f"{name}s": 1 * scale, f"{name}a": 2 * scale,
+                f"{name}b": 3 * scale, f"{name}t": 4 * scale})
+        .fork(f"{name}s", [f"{name}a", f"{name}b"])
+        .join([f"{name}a", f"{name}b"], f"{name}t")
+        .build()
+    )
+    return DAGTask(name, dag, period=period, priority=priority)
+
+
+class TestSingleTask:
+    def test_isolated_bound_is_graham(self):
+        """Alone, R = L + (vol - L)/m (no floor term)."""
+        task = diamond_task("t", 100.0, 0)
+        [res] = response_time_bounds(TaskSet([task]), 2)
+        assert res.schedulable
+        assert res.response == pytest.approx(8 + (10 - 8) / 2)
+
+    def test_single_core_equals_volume(self):
+        task = diamond_task("t", 100.0, 0)
+        [res] = response_time_bounds(TaskSet([task]), 1)
+        assert res.response == pytest.approx(10.0)
+
+    def test_many_cores_approach_longest_path(self):
+        task = diamond_task("t", 100.0, 0)
+        [res] = response_time_bounds(TaskSet([task]), 1000)
+        assert res.response == pytest.approx(8.0, abs=0.01)
+
+
+class TestTwoTasks:
+    def test_interference_adds_floor_term(self):
+        hi = chain_task("hi", [4], period=10.0, priority=0)
+        lo = chain_task("lo", [8], period=40.0, priority=1)
+        results = response_time_bounds(TaskSet([hi, lo]), 1)
+        assert results[0].response == 4.0
+        # lo: R = 8 + floor(W_hi(R)); converges within D=40.
+        assert results[1].schedulable
+        assert results[1].response > 8.0
+
+    def test_unschedulable_cascades(self):
+        hi = chain_task("hi", [9], period=10.0, priority=0)
+        mid = chain_task("mid", [5], period=12.0, priority=1)
+        lo = chain_task("lo", [1], period=100.0, priority=2)
+        results = response_time_bounds(TaskSet([hi, mid, lo]), 1)
+        assert results[0].schedulable
+        assert not results[1].schedulable
+        assert math.isinf(results[1].response)
+        # lo is skipped: it needs mid's response bound.
+        assert not results[2].analyzed
+        assert not results[2].schedulable
+
+
+class TestLimitedPreemption:
+    def test_blocking_increases_response(self):
+        hi = diamond_task("hi", 200.0, 0)
+        lo = diamond_task("lo", 400.0, 1)
+        ts = TaskSet([hi, lo])
+        [fp_hi, _] = response_time_bounds(ts, 2)
+
+        def provider(task):
+            return (5.0, 3.0) if task.name == "hi" else (0.0, 0.0)
+
+        [lp_hi, _] = response_time_bounds(
+            ts, 2, delta_provider=provider, limited_preemption=True
+        )
+        assert lp_hi.response >= fp_hi.response
+        assert lp_hi.delta_m == 5.0
+        assert lp_hi.delta_m_minus_1 == 3.0
+
+    def test_requires_provider(self):
+        task = diamond_task("t", 100.0, 0)
+        with pytest.raises(AnalysisError, match="delta_provider"):
+            response_time_bounds(TaskSet([task]), 2, limited_preemption=True)
+
+    def test_preemption_count_recorded(self):
+        hi = chain_task("hi", [2], period=10.0, priority=0)
+        lo = chain_task("lo", [4, 4, 4], period=60.0, priority=1)
+        ts = TaskSet([hi, lo])
+        results = response_time_bounds(
+            ts, 2, delta_provider=lambda t: (1.0, 1.0), limited_preemption=True
+        )
+        assert results[1].schedulable
+        # lo has q=2 and several hi releases in its window -> p = 2.
+        assert results[1].preemptions == 2
+
+
+class TestValidation:
+    def test_bad_m(self):
+        task = diamond_task("t", 100.0, 0)
+        with pytest.raises(AnalysisError, match="m must be >= 1"):
+            response_time_bounds(TaskSet([task]), 0)
+
+    def test_iterations_reported(self):
+        hi = chain_task("hi", [4], period=10.0, priority=0)
+        lo = chain_task("lo", [8], period=40.0, priority=1)
+        results = response_time_bounds(TaskSet([hi, lo]), 1)
+        assert results[0].iterations >= 1
+        assert results[1].iterations >= 2

@@ -1,0 +1,95 @@
+"""Unit tests for :mod:`repro.core.sensitivity`."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisMethod, analyze_taskset
+from repro.core.sensitivity import blocking_slack, breakdown_utilization
+from repro.exceptions import AnalysisError
+from repro.generator import GROUP1, generate_taskset
+from repro.model import DAGTask, DagBuilder, TaskSet, scale_periods
+
+
+@pytest.fixture
+def taskset(diamond, chain):
+    return TaskSet([
+        DAGTask("a", diamond, period=60.0, priority=0),
+        DAGTask("b", chain, period=90.0, priority=1),
+    ])
+
+
+class TestBreakdownUtilization:
+    def test_breakdown_is_at_least_current_when_schedulable(self, taskset):
+        assert analyze_taskset(taskset, 2, AnalysisMethod.LP_ILP).schedulable
+        breakdown = breakdown_utilization(taskset, 2)
+        assert breakdown >= taskset.total_utilization
+
+    def test_scaled_set_at_breakdown_is_schedulable(self, taskset):
+        breakdown = breakdown_utilization(taskset, 2)
+        alpha = breakdown / taskset.total_utilization
+        # Just below the breakdown scale: must still be schedulable.
+        scaled = scale_periods(taskset, 1.0 / (alpha * 0.99))
+        assert analyze_taskset(scaled, 2, AnalysisMethod.LP_ILP).schedulable
+
+    def test_method_ordering(self, taskset):
+        """Breakdown utilisations follow the analyses' pessimism order."""
+        fp = breakdown_utilization(taskset, 2, AnalysisMethod.FP_IDEAL)
+        ilp = breakdown_utilization(taskset, 2, AnalysisMethod.LP_ILP)
+        mx = breakdown_utilization(taskset, 2, AnalysisMethod.LP_MAX)
+        assert mx <= ilp + 1e-6
+        assert ilp <= fp + 1e-6
+
+    def test_more_cores_higher_breakdown(self, taskset):
+        b2 = breakdown_utilization(taskset, 2)
+        b4 = breakdown_utilization(taskset, 4)
+        assert b4 >= b2 - 1e-6
+
+    def test_hopeless_set_returns_zero(self):
+        # A task with zero slack whatever the scale: L == D exactly at
+        # every alpha... emulate with blocking from a huge lp NPR.
+        hi = DAGTask("hi", DagBuilder().node("h", 10).build(),
+                     period=10.0, priority=0)
+        lo = DAGTask("lo", DagBuilder().node("l", 500).build(),
+                     period=10000.0, priority=1)
+        ts = TaskSet([hi, lo])
+        # hi: D scales with alpha but blocking floor(500/1) dwarfs it at
+        # any alpha within range; LP-ILP can never accept.
+        assert breakdown_utilization(ts, 1, max_scale=4.0) == 0.0
+
+    def test_validation(self, taskset):
+        with pytest.raises(AnalysisError):
+            breakdown_utilization(taskset, 0)
+        with pytest.raises(AnalysisError):
+            breakdown_utilization(taskset, 2, max_scale=0.0)
+
+    def test_on_generated_sets(self):
+        rng = np.random.default_rng(4)
+        ts = generate_taskset(rng, 1.0, GROUP1)
+        breakdown = breakdown_utilization(ts, 4)
+        assert breakdown > 0.0
+
+
+class TestBlockingSlack:
+    def test_positive_for_schedulable(self, taskset):
+        slack = blocking_slack(taskset, 2)
+        assert set(slack) == {"a", "b"}
+        assert all(v > 0 for v in slack.values())
+
+    def test_slack_scales_with_m(self, taskset):
+        s2 = blocking_slack(taskset, 2)
+        s4 = blocking_slack(taskset, 4)
+        # More cores: smaller base response AND larger multiplier.
+        assert s4["a"] >= s2["a"]
+
+    def test_zero_for_failed_task(self):
+        hi = DAGTask("hi", DagBuilder().node("h", 9).build(),
+                     period=10.0, priority=0)
+        lo = DAGTask("lo", DagBuilder().node("l", 5).build(),
+                     period=12.0, priority=1)
+        slack = blocking_slack(TaskSet([hi, lo]), 1)
+        assert slack["lo"] == 0.0
+        assert slack["hi"] > 0.0
+
+    def test_validation(self, taskset):
+        with pytest.raises(AnalysisError):
+            blocking_slack(taskset, 0)

@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.core.sequential` ([15]'s baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisMethod, analyze_taskset
+from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
+from repro.core.sequential import (
+    analyze_sequential_taskset,
+    is_sequential,
+    sequential_lp_deltas,
+)
+from repro.exceptions import AnalysisError
+from repro.generator.dag_gen import sequential_dag
+from repro.generator.profiles import DagProfile
+from repro.generator.taskset_gen import assign_priorities_dm
+from repro.model import DAGTask, DagBuilder, TaskSet
+
+
+def chain_task(name, wcets, period, priority=None):
+    builder = DagBuilder()
+    names = [f"{name}{i}" for i in range(len(wcets))]
+    for n, w in zip(names, wcets):
+        builder.node(n, w)
+    builder.chain(*names)
+    return DAGTask(name, builder.build(), period=period, priority=priority)
+
+
+@pytest.fixture
+def chains():
+    return [
+        chain_task("a", [9, 3, 5], period=300.0, priority=1),
+        chain_task("b", [2, 7], period=300.0, priority=2),
+        chain_task("c", [4], period=300.0, priority=3),
+    ]
+
+
+class TestIsSequential:
+    def test_chain(self, chain):
+        assert is_sequential(DAGTask("t", chain, period=100.0))
+
+    def test_diamond(self, diamond):
+        assert not is_sequential(DAGTask("t", diamond, period=100.0))
+
+
+class TestDeltas:
+    def test_one_value_per_task(self, chains):
+        # longest NPRs: a->9, b->7, c->4; m=2: 9+7; m-1: 9.
+        assert sequential_lp_deltas(chains, 2) == (16.0, 9.0)
+
+    def test_m_exceeds_task_count(self, chains):
+        # Only 3 candidate NPRs exist for m=4.
+        assert sequential_lp_deltas(chains, 4) == (20.0, 20.0)
+
+    def test_empty(self):
+        assert sequential_lp_deltas([], 4) == (0.0, 0.0)
+
+    def test_rejects_parallel_tasks(self, diamond):
+        task = DAGTask("d", diamond, period=100.0, priority=0)
+        with pytest.raises(AnalysisError, match="parallel tasks"):
+            sequential_lp_deltas([task], 2)
+
+    def test_allow_dag_override(self, diamond):
+        task = DAGTask("d", diamond, period=100.0, priority=0)
+        delta_m, _ = sequential_lp_deltas([task], 2, allow_dag=True)
+        assert delta_m == 4.0  # the single largest NPR only (unsound)
+
+    def test_bad_m(self, chains):
+        with pytest.raises(AnalysisError):
+            sequential_lp_deltas(chains, 0)
+
+
+class TestEquivalenceWithDagAnalysis:
+    """On chain task-sets [15] and the paper's LP-ILP must coincide."""
+
+    def test_deltas_match_lp_ilp(self, chains):
+        for m in (1, 2, 3, 4, 6):
+            assert sequential_lp_deltas(chains, m) == lp_ilp_deltas(chains, m)
+
+    def test_lp_max_is_more_pessimistic_on_chains(self, chains):
+        # LP-max pools several NPRs of the same chain: 9+7+5+4 = 25.
+        assert lp_max_deltas(chains, 4)[0] == 25.0
+        assert sequential_lp_deltas(chains, 4)[0] == 20.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_chain_tasksets(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = DagProfile(seq_min_nodes=1, seq_max_nodes=8, wcet_max=20)
+        tasks = []
+        for i in range(4):
+            dag = sequential_dag(rng, profile, name_prefix=f"t{i}n")
+            tasks.append(DAGTask(f"t{i}", dag, period=float(dag.volume * 4)))
+        taskset = assign_priorities_dm(tasks)
+        seq = analyze_sequential_taskset(taskset, 2)
+        dag_analysis = analyze_taskset(taskset, 2, AnalysisMethod.LP_ILP)
+        assert seq.schedulable == dag_analysis.schedulable
+        for t_seq, t_dag in zip(seq.tasks, dag_analysis.tasks):
+            assert t_seq.response == pytest.approx(t_dag.response)
+            assert t_seq.delta_m == pytest.approx(t_dag.delta_m)
+
+
+class TestFullAnalysis:
+    def test_method_label(self, chains):
+        taskset = TaskSet(chains)
+        result = analyze_sequential_taskset(taskset, 2)
+        assert result.method == "LP-sequential"
+        assert len(result.tasks) == 3
+
+    def test_lowest_priority_has_no_blocking(self, chains):
+        taskset = TaskSet(chains)
+        result = analyze_sequential_taskset(taskset, 2)
+        assert result.task("c").delta_m == 0.0

@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.core.workload` (μ_i[c], paper Table I)."""
+
+import pytest
+
+from repro.core.workload import mu_array, mu_bruteforce, mu_value
+from repro.exceptions import AnalysisError
+from repro.experiments.figure1 import TABLE1_EXPECTED
+from repro.model import DagBuilder
+
+ALL_METHODS = ("search", "ilp", "ilp-paper")
+
+
+class TestPaperTable1:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_table1_all_methods(self, fig1_tasks, method):
+        """Every μ_i[c] of the paper's Table I, with every solver."""
+        for task in fig1_tasks:
+            assert mu_array(task, 4, method=method) == TABLE1_EXPECTED[task.name]
+
+    def test_mu4_2_attained_by_v43_v44(self, fig1_tau4):
+        # The paper explains mu4[2]=9 comes from v4,3 + v4,4 in parallel.
+        assert mu_value(fig1_tau4, 2) == 9.0
+        assert fig1_tau4.wcet("v4,3") + fig1_tau4.wcet("v4,4") == 9.0
+
+
+class TestBasicShapes:
+    def test_chain_only_mu1(self, chain):
+        assert mu_array(chain, 3) == [7.0, 0.0, 0.0]
+
+    def test_diamond(self, diamond):
+        assert mu_array(diamond, 4) == [4.0, 5.0, 0.0, 0.0]
+
+    def test_single_node(self, single_node):
+        assert mu_array(single_node, 2) == [9.0, 0.0]
+
+    def test_independent_nodes(self):
+        dag = DagBuilder().nodes({"a": 5, "b": 3, "c": 1}).build()
+        assert mu_array(dag, 4) == [5.0, 8.0, 9.0, 0.0]
+
+    def test_c_larger_than_graph_is_zero(self, diamond):
+        assert mu_value(diamond, 10) == 0.0
+
+
+class TestValidation:
+    def test_bad_m(self, diamond):
+        with pytest.raises(AnalysisError, match="m must be >= 1"):
+            mu_array(diamond, 0)
+
+    def test_bad_c(self, diamond):
+        with pytest.raises(AnalysisError, match="c must be >= 1"):
+            mu_value(diamond, 0)
+
+    def test_unknown_method(self, diamond):
+        with pytest.raises(AnalysisError, match="unknown mu method"):
+            mu_array(diamond, 2, method="cplex")  # type: ignore[arg-type]
+
+    def test_accepts_dag_or_task(self, fig1_tasks):
+        task = fig1_tasks[0]
+        assert mu_array(task, 4) == mu_array(task.graph, 4)
+
+
+class TestSolverAgreement:
+    def test_methods_agree_on_fig1(self, fig1_tasks):
+        for task in fig1_tasks:
+            reference = mu_array(task, 4, method="search")
+            for method in ("ilp", "ilp-paper"):
+                assert mu_array(task, 4, method=method) == reference
+
+    def test_search_matches_bruteforce(self, fig1_tasks):
+        for task in fig1_tasks:
+            for c in range(1, 5):
+                assert mu_value(task.graph, c) == mu_bruteforce(task.graph, c)
+
+
+class TestMuSemantics:
+    def test_mu_selects_antichain_not_heaviest_nodes(self):
+        """The heaviest pair is ordered, so μ[2] must take a lighter one."""
+        dag = (
+            DagBuilder()
+            .nodes({"big1": 100, "big2": 90, "small": 10})
+            .chain("big1", "big2")
+            .build()
+        )
+        # big1/big2 are ordered; parallel pairs: (big1, small), (big2, small)
+        assert mu_value(dag, 2) == 110.0
+
+    def test_mu1_is_max_wcet(self, fig1_tau3):
+        assert mu_value(fig1_tau3, 1) == 6.0

@@ -1,0 +1,93 @@
+"""Coverage for the exception hierarchy and analysis result types."""
+
+import math
+
+import pytest
+
+from repro.core.results import TaskAnalysis, TasksetAnalysis
+from repro.exceptions import (
+    AnalysisError,
+    CycleError,
+    GenerationError,
+    GraphError,
+    IlpError,
+    IlpInfeasibleError,
+    ModelError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ModelError,
+            GraphError,
+            AnalysisError,
+            IlpError,
+            GenerationError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_cycle_is_graph_error(self):
+        assert issubclass(CycleError, GraphError)
+
+    def test_infeasible_is_ilp_error(self):
+        assert issubclass(IlpInfeasibleError, IlpError)
+
+
+class TestTaskAnalysis:
+    def test_bounded(self):
+        ok = TaskAnalysis("t", True, 12.0, 3)
+        assert ok.bounded
+        failed = TaskAnalysis("t", False, math.inf, 5)
+        assert not failed.bounded
+
+    def test_defaults(self):
+        result = TaskAnalysis("t", True, 1.0, 1)
+        assert result.delta_m == 0.0
+        assert result.preemptions == 0
+        assert result.analyzed
+
+
+class TestTasksetAnalysis:
+    @pytest.fixture
+    def analysis(self):
+        return TasksetAnalysis(
+            "LP-ILP",
+            4,
+            (
+                TaskAnalysis("a", True, 10.0, 2),
+                TaskAnalysis("b", False, math.inf, 7),
+                TaskAnalysis("c", False, math.inf, 0, analyzed=False),
+            ),
+        )
+
+    def test_schedulable_requires_all(self, analysis):
+        assert not analysis.schedulable
+        happy = TasksetAnalysis(
+            "FP-ideal", 2, (TaskAnalysis("a", True, 1.0, 1),)
+        )
+        assert happy.schedulable
+
+    def test_responses(self, analysis):
+        responses = analysis.responses
+        assert responses["a"] == 10.0
+        assert math.isinf(responses["b"])
+
+    def test_task_lookup(self, analysis):
+        assert analysis.task("a").response == 10.0
+        with pytest.raises(KeyError):
+            analysis.task("zz")
+
+    def test_first_failure(self, analysis):
+        failure = analysis.first_failure()
+        assert failure is not None
+        assert failure.name == "b"
+        assert failure.iterations == 7

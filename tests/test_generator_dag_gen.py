@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.generator.dag_gen`."""
+
+import numpy as np
+import pytest
+
+from repro.generator import DagProfile, random_dag, sequential_dag
+from repro.graph import longest_path_nodes, max_parallelism
+from repro.model.validation import validate_openmp_style
+
+
+class TestRandomDag:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_structural_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = DagProfile()
+        dag = random_dag(rng, profile)
+        assert 1 <= len(dag) <= profile.max_nodes
+        validate_openmp_style(dag)
+        assert len(longest_path_nodes(dag)) <= profile.max_path_nodes
+        for node in dag.nodes:
+            assert profile.wcet_min <= node.wcet <= profile.wcet_max
+            assert float(node.wcet).is_integer()
+
+    def test_root_forks_by_default(self, rng):
+        for _ in range(20):
+            dag = random_dag(rng, DagProfile())
+            assert len(dag) >= 4
+            assert len(dag.successors(dag.sources[0])) >= 2
+
+    def test_root_fork_disabled(self):
+        rng = np.random.default_rng(0)
+        sizes = {len(random_dag(rng, DagProfile(root_forks=False))) for _ in range(50)}
+        assert 1 in sizes  # terminal roots appear with p_term = 0.4
+
+    def test_path_bound_respected_tightly(self, rng):
+        profile = DagProfile(max_path_nodes=3)
+        for _ in range(20):
+            dag = random_dag(rng, profile)
+            assert len(longest_path_nodes(dag)) <= 3
+
+    def test_node_cap_respected(self, rng):
+        profile = DagProfile(max_nodes=10)
+        for _ in range(30):
+            assert len(random_dag(rng, profile)) <= 10
+
+    def test_parallelism_reachable(self, rng):
+        widths = [max_parallelism(random_dag(rng, DagProfile())) for _ in range(30)]
+        assert max(widths) >= 3  # npar=6 should produce wide graphs
+
+    def test_deterministic_given_seed(self):
+        a = random_dag(np.random.default_rng(7), DagProfile())
+        b = random_dag(np.random.default_rng(7), DagProfile())
+        assert a == b
+
+    def test_name_prefix(self, rng):
+        dag = random_dag(rng, DagProfile(), name_prefix="w")
+        assert all(n.startswith("w") for n in dag.node_names)
+
+
+class TestSequentialDag:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_is_chain(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = DagProfile()
+        dag = sequential_dag(rng, profile)
+        assert profile.seq_min_nodes <= len(dag) <= profile.seq_max_nodes
+        assert max_parallelism(dag) == 1
+        assert dag.volume == sum(n.wcet for n in dag.nodes)
+        assert len(longest_path_nodes(dag)) == len(dag)
+
+    def test_single_node_chain(self):
+        rng = np.random.default_rng(0)
+        profile = DagProfile(seq_min_nodes=1, seq_max_nodes=1)
+        dag = sequential_dag(rng, profile)
+        assert len(dag) == 1

@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.generator.profiles`."""
+
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.generator import GROUP1, GROUP2, DagProfile, TasksetProfile
+
+
+class TestDagProfile:
+    def test_paper_defaults(self):
+        profile = DagProfile()
+        assert profile.p_term == 0.4
+        assert profile.p_par == 0.6
+        assert profile.n_par_max == 6
+        assert profile.max_path_nodes == 7
+        assert profile.max_nodes == 30
+        assert (profile.wcet_min, profile.wcet_max) == (1, 100)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(GenerationError, match="must equal 1"):
+            DagProfile(p_term=0.5, p_par=0.6)
+
+    def test_npar_minimum(self):
+        with pytest.raises(GenerationError, match="n_par_max"):
+            DagProfile(n_par_max=1)
+
+    def test_wcet_range_validated(self):
+        with pytest.raises(GenerationError, match="wcet"):
+            DagProfile(wcet_min=10, wcet_max=5)
+        with pytest.raises(GenerationError, match="wcet"):
+            DagProfile(wcet_min=0)
+
+    def test_sequential_probability_bounds(self):
+        with pytest.raises(GenerationError, match="sequential_probability"):
+            DagProfile(sequential_probability=1.5)
+
+    def test_seq_nodes_clamped_to_max_nodes(self):
+        profile = DagProfile(max_nodes=10)
+        assert profile.seq_max_nodes == 10
+        assert profile.seq_min_nodes == 5
+        tight = DagProfile(max_nodes=3)
+        assert tight.seq_max_nodes == 3
+        assert tight.seq_min_nodes == 3
+
+    def test_seq_nodes_validated(self):
+        with pytest.raises(GenerationError, match="seq_min_nodes"):
+            DagProfile(seq_min_nodes=0, seq_max_nodes=0)
+
+    def test_max_nesting(self):
+        assert DagProfile(max_path_nodes=7).max_nesting == 3
+        assert DagProfile(max_path_nodes=1).max_nesting == 0
+        assert DagProfile(max_path_nodes=2).max_nesting == 0
+        assert DagProfile(max_path_nodes=5).max_nesting == 2
+
+
+class TestTasksetProfile:
+    def test_groups(self):
+        assert GROUP1.dag.sequential_probability == 0.5
+        assert GROUP2.dag.sequential_probability == 0.0
+        assert GROUP1.beta == 0.5
+
+    def test_beta_validated(self):
+        with pytest.raises(GenerationError, match="beta"):
+            TasksetProfile(dag=DagProfile(), beta=0.0)
+
+    def test_u_task_max_validated(self):
+        with pytest.raises(GenerationError, match="u_task_max"):
+            TasksetProfile(dag=DagProfile(), beta=0.5, u_task_max=0.4)
+
+    def test_mode_validated(self):
+        with pytest.raises(GenerationError, match="utilization_mode"):
+            TasksetProfile(dag=DagProfile(), utilization_mode="magic")

@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.graph.paths`."""
+
+import pytest
+
+from repro.graph import longest_path_length, longest_path_nodes, volume
+from repro.model import DagBuilder
+
+
+class TestVolume:
+    def test_diamond(self, diamond):
+        assert volume(diamond) == 10
+
+    def test_single(self, single_node):
+        assert volume(single_node) == 9
+
+
+class TestLongestPath:
+    def test_diamond_takes_heavier_branch(self, diamond):
+        # s(1) -> b(3) -> t(4) = 8 beats s -> a(2) -> t = 7
+        assert longest_path_length(diamond) == 8
+
+    def test_chain_equals_volume(self, chain):
+        assert longest_path_length(chain) == 14
+
+    def test_single_node(self, single_node):
+        assert longest_path_length(single_node) == 9
+
+    def test_parallel_only(self):
+        dag = DagBuilder().nodes({"a": 3, "b": 7, "c": 5}).build()
+        assert longest_path_length(dag) == 7
+
+    def test_fig1_tau1(self, fig1_tau1):
+        # v1,1(1) -> v1,4(2) -> v1,7(2) -> v1,8(3) = 8
+        assert longest_path_length(fig1_tau1) == 8
+
+    def test_fig1_tau4(self, fig1_tau4):
+        # v4,1(5) -> v4,2(1) -> v4,4(5) = 11
+        assert longest_path_length(fig1_tau4) == 11
+
+
+class TestLongestPathNodes:
+    def test_length_matches(self, diamond, chain, fig1_tau1, fig1_tau4):
+        for dag in (diamond, chain, fig1_tau1, fig1_tau4):
+            nodes = longest_path_nodes(dag)
+            assert sum(dag.wcet(n) for n in nodes) == pytest.approx(
+                longest_path_length(dag)
+            )
+
+    def test_is_a_real_path(self, fig1_tau1):
+        nodes = longest_path_nodes(fig1_tau1)
+        for u, v in zip(nodes, nodes[1:]):
+            assert fig1_tau1.has_edge(u, v)
+
+    def test_empty_graph(self):
+        from repro.model.dag import DAG
+
+        assert longest_path_nodes(DAG({})) == ()

@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.graph.properties`."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import antichains, is_antichain, max_parallelism
+from repro.model import DagBuilder
+from repro.model.dag import DAG
+
+
+class TestIsAntichain:
+    def test_parallel_pair(self, diamond):
+        assert is_antichain(diamond, ["a", "b"])
+
+    def test_ordered_pair(self, diamond):
+        assert not is_antichain(diamond, ["s", "a"])
+
+    def test_empty_and_singleton(self, diamond):
+        assert is_antichain(diamond, [])
+        assert is_antichain(diamond, ["s"])
+
+    def test_duplicates_rejected(self, diamond):
+        with pytest.raises(GraphError, match="duplicate"):
+            is_antichain(diamond, ["a", "a"])
+
+
+class TestAntichainEnumeration:
+    def test_diamond_antichains(self, diamond):
+        chains = set(antichains(diamond))
+        assert ("a", "b") in chains or ("b", "a") in chains
+        singletons = {c for c in chains if len(c) == 1}
+        assert len(singletons) == 4
+        assert all(len(c) <= 2 for c in chains)
+
+    def test_max_size_respected(self, fig1_tau3):
+        assert all(len(c) <= 2 for c in antichains(fig1_tau3, max_size=2))
+
+    def test_every_emitted_set_is_antichain(self, fig1_tau1):
+        for chain in antichains(fig1_tau1, max_size=3):
+            assert is_antichain(fig1_tau1, chain)
+
+    def test_count_on_chain(self, chain):
+        # Only singletons on a chain.
+        assert sorted(antichains(chain)) == [("a",), ("b",), ("c",)]
+
+
+class TestWidth:
+    def test_diamond(self, diamond):
+        assert max_parallelism(diamond) == 2
+
+    def test_chain(self, chain):
+        assert max_parallelism(chain) == 1
+
+    def test_isolated(self):
+        dag = DagBuilder().nodes({"a": 1, "b": 1, "c": 1}).build()
+        assert max_parallelism(dag) == 3
+
+    def test_empty(self):
+        assert max_parallelism(DAG({})) == 0
+
+    def test_fig1_widths(self, fig1_tau1, fig1_tau2, fig1_tau3, fig1_tau4):
+        # These drive which mu entries are zero in Table I.
+        assert max_parallelism(fig1_tau1) == 4
+        assert max_parallelism(fig1_tau2) == 2
+        assert max_parallelism(fig1_tau3) == 4
+        assert max_parallelism(fig1_tau4) == 3
+
+    def test_matches_enumeration_on_small_graphs(
+        self, diamond, chain, fig1_tau1, fig1_tau2, fig1_tau4
+    ):
+        for dag in (diamond, chain, fig1_tau1, fig1_tau2, fig1_tau4):
+            brute = max(len(c) for c in antichains(dag))
+            assert max_parallelism(dag) == brute

@@ -1,0 +1,58 @@
+"""Unit tests for :mod:`repro.graph.topology`."""
+
+from repro.graph import (
+    ancestors_map,
+    descendants_map,
+    reachable_from,
+    topological_order,
+)
+from repro.model import DagBuilder
+
+
+class TestReachability:
+    def test_diamond(self, diamond):
+        assert reachable_from(diamond, "s") == {"a", "b", "t"}
+        assert reachable_from(diamond, "a") == {"t"}
+        assert reachable_from(diamond, "t") == frozenset()
+
+    def test_descendants_map_matches_per_node(self, diamond, fig1_tau1):
+        for dag in (diamond, fig1_tau1):
+            succ = descendants_map(dag)
+            for node in dag.node_names:
+                assert succ[node] == reachable_from(dag, node)
+
+    def test_ancestors_map_is_inverse(self, fig1_tau1):
+        succ = descendants_map(fig1_tau1)
+        pred = ancestors_map(fig1_tau1)
+        for u in fig1_tau1.node_names:
+            for v in fig1_tau1.node_names:
+                assert (v in succ[u]) == (u in pred[v])
+
+    def test_paper_succ_examples(self, fig1_tau1):
+        """The SUCC sets quoted in the paper's Algorithm-1 walkthrough."""
+        succ = descendants_map(fig1_tau1)
+        assert succ["v1,2"] == {"v1,6", "v1,8"}
+        assert succ["v1,4"] == {"v1,7", "v1,8"}
+        assert succ["v1,5"] == {"v1,7", "v1,8"}
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self, fig1_tau1):
+        order = topological_order(fig1_tau1)
+        position = {n: i for i, n in enumerate(order)}
+        for u, v in fig1_tau1.edges:
+            assert position[u] < position[v]
+
+    def test_chain_order(self, chain):
+        assert topological_order(chain) == ("a", "b", "c")
+
+    def test_transitive_chain(self):
+        # Redundant transitive edge must not break the order.
+        dag = (
+            DagBuilder()
+            .nodes({"a": 1, "b": 1, "c": 1})
+            .chain("a", "b", "c")
+            .edge("a", "c")
+            .build()
+        )
+        assert topological_order(dag) == ("a", "b", "c")

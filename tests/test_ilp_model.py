@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.ilp.model`."""
+
+import pytest
+
+from repro.exceptions import IlpError
+from repro.ilp import BinaryProgram
+from repro.ilp.model import Constraint
+
+
+class TestProgramConstruction:
+    def test_add_var(self):
+        program = BinaryProgram()
+        program.add_var("x", objective=2.0)
+        assert program.variables == ("x",)
+        assert program.objective_coefficient("x") == 2.0
+
+    def test_duplicate_var_rejected(self):
+        program = BinaryProgram()
+        program.add_var("x")
+        with pytest.raises(IlpError, match="duplicate"):
+            program.add_var("x")
+
+    def test_bad_var_name(self):
+        with pytest.raises(IlpError, match="non-empty"):
+            BinaryProgram().add_var("")
+
+    def test_non_finite_objective(self):
+        with pytest.raises(IlpError, match="non-finite"):
+            BinaryProgram().add_var("x", objective=float("inf"))
+
+    def test_unknown_objective_lookup(self):
+        with pytest.raises(IlpError, match="unknown variable"):
+            BinaryProgram().objective_coefficient("x")
+
+
+class TestConstraints:
+    def make(self):
+        program = BinaryProgram()
+        program.add_var("x", 1.0)
+        program.add_var("y", 1.0)
+        return program
+
+    def test_valid_constraint(self):
+        program = self.make()
+        program.add_constraint({"x": 1, "y": 1}, "<=", 1)
+        assert len(program.constraints) == 1
+
+    def test_unknown_variable(self):
+        with pytest.raises(IlpError, match="unknown variable"):
+            self.make().add_constraint({"z": 1}, "<=", 1)
+
+    def test_bad_sense(self):
+        with pytest.raises(IlpError, match="invalid sense"):
+            self.make().add_constraint({"x": 1}, "<", 1)  # type: ignore[arg-type]
+
+    def test_empty_coeffs(self):
+        with pytest.raises(IlpError, match="empty coefficient"):
+            self.make().add_constraint({}, "<=", 1)
+
+    def test_all_zero_coeffs(self):
+        with pytest.raises(IlpError, match="all coefficients are zero"):
+            self.make().add_constraint({"x": 0.0}, "<=", 1)
+
+    def test_non_finite_rhs(self):
+        with pytest.raises(IlpError, match="non-finite rhs"):
+            self.make().add_constraint({"x": 1}, "<=", float("nan"))
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        program = BinaryProgram()
+        program.add_var("x", 2.0)
+        program.add_var("y", 3.0)
+        assert program.evaluate({"x": 1, "y": 0}) == 2.0
+        assert program.evaluate({"x": 1, "y": 1}) == 5.0
+
+    def test_evaluate_missing_var(self):
+        program = BinaryProgram()
+        program.add_var("x", 2.0)
+        with pytest.raises(IlpError, match="missing"):
+            program.evaluate({})
+
+    def test_is_feasible(self):
+        program = BinaryProgram()
+        program.add_var("x", 1.0)
+        program.add_var("y", 1.0)
+        program.add_constraint({"x": 1, "y": 1}, "<=", 1)
+        assert program.is_feasible({"x": 1, "y": 0})
+        assert not program.is_feasible({"x": 1, "y": 1})
+
+
+class TestConstraintRanges:
+    def test_lhs_range_all_free(self):
+        c = Constraint((("x", 2.0), ("y", -1.0)), "<=", 1.0)
+        assert c.lhs_range({}) == (-1.0, 2.0)
+
+    def test_lhs_range_partially_fixed(self):
+        c = Constraint((("x", 2.0), ("y", -1.0)), "<=", 1.0)
+        assert c.lhs_range({"x": 1}) == (1.0, 2.0)
+        assert c.lhs_range({"x": 1, "y": 1}) == (1.0, 1.0)
+
+    def test_satisfaction_senses(self):
+        le = Constraint((("x", 1.0),), "<=", 0.0)
+        ge = Constraint((("x", 1.0),), ">=", 1.0)
+        eq = Constraint((("x", 1.0),), "==", 1.0)
+        assert le.is_satisfied({"x": 0})
+        assert not le.is_satisfied({"x": 1})
+        assert ge.is_satisfied({"x": 1})
+        assert not ge.is_satisfied({"x": 0})
+        assert eq.is_satisfied({"x": 1})
+        assert not eq.is_satisfied({"x": 0})

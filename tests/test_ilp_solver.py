@@ -1,0 +1,130 @@
+"""Unit tests for :mod:`repro.ilp.solver`, incl. brute-force cross-checks."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IlpError
+from repro.ilp import BinaryProgram, IlpStatus, solve
+
+
+def brute_force(program: BinaryProgram) -> tuple[float | None, int]:
+    """Exhaustive optimum (None if infeasible) and feasible count."""
+    best = None
+    feasible = 0
+    variables = program.variables
+    for bits in product((0, 1), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if program.is_feasible(assignment):
+            feasible += 1
+            value = program.evaluate(assignment)
+            if best is None:
+                best = value
+            elif program.maximize:
+                best = max(best, value)
+            else:
+                best = min(best, value)
+    return best, feasible
+
+
+class TestBasics:
+    def test_unconstrained_maximize(self):
+        program = BinaryProgram()
+        program.add_var("x", 3.0)
+        program.add_var("y", -2.0)
+        solution = solve(program)
+        assert solution.is_optimal
+        assert solution.objective == 3.0
+        assert solution.assignment == {"x": 1, "y": 0}
+
+    def test_unconstrained_minimize(self):
+        program = BinaryProgram(maximize=False)
+        program.add_var("x", 3.0)
+        program.add_var("y", -2.0)
+        solution = solve(program)
+        assert solution.objective == -2.0
+        assert solution.assignment == {"x": 0, "y": 1}
+
+    def test_knapsack_equality(self):
+        program = BinaryProgram()
+        for name, value in [("a", 10.0), ("b", 7.0), ("c", 3.0)]:
+            program.add_var(name, value)
+        program.add_constraint({"a": 1, "b": 1, "c": 1}, "==", 2)
+        solution = solve(program)
+        assert solution.objective == 17.0
+        assert solution.selected() == ("a", "b")
+
+    def test_infeasible(self):
+        program = BinaryProgram()
+        program.add_var("x", 1.0)
+        program.add_constraint({"x": 1}, ">=", 2)
+        solution = solve(program)
+        assert solution.status is IlpStatus.INFEASIBLE
+        assert not solution.is_optimal
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(IlpError, match="no variables"):
+            solve(BinaryProgram())
+
+    def test_node_limit(self):
+        program = BinaryProgram()
+        for i in range(12):
+            program.add_var(f"x{i}", 1.0)
+        # All-equal objective defeats the bound prune; tiny limit trips.
+        with pytest.raises(IlpError, match="node limit"):
+            solve(program, node_limit=3)
+
+    def test_nodes_explored_reported(self):
+        program = BinaryProgram()
+        program.add_var("x", 1.0)
+        assert solve(program).nodes_explored > 0
+
+
+class TestConflictStructure:
+    def test_pairwise_conflicts(self):
+        """Max-weight independent set on a path graph a-b-c."""
+        program = BinaryProgram()
+        for name, value in [("a", 4.0), ("b", 5.0), ("c", 4.0)]:
+            program.add_var(name, value)
+        program.add_constraint({"a": 1, "b": 1}, "<=", 1)
+        program.add_constraint({"b": 1, "c": 1}, "<=", 1)
+        solution = solve(program)
+        assert solution.objective == 8.0
+        assert solution.selected() == ("a", "c")
+
+    def test_ge_constraint_forces_selection(self):
+        program = BinaryProgram()
+        program.add_var("cheap", -5.0)
+        program.add_var("rich", -1.0)
+        program.add_constraint({"cheap": 1, "rich": 1}, ">=", 1)
+        solution = solve(program)
+        assert solution.objective == -1.0
+        assert solution.selected() == ("rich",)
+
+
+class TestRandomCrossCheck:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 9))
+        program = BinaryProgram(maximize=bool(rng.integers(0, 2)))
+        for i in range(n):
+            program.add_var(f"x{i}", float(rng.normal(0, 5)))
+        for _ in range(int(rng.integers(1, 5))):
+            support = rng.choice(n, size=int(rng.integers(1, n + 1)), replace=False)
+            coeffs = {f"x{i}": float(rng.integers(-3, 4)) for i in support}
+            coeffs = {k: v for k, v in coeffs.items() if v != 0}
+            if not coeffs:
+                continue
+            sense = ["<=", "==", ">="][int(rng.integers(0, 3))]
+            rhs = float(rng.integers(-2, 5))
+            program.add_constraint(coeffs, sense, rhs)  # type: ignore[arg-type]
+        expected, _ = brute_force(program)
+        solution = solve(program)
+        if expected is None:
+            assert solution.status is IlpStatus.INFEASIBLE
+        else:
+            assert solution.is_optimal
+            assert solution.objective == pytest.approx(expected)
+            assert program.is_feasible(solution.assignment)

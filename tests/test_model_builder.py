@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.model.builder`."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import DagBuilder
+
+
+class TestBuilder:
+    def test_node_and_edge(self):
+        dag = DagBuilder().node("a", 1).node("b", 2).edge("a", "b").build()
+        assert dag.has_edge("a", "b")
+        assert dag.volume == 3
+
+    def test_nodes_bulk(self):
+        dag = DagBuilder().nodes({"a": 1, "b": 2, "c": 3}).build()
+        assert dag.node_names == ("a", "b", "c")
+
+    def test_chain(self):
+        dag = DagBuilder().nodes({"a": 1, "b": 1, "c": 1}).chain("a", "b", "c").build()
+        assert dag.has_edge("a", "b")
+        assert dag.has_edge("b", "c")
+        assert not dag.has_edge("a", "c")
+
+    def test_fork_join(self):
+        dag = (
+            DagBuilder()
+            .nodes({"s": 1, "x": 1, "y": 1, "t": 1})
+            .fork("s", ["x", "y"])
+            .join(["x", "y"], "t")
+            .build()
+        )
+        assert set(dag.successors("s")) == {"x", "y"}
+        assert set(dag.predecessors("t")) == {"x", "y"}
+
+    def test_edge_idempotent(self):
+        dag = (
+            DagBuilder()
+            .nodes({"a": 1, "b": 1})
+            .edge("a", "b")
+            .edge("a", "b")
+            .build()
+        )
+        assert dag.edges == (("a", "b"),)
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ModelError, match="duplicate node"):
+            DagBuilder().node("a", 1).node("a", 2)
+
+    def test_edge_unknown_node_rejected(self):
+        with pytest.raises(ModelError, match="unknown node"):
+            DagBuilder().node("a", 1).edge("a", "b")
+
+    def test_cycle_detected_at_build(self):
+        from repro.exceptions import CycleError
+
+        builder = (
+            DagBuilder().nodes({"a": 1, "b": 1}).edge("a", "b").edge("b", "a")
+        )
+        with pytest.raises(CycleError):
+            builder.build()

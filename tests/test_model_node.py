@@ -1,0 +1,51 @@
+"""Unit tests for :mod:`repro.model.node`."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import Node
+
+
+class TestNodeConstruction:
+    def test_valid_node(self):
+        node = Node("v1", 3.5)
+        assert node.name == "v1"
+        assert node.wcet == 3.5
+
+    def test_integer_wcet_accepted(self):
+        assert Node("v", 7).wcet == 7
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(ModelError, match="WCET must be > 0"):
+            Node("v", 0)
+
+    def test_negative_wcet_rejected(self):
+        with pytest.raises(ModelError, match="WCET must be > 0"):
+            Node("v", -1.0)
+
+    def test_nan_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            Node("v", float("nan"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError, match="non-empty string"):
+            Node("", 1.0)
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ModelError, match="non-empty string"):
+            Node(3, 1.0)  # type: ignore[arg-type]
+
+
+class TestNodeSemantics:
+    def test_frozen(self):
+        node = Node("v", 1.0)
+        with pytest.raises(AttributeError):
+            node.wcet = 2.0  # type: ignore[misc]
+
+    def test_equality_by_value(self):
+        assert Node("v", 1.0) == Node("v", 1.0)
+        assert Node("v", 1.0) != Node("v", 2.0)
+        assert Node("v", 1.0) != Node("w", 1.0)
+
+    def test_hashable(self):
+        assert len({Node("v", 1.0), Node("v", 1.0), Node("w", 1.0)}) == 2

@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.model.priorities`."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import DAGTask, DagBuilder, assign_priorities
+from repro.model.priorities import POLICIES
+
+
+def chain_task(name, wcets, period):
+    builder = DagBuilder()
+    names = [f"{name}{i}" for i in range(len(wcets))]
+    for n, w in zip(names, wcets):
+        builder.node(n, w)
+    builder.chain(*names)
+    return DAGTask(name, builder.build(), period=period)
+
+
+def wide_task(name, width, wcet, period):
+    builder = DagBuilder().node(f"{name}s", 1)
+    leaves = []
+    for i in range(width):
+        leaf = f"{name}w{i}"
+        builder.node(leaf, wcet)
+        leaves.append(leaf)
+    builder.fork(f"{name}s", leaves)
+    return DAGTask(name, builder.build(), period=period)
+
+
+@pytest.fixture
+def tasks():
+    return [
+        chain_task("long_chain", [10, 10, 10], period=200.0),   # L=30, vol=30
+        wide_task("wide", 4, 10, period=100.0),                  # L=11, vol=41
+        chain_task("short", [5], period=150.0),                  # L=5, vol=5
+    ]
+
+
+class TestPolicies:
+    def test_deadline_monotonic(self, tasks):
+        ts = assign_priorities(tasks, "deadline-monotonic")
+        assert ts.names == ("wide", "short", "long_chain")
+
+    def test_critical_path_monotonic(self, tasks):
+        ts = assign_priorities(tasks, "critical-path-monotonic")
+        assert ts.names == ("long_chain", "wide", "short")
+
+    def test_density_monotonic(self, tasks):
+        # densities: wide 0.41, long_chain 0.15, short 0.033
+        ts = assign_priorities(tasks, "density-monotonic")
+        assert ts.names == ("wide", "long_chain", "short")
+
+    def test_slack_monotonic(self, tasks):
+        # D-L: wide 89, short 145, long_chain 170
+        ts = assign_priorities(tasks, "slack-monotonic")
+        assert ts.names == ("wide", "short", "long_chain")
+
+    def test_custom_key(self, tasks):
+        ts = assign_priorities(tasks, policy=lambda t: t.name)
+        assert ts.names == ("long_chain", "short", "wide")
+
+    def test_priorities_dense(self, tasks):
+        ts = assign_priorities(tasks)
+        assert [t.priority for t in ts] == [0, 1, 2]
+
+    def test_unknown_policy(self, tasks):
+        with pytest.raises(ModelError, match="unknown policy"):
+            assign_priorities(tasks, "lottery")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            assign_priorities([])
+
+    def test_registry_complete(self):
+        assert set(POLICIES) == {
+            "deadline-monotonic",
+            "critical-path-monotonic",
+            "density-monotonic",
+            "slack-monotonic",
+        }

@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.model.serialization`."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import (
+    DAGTask,
+    TaskSet,
+    dag_from_dict,
+    dag_to_dict,
+    task_from_dict,
+    task_to_dict,
+    taskset_from_dict,
+    taskset_from_json,
+    taskset_to_dict,
+    taskset_to_json,
+)
+
+
+class TestDagRoundTrip:
+    def test_round_trip(self, diamond):
+        assert dag_from_dict(dag_to_dict(diamond)) == diamond
+
+    def test_edges_optional(self):
+        dag = dag_from_dict({"nodes": {"a": 1.0}})
+        assert len(dag) == 1
+
+    def test_malformed_payload(self):
+        with pytest.raises(ModelError, match="malformed DAG"):
+            dag_from_dict({"no_nodes": {}})
+        with pytest.raises(ModelError, match="malformed DAG"):
+            dag_from_dict(None)  # type: ignore[arg-type]
+
+
+class TestTaskRoundTrip:
+    def test_round_trip(self, diamond):
+        task = DAGTask("t", diamond, period=50.0, deadline=40.0, priority=2)
+        assert task_from_dict(task_to_dict(task)) == task
+
+    def test_priority_optional(self, diamond):
+        payload = task_to_dict(DAGTask("t", diamond, period=50.0))
+        del payload["priority"]
+        assert task_from_dict(payload).priority is None
+
+    def test_malformed_payload(self):
+        with pytest.raises(ModelError, match="malformed task"):
+            task_from_dict({"name": "x"})
+
+
+class TestTasksetRoundTrip:
+    @pytest.fixture
+    def taskset(self, diamond, chain):
+        return TaskSet([
+            DAGTask("hi", diamond, period=50.0, priority=0),
+            DAGTask("lo", chain, period=80.0, priority=1),
+        ])
+
+    def test_dict_round_trip(self, taskset):
+        rebuilt = taskset_from_dict(taskset_to_dict(taskset))
+        assert rebuilt.names == taskset.names
+        assert rebuilt.task("hi") == taskset.task("hi")
+
+    def test_json_round_trip(self, taskset):
+        rebuilt = taskset_from_json(taskset_to_json(taskset))
+        assert rebuilt.names == taskset.names
+        assert rebuilt.total_utilization == pytest.approx(
+            taskset.total_utilization
+        )
+
+    def test_json_compact(self, taskset):
+        text = taskset_to_json(taskset, indent=None)
+        assert "\n" not in text
+
+    def test_invalid_json(self):
+        with pytest.raises(ModelError, match="invalid JSON"):
+            taskset_from_json("{nope")
+
+    def test_malformed_taskset(self):
+        with pytest.raises(ModelError, match="malformed task-set"):
+            taskset_from_dict({"no_tasks": []})

@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.model.task`."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import DAGTask, DagBuilder
+
+
+class TestConstruction:
+    def test_implicit_deadline(self, diamond):
+        task = DAGTask("t", diamond, period=100.0)
+        assert task.deadline == 100.0
+
+    def test_constrained_deadline(self, diamond):
+        task = DAGTask("t", diamond, period=100.0, deadline=50.0)
+        assert task.deadline == 50.0
+
+    def test_deadline_above_period_rejected(self, diamond):
+        with pytest.raises(ModelError, match="0 < D <= T"):
+            DAGTask("t", diamond, period=100.0, deadline=101.0)
+
+    def test_zero_deadline_rejected(self, diamond):
+        with pytest.raises(ModelError, match="0 < D <= T"):
+            DAGTask("t", diamond, period=100.0, deadline=0.0)
+
+    def test_non_positive_period_rejected(self, diamond):
+        with pytest.raises(ModelError, match="period must be > 0"):
+            DAGTask("t", diamond, period=0.0)
+
+    def test_deadline_below_longest_path_rejected(self, diamond):
+        # diamond longest path = 1 + 3 + 4 = 8
+        with pytest.raises(ModelError, match="longest path"):
+            DAGTask("t", diamond, period=100.0, deadline=7.0)
+
+    def test_empty_name_rejected(self, diamond):
+        with pytest.raises(ModelError, match="non-empty string"):
+            DAGTask("", diamond, period=10.0)
+
+    def test_graph_type_checked(self):
+        with pytest.raises(ModelError, match="must be a DAG"):
+            DAGTask("t", "not a dag", period=10.0)  # type: ignore[arg-type]
+
+
+class TestDerived:
+    def test_volume_and_longest_path(self, diamond):
+        task = DAGTask("t", diamond, period=100.0)
+        assert task.volume == 10
+        assert task.longest_path == 8  # s(1) -> b(3) -> t(4)
+
+    def test_chain_longest_path_equals_volume(self, chain):
+        task = DAGTask("t", chain, period=100.0)
+        assert task.longest_path == task.volume == 14
+
+    def test_utilization_density(self, diamond):
+        task = DAGTask("t", diamond, period=40.0, deadline=20.0)
+        assert task.utilization == pytest.approx(0.25)
+        assert task.density == pytest.approx(0.5)
+
+    def test_q_and_n_nodes(self, diamond):
+        task = DAGTask("t", diamond, period=100.0)
+        assert task.n_nodes == 4
+        assert task.q == 3
+
+    def test_npr_wcets_order(self, diamond):
+        task = DAGTask("t", diamond, period=100.0)
+        assert task.npr_wcets() == [1, 2, 3, 4]
+
+    def test_largest_nprs(self, diamond):
+        task = DAGTask("t", diamond, period=100.0)
+        assert task.largest_nprs(2) == [4, 3]
+        assert task.largest_nprs(10) == [4, 3, 2, 1]
+        assert task.largest_nprs(0) == []
+
+    def test_largest_nprs_negative_rejected(self, diamond):
+        task = DAGTask("t", diamond, period=100.0)
+        with pytest.raises(ModelError):
+            task.largest_nprs(-1)
+
+
+class TestPriority:
+    def test_with_priority_copies(self, diamond):
+        task = DAGTask("t", diamond, period=100.0)
+        prioritised = task.with_priority(3)
+        assert prioritised.priority == 3
+        assert task.priority is None
+        assert prioritised.graph == task.graph
+
+    def test_equality_includes_priority(self, diamond):
+        t1 = DAGTask("t", diamond, period=100.0, priority=1)
+        t2 = DAGTask("t", diamond, period=100.0, priority=2)
+        assert t1 != t2
+        assert t1 == DAGTask("t", diamond, period=100.0, priority=1)
+
+    def test_hashable(self, diamond):
+        t1 = DAGTask("t", diamond, period=100.0, priority=1)
+        assert len({t1, DAGTask("t", diamond, period=100.0, priority=1)}) == 1
+
+
+def test_single_node_task():
+    dag = DagBuilder().node("n", 5).build()
+    task = DAGTask("t", dag, period=10.0)
+    assert task.q == 0
+    assert task.longest_path == 5
+    assert task.volume == 5

@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.model.taskset`."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import DAGTask, DagBuilder, TaskSet
+
+
+def simple_task(name: str, priority: int | None, period: float = 100.0) -> DAGTask:
+    dag = DagBuilder().node(f"{name}-n", 5).build()
+    return DAGTask(name, dag, period=period, priority=priority)
+
+
+class TestConstruction:
+    def test_orders_by_priority(self):
+        ts = TaskSet([simple_task("b", 2), simple_task("a", 0), simple_task("c", 1)])
+        assert ts.names == ("a", "c", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="at least one task"):
+            TaskSet([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError, match="duplicate task names"):
+            TaskSet([simple_task("a", 0), simple_task("a", 1)])
+
+    def test_missing_priority_rejected(self):
+        with pytest.raises(ModelError, match="without a priority"):
+            TaskSet([simple_task("a", None)])
+
+    def test_duplicate_priorities_rejected(self):
+        with pytest.raises(ModelError, match="priorities must be unique"):
+            TaskSet([simple_task("a", 0), simple_task("b", 0)])
+
+
+class TestSubsets:
+    @pytest.fixture
+    def ts(self):
+        return TaskSet([simple_task(f"t{i}", i) for i in range(4)])
+
+    def test_hp(self, ts):
+        assert [t.name for t in ts.hp("t2")] == ["t0", "t1"]
+        assert ts.hp("t0") == ()
+
+    def test_lp(self, ts):
+        assert [t.name for t in ts.lp("t1")] == ["t2", "t3"]
+        assert ts.lp("t3") == ()
+
+    def test_rank(self, ts):
+        assert ts.rank("t0") == 0
+        assert ts.rank("t3") == 3
+
+    def test_unknown_task(self, ts):
+        with pytest.raises(ModelError, match="unknown task"):
+            ts.task("zz")
+
+    def test_container_protocol(self, ts):
+        assert len(ts) == 4
+        assert "t1" in ts
+        assert "zz" not in ts
+        assert ts[0].name == "t0"
+        assert [t.name for t in ts] == ["t0", "t1", "t2", "t3"]
+
+
+class TestAggregates:
+    def test_total_utilization(self):
+        ts = TaskSet([
+            simple_task("a", 0, period=10.0),   # u = 0.5
+            simple_task("b", 1, period=20.0),   # u = 0.25
+        ])
+        assert ts.total_utilization == pytest.approx(0.75)
+
+    def test_hyperperiod_bound_positive(self):
+        ts = TaskSet([simple_task("a", 0, period=10.0)])
+        assert ts.hyperperiod_bound() == pytest.approx(40.0)

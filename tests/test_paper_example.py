@@ -1,0 +1,96 @@
+"""End-to-end reproduction of the paper's worked example (Fig. 1, Tables I–III).
+
+Every number this file asserts appears verbatim in the paper; this is
+the ground-truth regression suite for the whole analysis pipeline.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import (
+    DELTA3_LP_ILP,
+    DELTA3_LP_MAX,
+    DELTA4_LP_ILP,
+    DELTA4_LP_MAX,
+    FIGURE1_M,
+    TABLE1_EXPECTED,
+    TABLE2_EXPECTED,
+    TABLE3_EXPECTED,
+    figure1_lp_tasks,
+    figure1_table1,
+    figure1_table2,
+    figure1_table3,
+    paper_deltas,
+)
+
+
+class TestTable1:
+    def test_all_values(self):
+        assert figure1_table1() == TABLE1_EXPECTED
+
+    def test_mu2_zero_beyond_width(self):
+        """τ2 has maximum parallelism 2, so μ2[3] = μ2[4] = 0."""
+        assert figure1_table1()["tau2"][2:] == [0.0, 0.0]
+
+    def test_mu4_zero_at_four(self):
+        """τ4 has maximum parallelism 3, so μ4[4] = 0."""
+        assert figure1_table1()["tau4"][3] == 0.0
+
+    @pytest.mark.parametrize("method", ["ilp", "ilp-paper"])
+    def test_ilp_solvers_reproduce_table1(self, method):
+        assert figure1_table1(mu_method=method) == TABLE1_EXPECTED
+
+
+class TestTable2:
+    def test_scenarios(self):
+        got = {(s.parts, s.cardinality) for s in figure1_table2()}
+        assert got == set(TABLE2_EXPECTED)
+
+    def test_count_is_p4(self):
+        assert len(figure1_table2()) == 5
+
+
+class TestTable3:
+    def test_all_values(self):
+        assert figure1_table3() == TABLE3_EXPECTED
+
+    def test_maximum_is_s3(self):
+        """The paper: ρ[s3] = 19 is the maximum over e_4."""
+        table = figure1_table3()
+        assert max(table.values()) == table[(2, 1, 1)] == 19.0
+
+
+class TestDeltas:
+    def test_lp_ilp(self):
+        assert paper_deltas()["LP-ILP"] == (DELTA4_LP_ILP, DELTA3_LP_ILP)
+
+    def test_lp_max(self):
+        assert paper_deltas()["LP-max"] == (DELTA4_LP_MAX, DELTA3_LP_MAX)
+
+    def test_paper_pessimism_gap(self):
+        """LP-max overestimates by exactly 1 on both terms here."""
+        deltas = paper_deltas()
+        assert deltas["LP-max"][0] - deltas["LP-ILP"][0] == 1.0
+        assert deltas["LP-max"][1] - deltas["LP-ILP"][1] == 1.0
+
+
+class TestFixtureIntegrity:
+    def test_four_tasks(self):
+        tasks = figure1_lp_tasks()
+        assert [t.name for t in tasks] == ["tau1", "tau2", "tau3", "tau4"]
+
+    def test_node_counts(self):
+        tasks = figure1_lp_tasks()
+        assert [t.n_nodes for t in tasks] == [8, 4, 5, 5]
+
+    def test_m_is_four(self):
+        assert FIGURE1_M == 4
+
+    def test_wcets_match_paper_labels(self):
+        """Spot-check the C_{i,j} the paper quotes by name."""
+        tasks = {t.name: t for t in figure1_lp_tasks()}
+        assert tasks["tau2"].graph.wcet("v2,2") == 4
+        assert tasks["tau3"].graph.wcet("v3,1") == 6
+        assert tasks["tau4"].graph.wcet("v4,1") == 5
+        assert tasks["tau4"].graph.wcet("v4,4") == 5
+        assert tasks["tau1"].graph.wcet("v1,6") == 3
+        assert tasks["tau1"].graph.wcet("v1,8") == 3

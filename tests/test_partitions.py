@@ -1,0 +1,71 @@
+"""Unit tests for :mod:`repro.combinatorics.partitions`."""
+
+import pytest
+
+from repro.combinatorics import (
+    partition_count,
+    partition_count_pentagonal,
+    partitions,
+)
+from repro.exceptions import ReproError
+
+#: p(0)..p(16) from OEIS A000041.
+KNOWN_P = [1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42, 56, 77, 101, 135, 176, 231]
+
+
+class TestPartitions:
+    def test_paper_table2(self):
+        """e_4 is exactly the five scenarios of the paper's Table II."""
+        assert list(partitions(4)) == [
+            (4,),
+            (3, 1),
+            (2, 2),
+            (2, 1, 1),
+            (1, 1, 1, 1),
+        ]
+
+    def test_zero(self):
+        assert list(partitions(0)) == [()]
+
+    def test_one(self):
+        assert list(partitions(1)) == [(1,)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            list(partitions(-1))
+
+    @pytest.mark.parametrize("m", range(0, 12))
+    def test_each_partition_sums_to_m(self, m):
+        for parts in partitions(m):
+            assert sum(parts) == m
+            assert tuple(sorted(parts, reverse=True)) == parts
+
+    @pytest.mark.parametrize("m", range(0, 12))
+    def test_no_duplicates(self, m):
+        seen = list(partitions(m))
+        assert len(seen) == len(set(seen))
+
+
+class TestCounting:
+    @pytest.mark.parametrize("m", range(len(KNOWN_P)))
+    def test_known_values_direct(self, m):
+        assert partition_count(m) == KNOWN_P[m]
+
+    @pytest.mark.parametrize("m", range(len(KNOWN_P)))
+    def test_known_values_pentagonal(self, m):
+        """The paper cites Euler's pentagonal formulation for p(m)."""
+        assert partition_count_pentagonal(m) == KNOWN_P[m]
+
+    @pytest.mark.parametrize("m", range(0, 20))
+    def test_counting_matches_enumeration(self, m):
+        assert partition_count(m) == sum(1 for _ in partitions(m))
+
+    def test_two_implementations_agree_further(self):
+        for m in range(0, 40):
+            assert partition_count(m) == partition_count_pentagonal(m)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            partition_count(-3)
+        with pytest.raises(ReproError):
+            partition_count_pentagonal(-3)

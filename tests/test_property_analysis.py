@@ -1,0 +1,89 @@
+"""Property-based tests on whole-task-set analysis dominance relations."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisMethod, analyze_taskset
+from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
+from repro.generator import GROUP1, GROUP2, generate_taskset
+
+#: (seed, m, U, profile) grid — deterministic "random" regression corpus.
+CASES = [
+    (seed, m, u, profile)
+    for seed in range(6)
+    for (m, u) in [(2, 1.0), (4, 2.0), (8, 3.0)]
+    for profile in (GROUP1, GROUP2)
+]
+
+
+@pytest.mark.parametrize("seed,m,u,profile", CASES)
+def test_per_task_response_dominance(seed, m, u, profile):
+    """FP-ideal ≤ LP-ILP ≤ LP-max response bound, per task, always."""
+    rng = np.random.default_rng(seed)
+    taskset = generate_taskset(rng, u, profile)
+    fp = analyze_taskset(taskset, m, AnalysisMethod.FP_IDEAL)
+    ilp = analyze_taskset(taskset, m, AnalysisMethod.LP_ILP)
+    mx = analyze_taskset(taskset, m, AnalysisMethod.LP_MAX)
+    for t_fp, t_ilp, t_mx in zip(fp.tasks, ilp.tasks, mx.tasks):
+        if not (t_fp.analyzed and t_ilp.analyzed and t_mx.analyzed):
+            break  # a failure upstream truncates comparability
+        assert t_fp.response <= t_ilp.response + 1e-9
+        assert t_ilp.response <= t_mx.response + 1e-9
+
+
+@pytest.mark.parametrize("seed,m,u,profile", CASES)
+def test_schedulability_dominance(seed, m, u, profile):
+    """LP-max schedulable ⇒ LP-ILP schedulable ⇒ FP-ideal schedulable."""
+    rng = np.random.default_rng(seed)
+    taskset = generate_taskset(rng, u, profile)
+    fp = analyze_taskset(taskset, m, AnalysisMethod.FP_IDEAL).schedulable
+    ilp = analyze_taskset(taskset, m, AnalysisMethod.LP_ILP).schedulable
+    mx = analyze_taskset(taskset, m, AnalysisMethod.LP_MAX).schedulable
+    if mx:
+        assert ilp
+    if ilp:
+        assert fp
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_delta_dominance_on_random_tasksets(seed, m):
+    """LP-ILP blocking never exceeds LP-max blocking (Eq. 8 vs Eq. 5)."""
+    rng = np.random.default_rng(seed)
+    taskset = generate_taskset(rng, m / 2, GROUP1)
+    for task in taskset:
+        lp_tasks = taskset.lp(task.name)
+        ilp = lp_ilp_deltas(lp_tasks, m)
+        mx = lp_max_deltas(lp_tasks, m)
+        assert ilp[0] <= mx[0] + 1e-9
+        assert ilp[1] <= mx[1] + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_rho_solver_choice_never_changes_verdict(seed):
+    """assignment vs paper-ILP ρ solvers agree on whole-task-set verdicts
+    whenever the paper ILP is feasible for the maximising scenario; on
+    these generated sets they agree outright."""
+    rng = np.random.default_rng(seed)
+    taskset = generate_taskset(rng, 2.0, GROUP1)
+    a = analyze_taskset(taskset, 4, AnalysisMethod.LP_ILP, rho_solver="assignment")
+    b = analyze_taskset(taskset, 4, AnalysisMethod.LP_ILP, rho_solver="ilp")
+    for t_a, t_b in zip(a.tasks, b.tasks):
+        # The ILP path skips infeasible scenarios, so its Δ can only be
+        # smaller or equal...
+        assert t_b.delta_m <= t_a.delta_m + 1e-9
+    # ...hence the assignment verdict implies the paper-ILP verdict.
+    if a.schedulable:
+        assert b.schedulable
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_mu_method_choice_never_changes_results(seed):
+    rng = np.random.default_rng(seed)
+    taskset = generate_taskset(rng, 1.5, GROUP1)
+    base = analyze_taskset(taskset, 2, AnalysisMethod.LP_ILP, mu_method="search")
+    via_ilp = analyze_taskset(taskset, 2, AnalysisMethod.LP_ILP, mu_method="ilp")
+    assert base.schedulable == via_ilp.schedulable
+    for t_a, t_b in zip(base.tasks, via_ilp.tasks):
+        assert t_a.response == pytest.approx(t_b.response)
+        assert t_a.delta_m == pytest.approx(t_b.delta_m)

@@ -1,0 +1,60 @@
+"""Property-based tests for :mod:`repro.model.transforms`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.workload import mu_value
+from repro.graph import longest_path_length, max_parallelism
+from repro.model.transforms import split_all_nodes, split_node
+
+from tests.strategies import random_dags
+
+
+class TestSplitNodeProperties:
+    @given(random_dags(max_nodes=7), st.integers(1, 4))
+    @settings(deadline=None)
+    def test_volume_preserved(self, dag, parts):
+        target = dag.node_names[0]
+        split = split_node(dag, target, parts)
+        assert split.volume == pytest.approx(dag.volume)
+        assert len(split) == len(dag) + parts - 1
+
+    @given(random_dags(max_nodes=7), st.integers(1, 4))
+    @settings(deadline=None)
+    def test_longest_path_preserved(self, dag, parts):
+        target = dag.node_names[0]
+        split = split_node(dag, target, parts)
+        assert longest_path_length(split) == pytest.approx(
+            longest_path_length(dag)
+        )
+
+    @given(random_dags(max_nodes=7), st.integers(2, 4))
+    @settings(deadline=None)
+    def test_width_preserved(self, dag, parts):
+        """A chain of sub-nodes adds no parallelism."""
+        target = dag.node_names[0]
+        assert max_parallelism(split_node(dag, target, parts)) == (
+            max_parallelism(dag)
+        )
+
+    @given(random_dags(max_nodes=7), st.integers(2, 3), st.floats(0.1, 5.0))
+    @settings(deadline=None)
+    def test_overhead_adds_exactly(self, dag, parts, overhead):
+        target = dag.node_names[0]
+        split = split_node(dag, target, parts, overhead=overhead)
+        assert split.volume == pytest.approx(
+            dag.volume + (parts - 1) * overhead
+        )
+
+
+class TestSplitAllProperties:
+    @given(random_dags(max_nodes=6, max_wcet=12), st.floats(1.0, 6.0))
+    @settings(deadline=None, max_examples=60)
+    def test_threshold_holds_and_mu_shrinks(self, dag, threshold):
+        split = split_all_nodes(dag, threshold)
+        assert all(n.wcet <= threshold + 1e-9 for n in split.nodes)
+        assert split.volume == pytest.approx(dag.volume)
+        # Blocking-relevant workloads cannot grow from splitting.
+        for c in (1, 2):
+            assert mu_value(split, c) <= mu_value(dag, c) + 1e-9

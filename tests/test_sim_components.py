@@ -1,0 +1,141 @@
+"""Unit tests for simulator components: jobs, dispatch policy, workloads."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.model import DAGTask, DagBuilder, TaskSet
+from repro.sim.job import Job
+from repro.sim.scheduler import pick_next, sort_key
+from repro.sim.workloads import sporadic_releases, synchronous_periodic_releases
+
+
+@pytest.fixture
+def diamond_task(diamond):
+    return DAGTask("t", diamond, period=100.0, priority=0)
+
+
+class TestJob:
+    def test_initial_ready_nodes_are_sources(self, diamond_task):
+        job = Job(diamond_task, 0, 0.0)
+        assert job.ready_nodes() == ["s"]
+
+    def test_node_lifecycle(self, diamond_task):
+        job = Job(diamond_task, 0, 0.0)
+        job.mark_started("s")
+        assert job.ready_nodes() == []
+        done = job.mark_completed("s", 1.0)
+        assert not done
+        assert set(job.ready_nodes()) == {"a", "b"}
+        job.mark_started("a")
+        job.mark_started("b")
+        job.mark_completed("a", 3.0)
+        assert job.ready_nodes() == []  # t still waits for b
+        job.mark_completed("b", 4.0)
+        assert job.ready_nodes() == ["t"]
+        job.mark_started("t")
+        assert job.mark_completed("t", 8.0)
+        assert job.finish == 8.0
+        assert job.response_time == 8.0
+
+    def test_double_start_rejected(self, diamond_task):
+        job = Job(diamond_task, 0, 0.0)
+        job.mark_started("s")
+        with pytest.raises(SimulationError, match="started twice"):
+            job.mark_started("s")
+
+    def test_start_before_preds_rejected(self, diamond_task):
+        job = Job(diamond_task, 0, 0.0)
+        with pytest.raises(SimulationError, match="predecessors"):
+            job.mark_started("t")
+
+    def test_double_complete_rejected(self, diamond_task):
+        job = Job(diamond_task, 0, 0.0)
+        job.mark_started("s")
+        job.mark_completed("s", 1.0)
+        with pytest.raises(SimulationError, match="completed twice"):
+            job.mark_completed("s", 2.0)
+
+    def test_response_before_finish_rejected(self, diamond_task):
+        job = Job(diamond_task, 0, 0.0)
+        with pytest.raises(SimulationError, match="not finished"):
+            _ = job.response_time
+
+    def test_absolute_deadline(self, diamond_task):
+        job = Job(diamond_task, 0, 10.0)
+        assert job.absolute_deadline == 110.0
+
+
+class TestDispatchPolicy:
+    def make_entry(self, diamond, priority, release, jid):
+        task = DAGTask(f"p{priority}-{jid}", diamond, period=100.0, priority=priority)
+        return (Job(task, jid, release), "s")
+
+    def test_priority_wins(self, diamond):
+        lo = self.make_entry(diamond, 5, 0.0, 0)
+        hi = self.make_entry(diamond, 1, 5.0, 1)
+        ready = [lo, hi]
+        assert pick_next(ready) is hi
+        assert ready == [lo]
+
+    def test_release_breaks_priority_tie(self, diamond):
+        first = self.make_entry(diamond, 1, 0.0, 0)
+        second = self.make_entry(diamond, 1, 5.0, 1)
+        assert pick_next([second, first]) is first
+
+    def test_empty_pool(self):
+        assert pick_next([]) is None
+
+    def test_sort_key_topological_rank(self, diamond):
+        task = DAGTask("t", diamond, period=100.0, priority=0)
+        job = Job(task, 0, 0.0)
+        key_s = sort_key((job, "s"))
+        key_t = sort_key((job, "t"))
+        assert key_s < key_t
+
+
+class TestWorkloads:
+    @pytest.fixture
+    def taskset(self, diamond, chain):
+        return TaskSet([
+            DAGTask("a", diamond, period=10.0, priority=0),
+            DAGTask("b", chain, period=25.0, priority=1),
+        ])
+
+    def test_synchronous_counts(self, taskset):
+        releases = synchronous_periodic_releases(taskset, 50.0)
+        assert sum(1 for _, n in releases if n == "a") == 5
+        assert sum(1 for _, n in releases if n == "b") == 2
+
+    def test_synchronous_sorted(self, taskset):
+        releases = synchronous_periodic_releases(taskset, 50.0)
+        times = [t for t, _ in releases]
+        assert times == sorted(times)
+
+    def test_synchronous_all_release_at_zero(self, taskset):
+        releases = synchronous_periodic_releases(taskset, 50.0)
+        at_zero = {n for t, n in releases if t == 0.0}
+        assert at_zero == {"a", "b"}
+
+    def test_synchronous_bad_horizon(self, taskset):
+        with pytest.raises(SimulationError):
+            synchronous_periodic_releases(taskset, 0.0)
+
+    def test_sporadic_respects_min_separation(self, taskset, rng):
+        releases = sporadic_releases(rng, taskset, 500.0)
+        by_task: dict[str, list[float]] = {}
+        for t, n in releases:
+            by_task.setdefault(n, []).append(t)
+        for name, times in by_task.items():
+            period = taskset.task(name).period
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert all(g >= period - 1e-9 for g in gaps)
+
+    def test_sporadic_jitter_validation(self, taskset, rng):
+        with pytest.raises(SimulationError):
+            sporadic_releases(rng, taskset, 100.0, max_jitter=-0.1)
+
+    def test_sporadic_deterministic(self, taskset):
+        a = sporadic_releases(np.random.default_rng(3), taskset, 200.0)
+        b = sporadic_releases(np.random.default_rng(3), taskset, 200.0)
+        assert a == b

@@ -1,0 +1,146 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.model import DAGTask, DagBuilder, TaskSet
+from repro.sim import simulate, synchronous_periodic_releases
+
+
+def chain_task(name, wcets, period, priority):
+    builder = DagBuilder()
+    names = [f"{name}{i}" for i in range(len(wcets))]
+    for n, w in zip(names, wcets):
+        builder.node(n, w)
+    builder.chain(*names)
+    return DAGTask(name, builder.build(), period=period, priority=priority)
+
+
+def forkjoin_task(name, period, priority):
+    dag = (
+        DagBuilder()
+        .nodes({f"{name}f": 1, f"{name}a": 4, f"{name}b": 3, f"{name}j": 1})
+        .fork(f"{name}f", [f"{name}a", f"{name}b"])
+        .join([f"{name}a", f"{name}b"], f"{name}j")
+        .build()
+    )
+    return DAGTask(name, dag, period=period, priority=priority)
+
+
+class TestMakespans:
+    def test_forkjoin_two_cores(self):
+        task = forkjoin_task("t", 50.0, 0)
+        result = simulate(TaskSet([task]), 2, [(0.0, "t")])
+        assert result.max_response("t") == 6.0  # 1 + max(4,3) + 1
+
+    def test_forkjoin_one_core_serialises(self):
+        task = forkjoin_task("t", 50.0, 0)
+        result = simulate(TaskSet([task]), 1, [(0.0, "t")])
+        assert result.max_response("t") == 9.0  # volume
+
+    def test_extra_cores_do_not_help_beyond_width(self):
+        task = forkjoin_task("t", 50.0, 0)
+        r2 = simulate(TaskSet([task]), 2, [(0.0, "t")])
+        r8 = simulate(TaskSet([task]), 8, [(0.0, "t")])
+        assert r2.max_response("t") == r8.max_response("t")
+
+
+class TestNonPreemption:
+    def test_npr_blocks_higher_priority(self):
+        lo = chain_task("lo", [10], period=100.0, priority=1)
+        hi = chain_task("hi", [2], period=100.0, priority=0)
+        ts = TaskSet([hi, lo])
+        result = simulate(ts, 1, [(0.0, "lo"), (1.0, "hi")])
+        # hi waits for lo's non-preemptable NPR: finishes at 12.
+        assert result.max_response("hi") == 11.0
+
+    def test_preemption_at_node_boundary(self):
+        lo = chain_task("lo", [5, 5], period=100.0, priority=1)
+        hi = chain_task("hi", [2], period=100.0, priority=0)
+        ts = TaskSet([hi, lo])
+        result = simulate(ts, 1, [(0.0, "lo"), (1.0, "hi")])
+        # hi preempts lo at the first node boundary (t=5), runs 5-7.
+        assert result.max_response("hi") == 6.0
+        # lo resumes at 7, finishes at 12.
+        assert result.max_response("lo") == 12.0
+
+    def test_eager_preemption_takes_first_free_core(self):
+        # Two lo tasks occupy both cores; hi arrives; the *first* lo to
+        # reach a boundary (lo1 at t=3) yields, not the lowest priority.
+        lo1 = chain_task("lo1", [3, 6], period=100.0, priority=1)
+        lo2 = chain_task("lo2", [8, 2], period=100.0, priority=2)
+        hi = chain_task("hi", [4], period=100.0, priority=0)
+        ts = TaskSet([hi, lo1, lo2])
+        result = simulate(
+            ts, 2, [(0.0, "lo1"), (0.0, "lo2"), (1.0, "hi")]
+        )
+        # hi starts at t=3 on lo1's core, finishes t=7 -> response 6.
+        assert result.max_response("hi") == 6.0
+
+
+class TestPriorities:
+    def test_higher_priority_dispatched_first(self):
+        a = chain_task("a", [5], period=100.0, priority=0)
+        b = chain_task("b", [5], period=100.0, priority=1)
+        result = simulate(TaskSet([a, b]), 1, [(0.0, "b"), (0.0, "a")])
+        assert result.max_response("a") == 5.0
+        assert result.max_response("b") == 10.0
+
+
+class TestPeriodicRuns:
+    def test_all_jobs_recorded(self):
+        task = forkjoin_task("t", 50.0, 0)
+        ts = TaskSet([task])
+        result = simulate(ts, 2, synchronous_periodic_releases(ts, 200.0))
+        assert len(result.records) == 4
+        assert result.all_deadlines_met
+        assert result.unfinished_jobs == 0
+
+    def test_deadline_miss_detected(self):
+        # Two big tasks on one core: the lower one must miss.
+        a = chain_task("a", [6], period=10.0, priority=0)
+        b = chain_task("b", [6], period=10.0, priority=1)
+        ts = TaskSet([a, b])
+        result = simulate(ts, 1, [(0.0, "a"), (0.0, "b")])
+        assert result.deadline_misses == 1
+        assert not result.all_deadlines_met
+
+    def test_busy_time_accounting(self):
+        task = forkjoin_task("t", 50.0, 0)
+        ts = TaskSet([task])
+        result = simulate(ts, 2, [(0.0, "t")])
+        assert result.busy_time == 9.0
+        assert 0.0 < result.utilization_observed <= 1.0
+
+    def test_task_stats(self):
+        task = forkjoin_task("t", 50.0, 0)
+        ts = TaskSet([task])
+        result = simulate(ts, 2, synchronous_periodic_releases(ts, 100.0))
+        stats = result.task_stats()["t"]
+        assert stats.jobs == 2
+        assert stats.max_response == 6.0
+        assert stats.mean_response == 6.0
+        assert stats.deadline_misses == 0
+
+
+class TestValidation:
+    def test_bad_core_count(self):
+        task = forkjoin_task("t", 50.0, 0)
+        with pytest.raises(SimulationError):
+            simulate(TaskSet([task]), 0, [(0.0, "t")])
+
+    def test_negative_release(self):
+        task = forkjoin_task("t", 50.0, 0)
+        with pytest.raises(SimulationError, match="negative release"):
+            simulate(TaskSet([task]), 1, [(-1.0, "t")])
+
+    def test_horizon_filters_releases(self):
+        task = forkjoin_task("t", 50.0, 0)
+        ts = TaskSet([task])
+        result = simulate(ts, 2, [(0.0, "t"), (60.0, "t")], horizon=50.0)
+        assert len(result.records) == 1
+
+    def test_bad_horizon(self):
+        task = forkjoin_task("t", 50.0, 0)
+        with pytest.raises(SimulationError, match="horizon"):
+            simulate(TaskSet([task]), 1, [(0.0, "t")], horizon=0.0)

@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.sim.trace` and engine trace recording."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.model import DAGTask, DagBuilder, TaskSet
+from repro.sim import simulate, synchronous_periodic_releases
+from repro.sim.trace import Interval, Trace
+
+
+def forkjoin_task(name, period, priority):
+    dag = (
+        DagBuilder()
+        .nodes({f"{name}f": 1, f"{name}a": 4, f"{name}b": 3, f"{name}j": 1})
+        .fork(f"{name}f", [f"{name}a", f"{name}b"])
+        .join([f"{name}a", f"{name}b"], f"{name}j")
+        .build()
+    )
+    return DAGTask(name, dag, period=period, priority=priority)
+
+
+@pytest.fixture
+def traced_run():
+    task = forkjoin_task("t", 50.0, 0)
+    ts = TaskSet([task])
+    result = simulate(
+        ts, 2, synchronous_periodic_releases(ts, 100.0), record_trace=True
+    )
+    return ts, result
+
+
+class TestRecording:
+    def test_trace_absent_by_default(self):
+        task = forkjoin_task("t", 50.0, 0)
+        ts = TaskSet([task])
+        result = simulate(ts, 2, [(0.0, "t")])
+        assert result.trace is None
+
+    def test_trace_present_and_complete(self, traced_run):
+        ts, result = traced_run
+        trace = result.trace
+        assert trace is not None
+        # 2 jobs x 4 nodes.
+        assert len(trace.intervals) == 8
+        assert {i.core for i in trace.intervals} <= {0, 1}
+
+    def test_trace_validates(self, traced_run):
+        ts, result = traced_run
+        result.trace.validate(ts)
+
+    def test_busy_time_matches_intervals(self, traced_run):
+        _, result = traced_run
+        assert sum(i.duration for i in result.trace.intervals) == pytest.approx(
+            result.busy_time
+        )
+
+    def test_by_job(self, traced_run):
+        _, result = traced_run
+        intervals = result.trace.by_job("t", 0)
+        assert [i.node for i in intervals][0] == "tf"
+        assert [i.node for i in intervals][-1] == "tj"
+
+
+class TestValidation:
+    def make_taskset(self):
+        return TaskSet([forkjoin_task("t", 50.0, 0)])
+
+    def test_overlap_detected(self):
+        ts = self.make_taskset()
+        trace = Trace(1, (
+            Interval(0, "t", 0, "tf", 0.0, 1.0),
+            Interval(0, "t", 0, "ta", 0.5, 4.5),
+        ))
+        with pytest.raises(SimulationError, match="overlap"):
+            trace.validate(ts)
+
+    def test_wrong_duration_detected(self):
+        ts = self.make_taskset()
+        trace = Trace(1, (Interval(0, "t", 0, "tf", 0.0, 2.5),))
+        with pytest.raises(SimulationError, match="WCET"):
+            trace.validate(ts)
+
+    def test_precedence_violation_detected(self):
+        ts = self.make_taskset()
+        trace = Trace(2, (
+            Interval(0, "t", 0, "tf", 0.0, 1.0),
+            Interval(1, "t", 0, "ta", 0.5, 4.5),  # starts before tf ends
+        ))
+        with pytest.raises(SimulationError, match="precedence"):
+            trace.validate(ts)
+
+    def test_missing_predecessor_detected(self):
+        ts = self.make_taskset()
+        trace = Trace(1, (Interval(0, "t", 0, "ta", 0.0, 4.0),))
+        with pytest.raises(SimulationError, match="never did"):
+            trace.validate(ts)
+
+    def test_duplicate_execution_detected(self):
+        ts = self.make_taskset()
+        trace = Trace(2, (
+            Interval(0, "t", 0, "tf", 0.0, 1.0),
+            Interval(1, "t", 0, "tf", 2.0, 3.0),
+        ))
+        with pytest.raises(SimulationError, match="twice"):
+            trace.validate(ts)
+
+
+class TestGantt:
+    def test_renders_lanes(self, traced_run):
+        _, result = traced_run
+        gantt = result.trace.ascii_gantt(width=40)
+        lines = gantt.splitlines()
+        assert lines[0].startswith("gantt 0 ..")
+        assert lines[1].startswith("core0 |")
+        assert lines[2].startswith("core1 |")
+        assert "t" in lines[1]
+
+    def test_empty_trace(self):
+        assert Trace(2, ()).ascii_gantt() == "(empty trace)"
