@@ -1,0 +1,124 @@
+"""Engine throughput: separate calls vs one-pass vs parallel executors.
+
+Three ways to run the same group-2 profile sweep (the hot path behind
+Figure 2 and the group-2 experiment):
+
+1. **separate** — the pre-engine baseline: three independent
+   :func:`repro.core.analyzer.analyze_taskset` calls per task-set;
+2. **one-pass** — :func:`repro.core.analyzer.analyze_taskset_multi`:
+   shared validation and μ cache plus dominance pruning (FP-ideal
+   failing decides both LP methods; LP-max passing decides LP-ILP);
+3. **parallel** — the full :class:`repro.engine.SweepEngine` on a
+   multiprocessing executor (throughput scales with cores; on a
+   single-core box the pool only adds overhead).
+
+All three must produce identical schedulable counts; the one-pass
+analysis must beat the separate calls (the reproduction's acceptance
+criterion).  Sizes via ``REPRO_BENCH_TASKSETS`` / ``REPRO_BENCH_POINTS``.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import sweep_grid
+from repro.core.analyzer import AnalysisMethod, analyze_taskset, analyze_taskset_multi
+from repro.engine import (
+    DEFAULT_METHODS,
+    MultiprocessExecutor,
+    SweepEngine,
+    SweepSpec,
+)
+from repro.generator.profiles import GROUP2
+from repro.generator.taskset_gen import generate_taskset
+
+M = 4
+SEED = 2016
+
+
+def _spec(points: int, tasksets: int) -> SweepSpec:
+    return SweepSpec(
+        m=M,
+        utilizations=tuple(sweep_grid(M, points)),
+        n_tasksets=tasksets,
+        profile=GROUP2,
+        seed=SEED,
+        methods=DEFAULT_METHODS,
+        label="bench-engine-group2",
+    )
+
+
+def _counts_separate(spec: SweepSpec) -> list[dict[str, int]]:
+    """The pre-engine baseline: one analyze_taskset call per method."""
+    counts = []
+    for point, utilization in enumerate(spec.utilizations):
+        point_counts = {method.value: 0 for method in spec.methods}
+        for index in range(spec.n_tasksets):
+            taskset = generate_taskset(
+                spec.taskset_rng(point, index), utilization, spec.profile
+            )
+            for method in spec.methods:
+                if analyze_taskset(taskset, spec.m, method).schedulable:
+                    point_counts[method.value] += 1
+        counts.append(point_counts)
+    return counts
+
+
+def _counts_multi(spec: SweepSpec) -> list[dict[str, int]]:
+    """The engine's one-pass path, inlined serially."""
+    counts = []
+    for point, utilization in enumerate(spec.utilizations):
+        point_counts = {method.value: 0 for method in spec.methods}
+        for index in range(spec.n_tasksets):
+            taskset = generate_taskset(
+                spec.taskset_rng(point, index), utilization, spec.profile
+            )
+            multi = analyze_taskset_multi(taskset, spec.m, spec.methods)
+            for name, schedulable in multi.schedulable.items():
+                if schedulable:
+                    point_counts[name] += 1
+        counts.append(point_counts)
+    return counts
+
+
+def test_engine_one_pass_beats_separate_calls(benchmark, bench_points, bench_tasksets):
+    spec = _spec(bench_points, bench_tasksets)
+
+    start = time.perf_counter()
+    separate = _counts_separate(spec)
+    separate_seconds = time.perf_counter() - start
+
+    def timed_multi(target):
+        begin = time.perf_counter()
+        return _counts_multi(target), time.perf_counter() - begin
+
+    multi, multi_seconds = benchmark.pedantic(
+        timed_multi, args=(spec,), rounds=1, iterations=1
+    )
+
+    assert multi == separate, "one-pass analysis changed the sweep counts"
+    assert multi_seconds < separate_seconds, (
+        f"one-pass multi-method analysis ({multi_seconds:.3f}s) should beat "
+        f"three separate analyze_taskset calls ({separate_seconds:.3f}s)"
+    )
+
+
+def test_engine_parallel_counts_bit_identical(benchmark, bench_points, bench_tasksets):
+    spec = _spec(bench_points, bench_tasksets)
+    serial = SweepEngine().run(spec)
+
+    jobs = min(4, os.cpu_count() or 1)
+    parallel = benchmark.pedantic(
+        SweepEngine(executor=MultiprocessExecutor(jobs)).run,
+        args=(spec,),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert [p.schedulable for p in parallel.points] == [
+        p.schedulable for p in serial.points
+    ]
+    assert parallel.methods == serial.methods
+    # Group-2's qualitative claim survives the engine rewrite.
+    for point in parallel.points:
+        assert point.schedulable["LP-max"] <= point.schedulable["LP-ILP"]
+        assert point.schedulable["LP-ILP"] <= point.schedulable["FP-ideal"]

@@ -42,9 +42,11 @@ from repro.exceptions import (
 from repro.model import DAG, DAGTask, DagBuilder, Node, TaskSet
 from repro.core import (
     AnalysisMethod,
+    MultiAnalysis,
     TaskAnalysis,
     TasksetAnalysis,
     analyze_taskset,
+    analyze_taskset_multi,
     blocking_slack,
     breakdown_utilization,
     execution_scenarios,
@@ -69,6 +71,7 @@ __all__ = [
     # analysis
     "AnalysisMethod",
     "analyze_taskset",
+    "analyze_taskset_multi",
     "is_schedulable",
     "response_time_bounds",
     "mu_array",
@@ -82,6 +85,7 @@ __all__ = [
     "split_node",
     "TaskAnalysis",
     "TasksetAnalysis",
+    "MultiAnalysis",
     # errors
     "ReproError",
     "ModelError",

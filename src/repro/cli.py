@@ -48,6 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--step", type=float, default=None, help="utilisation grid step")
     p2.add_argument("--csv", type=str, default=None, help="write series to CSV")
     p2.add_argument("--chart", action="store_true", help="print an ASCII chart")
+    _add_engine_args(p2)
     p2.set_defaults(handler=_cmd_figure2)
 
     p3 = sub.add_parser("group2", help="uniform-parallelism sweep (LP-max ~ LP-ILP)")
@@ -56,12 +57,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p3.add_argument("--seed", type=int, default=2016)
     p3.add_argument("--step", type=float, default=None)
     p3.add_argument("--csv", type=str, default=None)
+    _add_engine_args(p3)
     p3.set_defaults(handler=_cmd_group2)
 
     p4 = sub.add_parser("timing", help="analysis runtime vs core count")
     p4.add_argument("--m", type=int, nargs="+", default=[4, 8, 16])
     p4.add_argument("--samples", type=int, default=20)
     p4.add_argument("--seed", type=int, default=2016)
+    p4.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (keep 1 for clean per-sample wall-clock)",
+    )
     p4.set_defaults(handler=_cmd_timing)
 
     p5 = sub.add_parser("demo", help="generate, analyse and simulate one task-set")
@@ -96,9 +102,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--overhead", type=float, default=0.0,
         help="WCET inflation per inserted preemption point",
     )
+    p7.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (results identical for any value)",
+    )
     p7.set_defaults(handler=_cmd_splitsweep)
 
     return parser
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Sweep-engine flags shared by the sweep-running sub-commands."""
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = serial; counts are identical either way)",
+    )
+    parser.add_argument(
+        "--checkpoint", type=str, default=None,
+        help="JSON checkpoint path; an interrupted sweep resumes from it",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -140,7 +162,8 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import sweep_chart, sweep_table, write_sweep_csv
 
     result = run_figure2(
-        m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step
+        m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
+        jobs=args.jobs, checkpoint=args.checkpoint,
     )
     print(sweep_table(result, title=f"Figure 2 (m={args.m}, group 1, "
                                     f"{args.tasksets} task-sets/point)"))
@@ -159,7 +182,8 @@ def _cmd_group2(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import sweep_table, write_sweep_csv
 
     report = run_group2(
-        m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step
+        m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
+        jobs=args.jobs, checkpoint=args.checkpoint,
     )
     print(sweep_table(report.sweep, title=f"Group 2 (m={args.m})"))
     print(f"\nLP-max vs LP-ILP ratio gap: max {100 * report.max_gap:.1f} pts, "
@@ -175,7 +199,10 @@ def _cmd_timing(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_table
     from repro.experiments.timing import run_timing
 
-    rows = run_timing(core_counts=tuple(args.m), samples=args.samples, seed=args.seed)
+    rows = run_timing(
+        core_counts=tuple(args.m), samples=args.samples, seed=args.seed,
+        jobs=args.jobs,
+    )
     print(format_table(
         ["m", "samples", "mean (s)", "max (s)", "schedulable"],
         [[r.m, r.samples, f"{r.mean_seconds:.4f}", f"{r.max_seconds:.4f}",
@@ -274,6 +301,7 @@ def _cmd_splitsweep(args: argparse.Namespace) -> int:
         n_tasksets=args.tasksets,
         seed=args.seed,
         overhead=args.overhead,
+        jobs=args.jobs,
     )
     print(format_table(
         ["NPR size cap", "mean q", "mean U", "LP-ILP schedulable %"],

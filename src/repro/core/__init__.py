@@ -15,7 +15,12 @@ Public surface:
   analysis returning structured results.
 """
 
-from repro.core.analyzer import AnalysisMethod, analyze_taskset, is_schedulable
+from repro.core.analyzer import (
+    AnalysisMethod,
+    analyze_taskset,
+    analyze_taskset_multi,
+    is_schedulable,
+)
 from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
 from repro.core.interference import (
     higher_priority_interference,
@@ -23,7 +28,7 @@ from repro.core.interference import (
     workload_bound,
 )
 from repro.core.preemptions import max_preemptions, releases_upper_bound
-from repro.core.results import TaskAnalysis, TasksetAnalysis
+from repro.core.results import MultiAnalysis, TaskAnalysis, TasksetAnalysis
 from repro.core.rta import response_time_bounds
 from repro.core.sensitivity import blocking_slack, breakdown_utilization
 from repro.core.sequential import (
@@ -42,6 +47,7 @@ from repro.core.workload import mu_array, mu_value
 __all__ = [
     "AnalysisMethod",
     "analyze_taskset",
+    "analyze_taskset_multi",
     "is_schedulable",
     "mu_array",
     "mu_value",
@@ -64,4 +70,5 @@ __all__ = [
     "is_sequential",
     "TaskAnalysis",
     "TasksetAnalysis",
+    "MultiAnalysis",
 ]

@@ -7,6 +7,12 @@ fixpoint into the three analyses the paper evaluates (Section VI):
 * ``LP-max``  — Eq. 4 with Δ from Eq. 5;
 * ``LP-ILP``  — Eq. 4 with Δ from Eq. 8.
 
+:func:`analyze_taskset` runs one method; :func:`analyze_taskset_multi`
+evaluates several methods in a single pass, sharing the validation and
+the LP-ILP μ cache and (by default) exploiting the dominance ordering
+``LP-max ⊆ LP-ILP ⊆ FP-ideal`` to skip analyses whose verdict is
+already decided — the fast path of the experiment sweeps.
+
 Example
 -------
 >>> from repro import analyze_taskset, AnalysisMethod
@@ -16,11 +22,13 @@ Example
 
 from __future__ import annotations
 
+import math
+from collections.abc import Sequence
 from enum import Enum
 
 from repro.exceptions import AnalysisError
 from repro.core.blocking import RhoSolver, lp_ilp_deltas, lp_max_deltas
-from repro.core.results import TasksetAnalysis
+from repro.core.results import MultiAnalysis, TaskAnalysis, TasksetAnalysis
 from repro.core.rta import response_time_bounds
 from repro.core.workload import MuMethod
 from repro.model.taskset import TaskSet
@@ -33,6 +41,48 @@ class AnalysisMethod(Enum):
     FP_IDEAL = "FP-ideal"
     LP_MAX = "LP-max"
     LP_ILP = "LP-ILP"
+
+
+def _coerce_method(method: AnalysisMethod | str) -> AnalysisMethod:
+    if isinstance(method, AnalysisMethod):
+        return method
+    try:
+        return AnalysisMethod(method)
+    except ValueError:
+        valid = [m.value for m in AnalysisMethod]
+        raise AnalysisError(f"unknown method {method!r}; choose from {valid}") from None
+
+
+def _analyze_validated(
+    taskset: TaskSet,
+    m: int,
+    method: AnalysisMethod,
+    mu_method: MuMethod,
+    rho_solver: RhoSolver,
+    mu_cache: dict[str, list[float]],
+) -> TasksetAnalysis:
+    """One method on an already-validated task-set (shared μ cache)."""
+    if method is AnalysisMethod.FP_IDEAL:
+        tasks = response_time_bounds(taskset, m)
+        return TasksetAnalysis(method.value, m, tuple(tasks))
+
+    if method is AnalysisMethod.LP_MAX:
+        def provider(task):
+            return lp_max_deltas(taskset.lp(task.name), m)
+    else:
+        def provider(task):
+            return lp_ilp_deltas(
+                taskset.lp(task.name),
+                m,
+                mu_method=mu_method,
+                rho_solver=rho_solver,
+                mu_cache=mu_cache,
+            )
+
+    tasks = response_time_bounds(
+        taskset, m, delta_provider=provider, limited_preemption=True
+    )
+    return TasksetAnalysis(method.value, m, tuple(tasks))
 
 
 def analyze_taskset(
@@ -63,37 +113,120 @@ def analyze_taskset(
     TasksetAnalysis
         Per-task response-time bounds and the task-set verdict.
     """
-    if isinstance(method, str):
-        try:
-            method = AnalysisMethod(method)
-        except ValueError:
-            valid = [m.value for m in AnalysisMethod]
-            raise AnalysisError(f"unknown method {method!r}; choose from {valid}") from None
+    method = _coerce_method(method)
+    validate_taskset_for_analysis(taskset, m)
+    return _analyze_validated(taskset, m, method, mu_method, rho_solver, {})
+
+
+def _pruned_unschedulable(method: AnalysisMethod, taskset: TaskSet, m: int) -> TasksetAnalysis:
+    """Verdict derived by dominance: unschedulable, no task analysed."""
+    tasks = tuple(
+        TaskAnalysis(
+            name=task.name,
+            schedulable=False,
+            response=math.inf,
+            iterations=0,
+            analyzed=False,
+        )
+        for task in taskset
+    )
+    return TasksetAnalysis(method.value, m, tasks)
+
+
+def analyze_taskset_multi(
+    taskset: TaskSet,
+    m: int,
+    methods: Sequence[AnalysisMethod | str] | None = None,
+    mu_method: MuMethod = "search",
+    rho_solver: RhoSolver = "assignment",
+    dominance_pruning: bool = True,
+) -> MultiAnalysis:
+    """Analyse ``taskset`` with several methods in a single pass.
+
+    Compared to calling :func:`analyze_taskset` once per method this
+
+    * validates the task-set once,
+    * shares one LP-ILP μ cache across methods, and
+    * (with ``dominance_pruning``, the default) exploits the paper's
+      dominance ordering ``LP-max ⊆ LP-ILP ⊆ FP-ideal`` of the three
+      sufficient tests to skip analyses whose verdict is already
+      decided:
+
+      - FP-ideal unschedulable ⟹ both LP methods unschedulable (Eq. 4
+        only adds the non-negative ``I^lp_k`` term to Eq. 1, and
+        ``W_i(L)`` is non-decreasing in the hp response bounds);
+      - LP-max schedulable ⟹ LP-ILP schedulable (Eq. 5 dominates Eq. 8
+        pointwise: every execution scenario picks at most ``c_i`` NPRs
+        per task, all present in the LP-max pool).
+
+      Pruning preserves every task-set *verdict* exactly but not every
+      per-task detail: a pruned-unschedulable method reports all tasks
+      with ``analyzed=False``, and an LP-ILP verdict settled by LP-max
+      reuses LP-max's response bounds (valid for LP-ILP, since its Δ
+      terms are never larger, just not the tightest).  Pass
+      ``dominance_pruning=False`` for results bit-identical to separate
+      :func:`analyze_taskset` calls.
+
+    Parameters
+    ----------
+    taskset / m / mu_method / rho_solver:
+        As in :func:`analyze_taskset`.
+    methods:
+        Methods to evaluate (members or string values); duplicates are
+        dropped.  ``None`` runs all three.
+    dominance_pruning:
+        Skip analyses whose verdict follows from a dominating method.
+
+    Returns
+    -------
+    MultiAnalysis
+        One :class:`TasksetAnalysis` per requested method, in request
+        order.
+    """
+    if methods is None:
+        methods = tuple(AnalysisMethod)
+    wanted: list[AnalysisMethod] = []
+    for method in methods:
+        coerced = _coerce_method(method)
+        if coerced not in wanted:
+            wanted.append(coerced)
+    if not wanted:
+        raise AnalysisError("need at least one analysis method")
     validate_taskset_for_analysis(taskset, m)
 
-    if method is AnalysisMethod.FP_IDEAL:
-        tasks = response_time_bounds(taskset, m)
-        return TasksetAnalysis(method.value, m, tuple(tasks))
+    mu_cache: dict[str, list[float]] = {}
+    computed: dict[AnalysisMethod, TasksetAnalysis] = {}
 
-    if method is AnalysisMethod.LP_MAX:
-        def provider(task):
-            return lp_max_deltas(taskset.lp(task.name), m)
+    def run(method: AnalysisMethod) -> TasksetAnalysis:
+        result = _analyze_validated(taskset, m, method, mu_method, rho_solver, mu_cache)
+        computed[method] = result
+        return result
+
+    if not dominance_pruning:
+        for method in wanted:
+            run(method)
     else:
-        mu_cache: dict[str, list[float]] = {}
+        # FP-ideal is the cheapest and the most permissive test: run it
+        # first (even when not requested) — its failure decides all.
+        lp_wanted = [mm for mm in wanted if mm is not AnalysisMethod.FP_IDEAL]
+        fp = run(AnalysisMethod.FP_IDEAL)
+        if lp_wanted and not fp.schedulable:
+            for method in lp_wanted:
+                computed[method] = _pruned_unschedulable(method, taskset, m)
+        elif lp_wanted:
+            # LP-max is cheap (no μ / scenario machinery); when LP-ILP
+            # is wanted it doubles as a pre-filter for the expensive
+            # Eq. 8 path, so compute it either way.
+            lp_max = run(AnalysisMethod.LP_MAX)
+            if AnalysisMethod.LP_ILP in lp_wanted:
+                if lp_max.schedulable:
+                    computed[AnalysisMethod.LP_ILP] = TasksetAnalysis(
+                        AnalysisMethod.LP_ILP.value, m, lp_max.tasks
+                    )
+                else:
+                    run(AnalysisMethod.LP_ILP)
 
-        def provider(task):
-            return lp_ilp_deltas(
-                taskset.lp(task.name),
-                m,
-                mu_method=mu_method,
-                rho_solver=rho_solver,
-                mu_cache=mu_cache,
-            )
-
-    tasks = response_time_bounds(
-        taskset, m, delta_provider=provider, limited_preemption=True
-    )
-    return TasksetAnalysis(method.value, m, tuple(tasks))
+    return MultiAnalysis(m=m, analyses=tuple(computed[mm] for mm in wanted))
 
 
 def is_schedulable(

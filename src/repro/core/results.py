@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass, field
+
+from repro.exceptions import AnalysisError
 
 
 @dataclass(frozen=True, slots=True)
@@ -89,3 +92,49 @@ class TasksetAnalysis:
             if not t.schedulable:
                 return t
         return None
+
+
+@dataclass(frozen=True, slots=True)
+class MultiAnalysis:
+    """Outcome of a one-pass multi-method analysis.
+
+    Produced by :func:`repro.core.analyzer.analyze_taskset_multi`: one
+    :class:`TasksetAnalysis` per requested method, evaluated in a single
+    pass over the task-set (shared validation, shared μ cache, optional
+    dominance pruning).
+
+    Attributes
+    ----------
+    m:
+        Core count the analyses ran for.
+    analyses:
+        One entry per requested method, in request order.
+    """
+
+    m: int
+    analyses: tuple[TasksetAnalysis, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.analyses)
+
+    def __iter__(self) -> Iterator[TasksetAnalysis]:
+        return iter(self.analyses)
+
+    @property
+    def methods(self) -> tuple[str, ...]:
+        """Method names, in request order."""
+        return tuple(a.method for a in self.analyses)
+
+    def analysis(self, method: str) -> TasksetAnalysis:
+        """Result of one method by name (e.g. ``"LP-ILP"``)."""
+        for a in self.analyses:
+            if a.method == method:
+                return a
+        raise AnalysisError(
+            f"method {method!r} not part of this analysis; ran {list(self.methods)}"
+        )
+
+    @property
+    def schedulable(self) -> dict[str, bool]:
+        """Task-set verdict per method, keyed by method name."""
+        return {a.method: a.schedulable for a in self.analyses}

@@ -1,0 +1,56 @@
+"""Parallel multi-method sweep engine.
+
+The experiment stack's execution core: chunked ``(utilisation,
+task-set)`` work items, one-pass multi-method analysis per item,
+pluggable serial / multiprocessing executors, order-independent RNG
+derivation (serial and parallel runs are bit-identical) and resumable
+JSON checkpoints.
+
+* :class:`~repro.engine.sweep.SweepSpec` — what to sweep;
+* :class:`~repro.engine.sweep.SweepEngine` — how to run it;
+* :mod:`repro.engine.executors` — where the work executes;
+* :mod:`repro.engine.checkpoint` — how interrupted sweeps resume;
+* :mod:`repro.engine.results` — the stable result types
+  (:class:`SweepPoint`, :class:`SweepResult`).
+"""
+
+from repro.engine.checkpoint import (
+    ChunkRecord,
+    SweepCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.engine.executors import (
+    Executor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    make_executor,
+    map_ordered,
+)
+from repro.engine.results import SweepPoint, SweepResult
+from repro.engine.sweep import (
+    DEFAULT_METHODS,
+    EngineProgress,
+    ProgressEvent,
+    SweepEngine,
+    SweepSpec,
+)
+
+__all__ = [
+    "DEFAULT_METHODS",
+    "SweepSpec",
+    "SweepEngine",
+    "ProgressEvent",
+    "EngineProgress",
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "make_executor",
+    "map_ordered",
+    "SweepPoint",
+    "SweepResult",
+    "ChunkRecord",
+    "SweepCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,138 @@
+"""Resumable-sweep checkpoints: periodic JSON snapshots of chunk counts.
+
+A checkpoint records, per completed chunk of work items, the schedulable
+counts it contributed, keyed by point index and method name, plus a
+fingerprint of the :class:`~repro.engine.sweep.SweepSpec` that produced
+it.  Because every work item derives its RNG independently from the root
+seed, any partition of the remaining items resumes correctly — the
+chunking of a resumed run need not match the interrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import AnalysisError
+
+#: Bump when the on-disk schema changes; older files are rejected.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRecord:
+    """Counts contributed by work items ``start .. stop - 1``."""
+
+    start: int
+    stop: int
+    #: point index → method name → schedulable count
+    counts: dict[int, dict[str, int]]
+
+
+@dataclass(slots=True)
+class SweepCheckpoint:
+    """Everything needed to resume an interrupted sweep."""
+
+    fingerprint: str
+    records: list[ChunkRecord] = field(default_factory=list)
+
+    def covered_items(self) -> set[int]:
+        """All work-item indexes already accounted for."""
+        covered: set[int] = set()
+        for record in self.records:
+            covered.update(range(record.start, record.stop))
+        return covered
+
+
+def coalesce_records(records: list[ChunkRecord]) -> list[ChunkRecord]:
+    """Merge adjacent chunk records so the file stays small.
+
+    Records are sorted by ``start``; a record whose ``start`` equals the
+    previous record's ``stop`` is folded into it (counts summed).
+    Overlapping records indicate a corrupt file and raise.
+    """
+    merged: list[ChunkRecord] = []
+    for record in sorted(records, key=lambda r: r.start):
+        if merged and record.start < merged[-1].stop:
+            raise AnalysisError(
+                f"overlapping checkpoint records at item {record.start}"
+            )
+        if merged and record.start == merged[-1].stop:
+            previous = merged.pop()
+            counts = {
+                point: dict(methods) for point, methods in previous.counts.items()
+            }
+            for point, methods in record.counts.items():
+                target = counts.setdefault(point, {})
+                for method, count in methods.items():
+                    target[method] = target.get(method, 0) + count
+            record = ChunkRecord(previous.start, record.stop, counts)
+        merged.append(record)
+    return merged
+
+
+def load_checkpoint(path: str | Path) -> SweepCheckpoint | None:
+    """Read a checkpoint; ``None`` when the file does not exist.
+
+    Raises
+    ------
+    AnalysisError
+        On unreadable JSON or an unknown format version — delete the
+        file (or point the sweep at a fresh path) to start over.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("version") != FORMAT_VERSION:
+            raise AnalysisError(
+                f"checkpoint {path} has format version "
+                f"{payload.get('version')!r}, expected {FORMAT_VERSION}"
+            )
+        records = [
+            ChunkRecord(
+                start=int(entry["start"]),
+                stop=int(entry["stop"]),
+                counts={
+                    int(point): {str(k): int(v) for k, v in methods.items()}
+                    for point, methods in entry["counts"].items()
+                },
+            )
+            for entry in payload["records"]
+        ]
+        return SweepCheckpoint(
+            fingerprint=str(payload["fingerprint"]),
+            records=coalesce_records(records),
+        )
+    except AnalysisError:
+        raise
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise AnalysisError(
+            f"checkpoint {path} is unreadable ({exc}); delete it to restart"
+        ) from exc
+
+
+def save_checkpoint(path: str | Path, checkpoint: SweepCheckpoint) -> None:
+    """Atomically write ``checkpoint`` (coalesced) as JSON."""
+    path = Path(path)
+    payload = {
+        "version": FORMAT_VERSION,
+        "fingerprint": checkpoint.fingerprint,
+        "records": [
+            {
+                "start": record.start,
+                "stop": record.stop,
+                "counts": {
+                    str(point): methods for point, methods in record.counts.items()
+                },
+            }
+            for record in coalesce_records(checkpoint.records)
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)

@@ -1,0 +1,116 @@
+"""Pluggable work executors for the sweep engine.
+
+An executor maps a picklable function over a sequence of payloads and
+yields results as they complete.  Two implementations:
+
+* :class:`SerialExecutor` — in-process, in-order; zero overhead, exact
+  legacy progress ordering;
+* :class:`MultiprocessExecutor` — a :mod:`multiprocessing` pool; results
+  arrive in completion order.
+
+Because every sweep work item derives its own RNG from the root
+:class:`numpy.random.SeedSequence` (see :mod:`repro.engine.sweep`), the
+two executors produce bit-identical sweep counts for the same spec.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Iterator, Sequence
+from typing import Protocol, TypeVar
+
+from repro.exceptions import AnalysisError
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+class Executor(Protocol):
+    """What the engine needs from an executor."""
+
+    jobs: int
+
+    def map_unordered(
+        self, fn: Callable[[_P], _R], payloads: Sequence[_P]
+    ) -> Iterator[_R]:
+        """Apply ``fn`` to every payload, yielding results as ready."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """Run every payload in the calling process, in order."""
+
+    jobs = 1
+
+    def map_unordered(
+        self, fn: Callable[[_P], _R], payloads: Sequence[_P]
+    ) -> Iterator[_R]:
+        for payload in payloads:
+            yield fn(payload)
+
+
+class MultiprocessExecutor:
+    """Run payloads on a :mod:`multiprocessing` worker pool.
+
+    A fresh pool is created per :meth:`map_unordered` call — the
+    executor has no shutdown API, and the callers batch all their work
+    into one call (or a few long ones), so pool start-up is amortised
+    over the batch rather than leaked across an object lifetime.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` uses ``os.cpu_count()``.
+        ``fn`` and every payload must be picklable (the engine's chunk
+        runner and :class:`~repro.engine.sweep.SweepSpec` are).
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map_unordered(
+        self, fn: Callable[[_P], _R], payloads: Sequence[_P]
+    ) -> Iterator[_R]:
+        payloads = list(payloads)
+        if not payloads:
+            return
+        workers = min(self.jobs, len(payloads))
+        with multiprocessing.get_context().Pool(processes=workers) as pool:
+            yield from pool.imap_unordered(fn, payloads)
+
+
+def make_executor(jobs: int | None) -> Executor:
+    """``jobs`` ≤ 1 (or ``None``) → serial; otherwise a process pool."""
+    if jobs is not None and jobs < 1:
+        raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+    if jobs is None or jobs == 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(jobs)
+
+
+def _call_indexed(tagged: tuple[int, Callable, object]) -> tuple[int, object]:
+    index, fn, payload = tagged
+    return index, fn(payload)
+
+
+def map_ordered(
+    executor: Executor, fn: Callable[[_P], _R], payloads: Sequence[_P]
+) -> list[_R]:
+    """Apply ``fn`` to every payload, returning results in payload order.
+
+    The scatter/gather companion to :meth:`Executor.map_unordered` for
+    callers whose reduction is order-sensitive (float sums, paired
+    streams): payloads are index-tagged, executed on any executor, and
+    reassembled — so serial and parallel runs reduce bit-identically.
+    ``fn`` must be picklable (a module-level function) for pool
+    executors.
+    """
+    payloads = list(payloads)
+    tagged = [(index, fn, payload) for index, payload in enumerate(payloads)]
+    by_index: dict[int, _R] = dict(executor.map_unordered(_call_indexed, tagged))
+    return [by_index[index] for index in range(len(payloads))]

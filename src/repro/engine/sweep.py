@@ -1,0 +1,335 @@
+"""The sweep engine: one-pass multi-method analysis over chunked work.
+
+A sweep is a grid of ``(utilisation point, task-set index)`` work items.
+Each item generates one random task-set and evaluates every requested
+method in a single pass (:func:`repro.core.analyzer.analyze_taskset_multi`).
+Items are grouped into chunks and handed to a pluggable executor
+(:mod:`repro.engine.executors`).
+
+Determinism
+-----------
+Every item derives its RNG directly from the root seed:
+
+    SeedSequence(seed, spawn_key=(point_index, taskset_index))
+
+which equals ``SeedSequence(seed).spawn(P)[point].spawn(N)[index]`` but
+needs no shared spawning state — so any chunking, any executor and any
+completion order produce bit-identical counts.
+
+Checkpointing
+-------------
+With a checkpoint path, completed chunks are periodically written to a
+JSON file (:mod:`repro.engine.checkpoint`); an interrupted sweep re-run
+with the same spec resumes from the covered items instead of restarting.
+A checkpoint written by a *different* spec is rejected by fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.core.analyzer import AnalysisMethod, analyze_taskset_multi
+from repro.core.blocking import RhoSolver
+from repro.core.workload import MuMethod
+from repro.engine.checkpoint import (
+    ChunkRecord,
+    SweepCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.engine.executors import Executor, SerialExecutor
+from repro.engine.results import SweepPoint, SweepResult
+from repro.generator.profiles import TasksetProfile
+from repro.generator.taskset_gen import generate_taskset
+
+#: Methods compared in the paper's evaluation, in plot order.
+DEFAULT_METHODS: tuple[AnalysisMethod, ...] = (
+    AnalysisMethod.FP_IDEAL,
+    AnalysisMethod.LP_ILP,
+    AnalysisMethod.LP_MAX,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSpec:
+    """Everything that defines a sweep's counts (and its fingerprint).
+
+    Attributes
+    ----------
+    m:
+        Core count.
+    utilizations:
+        The x-axis grid.
+    n_tasksets:
+        Task-sets generated per grid point (paper: 300).
+    profile:
+        Generator profile (group 1 / group 2 / custom).
+    seed:
+        Root seed; every work item derives its own RNG from it.
+    methods:
+        Analyses run on every task-set.
+    label:
+        Free-form tag carried into the result.
+    mu_method / rho_solver:
+        LP-ILP solver selection.
+    """
+
+    m: int
+    utilizations: tuple[float, ...]
+    n_tasksets: int
+    profile: TasksetProfile
+    seed: int
+    methods: tuple[AnalysisMethod, ...] = DEFAULT_METHODS
+    label: str = ""
+    mu_method: MuMethod = "search"
+    rho_solver: RhoSolver = "assignment"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "utilizations", tuple(self.utilizations))
+        object.__setattr__(self, "methods", tuple(self.methods))
+        if self.n_tasksets < 1:
+            raise AnalysisError(f"n_tasksets must be >= 1, got {self.n_tasksets}")
+        if not self.methods:
+            raise AnalysisError("need at least one analysis method")
+
+    @property
+    def n_points(self) -> int:
+        return len(self.utilizations)
+
+    @property
+    def total_items(self) -> int:
+        return self.n_points * self.n_tasksets
+
+    def taskset_rng(self, point_index: int, taskset_index: int) -> np.random.Generator:
+        """The work item's private RNG, independent of execution order."""
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(point_index, taskset_index))
+        )
+
+    def fingerprint(self) -> str:
+        """Stable hash identifying the sweep a checkpoint belongs to."""
+        canonical = repr(
+            (
+                "repro.engine.sweep/v1",
+                self.m,
+                self.utilizations,
+                self.n_tasksets,
+                repr(self.profile),
+                self.seed,
+                tuple(method.value for method in self.methods),
+                self.label,
+                self.mu_method,
+                self.rho_solver,
+            )
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _run_chunk(payload: tuple[SweepSpec, int, int]) -> ChunkRecord:
+    """Evaluate work items ``start .. stop - 1`` (runs in a worker)."""
+    spec, start, stop = payload
+    counts: dict[int, dict[str, int]] = {}
+    for item in range(start, stop):
+        point_index, taskset_index = divmod(item, spec.n_tasksets)
+        rng = spec.taskset_rng(point_index, taskset_index)
+        taskset = generate_taskset(
+            rng, spec.utilizations[point_index], spec.profile
+        )
+        multi = analyze_taskset_multi(
+            taskset,
+            spec.m,
+            spec.methods,
+            mu_method=spec.mu_method,
+            rho_solver=spec.rho_solver,
+        )
+        point = counts.setdefault(
+            point_index, {method.value: 0 for method in spec.methods}
+        )
+        for name, schedulable in multi.schedulable.items():
+            if schedulable:
+                point[name] += 1
+    return ChunkRecord(start, stop, counts)
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """One completed work item (or a chunk's worth, replayed item-wise)."""
+
+    utilization: float
+    point_index: int
+    done_in_point: int
+    n_tasksets: int
+    done_items: int
+    total_items: int
+
+
+EngineProgress = Callable[[ProgressEvent], None]
+
+
+def _contiguous_runs(items: Sequence[int]) -> list[tuple[int, int]]:
+    """Maximal ``(start, stop)`` runs of consecutive item indexes."""
+    runs: list[tuple[int, int]] = []
+    for item in sorted(items):
+        if runs and item == runs[-1][1]:
+            runs[-1] = (runs[-1][0], item + 1)
+        else:
+            runs.append((item, item + 1))
+    return runs
+
+
+class SweepEngine:
+    """Run :class:`SweepSpec` instances over a pluggable executor.
+
+    Parameters
+    ----------
+    executor:
+        A :class:`~repro.engine.executors.SerialExecutor` (default) or
+        :class:`~repro.engine.executors.MultiprocessExecutor`.
+    chunk_size:
+        Work items per executor task.  Default: 1 for the serial
+        executor (exact per-item progress), else ``total / (jobs * 8)``
+        so the pool stays busy without starving progress updates.
+    checkpoint_path:
+        When set, completed work is periodically saved there and a
+        matching interrupted sweep resumes from it.
+    checkpoint_interval:
+        Minimum seconds between checkpoint writes (0 = every chunk).
+    progress:
+        Optional per-item :class:`ProgressEvent` callback.  With a pool
+        executor, events for a chunk fire together on its completion.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        chunk_size: int | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_interval: float = 5.0,
+        progress: EngineProgress | None = None,
+    ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise AnalysisError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.chunk_size = chunk_size
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.checkpoint_interval = checkpoint_interval
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute the sweep (resuming from a checkpoint when present)."""
+        start_time = time.perf_counter()
+        counts = {
+            point: {method.value: 0 for method in spec.methods}
+            for point in range(spec.n_points)
+        }
+        done_in_point = [0] * spec.n_points
+        done_items = 0
+
+        fingerprint = spec.fingerprint()
+        records: list[ChunkRecord] = []
+        covered: set[int] = set()
+        if self.checkpoint_path is not None:
+            loaded = load_checkpoint(self.checkpoint_path)
+            if loaded is not None:
+                if loaded.fingerprint != fingerprint:
+                    raise AnalysisError(
+                        f"checkpoint {self.checkpoint_path} belongs to a "
+                        "different sweep (spec fingerprint mismatch); "
+                        "delete it or use another path"
+                    )
+                records = list(loaded.records)
+                covered = loaded.covered_items()
+                stale = [i for i in covered if i >= spec.total_items]
+                if stale:
+                    raise AnalysisError(
+                        f"checkpoint {self.checkpoint_path} covers item "
+                        f"{max(stale)}, beyond this sweep's "
+                        f"{spec.total_items} items"
+                    )
+                for record in records:
+                    done_items += record.stop - record.start
+                    for point, methods in record.counts.items():
+                        for method, count in methods.items():
+                            counts[point][method] += count
+                    for item in range(record.start, record.stop):
+                        done_in_point[item // spec.n_tasksets] += 1
+
+        remaining = [i for i in range(spec.total_items) if i not in covered]
+        payloads = [
+            (spec, start, stop)
+            for start, stop in self._chunks(remaining)
+        ]
+
+        last_save = time.monotonic()
+        for record in self.executor.map_unordered(_run_chunk, payloads):
+            records.append(record)
+            for point, methods in record.counts.items():
+                for method, count in methods.items():
+                    counts[point][method] += count
+            for item in range(record.start, record.stop):
+                point = item // spec.n_tasksets
+                done_in_point[point] += 1
+                done_items += 1
+                if self.progress is not None:
+                    self.progress(
+                        ProgressEvent(
+                            utilization=spec.utilizations[point],
+                            point_index=point,
+                            done_in_point=done_in_point[point],
+                            n_tasksets=spec.n_tasksets,
+                            done_items=done_items,
+                            total_items=spec.total_items,
+                        )
+                    )
+            if self.checkpoint_path is not None:
+                now = time.monotonic()
+                if now - last_save >= self.checkpoint_interval:
+                    save_checkpoint(
+                        self.checkpoint_path,
+                        SweepCheckpoint(fingerprint, records),
+                    )
+                    last_save = now
+
+        if self.checkpoint_path is not None:
+            save_checkpoint(
+                self.checkpoint_path, SweepCheckpoint(fingerprint, records)
+            )
+
+        points = tuple(
+            SweepPoint(utilization, spec.n_tasksets, counts[point])
+            for point, utilization in enumerate(spec.utilizations)
+        )
+        return SweepResult(
+            m=spec.m,
+            label=spec.label,
+            seed=spec.seed,
+            points=points,
+            methods=tuple(method.value for method in spec.methods),
+            elapsed_seconds=time.perf_counter() - start_time,
+        )
+
+    # ------------------------------------------------------------------
+    def _chunks(self, remaining: Sequence[int]) -> list[tuple[int, int]]:
+        """Split the remaining items into contiguous ``(start, stop)``."""
+        if not remaining:
+            return []
+        size = self.chunk_size
+        if size is None:
+            if self.executor.jobs <= 1:
+                size = 1
+            else:
+                size = max(1, math.ceil(len(remaining) / (self.executor.jobs * 8)))
+        chunks: list[tuple[int, int]] = []
+        for start, stop in _contiguous_runs(remaining):
+            for lo in range(start, stop, size):
+                chunks.append((lo, min(lo + size, stop)))
+        return chunks

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from repro.core.blocking import lp_ilp_deltas, lp_max_deltas
 from repro.core.scenarios import ExecutionScenario, execution_scenarios, rho_assignment
-from repro.core.workload import mu_array
+from repro.core.workload import MuMethod, mu_array
 from repro.model.builder import DagBuilder
 from repro.model.dag import DAG
 from repro.model.task import DAGTask
@@ -155,10 +155,10 @@ DELTA3_LP_MAX = 16.0
 # ----------------------------------------------------------------------
 # Regeneration entry points (used by benches, tests and the CLI)
 # ----------------------------------------------------------------------
-def figure1_table1(mu_method: str = "search") -> dict[str, list[float]]:
+def figure1_table1(mu_method: MuMethod = "search") -> dict[str, list[float]]:
     """Recompute Table I: ``μ_i[c]`` for each example task, c = 1..4."""
     return {
-        task.name: mu_array(task, FIGURE1_M, method=mu_method)  # type: ignore[arg-type]
+        task.name: mu_array(task, FIGURE1_M, method=mu_method)
         for task in figure1_lp_tasks()
     }
 

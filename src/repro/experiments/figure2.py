@@ -19,7 +19,11 @@ the surrounding text discusses it as the same utilisation sweep as
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.exceptions import AnalysisError
+from repro.core.blocking import RhoSolver
+from repro.core.workload import MuMethod
 from repro.experiments.runner import (
     DEFAULT_METHODS,
     SweepResult,
@@ -43,8 +47,10 @@ def run_figure2(
     n_tasksets: int = PAPER_TASKSETS_PER_POINT,
     seed: int = DEFAULT_SEED,
     step: float | None = None,
-    mu_method: str = "search",
-    rho_solver: str = "assignment",
+    mu_method: MuMethod = "search",
+    rho_solver: RhoSolver = "assignment",
+    jobs: int = 1,
+    checkpoint: str | Path | None = None,
 ) -> SweepResult:
     """Regenerate one sub-figure of Figure 2.
 
@@ -59,6 +65,11 @@ def run_figure2(
         Root seed for reproducibility.
     step:
         Utilisation grid step; default scales with m.
+    jobs:
+        Worker processes (1 = in-process; counts are identical either
+        way).
+    checkpoint:
+        Optional JSON checkpoint path for resumable runs.
     """
     if m < 1:
         raise AnalysisError(f"core count m must be >= 1, got {m}")
@@ -72,6 +83,8 @@ def run_figure2(
         label=f"figure2-m{m}-group1",
         mu_method=mu_method,
         rho_solver=rho_solver,
+        jobs=jobs,
+        checkpoint=checkpoint,
     )
 
 

@@ -10,6 +10,7 @@ regenerates that claim and quantifies the gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.experiments.runner import (
     DEFAULT_METHODS,
@@ -39,6 +40,8 @@ def run_group2(
     n_tasksets: int = 300,
     seed: int = 2016,
     step: float | None = None,
+    jobs: int = 1,
+    checkpoint: str | Path | None = None,
 ) -> Group2Report:
     """Run the group-2 sweep and summarise the LP-max vs LP-ILP gap."""
     sweep = run_sweep(
@@ -49,6 +52,8 @@ def run_group2(
         seed=seed,
         methods=DEFAULT_METHODS,
         label=f"group2-m{m}",
+        jobs=jobs,
+        checkpoint=checkpoint,
     )
     gaps = [
         abs(point.ratio("LP-ILP") - point.ratio("LP-max")) for point in sweep.points

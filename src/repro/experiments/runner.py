@@ -4,72 +4,46 @@ One *sweep* fixes a platform (``m`` cores) and a task-set profile, then
 for each target utilisation generates ``n_tasksets`` random task-sets
 and counts how many each analysis method deems schedulable — the
 machinery behind the paper's Figure 2 and the group-2 experiment.
+
+This module is a thin façade over :mod:`repro.engine`: every task-set
+is evaluated with a one-pass multi-method analysis, work is chunked
+onto a serial or multiprocessing executor (``jobs``), and interrupted
+sweeps resume from a JSON ``checkpoint``.  Serial and parallel runs are
+bit-identical for the same seed because each ``(utilisation, task-set)``
+item derives its own RNG from the root
+:class:`~numpy.random.SeedSequence`.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
-
-import numpy as np
+from pathlib import Path
 
 from repro.exceptions import AnalysisError
-from repro.core.analyzer import AnalysisMethod, analyze_taskset
-from repro.generator.profiles import TasksetProfile
-from repro.generator.taskset_gen import generate_taskset
-
-#: Methods compared in the paper's evaluation, in plot order.
-DEFAULT_METHODS: tuple[AnalysisMethod, ...] = (
-    AnalysisMethod.FP_IDEAL,
-    AnalysisMethod.LP_ILP,
-    AnalysisMethod.LP_MAX,
+from repro.core.analyzer import AnalysisMethod
+from repro.core.blocking import RhoSolver
+from repro.core.workload import MuMethod
+from repro.engine import (
+    DEFAULT_METHODS,
+    ProgressEvent,
+    SweepEngine,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    make_executor,
 )
+from repro.generator.profiles import TasksetProfile
 
+__all__ = [
+    "DEFAULT_METHODS",
+    "SweepPoint",
+    "SweepResult",
+    "ProgressHook",
+    "run_sweep",
+    "utilization_grid",
+]
 
-@dataclass(frozen=True, slots=True)
-class SweepPoint:
-    """Result at one utilisation: schedulable counts per method."""
-
-    utilization: float
-    n_tasksets: int
-    schedulable: dict[str, int]
-
-    def ratio(self, method: str) -> float:
-        """Fraction of schedulable task-sets for ``method`` (0..1)."""
-        return self.schedulable[method] / self.n_tasksets if self.n_tasksets else 0.0
-
-
-@dataclass(frozen=True, slots=True)
-class SweepResult:
-    """A full sweep: one :class:`SweepPoint` per utilisation."""
-
-    m: int
-    label: str
-    seed: int
-    points: tuple[SweepPoint, ...]
-    methods: tuple[str, ...]
-    elapsed_seconds: float = 0.0
-
-    def series(self, method: str) -> list[tuple[float, float]]:
-        """``(utilization, percent schedulable)`` pairs for one method."""
-        if method not in self.methods:
-            raise AnalysisError(f"method {method!r} not part of this sweep")
-        return [(p.utilization, 100.0 * p.ratio(method)) for p in self.points]
-
-    def crossover(self, method: str, threshold: float = 0.5) -> float | None:
-        """First utilisation at which the ratio drops below ``threshold``.
-
-        A coarse summary statistic for comparing methods: the paper's
-        "performance drops earlier" claims are about exactly this.
-        Returns ``None`` when the method never drops below.
-        """
-        for point in self.points:
-            if point.ratio(method) < threshold:
-                return point.utilization
-        return None
-
-
+#: Legacy per-task-set progress signature: ``(utilization, done, total)``.
 ProgressHook = Callable[[float, int, int], None]
 
 
@@ -81,9 +55,11 @@ def run_sweep(
     seed: int,
     methods: Sequence[AnalysisMethod] = DEFAULT_METHODS,
     label: str = "",
-    mu_method: str = "search",
-    rho_solver: str = "assignment",
+    mu_method: MuMethod = "search",
+    rho_solver: RhoSolver = "assignment",
     progress: ProgressHook | None = None,
+    jobs: int = 1,
+    checkpoint: str | Path | None = None,
 ) -> SweepResult:
     """Run one schedulability sweep.
 
@@ -98,54 +74,53 @@ def run_sweep(
     profile:
         Generator profile (group 1 / group 2 / custom).
     seed:
-        Root seed; every grid point derives its own child generator so
-        points are independent yet reproducible.
+        Root seed; every ``(utilisation, task-set)`` work item derives
+        its own generator so items are independent yet reproducible,
+        regardless of executor or chunking.
     methods:
-        Analyses to run on every task-set.
+        Analyses to run on every task-set (evaluated in one pass).
     label:
         Free-form tag carried into the result (e.g. ``"group1"``).
     mu_method / rho_solver:
         LP-ILP solver selection, passed through to the analyzer.
     progress:
         Optional callback ``(utilization, done, total)`` per task-set.
+        With ``jobs > 1`` the calls for a chunk fire together when the
+        chunk completes, in completion order.
+    jobs:
+        Worker processes; 1 (default) analyses in-process.
+    checkpoint:
+        Optional JSON checkpoint path; an interrupted sweep re-run with
+        the same parameters resumes instead of restarting.
 
     Returns
     -------
     SweepResult
     """
-    if n_tasksets < 1:
-        raise AnalysisError(f"n_tasksets must be >= 1, got {n_tasksets}")
-    start = time.perf_counter()
-    root = np.random.SeedSequence(seed)
-    children = root.spawn(len(utilizations))
-    points: list[SweepPoint] = []
-    for child, utilization in zip(children, utilizations):
-        rng = np.random.default_rng(child)
-        counts = {method.value: 0 for method in methods}
-        for i in range(n_tasksets):
-            taskset = generate_taskset(rng, utilization, profile)
-            for method in methods:
-                result = analyze_taskset(
-                    taskset,
-                    m,
-                    method,
-                    mu_method=mu_method,  # type: ignore[arg-type]
-                    rho_solver=rho_solver,  # type: ignore[arg-type]
-                )
-                if result.schedulable:
-                    counts[method.value] += 1
-            if progress is not None:
-                progress(utilization, i + 1, n_tasksets)
-        points.append(SweepPoint(utilization, n_tasksets, counts))
-    elapsed = time.perf_counter() - start
-    return SweepResult(
+    spec = SweepSpec(
         m=m,
-        label=label,
+        utilizations=tuple(utilizations),
+        n_tasksets=n_tasksets,
+        profile=profile,
         seed=seed,
-        points=tuple(points),
-        methods=tuple(method.value for method in methods),
-        elapsed_seconds=elapsed,
+        methods=tuple(methods),
+        label=label,
+        mu_method=mu_method,
+        rho_solver=rho_solver,
     )
+    engine_progress = None
+    if progress is not None:
+        hook = progress
+
+        def engine_progress(event: ProgressEvent) -> None:
+            hook(event.utilization, event.done_in_point, event.n_tasksets)
+
+    engine = SweepEngine(
+        executor=make_executor(jobs),
+        checkpoint_path=checkpoint,
+        progress=engine_progress,
+    )
+    return engine.run(spec)
 
 
 def utilization_grid(m: int, step: float | None = None, start: float = 1.0) -> list[float]:

@@ -18,6 +18,12 @@ Two regimes, matching the paper's framing:
   paper's introduction motivates): every inserted point inflates WCETs,
   so utilisation grows as NPRs shrink and schedulability becomes
   non-monotone — the placement problem of refs [12], [17], [18].
+
+The corpus is generated once in the parent process; each task-set's
+evaluation across all thresholds is one work item on a
+:mod:`repro.engine.executors` executor (``jobs``), and per-threshold
+aggregates are reduced in corpus order, so serial and parallel runs are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import numpy as np
 
 from repro.exceptions import AnalysisError
 from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.engine.executors import make_executor, map_ordered
 from repro.generator.profiles import GROUP1, TasksetProfile
 from repro.generator.taskset_gen import generate_taskset
 from repro.model.taskset import TaskSet
@@ -61,6 +68,29 @@ def split_taskset(
     )
 
 
+def _evaluate_split_item(
+    payload: tuple[TaskSet, int, tuple[float, ...], AnalysisMethod, float],
+) -> list[tuple[int, int, float, bool]]:
+    """One task-set across all thresholds (runs in a worker process).
+
+    Returns, per threshold, ``(Σq, task count, total utilisation,
+    schedulable)`` of the split task-set.
+    """
+    taskset, m, thresholds, method, overhead = payload
+    rows: list[tuple[int, int, float, bool]] = []
+    for threshold in thresholds:
+        split = split_taskset(taskset, threshold, overhead=overhead)
+        rows.append(
+            (
+                sum(t.q for t in split),
+                len(split),
+                split.total_utilization,
+                analyze_taskset(split, m, method).schedulable,
+            )
+        )
+    return rows
+
+
 def run_split_sweep(
     m: int,
     utilization: float,
@@ -70,6 +100,7 @@ def run_split_sweep(
     profile: TasksetProfile = GROUP1,
     method: AnalysisMethod = AnalysisMethod.LP_ILP,
     overhead: float = 0.0,
+    jobs: int = 1,
 ) -> list[SplitSweepPoint]:
     """Schedulability vs NPR-size threshold on a fixed task-set corpus.
 
@@ -88,23 +119,30 @@ def run_split_sweep(
         WCET inflation per inserted preemption point (see
         :func:`repro.model.transforms.split_node`); 0 reproduces the
         paper's overhead-free model.
+    jobs:
+        Worker processes; results are identical for any value.
     """
     if not thresholds:
         raise AnalysisError("need at least one threshold")
     rng = np.random.default_rng(seed)
     corpus = [generate_taskset(rng, utilization, profile) for _ in range(n_tasksets)]
+    payloads = [
+        (taskset, m, tuple(thresholds), method, overhead) for taskset in corpus
+    ]
+    rows_by_taskset = map_ordered(make_executor(jobs), _evaluate_split_item, payloads)
+
     points: list[SplitSweepPoint] = []
-    for threshold in thresholds:
+    for t_index, threshold in enumerate(thresholds):
         good = 0
         total_q = 0
         total_tasks = 0
         total_u = 0.0
-        for taskset in corpus:
-            split = split_taskset(taskset, threshold, overhead=overhead)
-            total_q += sum(t.q for t in split)
-            total_tasks += len(split)
-            total_u += split.total_utilization
-            if analyze_taskset(split, m, method).schedulable:
+        for rows in rows_by_taskset:
+            q, tasks, u, schedulable = rows[t_index]
+            total_q += q
+            total_tasks += tasks
+            total_u += u
+            if schedulable:
                 good += 1
         points.append(
             SplitSweepPoint(

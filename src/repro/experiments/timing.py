@@ -7,6 +7,12 @@ MATLAB + CPLEX. Our exact combinatorial solvers are dramatically
 faster, so absolute numbers differ by orders of magnitude; the
 reproduced claim is the *growth trend* with m (scenario count p(m) and
 μ arrays grow), which this harness measures.
+
+Task-sets are generated in the parent process (so streams match the
+serial harness); each sample is timed *inside* its worker via a
+:mod:`repro.engine.executors` executor.  Keep ``jobs=1`` for clean
+wall-clock numbers — parallel workers contend for cores and inflate
+per-sample times; ``jobs > 1`` is for quick trend checks only.
 """
 
 from __future__ import annotations
@@ -18,8 +24,12 @@ import numpy as np
 
 from repro.exceptions import AnalysisError
 from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.core.blocking import RhoSolver
+from repro.core.workload import MuMethod
+from repro.engine.executors import make_executor, map_ordered
 from repro.generator.profiles import GROUP1, TasksetProfile
 from repro.generator.taskset_gen import generate_taskset
+from repro.model.taskset import TaskSet
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +43,18 @@ class TimingRow:
     positive_answers: int
 
 
+def _time_sample(
+    payload: tuple[TaskSet, int, AnalysisMethod, MuMethod, RhoSolver],
+) -> tuple[float, bool]:
+    """Time one analysis (runs in a worker process)."""
+    taskset, m, method, mu_method, rho_solver = payload
+    start = time.perf_counter()
+    result = analyze_taskset(
+        taskset, m, method, mu_method=mu_method, rho_solver=rho_solver
+    )
+    return time.perf_counter() - start, result.schedulable
+
+
 def run_timing(
     core_counts: tuple[int, ...] = (4, 8, 16),
     samples: int = 20,
@@ -40,8 +62,9 @@ def run_timing(
     utilization_factor: float = 0.5,
     profile: TasksetProfile = GROUP1,
     method: AnalysisMethod = AnalysisMethod.LP_ILP,
-    mu_method: str = "search",
-    rho_solver: str = "assignment",
+    mu_method: MuMethod = "search",
+    rho_solver: RhoSolver = "assignment",
+    jobs: int = 1,
 ) -> list[TimingRow]:
     """Measure mean/max analysis runtime per core count.
 
@@ -62,28 +85,30 @@ def run_timing(
         Target utilisation as a fraction of ``m``.
     profile / method / mu_method / rho_solver:
         What exactly is being timed.
+    jobs:
+        Worker processes (timing is done inside each worker; prefer 1
+        for clean numbers).
     """
     if samples < 1:
         raise AnalysisError(f"samples must be >= 1, got {samples}")
     rows: list[TimingRow] = []
     root = np.random.SeedSequence(seed)
+    executor = make_executor(jobs)
     for child, m in zip(root.spawn(len(core_counts)), core_counts):
         rng = np.random.default_rng(child)
-        durations: list[float] = []
-        positive = 0
-        for _ in range(samples):
-            taskset = generate_taskset(rng, utilization_factor * m, profile)
-            start = time.perf_counter()
-            result = analyze_taskset(
-                taskset,
+        payloads = [
+            (
+                generate_taskset(rng, utilization_factor * m, profile),
                 m,
                 method,
-                mu_method=mu_method,  # type: ignore[arg-type]
-                rho_solver=rho_solver,  # type: ignore[arg-type]
+                mu_method,
+                rho_solver,
             )
-            durations.append(time.perf_counter() - start)
-            if result.schedulable:
-                positive += 1
+            for _ in range(samples)
+        ]
+        timed = map_ordered(executor, _time_sample, payloads)
+        durations = [duration for duration, _ in timed]
+        positive = sum(schedulable for _, schedulable in timed)
         rows.append(
             TimingRow(
                 m=m,

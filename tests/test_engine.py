@@ -1,0 +1,210 @@
+"""Unit tests for :mod:`repro.engine` — executors, sweep, checkpoints."""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import AnalysisMethod
+from repro.engine.checkpoint import (
+    ChunkRecord,
+    SweepCheckpoint,
+    coalesce_records,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.engine.executors import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    make_executor,
+    map_ordered,
+)
+from repro.engine.sweep import SweepEngine, SweepSpec, _contiguous_runs
+from repro.exceptions import AnalysisError
+from repro.generator.profiles import GROUP1
+
+
+def _spec(**overrides):
+    defaults = dict(
+        m=2,
+        utilizations=(0.5, 1.5),
+        n_tasksets=6,
+        profile=GROUP1,
+        seed=42,
+        label="engine-test",
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestExecutors:
+    def test_make_executor(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        pool = make_executor(3)
+        assert isinstance(pool, MultiprocessExecutor)
+        assert pool.jobs == 3
+        with pytest.raises(AnalysisError):
+            make_executor(0)
+        with pytest.raises(AnalysisError):
+            MultiprocessExecutor(-1)
+
+    def test_serial_order(self):
+        executor = SerialExecutor()
+        assert list(executor.map_unordered(abs, [-3, 1, -2])) == [3, 1, 2]
+
+    def test_pool_empty_payloads(self):
+        assert list(MultiprocessExecutor(2).map_unordered(abs, [])) == []
+
+    def test_map_ordered_restores_payload_order(self):
+        expected = [abs(x) for x in range(-8, 8)]
+        assert map_ordered(SerialExecutor(), abs, range(-8, 8)) == expected
+        assert map_ordered(MultiprocessExecutor(3), abs, range(-8, 8)) == expected
+
+
+class TestSweepSpec:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            _spec(n_tasksets=0)
+        with pytest.raises(AnalysisError):
+            _spec(methods=())
+
+    def test_rng_independent_of_order(self):
+        spec = _spec()
+        a = spec.taskset_rng(1, 3).integers(0, 1 << 30, 4)
+        b = spec.taskset_rng(0, 0).integers(0, 1 << 30, 4)
+        c = spec.taskset_rng(1, 3).integers(0, 1 << 30, 4)
+        assert list(a) == list(c)
+        assert list(a) != list(b)
+
+    def test_fingerprint_sensitivity(self):
+        base = _spec()
+        assert base.fingerprint() == _spec().fingerprint()
+        assert base.fingerprint() != _spec(seed=43).fingerprint()
+        assert base.fingerprint() != _spec(n_tasksets=7).fingerprint()
+        assert (
+            base.fingerprint()
+            != _spec(methods=(AnalysisMethod.FP_IDEAL,)).fingerprint()
+        )
+
+
+class TestChunking:
+    def test_contiguous_runs(self):
+        assert _contiguous_runs([]) == []
+        assert _contiguous_runs([0, 1, 2, 5, 6, 9]) == [(0, 3), (5, 7), (9, 10)]
+
+    def test_chunks_respect_size_and_gaps(self):
+        engine = SweepEngine(chunk_size=2)
+        assert engine._chunks([0, 1, 2, 5, 6, 9]) == [(0, 2), (2, 3), (5, 7), (9, 10)]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(AnalysisError):
+            SweepEngine(chunk_size=0)
+
+
+class TestEngineRun:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return SweepEngine().run(_spec())
+
+    def test_result_shape(self, serial_result):
+        assert serial_result.m == 2
+        assert serial_result.label == "engine-test"
+        assert [p.utilization for p in serial_result.points] == [0.5, 1.5]
+        assert all(p.n_tasksets == 6 for p in serial_result.points)
+
+    def test_parallel_bit_identical(self, serial_result):
+        parallel = SweepEngine(executor=MultiprocessExecutor(3)).run(_spec())
+        assert [p.schedulable for p in parallel.points] == [
+            p.schedulable for p in serial_result.points
+        ]
+
+    def test_chunking_does_not_change_counts(self, serial_result):
+        chunked = SweepEngine(chunk_size=5).run(_spec())
+        assert [p.schedulable for p in chunked.points] == [
+            p.schedulable for p in serial_result.points
+        ]
+
+    def test_progress_events(self):
+        events = []
+        SweepEngine(progress=events.append).run(_spec(n_tasksets=3))
+        assert [(e.utilization, e.done_in_point, e.n_tasksets) for e in events] == [
+            (0.5, 1, 3), (0.5, 2, 3), (0.5, 3, 3),
+            (1.5, 1, 3), (1.5, 2, 3), (1.5, 3, 3),
+        ]
+        assert [e.done_items for e in events] == list(range(1, 7))
+        assert all(e.total_items == 6 for e in events)
+
+
+class TestCheckpoint:
+    def test_coalesce(self):
+        records = [
+            ChunkRecord(3, 5, {0: {"X": 1}}),
+            ChunkRecord(0, 3, {0: {"X": 2}}),
+            ChunkRecord(7, 9, {1: {"X": 1}}),
+        ]
+        merged = coalesce_records(records)
+        assert [(r.start, r.stop) for r in merged] == [(0, 5), (7, 9)]
+        assert merged[0].counts == {0: {"X": 3}}
+
+    def test_coalesce_rejects_overlap(self):
+        with pytest.raises(AnalysisError):
+            coalesce_records([ChunkRecord(0, 3, {}), ChunkRecord(2, 4, {})])
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "cp.json"
+        assert load_checkpoint(path) is None
+        checkpoint = SweepCheckpoint("abc", [ChunkRecord(0, 2, {0: {"X": 1}})])
+        save_checkpoint(path, checkpoint)
+        loaded = load_checkpoint(path)
+        assert loaded.fingerprint == "abc"
+        assert loaded.records == [ChunkRecord(0, 2, {0: {"X": 1}})]
+        assert loaded.covered_items() == {0, 1}
+
+    def test_corrupt_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text("not json")
+        with pytest.raises(AnalysisError):
+            load_checkpoint(path)
+        path.write_text(json.dumps({"version": 99, "fingerprint": "x", "records": []}))
+        with pytest.raises(AnalysisError):
+            load_checkpoint(path)
+
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        from repro.engine.sweep import _run_chunk
+
+        spec = _spec()
+        path = tmp_path / "sweep.json"
+        full = SweepEngine().run(spec)
+
+        # Simulate an interrupted run: a checkpoint covering only the
+        # first 5 of the 12 work items.
+        partial = _run_chunk((spec, 0, 5))
+        save_checkpoint(path, SweepCheckpoint(spec.fingerprint(), [partial]))
+
+        resumed = SweepEngine(checkpoint_path=path).run(spec)
+        assert [p.schedulable for p in resumed.points] == [
+            p.schedulable for p in full.points
+        ]
+        # A re-run over a complete checkpoint is a no-op with the same result.
+        cached = SweepEngine(checkpoint_path=path).run(spec)
+        assert [p.schedulable for p in cached.points] == [
+            p.schedulable for p in full.points
+        ]
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        SweepEngine(checkpoint_path=path).run(_spec())
+        with pytest.raises(AnalysisError):
+            SweepEngine(checkpoint_path=path).run(_spec(seed=43))
+
+    def test_oversized_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        spec = _spec()
+        SweepEngine(checkpoint_path=path).run(spec)
+        smaller = _spec(n_tasksets=2)
+        save_checkpoint(
+            path,
+            SweepCheckpoint(smaller.fingerprint(), load_checkpoint(path).records),
+        )
+        with pytest.raises(AnalysisError):
+            SweepEngine(checkpoint_path=path).run(smaller)

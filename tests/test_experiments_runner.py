@@ -79,6 +79,10 @@ class TestRunSweep:
         with pytest.raises(AnalysisError):
             sweep.series("EDF")
 
+    def test_point_ratio_unknown_method(self, sweep):
+        with pytest.raises(AnalysisError):
+            sweep.points[0].ratio("EDF")
+
     def test_reproducible(self, sweep):
         again = run_sweep(
             m=2, utilizations=[0.5, 1.5], n_tasksets=6, profile=GROUP1,
@@ -86,6 +90,35 @@ class TestRunSweep:
         )
         assert [p.schedulable for p in again.points] == [
             p.schedulable for p in sweep.points
+        ]
+
+    def test_parallel_jobs_bit_identical(self, sweep):
+        """Determinism regression: the pool executor must reproduce the
+        serial counts exactly for the same seed."""
+        parallel = run_sweep(
+            m=2, utilizations=[0.5, 1.5], n_tasksets=6, profile=GROUP1,
+            seed=42, label="test", jobs=3,
+        )
+        assert [p.schedulable for p in parallel.points] == [
+            p.schedulable for p in sweep.points
+        ]
+        assert parallel.methods == sweep.methods
+
+    def test_checkpoint_resume(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        first = run_sweep(
+            m=2, utilizations=[0.5, 1.5], n_tasksets=6, profile=GROUP1,
+            seed=42, label="test", checkpoint=path,
+        )
+        assert path.exists()
+        # Re-running over the complete checkpoint recomputes nothing
+        # and returns the same counts.
+        again = run_sweep(
+            m=2, utilizations=[0.5, 1.5], n_tasksets=6, profile=GROUP1,
+            seed=42, label="test", checkpoint=path,
+        )
+        assert [p.schedulable for p in again.points] == [
+            p.schedulable for p in first.points
         ]
 
     def test_progress_hook_called(self):
