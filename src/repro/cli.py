@@ -6,7 +6,15 @@ Sub-commands map one-to-one onto the paper's artefacts:
 * ``figure2`` — a schedulability sweep (choose ``--m 4|8|16``);
 * ``group2``  — the uniform-parallelism sweep (LP-max ≈ LP-ILP);
 * ``timing``  — analysis runtime vs core count;
-* ``demo``    — generate one task-set, analyse and simulate it.
+* ``demo``    — generate one task-set, analyse and simulate it;
+* ``sweep-merge`` — recombine ``--shard I/N`` artifacts into the exact
+  unsharded result.
+
+The sweep sub-commands share the engine flags: ``--jobs`` (worker
+processes), ``--shard I/N`` + ``--shard-out`` (run one slice of the
+sweep, e.g. one CI matrix job), and ``--stream`` (incremental JSONL
+results); ``figure2`` and ``group2`` additionally take ``--checkpoint``
+(resume an interrupted run).
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ import argparse
 import sys
 
 import numpy as np
+
+from repro.exceptions import ReproError, ShardError
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -106,9 +116,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, default=1,
         help="worker processes (results identical for any value)",
     )
+    _add_shard_args(p7)
     p7.set_defaults(handler=_cmd_splitsweep)
 
+    p8 = sub.add_parser(
+        "sweep-merge",
+        help="recombine --shard artifacts into the exact unsharded result",
+    )
+    p8.add_argument(
+        "shards", nargs="+", metavar="SHARD.json",
+        help="shard artifacts written by --shard-out (all shards of one sweep)",
+    )
+    p8.add_argument("--csv", type=str, default=None, help="write series to CSV")
+    p8.add_argument("--chart", action="store_true", help="print an ASCII chart")
+    p8.set_defaults(handler=_cmd_sweep_merge)
+
     return parser
+
+
+def _shard_arg(text: str):
+    """argparse type for ``--shard I/N`` (one-based, validated)."""
+    from repro.engine.shard import parse_shard
+
+    try:
+        return parse_shard(text)
+    except ShardError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _add_shard_args(parser: argparse.ArgumentParser) -> None:
+    """Sharding/streaming flags shared by every sweep sub-command."""
+    parser.add_argument(
+        "--shard", type=_shard_arg, default=None, metavar="I/N",
+        help="run only shard I of N (one-based); merge artifacts with "
+             "'sweep-merge' to recover the exact unsharded result",
+    )
+    parser.add_argument(
+        "--shard-out", type=str, default=None, metavar="PATH",
+        help="shard artifact path (default: <command>-shardIofN.json)",
+    )
+    parser.add_argument(
+        "--stream", type=str, default=None, metavar="PATH",
+        help="append each completed chunk to this JSONL file as it finishes",
+    )
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -120,6 +170,25 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--checkpoint", type=str, default=None,
         help="JSON checkpoint path; an interrupted sweep resumes from it",
+    )
+    _add_shard_args(parser)
+
+
+def _shard_out_path(args: argparse.Namespace, stem: str) -> str | None:
+    """The artifact path for a sharded run (explicit or derived)."""
+    if args.shard is None and args.shard_out is None:
+        return None
+    if args.shard_out is not None:
+        return args.shard_out
+    shard = args.shard
+    return f"{stem}-shard{shard.index + 1}of{shard.count}.json"
+
+
+def _print_shard_note(args: argparse.Namespace, shard_out: str) -> None:
+    print(
+        f"\nshard {args.shard.label} artifact written to {shard_out}\n"
+        "(partial counts above cover only this shard; recombine every "
+        "shard with: python -m repro sweep-merge SHARD.json ...)"
     )
 
 
@@ -161,12 +230,16 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.experiments.figure2 import run_figure2
     from repro.experiments.reporting import sweep_chart, sweep_table, write_sweep_csv
 
+    shard_out = _shard_out_path(args, f"figure2-m{args.m}")
     result = run_figure2(
         m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
         jobs=args.jobs, checkpoint=args.checkpoint,
+        shard=args.shard, shard_out=shard_out, stream=args.stream,
     )
+    shard_note = f", shard {args.shard.label}" if args.shard else ""
     print(sweep_table(result, title=f"Figure 2 (m={args.m}, group 1, "
-                                    f"{args.tasksets} task-sets/point)"))
+                                    f"{args.tasksets} task-sets/point"
+                                    f"{shard_note})"))
     if args.chart:
         print()
         print(sweep_chart(result))
@@ -174,6 +247,8 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     if args.csv:
         path = write_sweep_csv(result, args.csv)
         print(f"series written to {path}")
+    if args.shard:
+        _print_shard_note(args, shard_out)
     return 0
 
 
@@ -181,17 +256,22 @@ def _cmd_group2(args: argparse.Namespace) -> int:
     from repro.experiments.group2 import run_group2
     from repro.experiments.reporting import sweep_table, write_sweep_csv
 
+    shard_out = _shard_out_path(args, f"group2-m{args.m}")
     report = run_group2(
         m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
         jobs=args.jobs, checkpoint=args.checkpoint,
+        shard=args.shard, shard_out=shard_out, stream=args.stream,
     )
-    print(sweep_table(report.sweep, title=f"Group 2 (m={args.m})"))
+    shard_note = f", shard {args.shard.label}" if args.shard else ""
+    print(sweep_table(report.sweep, title=f"Group 2 (m={args.m}{shard_note})"))
     print(f"\nLP-max vs LP-ILP ratio gap: max {100 * report.max_gap:.1f} pts, "
           f"mean {100 * report.mean_gap:.1f} pts "
           f"({'agree' if report.methods_agree else 'diverge'})")
     if args.csv:
         path = write_sweep_csv(report.sweep, args.csv)
         print(f"series written to {path}")
+    if args.shard:
+        _print_shard_note(args, shard_out)
     return 0
 
 
@@ -294,6 +374,7 @@ def _cmd_splitsweep(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_table
     from repro.experiments.splitsweep import run_split_sweep
 
+    shard_out = _shard_out_path(args, f"splitsweep-m{args.m}")
     points = run_split_sweep(
         m=args.m,
         utilization=args.utilization,
@@ -302,6 +383,9 @@ def _cmd_splitsweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         overhead=args.overhead,
         jobs=args.jobs,
+        shard=args.shard,
+        shard_out=shard_out,
+        stream=args.stream,
     )
     print(format_table(
         ["NPR size cap", "mean q", "mean U", "LP-ILP schedulable %"],
@@ -320,7 +404,69 @@ def _cmd_splitsweep(args: argparse.Namespace) -> int:
         print("\nWith per-point overhead, inserted points inflate WCETs: past")
         print("some granularity the added utilisation outweighs the blocking")
         print("reduction - the tradeoff of the paper's refs [12], [17], [18].")
+    if args.shard:
+        _print_shard_note(args, shard_out)
     return 0
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+    from repro.engine.shard import KIND_SPLITSWEEP, load_shard, merge_shards
+    from repro.experiments.reporting import (
+        format_table,
+        sweep_chart,
+        sweep_table,
+        write_csv,
+        write_sweep_csv,
+    )
+    from repro.experiments.splitsweep import merge_split_shards
+
+    try:
+        artifacts = [load_shard(path) for path in args.shards]
+        if artifacts[0].kind == KIND_SPLITSWEEP:
+            points = merge_split_shards(artifacts)
+            meta = artifacts[0].meta
+            print(format_table(
+                ["NPR size cap", "mean q", "mean U", "schedulable %"],
+                [[f"{p.threshold:g}", f"{p.mean_q:.1f}",
+                  f"{p.mean_utilization:.2f}", f"{100 * p.ratio:.1f}"]
+                 for p in points],
+                title=(f"Merged preemption-point sweep "
+                       f"(m={meta['m']}, U={meta['utilization']}, "
+                       f"overhead={meta['overhead']:g}, "
+                       f"{meta['n_tasksets']} task-sets, "
+                       f"{len(artifacts)} shards)"),
+            ))
+            if args.chart:
+                print("\n(--chart applies to figure2/group2 sweep shards; "
+                      "splitsweep artifacts have no chart form)")
+            if args.csv:
+                path = write_csv(
+                    args.csv,
+                    ["threshold", "mean_q", "mean_utilization", "ratio"],
+                    [[p.threshold, p.mean_q, p.mean_utilization, p.ratio]
+                     for p in points],
+                )
+                print(f"series written to {path}")
+            return 0
+        result = merge_shards(artifacts)
+        print(sweep_table(
+            result,
+            title=(f"Merged sweep {result.label} (m={result.m}, "
+                   f"{len(artifacts)} shards, "
+                   f"{result.points[0].n_tasksets if result.points else 0} "
+                   f"task-sets/point)"),
+        ))
+        if args.chart:
+            print()
+            print(sweep_chart(result))
+        print(f"\ntotal shard compute: {result.elapsed_seconds:.1f}s")
+        if args.csv:
+            path = write_sweep_csv(result, args.csv)
+            print(f"series written to {path}")
+        return 0
+    except ReproError as exc:
+        print(f"sweep-merge: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,13 +8,18 @@ JSON checkpoints.
 
 * :class:`~repro.engine.sweep.SweepSpec` — what to sweep;
 * :class:`~repro.engine.sweep.SweepEngine` — how to run it;
-* :mod:`repro.engine.executors` — where the work executes;
+* :mod:`repro.engine.executors` — where the work executes (serial,
+  process pool, thread pool);
 * :mod:`repro.engine.checkpoint` — how interrupted sweeps resume;
+* :mod:`repro.engine.shard` — how one sweep splits across independent
+  invocations and merges back bit-identically;
+* :mod:`repro.engine.streaming` — incremental JSONL result streams;
 * :mod:`repro.engine.results` — the stable result types
   (:class:`SweepPoint`, :class:`SweepResult`).
 """
 
 from repro.engine.checkpoint import (
+    FORMAT_VERSION,
     ChunkRecord,
     SweepCheckpoint,
     load_checkpoint,
@@ -24,10 +29,20 @@ from repro.engine.executors import (
     Executor,
     MultiprocessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     make_executor,
     map_ordered,
 )
 from repro.engine.results import SweepPoint, SweepResult
+from repro.engine.shard import (
+    ShardArtifact,
+    ShardSpec,
+    load_shard,
+    merge_shards,
+    parse_shard,
+    save_shard,
+)
+from repro.engine.streaming import StreamDump, StreamWriter, read_stream
 from repro.engine.sweep import (
     DEFAULT_METHODS,
     EngineProgress,
@@ -38,6 +53,7 @@ from repro.engine.sweep import (
 
 __all__ = [
     "DEFAULT_METHODS",
+    "FORMAT_VERSION",
     "SweepSpec",
     "SweepEngine",
     "ProgressEvent",
@@ -45,6 +61,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "MultiprocessExecutor",
+    "ThreadExecutor",
     "make_executor",
     "map_ordered",
     "SweepPoint",
@@ -53,4 +70,13 @@ __all__ = [
     "SweepCheckpoint",
     "load_checkpoint",
     "save_checkpoint",
+    "ShardSpec",
+    "ShardArtifact",
+    "parse_shard",
+    "save_shard",
+    "load_shard",
+    "merge_shards",
+    "StreamWriter",
+    "StreamDump",
+    "read_stream",
 ]

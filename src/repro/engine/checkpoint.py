@@ -6,6 +6,17 @@ fingerprint of the :class:`~repro.engine.sweep.SweepSpec` that produced
 it.  Because every work item derives its RNG independently from the root
 seed, any partition of the remaining items resumes correctly — the
 chunking of a resumed run need not match the interrupted one.
+
+Corrupt, truncated or version-skewed files raise
+:class:`~repro.exceptions.CheckpointError` (never a bare ``KeyError`` or
+``json.JSONDecodeError``); writes are atomic (unique tmp file + rename)
+so an interrupt mid-save can never destroy the previous snapshot.
+
+The per-chunk record schema (:func:`record_to_json` /
+:func:`record_from_json`) is shared with the shard artifacts of
+:mod:`repro.engine.shard` and the JSONL streams of
+:mod:`repro.engine.streaming`; bump :data:`FORMAT_VERSION` when it
+changes.
 """
 
 from __future__ import annotations
@@ -15,7 +26,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, CheckpointError
 
 #: Bump when the on-disk schema changes; older files are rejected.
 FORMAT_VERSION = 1
@@ -29,6 +40,29 @@ class ChunkRecord:
     stop: int
     #: point index → method name → schedulable count
     counts: dict[int, dict[str, int]]
+
+
+def record_to_json(record: ChunkRecord) -> dict:
+    """The JSON form of one chunk record (checkpoints, shards, streams)."""
+    return {
+        "start": record.start,
+        "stop": record.stop,
+        "counts": {
+            str(point): methods for point, methods in record.counts.items()
+        },
+    }
+
+
+def record_from_json(entry: dict) -> ChunkRecord:
+    """Parse :func:`record_to_json` output (raises on malformed input)."""
+    return ChunkRecord(
+        start=int(entry["start"]),
+        stop=int(entry["stop"]),
+        counts={
+            int(point): {str(k): int(v) for k, v in methods.items()}
+            for point, methods in entry["counts"].items()
+        },
+    )
 
 
 @dataclass(slots=True)
@@ -56,7 +90,7 @@ def coalesce_records(records: list[ChunkRecord]) -> list[ChunkRecord]:
     merged: list[ChunkRecord] = []
     for record in sorted(records, key=lambda r: r.start):
         if merged and record.start < merged[-1].stop:
-            raise AnalysisError(
+            raise CheckpointError(
                 f"overlapping checkpoint records at item {record.start}"
             )
         if merged and record.start == merged[-1].stop:
@@ -78,61 +112,64 @@ def load_checkpoint(path: str | Path) -> SweepCheckpoint | None:
 
     Raises
     ------
-    AnalysisError
-        On unreadable JSON or an unknown format version — delete the
-        file (or point the sweep at a fresh path) to start over.
+    CheckpointError
+        On truncated or unreadable JSON, a missing field or an unknown
+        format version — delete the file (or point the sweep at a fresh
+        path) to start over.
     """
     path = Path(path)
     if not path.exists():
         return None
     try:
         payload = json.loads(path.read_text())
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"checkpoint {path} is not a JSON object; delete it to restart"
+            )
         if payload.get("version") != FORMAT_VERSION:
-            raise AnalysisError(
+            raise CheckpointError(
                 f"checkpoint {path} has format version "
                 f"{payload.get('version')!r}, expected {FORMAT_VERSION}"
             )
-        records = [
-            ChunkRecord(
-                start=int(entry["start"]),
-                stop=int(entry["stop"]),
-                counts={
-                    int(point): {str(k): int(v) for k, v in methods.items()}
-                    for point, methods in entry["counts"].items()
-                },
-            )
-            for entry in payload["records"]
-        ]
+        records = [record_from_json(entry) for entry in payload["records"]]
         return SweepCheckpoint(
             fingerprint=str(payload["fingerprint"]),
             records=coalesce_records(records),
         )
     except AnalysisError:
         raise
-    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-        raise AnalysisError(
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise CheckpointError(
             f"checkpoint {path} is unreadable ({exc}); delete it to restart"
         ) from exc
 
 
+def write_json_atomic(path: str | Path, payload: dict) -> None:
+    """Serialise ``payload`` to ``path`` via a unique tmp file + rename.
+
+    The tmp name embeds the pid so concurrent writers (e.g. two shard
+    runs told to checkpoint next to each other) never clobber each
+    other's half-written file; ``os.replace`` makes the final publish
+    atomic on POSIX and Windows alike.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def save_checkpoint(path: str | Path, checkpoint: SweepCheckpoint) -> None:
     """Atomically write ``checkpoint`` (coalesced) as JSON."""
-    path = Path(path)
     payload = {
         "version": FORMAT_VERSION,
         "fingerprint": checkpoint.fingerprint,
         "records": [
-            {
-                "start": record.start,
-                "stop": record.stop,
-                "counts": {
-                    str(point): methods for point, methods in record.counts.items()
-                },
-            }
+            record_to_json(record)
             for record in coalesce_records(checkpoint.records)
         ],
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload))
-    os.replace(tmp, path)
+    write_json_atomic(path, payload)

@@ -1,16 +1,21 @@
 """Pluggable work executors for the sweep engine.
 
 An executor maps a picklable function over a sequence of payloads and
-yields results as they complete.  Two implementations:
+yields results as they complete.  Three implementations:
 
 * :class:`SerialExecutor` — in-process, in-order; zero overhead, exact
   legacy progress ordering;
 * :class:`MultiprocessExecutor` — a :mod:`multiprocessing` pool; results
-  arrive in completion order.
+  arrive in completion order;
+* :class:`ThreadExecutor` — a thread pool; no pickling and near-zero
+  start-up, useful when the work releases the GIL (NumPy-heavy items)
+  or when worker processes are unavailable (restricted sandboxes).
 
 Because every sweep work item derives its own RNG from the root
-:class:`numpy.random.SeedSequence` (see :mod:`repro.engine.sweep`), the
-two executors produce bit-identical sweep counts for the same spec.
+:class:`numpy.random.SeedSequence` (see :mod:`repro.engine.sweep`), all
+executors produce bit-identical sweep counts for the same spec — the
+cross-executor conformance suite (``tests/test_engine_conformance.py``)
+asserts exactly this.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Protocol, TypeVar
 
 from repro.exceptions import AnalysisError
@@ -84,12 +90,66 @@ class MultiprocessExecutor:
             yield from pool.imap_unordered(fn, payloads)
 
 
-def make_executor(jobs: int | None) -> Executor:
-    """``jobs`` ≤ 1 (or ``None``) → serial; otherwise a process pool."""
+class ThreadExecutor:
+    """Run payloads on a :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+    Results are yielded in completion order, like
+    :class:`MultiprocessExecutor`, but workers share the process: no
+    pickling, no fork/spawn latency.  Throughput only beats serial when
+    the work releases the GIL, which is why the process pool stays the
+    ``--jobs`` default; the thread pool's role here is conformance (a
+    third executor the engine must agree with bit-for-bit) and
+    environments where spawning processes is not an option.
+
+    Parameters
+    ----------
+    jobs:
+        Worker thread count; ``None`` uses ``os.cpu_count()``.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map_unordered(
+        self, fn: Callable[[_P], _R], payloads: Sequence[_P]
+    ) -> Iterator[_R]:
+        payloads = list(payloads)
+        if not payloads:
+            return
+        workers = min(self.jobs, len(payloads))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(fn, payload) for payload in payloads}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+
+
+#: Executor kinds accepted by :func:`make_executor`.
+EXECUTOR_KINDS = ("process", "thread")
+
+
+def make_executor(jobs: int | None, kind: str = "process") -> Executor:
+    """``jobs`` ≤ 1 (or ``None``) → serial; otherwise a worker pool.
+
+    ``kind`` selects the pool flavour for ``jobs > 1``: ``"process"``
+    (the default, true parallelism) or ``"thread"`` (shared-process
+    workers, see :class:`ThreadExecutor`).
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise AnalysisError(
+            f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
+        )
     if jobs is not None and jobs < 1:
         raise AnalysisError(f"jobs must be >= 1, got {jobs}")
     if jobs is None or jobs == 1:
         return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(jobs)
     return MultiprocessExecutor(jobs)
 
 

@@ -1,0 +1,372 @@
+"""Sharded sweep execution: partition, per-shard artifacts, merge.
+
+A :class:`ShardSpec` splits a sweep's work-item space ``0 .. total - 1``
+into ``count`` disjoint, covering strided slices: shard ``i`` owns every
+item with ``item % count == i``.  The partition depends only on the item
+index, never on chunking or executors, so any chunk size, any executor
+and any shard count select exactly the same per-item RNG streams — a
+sweep run as N independent invocations (CI matrix jobs, a cluster,
+overnight batches) merges bit-identically to the single-process run.
+Striding (rather than contiguous blocks) spreads every utilisation
+point across all shards, so the expensive high-utilisation points are
+load-balanced instead of landing on the last shard.
+
+Each shard invocation writes a versioned JSON *shard artifact*: the
+sweep fingerprint, the shard coordinates, the metadata needed to
+rebuild the result, and the chunk records the shard produced.
+:func:`merge_shards` validates a set of artifacts — same fingerprint,
+same format version, same shard count, no duplicate shards, no gaps or
+overlaps in item coverage — and reconstructs the exact
+:class:`~repro.engine.results.SweepResult` a single-process serial run
+would have produced (wall-clock aside).
+
+Artifacts carry a ``kind`` tag so other sharded experiments (the
+split-point sweep of :mod:`repro.experiments.splitsweep`) can reuse the
+same container and CLI merge command with their own record schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ShardError
+from repro.engine.checkpoint import (
+    FORMAT_VERSION,
+    ChunkRecord,
+    coalesce_records,
+    record_from_json,
+    record_to_json,
+    write_json_atomic,
+)
+from repro.engine.results import SweepPoint, SweepResult
+
+#: Artifact kinds understood by :func:`load_shard`.
+KIND_SWEEP = "sweep"
+KIND_SPLITSWEEP = "splitsweep"
+KNOWN_KINDS = (KIND_SWEEP, KIND_SPLITSWEEP)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One strided slice of a sweep's item space: ``index`` of ``count``.
+
+    ``index`` is zero-based internally; the CLI's ``--shard I/N`` flag
+    and :attr:`label` are one-based for humans.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ShardError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ShardError(
+                f"shard index must be in 0 .. {self.count - 1}, got {self.index}"
+            )
+
+    @property
+    def label(self) -> str:
+        """The human (one-based) form, e.g. ``"2/4"``."""
+        return f"{self.index + 1}/{self.count}"
+
+    def items(self, total: int) -> range:
+        """The work-item indexes this shard owns (disjoint, covering)."""
+        if total < 0:
+            raise ShardError(f"total item count must be >= 0, got {total}")
+        return range(self.index, total, self.count)
+
+    def owns(self, item: int) -> bool:
+        return item % self.count == self.index
+
+
+def parse_shard(text: str) -> ShardSpec:
+    """Parse the CLI's one-based ``I/N`` form into a :class:`ShardSpec`.
+
+    Rejects malformed strings, ``0/N``, ``I > N`` and ``N < 1`` with a
+    :class:`~repro.exceptions.ShardError`.
+    """
+    head, sep, tail = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError("missing '/'")
+        index, count = int(head), int(tail)
+    except ValueError as exc:
+        raise ShardError(
+            f"malformed shard {text!r}; expected I/N, e.g. --shard 2/4"
+        ) from exc
+    if count < 1:
+        raise ShardError(f"shard count must be >= 1, got {text!r}")
+    if not 1 <= index <= count:
+        raise ShardError(
+            f"shard index must be in 1 .. {count}, got {text!r} "
+            "(shards are one-based on the command line)"
+        )
+    return ShardSpec(index - 1, count)
+
+
+@dataclass(slots=True)
+class ShardArtifact:
+    """One shard invocation's output, as persisted to JSON.
+
+    Attributes
+    ----------
+    kind:
+        Record schema tag (:data:`KIND_SWEEP` or :data:`KIND_SPLITSWEEP`).
+    fingerprint:
+        The *unsharded* spec fingerprint — identical across every shard
+        of one sweep; merging mixes nothing else.
+    shard:
+        Which slice this artifact covers.
+    total_items:
+        The full sweep's item count (all shards must agree).
+    meta:
+        JSON-safe metadata to rebuild the merged result (for sweeps:
+        ``m``, ``label``, ``seed``, ``utilizations``, ``n_tasksets``,
+        ``methods``).
+    records:
+        Kind-specific payload: :class:`ChunkRecord` list for sweeps,
+        per-item row dicts for split sweeps.
+    elapsed_seconds:
+        This shard's wall-clock (merged results report the sum: total
+        compute spent, not latency).
+    """
+
+    kind: str
+    fingerprint: str
+    shard: ShardSpec
+    total_items: int
+    meta: dict
+    records: list = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def covered_items(self) -> set[int]:
+        """Work-item indexes this artifact accounts for."""
+        covered: set[int] = set()
+        if self.kind == KIND_SWEEP:
+            for record in self.records:
+                covered.update(range(record.start, record.stop))
+        else:
+            covered.update(int(entry["item"]) for entry in self.records)
+        return covered
+
+
+def save_shard(path: str | Path, artifact: ShardArtifact) -> Path:
+    """Atomically write one shard artifact as versioned JSON."""
+    if artifact.kind == KIND_SWEEP:
+        records = [record_to_json(record) for record in artifact.records]
+    else:
+        records = list(artifact.records)
+    payload = {
+        "version": FORMAT_VERSION,
+        "kind": artifact.kind,
+        "fingerprint": artifact.fingerprint,
+        "shard": {"index": artifact.shard.index, "count": artifact.shard.count},
+        "total_items": artifact.total_items,
+        "meta": artifact.meta,
+        "records": records,
+        "elapsed_seconds": artifact.elapsed_seconds,
+    }
+    path = Path(path)
+    write_json_atomic(path, payload)
+    return path
+
+
+def load_shard(path: str | Path) -> ShardArtifact:
+    """Read and validate one shard artifact.
+
+    Raises
+    ------
+    ShardError
+        On a missing file, unreadable JSON, an unknown ``kind`` or a
+        format-version mismatch.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ShardError(f"shard artifact {path} does not exist")
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("version") != FORMAT_VERSION:
+            raise ShardError(
+                f"shard artifact {path} has format version "
+                f"{payload.get('version')!r}, expected {FORMAT_VERSION}"
+            )
+        kind = str(payload["kind"])
+        if kind not in KNOWN_KINDS:
+            raise ShardError(
+                f"shard artifact {path} has unknown kind {kind!r}; "
+                f"expected one of {KNOWN_KINDS}"
+            )
+        if kind == KIND_SWEEP:
+            records = [record_from_json(entry) for entry in payload["records"]]
+        else:
+            records = [_split_record_from_json(entry) for entry in payload["records"]]
+        return ShardArtifact(
+            kind=kind,
+            fingerprint=str(payload["fingerprint"]),
+            shard=ShardSpec(
+                int(payload["shard"]["index"]), int(payload["shard"]["count"])
+            ),
+            total_items=int(payload["total_items"]),
+            meta=dict(payload["meta"]),
+            records=records,
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
+    except ShardError:
+        raise
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise ShardError(f"shard artifact {path} is unreadable ({exc})") from exc
+
+
+def _split_record_from_json(entry: dict) -> dict:
+    """Validate and normalise one splitsweep per-item record.
+
+    Raises on a missing ``item``, non-list ``rows`` or a row that is
+    not the 4-tuple ``(Σq, task count, utilisation, schedulable)`` —
+    the caller maps the failure to a :class:`ShardError` so corrupt
+    artifacts surface as the CLI's one-line error, not a traceback.
+    """
+    rows = []
+    for row in entry["rows"]:
+        q, tasks, u, schedulable = row
+        rows.append((int(q), int(tasks), float(u), bool(schedulable)))
+    return {"item": int(entry["item"]), "rows": rows}
+
+
+def validate_shard_set(artifacts: list[ShardArtifact]) -> None:
+    """Check a shard set is mergeable: one sweep, complete, disjoint.
+
+    Raises :class:`~repro.exceptions.ShardError` naming the first
+    problem found: empty input, mixed kinds/fingerprints/shard counts,
+    duplicate shards, missing shards, items outside a shard's slice, or
+    per-item gaps/overlaps in coverage.
+    """
+    if not artifacts:
+        raise ShardError("no shard artifacts to merge")
+    first = artifacts[0]
+    for artifact in artifacts[1:]:
+        if artifact.kind != first.kind:
+            raise ShardError(
+                f"mixed artifact kinds: {first.kind!r} vs {artifact.kind!r}"
+            )
+        if artifact.fingerprint != first.fingerprint:
+            raise ShardError(
+                "shard artifacts belong to different sweeps "
+                "(fingerprint mismatch); merge shards of one sweep only"
+            )
+        if artifact.shard.count != first.shard.count:
+            raise ShardError(
+                f"inconsistent shard counts: {first.shard.count} vs "
+                f"{artifact.shard.count}"
+            )
+        if artifact.total_items != first.total_items:
+            raise ShardError(
+                f"inconsistent total item counts: {first.total_items} vs "
+                f"{artifact.total_items}"
+            )
+        if artifact.meta != first.meta:
+            raise ShardError("shard artifacts disagree on sweep metadata")
+
+    seen: dict[int, ShardArtifact] = {}
+    for artifact in artifacts:
+        if artifact.shard.index in seen:
+            raise ShardError(
+                f"duplicate shard {artifact.shard.label} (overlap); "
+                "each shard must be merged exactly once"
+            )
+        seen[artifact.shard.index] = artifact
+
+    missing_shards = sorted(set(range(first.shard.count)) - set(seen))
+    if missing_shards:
+        human = ", ".join(f"{i + 1}/{first.shard.count}" for i in missing_shards)
+        raise ShardError(f"missing shards (gap): {human}")
+
+    covered: set[int] = set()
+    for artifact in artifacts:
+        items = artifact.covered_items()
+        outside = items - set(artifact.shard.items(artifact.total_items))
+        if outside:
+            raise ShardError(
+                f"shard {artifact.shard.label} covers item {min(outside)} "
+                "outside its slice (overlap); artifact is corrupt"
+            )
+        covered |= items
+    gaps = set(range(first.total_items)) - covered
+    if gaps:
+        raise ShardError(
+            f"merged shards leave {len(gaps)} items uncovered "
+            f"(gap at item {min(gaps)}); was a shard interrupted?"
+        )
+
+
+def sweep_meta(spec) -> dict:
+    """The JSON-safe slice of a ``SweepSpec`` a merge needs to rebuild
+    its :class:`~repro.engine.results.SweepResult`."""
+    return {
+        "m": spec.m,
+        "label": spec.label,
+        "seed": spec.seed,
+        "utilizations": list(spec.utilizations),
+        "n_tasksets": spec.n_tasksets,
+        "methods": [method.value for method in spec.methods],
+    }
+
+
+def merge_shards(shards: list[ShardArtifact | str | Path]) -> SweepResult:
+    """Reconstruct the single-process :class:`SweepResult` from shards.
+
+    Accepts loaded :class:`ShardArtifact` objects or paths to them.
+    After :func:`validate_shard_set`, the union of every shard's chunk
+    records must coalesce to exactly one run covering the whole item
+    space; the rebuilt result is bit-identical to the serial unsharded
+    run (``elapsed_seconds`` reports the summed shard wall-clocks).
+    """
+    artifacts = [
+        shard if isinstance(shard, ShardArtifact) else load_shard(shard)
+        for shard in shards
+    ]
+    validate_shard_set(artifacts)
+    first = artifacts[0]
+    if first.kind != KIND_SWEEP:
+        raise ShardError(
+            f"merge_shards() merges {KIND_SWEEP!r} artifacts; got "
+            f"{first.kind!r} (use the experiment's own merge)"
+        )
+
+    all_records: list[ChunkRecord] = []
+    for artifact in artifacts:
+        all_records.extend(artifact.records)
+    merged = coalesce_records(all_records)
+    if merged != [] and (
+        len(merged) != 1
+        or merged[0].start != 0
+        or merged[0].stop != first.total_items
+    ):
+        raise ShardError("merged records do not cover the item space exactly")
+
+    meta = first.meta
+    utilizations = [float(u) for u in meta["utilizations"]]
+    methods = tuple(str(name) for name in meta["methods"])
+    n_tasksets = int(meta["n_tasksets"])
+    counts = {
+        point: {name: 0 for name in methods} for point in range(len(utilizations))
+    }
+    for record in merged:
+        for point, point_counts in record.counts.items():
+            for name, count in point_counts.items():
+                counts[point][name] += count
+
+    points = tuple(
+        SweepPoint(utilization, n_tasksets, counts[point])
+        for point, utilization in enumerate(utilizations)
+    )
+    return SweepResult(
+        m=int(meta["m"]),
+        label=str(meta["label"]),
+        seed=int(meta["seed"]),
+        points=points,
+        methods=methods,
+        elapsed_seconds=sum(a.elapsed_seconds for a in artifacts),
+    )

@@ -1,0 +1,198 @@
+"""Streaming sweep results: append-as-you-go JSONL record files.
+
+Checkpoints snapshot a sweep every few seconds; a *stream* is finer and
+cheaper to consume incrementally: one JSON object per line, flushed the
+moment each chunk of work completes, so a dashboard, a tail -f, or a
+downstream job can watch a long sweep converge instead of waiting for
+the final table.  The line schema:
+
+* ``{"type": "header", "version": ..., "kind": ..., "fingerprint": ...,
+  "shard": {...} | null, "total_items": ..., "meta": {...}}`` — first
+  line, identifies the sweep (same fingerprint/meta as shard
+  artifacts);
+* ``{"type": "chunk", "start": ..., "stop": ..., "counts": {...},
+  "replayed": bool}`` — one completed chunk (``replayed`` marks records
+  restored from a checkpoint rather than computed by this run);
+* ``{"type": "item", ...}`` — experiment-specific per-item payloads
+  (the split sweep streams one of these per task-set);
+* ``{"type": "summary", "done_items": ..., "elapsed_seconds": ...}`` —
+  final line of a run that finished.
+
+A stream interrupted mid-run is still a valid prefix: every line is
+self-contained and the writer flushes per line.  Streams are an
+*observation* channel — resuming uses checkpoints, merging uses shard
+artifacts — but :func:`read_stream` can rebuild a
+:class:`~repro.engine.checkpoint.ChunkRecord` list for offline
+inspection, and the conformance suite asserts a stream's records sum to
+exactly the sweep's final counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import TracebackType
+
+from repro.exceptions import AnalysisError
+from repro.engine.checkpoint import (
+    FORMAT_VERSION,
+    ChunkRecord,
+    record_from_json,
+    record_to_json,
+)
+
+
+class StreamWriter:
+    """Write one run's JSONL stream, flushing every line.
+
+    Use as a context manager; the file is truncated at open (a resumed
+    run replays checkpoint-restored chunks into the new stream first, so
+    a stream file is always self-contained).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def _emit(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
+
+    def write_header(
+        self,
+        kind: str,
+        fingerprint: str,
+        total_items: int,
+        meta: dict,
+        shard: dict | None = None,
+    ) -> None:
+        self._emit(
+            {
+                "type": "header",
+                "version": FORMAT_VERSION,
+                "kind": kind,
+                "fingerprint": fingerprint,
+                "shard": shard,
+                "total_items": total_items,
+                "meta": meta,
+            }
+        )
+
+    def write_chunk(self, record: ChunkRecord, replayed: bool = False) -> None:
+        payload = record_to_json(record)
+        payload["type"] = "chunk"
+        payload["replayed"] = replayed
+        self._emit(payload)
+
+    def write_item(self, item: int, **fields: object) -> None:
+        self._emit({"type": "item", "item": item, **fields})
+
+    def write_summary(self, done_items: int, elapsed_seconds: float) -> None:
+        self._emit(
+            {
+                "type": "summary",
+                "done_items": done_items,
+                "elapsed_seconds": elapsed_seconds,
+            }
+        )
+
+
+@dataclass(slots=True)
+class StreamDump:
+    """A fully-parsed stream file."""
+
+    header: dict
+    chunks: list[ChunkRecord] = field(default_factory=list)
+    items: list[dict] = field(default_factory=list)
+    summary: dict | None = None
+
+    @property
+    def complete(self) -> bool:
+        """True when the run wrote its final summary line."""
+        return self.summary is not None
+
+    def counts(self) -> dict[int, dict[str, int]]:
+        """Total per-point, per-method counts over every chunk line."""
+        totals: dict[int, dict[str, int]] = {}
+        for record in self.chunks:
+            for point, methods in record.counts.items():
+                target = totals.setdefault(point, {})
+                for name, count in methods.items():
+                    target[name] = target.get(name, 0) + count
+        return totals
+
+
+def iter_stream(path: str | Path):
+    """Yield each stream line as a dict, tolerating a truncated tail.
+
+    A final partial line (the writer was killed mid-write) is ignored;
+    any earlier malformed line raises, since the writer flushes whole
+    lines only.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        for line in handle:
+            if not line.endswith("\n"):
+                break  # torn final line from a killed writer
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(
+                    f"stream {path} has a corrupt line ({exc})"
+                ) from exc
+            if not isinstance(payload, dict) or "type" not in payload:
+                raise AnalysisError(f"stream {path} has a malformed line")
+            yield payload
+
+
+def read_stream(path: str | Path) -> StreamDump:
+    """Parse a whole stream file into a :class:`StreamDump`.
+
+    Raises
+    ------
+    AnalysisError
+        When the file is missing, empty, does not start with a header,
+        or carries an unexpected format version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"stream {path} does not exist")
+    dump: StreamDump | None = None
+    for payload in iter_stream(path):
+        if dump is None:
+            if payload["type"] != "header":
+                raise AnalysisError(
+                    f"stream {path} does not start with a header line"
+                )
+            if payload.get("version") != FORMAT_VERSION:
+                raise AnalysisError(
+                    f"stream {path} has format version "
+                    f"{payload.get('version')!r}, expected {FORMAT_VERSION}"
+                )
+            dump = StreamDump(header=payload)
+        elif payload["type"] == "chunk":
+            dump.chunks.append(record_from_json(payload))
+        elif payload["type"] == "item":
+            dump.items.append(payload)
+        elif payload["type"] == "summary":
+            dump.summary = payload
+    if dump is None:
+        raise AnalysisError(f"stream {path} is empty")
+    return dump

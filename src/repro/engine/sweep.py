@@ -22,6 +22,16 @@ With a checkpoint path, completed chunks are periodically written to a
 JSON file (:mod:`repro.engine.checkpoint`); an interrupted sweep re-run
 with the same spec resumes from the covered items instead of restarting.
 A checkpoint written by a *different* spec is rejected by fingerprint.
+
+Sharding and streaming
+----------------------
+:meth:`SweepEngine.run` optionally evaluates only one
+:class:`~repro.engine.shard.ShardSpec` slice of the item space, writing
+a versioned shard artifact that
+:func:`~repro.engine.shard.merge_shards` later recombines into the
+exact single-process result; a ``stream`` path additionally emits every
+completed chunk as one JSONL line the moment it finishes
+(:mod:`repro.engine.streaming`).
 """
 
 from __future__ import annotations
@@ -47,6 +57,8 @@ from repro.engine.checkpoint import (
 )
 from repro.engine.executors import Executor, SerialExecutor
 from repro.engine.results import SweepPoint, SweepResult
+from repro.engine.shard import KIND_SWEEP, ShardArtifact, ShardSpec, save_shard, sweep_meta
+from repro.engine.streaming import StreamWriter
 from repro.generator.profiles import TasksetProfile
 from repro.generator.taskset_gen import generate_taskset
 
@@ -174,6 +186,21 @@ class ProgressEvent:
 EngineProgress = Callable[[ProgressEvent], None]
 
 
+def _run_runs(
+    payload: tuple[SweepSpec, tuple[tuple[int, int], ...]],
+) -> list[ChunkRecord]:
+    """Evaluate a batch of contiguous runs (one executor round-trip).
+
+    Sharded item sets are strided, so their contiguous runs are tiny
+    (often single items); batching many runs into one payload keeps the
+    per-task pickling/IPC cost proportional to the chunk size, not the
+    item count, while records stay per-run (contiguous) so the
+    checkpoint/artifact schema is unchanged.
+    """
+    spec, runs = payload
+    return [_run_chunk((spec, start, stop)) for start, stop in runs]
+
+
 def _contiguous_runs(items: Sequence[int]) -> list[tuple[int, int]]:
     """Maximal ``(start, stop)`` runs of consecutive item indexes."""
     runs: list[tuple[int, int]] = []
@@ -224,9 +251,48 @@ class SweepEngine:
         self.progress = progress
 
     # ------------------------------------------------------------------
-    def run(self, spec: SweepSpec) -> SweepResult:
-        """Execute the sweep (resuming from a checkpoint when present)."""
+    def run(
+        self,
+        spec: SweepSpec,
+        shard: ShardSpec | None = None,
+        shard_out: str | Path | None = None,
+        stream: str | Path | None = None,
+    ) -> SweepResult:
+        """Execute the sweep (resuming from a checkpoint when present).
+
+        Parameters
+        ----------
+        spec:
+            What to sweep.
+        shard:
+            When set, evaluate only this slice of the item space; the
+            returned partial result reports, per utilisation point, the
+            counts over the shard's items (with matching ``n_tasksets``
+            denominators).  All shards of one spec merge bit-identically
+            to the unsharded run via
+            :func:`~repro.engine.shard.merge_shards`.
+        shard_out:
+            Write a shard artifact here on completion.  Without an
+            explicit ``shard`` this means "the whole sweep as shard
+            1/1" — a full run's artifact is mergeable on its own.
+        stream:
+            JSONL stream path; every completed chunk is appended and
+            flushed the moment it finishes (checkpoint-restored chunks
+            are replayed first so the file is self-contained).
+        """
         start_time = time.perf_counter()
+        if shard is None and shard_out is not None:
+            shard = ShardSpec(0, 1)
+        planned = (
+            list(shard.items(spec.total_items))
+            if shard is not None
+            else list(range(spec.total_items))
+        )
+        planned_set = set(planned)
+        expected_in_point = [0] * spec.n_points
+        for item in planned:
+            expected_in_point[item // spec.n_tasksets] += 1
+
         counts = {
             point: {method.value: 0 for method in spec.methods}
             for point in range(spec.n_points)
@@ -235,12 +301,19 @@ class SweepEngine:
         done_items = 0
 
         fingerprint = spec.fingerprint()
+        # A shard's checkpoint covers a different item subset, so it must
+        # never be resumed by another shard (or the unsharded run): the
+        # checkpoint identity is shard-qualified, the artifact's is not.
+        checkpoint_fingerprint = fingerprint
+        if shard is not None and shard.count > 1:
+            checkpoint_fingerprint = f"{fingerprint}@shard{shard.label}"
+
         records: list[ChunkRecord] = []
         covered: set[int] = set()
         if self.checkpoint_path is not None:
             loaded = load_checkpoint(self.checkpoint_path)
             if loaded is not None:
-                if loaded.fingerprint != fingerprint:
+                if loaded.fingerprint != checkpoint_fingerprint:
                     raise AnalysisError(
                         f"checkpoint {self.checkpoint_path} belongs to a "
                         "different sweep (spec fingerprint mismatch); "
@@ -248,12 +321,12 @@ class SweepEngine:
                     )
                 records = list(loaded.records)
                 covered = loaded.covered_items()
-                stale = [i for i in covered if i >= spec.total_items]
+                stale = [i for i in covered if i not in planned_set]
                 if stale:
                     raise AnalysisError(
                         f"checkpoint {self.checkpoint_path} covers item "
-                        f"{max(stale)}, beyond this sweep's "
-                        f"{spec.total_items} items"
+                        f"{max(stale)}, outside this run's "
+                        f"{len(planned)} planned items"
                     )
                 for record in records:
                     done_items += record.stop - record.start
@@ -263,49 +336,88 @@ class SweepEngine:
                     for item in range(record.start, record.stop):
                         done_in_point[item // spec.n_tasksets] += 1
 
-        remaining = [i for i in range(spec.total_items) if i not in covered]
-        payloads = [
-            (spec, start, stop)
-            for start, stop in self._chunks(remaining)
-        ]
+        remaining = [i for i in planned if i not in covered]
+        payloads = [(spec, tuple(batch)) for batch in self._chunks(remaining)]
 
-        last_save = time.monotonic()
-        for record in self.executor.map_unordered(_run_chunk, payloads):
-            records.append(record)
-            for point, methods in record.counts.items():
-                for method, count in methods.items():
-                    counts[point][method] += count
-            for item in range(record.start, record.stop):
-                point = item // spec.n_tasksets
-                done_in_point[point] += 1
-                done_items += 1
-                if self.progress is not None:
-                    self.progress(
-                        ProgressEvent(
-                            utilization=spec.utilizations[point],
-                            point_index=point,
-                            done_in_point=done_in_point[point],
-                            n_tasksets=spec.n_tasksets,
-                            done_items=done_items,
-                            total_items=spec.total_items,
+        writer = StreamWriter(stream) if stream is not None else None
+        try:
+            if writer is not None:
+                writer.write_header(
+                    kind=KIND_SWEEP,
+                    fingerprint=fingerprint,
+                    total_items=spec.total_items,
+                    meta=sweep_meta(spec),
+                    shard=(
+                        {"index": shard.index, "count": shard.count}
+                        if shard is not None
+                        else None
+                    ),
+                )
+                for record in records:
+                    writer.write_chunk(record, replayed=True)
+
+            last_save = time.monotonic()
+            for batch in self.executor.map_unordered(_run_runs, payloads):
+                for record in batch:
+                    records.append(record)
+                    if writer is not None:
+                        writer.write_chunk(record)
+                    for point, methods in record.counts.items():
+                        for method, count in methods.items():
+                            counts[point][method] += count
+                    for item in range(record.start, record.stop):
+                        point = item // spec.n_tasksets
+                        done_in_point[point] += 1
+                        done_items += 1
+                        if self.progress is not None:
+                            self.progress(
+                                ProgressEvent(
+                                    utilization=spec.utilizations[point],
+                                    point_index=point,
+                                    done_in_point=done_in_point[point],
+                                    n_tasksets=expected_in_point[point],
+                                    done_items=done_items,
+                                    total_items=len(planned),
+                                )
+                            )
+                if self.checkpoint_path is not None:
+                    now = time.monotonic()
+                    if now - last_save >= self.checkpoint_interval:
+                        save_checkpoint(
+                            self.checkpoint_path,
+                            SweepCheckpoint(checkpoint_fingerprint, records),
                         )
-                    )
-            if self.checkpoint_path is not None:
-                now = time.monotonic()
-                if now - last_save >= self.checkpoint_interval:
-                    save_checkpoint(
-                        self.checkpoint_path,
-                        SweepCheckpoint(fingerprint, records),
-                    )
-                    last_save = now
+                        last_save = now
 
-        if self.checkpoint_path is not None:
-            save_checkpoint(
-                self.checkpoint_path, SweepCheckpoint(fingerprint, records)
+            if self.checkpoint_path is not None:
+                save_checkpoint(
+                    self.checkpoint_path,
+                    SweepCheckpoint(checkpoint_fingerprint, records),
+                )
+
+            elapsed = time.perf_counter() - start_time
+            if writer is not None:
+                writer.write_summary(done_items, elapsed)
+        finally:
+            if writer is not None:
+                writer.close()
+
+        if shard_out is not None:
+            save_shard(
+                shard_out,
+                ShardArtifact(
+                    kind=KIND_SWEEP,
+                    fingerprint=fingerprint,
+                    shard=shard,
+                    total_items=spec.total_items,
+                    meta=sweep_meta(spec),
+                    records=records,
+                    elapsed_seconds=elapsed,
+                ),
             )
 
         points = tuple(
-            SweepPoint(utilization, spec.n_tasksets, counts[point])
+            SweepPoint(utilization, expected_in_point[point], counts[point])
             for point, utilization in enumerate(spec.utilizations)
         )
         return SweepResult(
@@ -318,8 +430,15 @@ class SweepEngine:
         )
 
     # ------------------------------------------------------------------
-    def _chunks(self, remaining: Sequence[int]) -> list[tuple[int, int]]:
-        """Split the remaining items into contiguous ``(start, stop)``."""
+    def _chunks(self, remaining: Sequence[int]) -> list[list[tuple[int, int]]]:
+        """Batch the remaining items into executor payloads.
+
+        Each batch is a list of contiguous ``(start, stop)`` runs whose
+        total item count is at most the chunk size.  For the usual
+        contiguous item sets a batch is exactly one run; for strided
+        (sharded) sets, many single-item runs share a batch so one
+        executor round-trip still covers a chunk's worth of work.
+        """
         if not remaining:
             return []
         size = self.chunk_size
@@ -328,8 +447,20 @@ class SweepEngine:
                 size = 1
             else:
                 size = max(1, math.ceil(len(remaining) / (self.executor.jobs * 8)))
-        chunks: list[tuple[int, int]] = []
+        pieces: list[tuple[int, int]] = []
         for start, stop in _contiguous_runs(remaining):
             for lo in range(start, stop, size):
-                chunks.append((lo, min(lo + size, stop)))
-        return chunks
+                pieces.append((lo, min(lo + size, stop)))
+        batches: list[list[tuple[int, int]]] = []
+        batch: list[tuple[int, int]] = []
+        batch_items = 0
+        for start, stop in pieces:
+            if batch and batch_items + (stop - start) > size:
+                batches.append(batch)
+                batch = []
+                batch_items = 0
+            batch.append((start, stop))
+            batch_items += stop - start
+        if batch:
+            batches.append(batch)
+        return batches

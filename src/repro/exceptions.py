@@ -9,6 +9,8 @@ rejected the input:
   nodes, non-DAG inputs);
 * :class:`AnalysisError` — response-time analysis misuse (bad core
   counts, unordered priorities);
+* :class:`CheckpointError` / :class:`ShardError` — sweep-engine
+  persistence problems (corrupt checkpoints, inconsistent shard sets);
 * :class:`IlpError` / :class:`IlpInfeasibleError` — ILP substrate
   failures;
 * :class:`GenerationError` — task-set generator parameter problems;
@@ -36,6 +38,18 @@ class CycleError(GraphError):
 
 class AnalysisError(ReproError):
     """The response-time analysis was invoked with invalid parameters."""
+
+
+class CheckpointError(AnalysisError):
+    """A sweep checkpoint file is corrupt, truncated or incompatible.
+
+    Subclasses :class:`AnalysisError` so pre-existing callers that catch
+    the broader class keep working.
+    """
+
+
+class ShardError(AnalysisError):
+    """A shard set is inconsistent: gaps, overlaps or mixed sweeps."""
 
 
 class IlpError(ReproError):

@@ -24,6 +24,7 @@ from pathlib import Path
 from repro.exceptions import AnalysisError
 from repro.core.blocking import RhoSolver
 from repro.core.workload import MuMethod
+from repro.engine import ShardSpec
 from repro.experiments.runner import (
     DEFAULT_METHODS,
     SweepResult,
@@ -51,6 +52,9 @@ def run_figure2(
     rho_solver: RhoSolver = "assignment",
     jobs: int = 1,
     checkpoint: str | Path | None = None,
+    shard: ShardSpec | None = None,
+    shard_out: str | Path | None = None,
+    stream: str | Path | None = None,
 ) -> SweepResult:
     """Regenerate one sub-figure of Figure 2.
 
@@ -70,6 +74,13 @@ def run_figure2(
         way).
     checkpoint:
         Optional JSON checkpoint path for resumable runs.
+    shard / shard_out:
+        Run only one :class:`~repro.engine.ShardSpec` slice, writing its
+        artifact to ``shard_out``; merging all shards with
+        :func:`~repro.engine.merge_shards` reproduces the unsharded
+        result bit-for-bit.
+    stream:
+        Optional JSONL stream path (one line per completed chunk).
     """
     if m < 1:
         raise AnalysisError(f"core count m must be >= 1, got {m}")
@@ -85,6 +96,9 @@ def run_figure2(
         rho_solver=rho_solver,
         jobs=jobs,
         checkpoint=checkpoint,
+        shard=shard,
+        shard_out=shard_out,
+        stream=stream,
     )
 
 

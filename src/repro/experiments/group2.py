@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.engine import ShardSpec
 from repro.experiments.runner import (
     DEFAULT_METHODS,
     SweepResult,
@@ -42,8 +43,17 @@ def run_group2(
     step: float | None = None,
     jobs: int = 1,
     checkpoint: str | Path | None = None,
+    shard: ShardSpec | None = None,
+    shard_out: str | Path | None = None,
+    stream: str | Path | None = None,
 ) -> Group2Report:
-    """Run the group-2 sweep and summarise the LP-max vs LP-ILP gap."""
+    """Run the group-2 sweep and summarise the LP-max vs LP-ILP gap.
+
+    ``shard`` / ``shard_out`` / ``stream`` behave as in
+    :func:`repro.experiments.figure2.run_figure2`; note the gap summary
+    of a sharded run covers only that shard's task-sets — merge the
+    shards for the full-population gap.
+    """
     sweep = run_sweep(
         m=m,
         utilizations=utilization_grid(m, step=step),
@@ -54,6 +64,9 @@ def run_group2(
         label=f"group2-m{m}",
         jobs=jobs,
         checkpoint=checkpoint,
+        shard=shard,
+        shard_out=shard_out,
+        stream=stream,
     )
     gaps = [
         abs(point.ratio("LP-ILP") - point.ratio("LP-max")) for point in sweep.points

@@ -26,6 +26,7 @@ from repro.core.workload import MuMethod
 from repro.engine import (
     DEFAULT_METHODS,
     ProgressEvent,
+    ShardSpec,
     SweepEngine,
     SweepPoint,
     SweepResult,
@@ -60,6 +61,9 @@ def run_sweep(
     progress: ProgressHook | None = None,
     jobs: int = 1,
     checkpoint: str | Path | None = None,
+    shard: ShardSpec | None = None,
+    shard_out: str | Path | None = None,
+    stream: str | Path | None = None,
 ) -> SweepResult:
     """Run one schedulability sweep.
 
@@ -92,6 +96,16 @@ def run_sweep(
     checkpoint:
         Optional JSON checkpoint path; an interrupted sweep re-run with
         the same parameters resumes instead of restarting.
+    shard:
+        Optional :class:`~repro.engine.ShardSpec`; evaluate only that
+        slice of the item space (for CI matrix jobs or clusters) and
+        merge the shards bit-identically with
+        :func:`~repro.engine.merge_shards`.
+    shard_out:
+        Where to write the shard artifact on completion.
+    stream:
+        Optional JSONL path; completed chunks are appended and flushed
+        incrementally (:mod:`repro.engine.streaming`).
 
     Returns
     -------
@@ -120,7 +134,7 @@ def run_sweep(
         checkpoint_path=checkpoint,
         progress=engine_progress,
     )
-    return engine.run(spec)
+    return engine.run(spec, shard=shard, shard_out=shard_out, stream=stream)
 
 
 def utilization_grid(m: int, step: float | None = None, start: float = 1.0) -> list[float]:

@@ -24,18 +24,39 @@ evaluation across all thresholds is one work item on a
 :mod:`repro.engine.executors` executor (``jobs``), and per-threshold
 aggregates are reduced in corpus order, so serial and parallel runs are
 bit-identical.
+
+Like the grid sweeps, a split sweep shards across independent
+invocations: a :class:`~repro.engine.shard.ShardSpec` selects a strided
+slice of the corpus (every shard regenerates the identical corpus from
+the seed, then evaluates only its own task-sets), each invocation
+writes a ``kind="splitsweep"`` shard artifact storing its per-item
+rows, and :func:`merge_split_shards` re-reduces the rows in corpus
+order — bit-identical to the unsharded serial run, float sums included.
+A ``stream`` path emits one JSONL line per task-set as it completes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, ShardError
 from repro.core.analyzer import AnalysisMethod, analyze_taskset
-from repro.engine.executors import make_executor, map_ordered
+from repro.engine.executors import make_executor
+from repro.engine.shard import (
+    KIND_SPLITSWEEP,
+    ShardArtifact,
+    ShardSpec,
+    load_shard,
+    save_shard,
+    validate_shard_set,
+)
+from repro.engine.streaming import StreamWriter
 from repro.generator.profiles import GROUP1, TasksetProfile
 from repro.generator.taskset_gen import generate_taskset
 from repro.model.taskset import TaskSet
@@ -69,14 +90,16 @@ def split_taskset(
 
 
 def _evaluate_split_item(
-    payload: tuple[TaskSet, int, tuple[float, ...], AnalysisMethod, float],
-) -> list[tuple[int, int, float, bool]]:
+    payload: tuple[int, TaskSet, int, tuple[float, ...], AnalysisMethod, float],
+) -> tuple[int, list[tuple[int, int, float, bool]]]:
     """One task-set across all thresholds (runs in a worker process).
 
-    Returns, per threshold, ``(Σq, task count, total utilisation,
-    schedulable)`` of the split task-set.
+    Returns the corpus index and, per threshold, ``(Σq, task count,
+    total utilisation, schedulable)`` of the split task-set.  The index
+    tag lets results stream in completion order yet reduce in corpus
+    order (float sums stay bit-identical for any executor or shard).
     """
-    taskset, m, thresholds, method, overhead = payload
+    index, taskset, m, thresholds, method, overhead = payload
     rows: list[tuple[int, int, float, bool]] = []
     for threshold in thresholds:
         split = split_taskset(taskset, threshold, overhead=overhead)
@@ -88,7 +111,70 @@ def _evaluate_split_item(
                 analyze_taskset(split, m, method).schedulable,
             )
         )
-    return rows
+    return index, rows
+
+
+def split_sweep_fingerprint(
+    m: int,
+    utilization: float,
+    thresholds: tuple[float, ...],
+    n_tasksets: int,
+    seed: int,
+    profile: TasksetProfile,
+    method: AnalysisMethod,
+    overhead: float,
+) -> str:
+    """Stable hash identifying one split-sweep configuration."""
+    canonical = repr(
+        (
+            "repro.experiments.splitsweep/v1",
+            m,
+            utilization,
+            tuple(thresholds),
+            n_tasksets,
+            seed,
+            repr(profile),
+            method.value,
+            overhead,
+        )
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _reduce_split_rows(
+    thresholds: tuple[float, ...],
+    rows_in_order: list[list[tuple[int, int, float, bool]]],
+    n_evaluated: int,
+) -> list[SplitSweepPoint]:
+    """Fold per-item rows (already in corpus order) into sweep points.
+
+    This is the single reduction path shared by direct runs and
+    :func:`merge_split_shards`, so both sum in the same order and agree
+    bit-for-bit.
+    """
+    points: list[SplitSweepPoint] = []
+    for t_index, threshold in enumerate(thresholds):
+        good = 0
+        total_q = 0
+        total_tasks = 0
+        total_u = 0.0
+        for rows in rows_in_order:
+            q, tasks, u, schedulable = rows[t_index]
+            total_q += q
+            total_tasks += tasks
+            total_u += u
+            if schedulable:
+                good += 1
+        points.append(
+            SplitSweepPoint(
+                threshold=threshold,
+                n_tasksets=n_evaluated,
+                schedulable=good,
+                mean_q=total_q / total_tasks if total_tasks else 0.0,
+                mean_utilization=total_u / n_evaluated if n_evaluated else 0.0,
+            )
+        )
+    return points
 
 
 def run_split_sweep(
@@ -101,6 +187,9 @@ def run_split_sweep(
     method: AnalysisMethod = AnalysisMethod.LP_ILP,
     overhead: float = 0.0,
     jobs: int = 1,
+    shard: ShardSpec | None = None,
+    shard_out: str | Path | None = None,
+    stream: str | Path | None = None,
 ) -> list[SplitSweepPoint]:
     """Schedulability vs NPR-size threshold on a fixed task-set corpus.
 
@@ -121,36 +210,133 @@ def run_split_sweep(
         paper's overhead-free model.
     jobs:
         Worker processes; results are identical for any value.
+    shard / shard_out:
+        Evaluate only the shard's slice of the corpus (the corpus
+        itself is regenerated identically from the seed in every
+        shard), writing a ``kind="splitsweep"`` artifact to
+        ``shard_out``; recombine with :func:`merge_split_shards`.
+    stream:
+        Optional JSONL path; one ``item`` line per task-set, flushed as
+        each completes.
     """
     if not thresholds:
         raise AnalysisError("need at least one threshold")
+    thresholds = tuple(thresholds)
+    if shard is None and shard_out is not None:
+        shard = ShardSpec(0, 1)
     rng = np.random.default_rng(seed)
     corpus = [generate_taskset(rng, utilization, profile) for _ in range(n_tasksets)]
+    indexes = (
+        list(shard.items(n_tasksets)) if shard is not None else list(range(n_tasksets))
+    )
     payloads = [
-        (taskset, m, tuple(thresholds), method, overhead) for taskset in corpus
+        (index, corpus[index], m, thresholds, method, overhead) for index in indexes
     ]
-    rows_by_taskset = map_ordered(make_executor(jobs), _evaluate_split_item, payloads)
 
-    points: list[SplitSweepPoint] = []
-    for t_index, threshold in enumerate(thresholds):
-        good = 0
-        total_q = 0
-        total_tasks = 0
-        total_u = 0.0
-        for rows in rows_by_taskset:
-            q, tasks, u, schedulable = rows[t_index]
-            total_q += q
-            total_tasks += tasks
-            total_u += u
-            if schedulable:
-                good += 1
-        points.append(
-            SplitSweepPoint(
-                threshold=threshold,
-                n_tasksets=n_tasksets,
-                schedulable=good,
-                mean_q=total_q / total_tasks if total_tasks else 0.0,
-                mean_utilization=total_u / n_tasksets,
+    fingerprint = split_sweep_fingerprint(
+        m, utilization, thresholds, n_tasksets, seed, profile, method, overhead
+    )
+    meta = {
+        "m": m,
+        "utilization": utilization,
+        "thresholds": list(thresholds),
+        "n_tasksets": n_tasksets,
+        "seed": seed,
+        "overhead": overhead,
+        "method": method.value,
+    }
+
+    start_time = time.perf_counter()
+    writer = StreamWriter(stream) if stream is not None else None
+    rows_by_index: dict[int, list[tuple[int, int, float, bool]]] = {}
+    try:
+        if writer is not None:
+            writer.write_header(
+                kind=KIND_SPLITSWEEP,
+                fingerprint=fingerprint,
+                total_items=n_tasksets,
+                meta=meta,
+                shard=(
+                    {"index": shard.index, "count": shard.count}
+                    if shard is not None
+                    else None
+                ),
             )
+        executor = make_executor(jobs)
+        for index, rows in executor.map_unordered(_evaluate_split_item, payloads):
+            rows_by_index[index] = rows
+            if writer is not None:
+                writer.write_item(index, rows=rows)
+        if writer is not None:
+            writer.write_summary(
+                len(rows_by_index), time.perf_counter() - start_time
+            )
+    finally:
+        if writer is not None:
+            writer.close()
+
+    rows_in_order = [rows_by_index[index] for index in indexes]
+    if shard_out is not None:
+        save_shard(
+            shard_out,
+            ShardArtifact(
+                kind=KIND_SPLITSWEEP,
+                fingerprint=fingerprint,
+                shard=shard,
+                total_items=n_tasksets,
+                meta=meta,
+                records=[
+                    {"item": index, "rows": [list(row) for row in rows_by_index[index]]}
+                    for index in indexes
+                ],
+                elapsed_seconds=time.perf_counter() - start_time,
+            ),
         )
-    return points
+    return _reduce_split_rows(thresholds, rows_in_order, len(indexes))
+
+
+def merge_split_shards(
+    shards: list[ShardArtifact | str | Path],
+) -> list[SplitSweepPoint]:
+    """Recombine split-sweep shard artifacts into the unsharded points.
+
+    Validates the set like :func:`repro.engine.shard.merge_shards`
+    (fingerprints, format version, duplicate/missing shards, per-item
+    gaps and overlaps), reassembles every task-set's rows in corpus
+    order and re-runs the exact serial reduction — the merged points
+    are bit-identical to a single-process run, float means included.
+    """
+    artifacts = [
+        shard if isinstance(shard, ShardArtifact) else load_shard(shard)
+        for shard in shards
+    ]
+    validate_shard_set(artifacts)
+    first = artifacts[0]
+    if first.kind != KIND_SPLITSWEEP:
+        raise ShardError(
+            f"merge_split_shards() merges {KIND_SPLITSWEEP!r} artifacts; "
+            f"got {first.kind!r} (use repro.engine.merge_shards)"
+        )
+    raw_thresholds = first.meta.get("thresholds")
+    if not isinstance(raw_thresholds, (list, tuple)) or not raw_thresholds:
+        raise ShardError(
+            "splitsweep shard metadata is missing its thresholds list; "
+            "artifact is corrupt"
+        )
+    thresholds = tuple(float(t) for t in raw_thresholds)
+    rows_by_index: dict[int, list[tuple[int, int, float, bool]]] = {}
+    for artifact in artifacts:
+        for entry in artifact.records:
+            rows = [
+                (int(q), int(tasks), float(u), bool(schedulable))
+                for q, tasks, u, schedulable in entry["rows"]
+            ]
+            if len(rows) != len(thresholds):
+                raise ShardError(
+                    f"splitsweep shard {artifact.shard.label} item "
+                    f"{entry['item']} has {len(rows)} rows for "
+                    f"{len(thresholds)} thresholds; artifact is corrupt"
+                )
+            rows_by_index[int(entry["item"])] = rows
+    rows_in_order = [rows_by_index[index] for index in sorted(rows_by_index)]
+    return _reduce_split_rows(thresholds, rows_in_order, first.total_items)

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.core.analyzer import AnalysisMethod
+from repro.engine import DEFAULT_METHODS, SweepSpec
+from repro.generator.profiles import GROUP1
 from repro.model.dag import DAG
 from repro.model.node import Node
 
@@ -37,6 +40,53 @@ def random_dags(
             if f"n{j}" not in with_preds:
                 edges.append((f"n0", f"n{j}"))
     return DAG(nodes, edges)
+
+
+#: Cheap-to-analyse utilisation grid points for m = 2 engine sweeps.
+_SWEEP_UTILIZATIONS = (0.4, 0.7, 1.0, 1.3, 1.6)
+
+#: Method tuples the conformance suite sweeps over (cheap first).
+_SWEEP_METHODS: tuple[tuple[AnalysisMethod, ...], ...] = (
+    (AnalysisMethod.FP_IDEAL,),
+    (AnalysisMethod.LP_MAX, AnalysisMethod.LP_ILP),
+    DEFAULT_METHODS,
+)
+
+
+@st.composite
+def sweep_specs(
+    draw,
+    max_points: int = 3,
+    max_tasksets: int = 4,
+) -> SweepSpec:
+    """Small, fast-to-run engine sweep specs for the conformance suite.
+
+    Kept deliberately tiny (m = 2, a handful of low-utilisation points,
+    ≤ ``max_tasksets`` task-sets per point) so every hypothesis example
+    can afford to execute the sweep several times — serially, sharded,
+    chunked, resumed — and compare results bit-for-bit.
+    """
+    utilizations = tuple(
+        sorted(
+            draw(
+                st.lists(
+                    st.sampled_from(_SWEEP_UTILIZATIONS),
+                    min_size=1,
+                    max_size=max_points,
+                    unique=True,
+                )
+            )
+        )
+    )
+    return SweepSpec(
+        m=2,
+        utilizations=utilizations,
+        n_tasksets=draw(st.integers(1, max_tasksets)),
+        profile=GROUP1,
+        seed=draw(st.integers(0, 2**20)),
+        methods=draw(st.sampled_from(_SWEEP_METHODS)),
+        label="conformance",
+    )
 
 
 @st.composite

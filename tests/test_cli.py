@@ -79,10 +79,171 @@ class TestSplitSweep:
         assert "per-point overhead" in out
 
 
+FIG2_SMALL = ["figure2", "--m", "2", "--tasksets", "4", "--seed", "3",
+              "--step", "1.0"]
+
+
+class TestShardParsing:
+    @pytest.mark.parametrize("bad", ["0/2", "3/2", "2/0", "abc", "1-2", "/2",
+                                     "1/", "1/2/3"])
+    def test_rejects_invalid_shard(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(FIG2_SMALL + ["--shard", bad])
+        assert excinfo.value.code == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_shard_runs_and_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "fig2.shard1.json"
+        code = main(FIG2_SMALL + ["--shard", "1/2", "--shard-out", str(out)])
+        assert code == 0
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert "shard 1/2" in printed
+        assert "sweep-merge" in printed
+
+    def test_default_shard_out_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(FIG2_SMALL + ["--shard", "2/2"]) == 0
+        assert (tmp_path / "figure2-m2-shard2of2.json").exists()
+
+
+class TestSweepMerge:
+    def _write_shards(self, tmp_path, count, extra=()):
+        paths = []
+        for index in range(1, count + 1):
+            path = tmp_path / f"shard{index}.json"
+            assert main(FIG2_SMALL + list(extra) + [
+                "--shard", f"{index}/{count}", "--shard-out", str(path),
+            ]) == 0
+            paths.append(str(path))
+        return paths
+
+    def test_merge_matches_unsharded_run(self, capsys, tmp_path):
+        merged_csv = tmp_path / "merged.csv"
+        full_csv = tmp_path / "full.csv"
+        paths = self._write_shards(tmp_path, 2)
+        assert main(["sweep-merge", *paths, "--csv", str(merged_csv)]) == 0
+        assert "Merged sweep" in capsys.readouterr().out
+        assert main(FIG2_SMALL + ["--csv", str(full_csv)]) == 0
+        assert merged_csv.read_text() == full_csv.read_text()
+
+    def test_merge_parallel_shards_identical(self, tmp_path):
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        serial = self._write_shards(tmp_path, 2)
+        assert main(["sweep-merge", *serial, "--csv", str(serial_csv)]) == 0
+        pdir = tmp_path / "parallel"
+        pdir.mkdir()
+        parallel = self._write_shards(pdir, 2, extra=["--jobs", "2"])
+        assert main(["sweep-merge", *parallel, "--csv", str(parallel_csv)]) == 0
+        assert serial_csv.read_text() == parallel_csv.read_text()
+
+    def test_merge_reports_gap(self, capsys, tmp_path):
+        paths = self._write_shards(tmp_path, 3)
+        assert main(["sweep-merge", paths[0], paths[2]]) == 1
+        assert "gap" in capsys.readouterr().err
+
+    def test_merge_reports_duplicate(self, capsys, tmp_path):
+        paths = self._write_shards(tmp_path, 2)
+        assert main(["sweep-merge", paths[0], paths[0], paths[1]]) == 1
+        err = capsys.readouterr().err
+        assert "duplicate" in err or "overlap" in err
+
+    def test_merge_rejects_foreign_shards(self, capsys, tmp_path):
+        paths = self._write_shards(tmp_path, 2)
+        other = tmp_path / "other.json"
+        assert main(["figure2", "--m", "2", "--tasksets", "4", "--seed", "99",
+                     "--step", "1.0", "--shard", "2/2",
+                     "--shard-out", str(other)]) == 0
+        assert main(["sweep-merge", paths[0], str(other)]) == 1
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_merge_missing_file(self, capsys, tmp_path):
+        assert main(["sweep-merge", str(tmp_path / "absent.json")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("mangle", [
+        lambda rec: rec.pop("item"),                      # missing item key
+        lambda rec: rec["rows"][0].pop(),                 # wrong row arity
+        lambda rec: rec.pop("rows"),                      # missing rows
+    ])
+    def test_merge_corrupt_splitsweep_artifact_is_clean_error(
+        self, mangle, capsys, tmp_path
+    ):
+        # Structurally-corrupt splitsweep records must exit 1 with the
+        # one-line sweep-merge error, never a raw traceback.
+        import json
+
+        base = ["splitsweep", "--m", "2", "--tasksets", "3",
+                "--thresholds", "100", "20"]
+        path = tmp_path / "split1.json"
+        assert main(base + ["--shard", "1/1", "--shard-out", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        mangle(payload["records"][0])
+        path.write_text(json.dumps(payload))
+        assert main(["sweep-merge", str(path)]) == 1
+        assert "sweep-merge:" in capsys.readouterr().err
+
+    def test_merge_splitsweep_shards(self, capsys, tmp_path):
+        base = ["splitsweep", "--m", "2", "--tasksets", "4",
+                "--thresholds", "100", "20"]
+        paths = []
+        for index in (1, 2):
+            path = tmp_path / f"split{index}.json"
+            assert main(base + ["--shard", f"{index}/2",
+                                "--shard-out", str(path)]) == 0
+            paths.append(str(path))
+        assert main(["sweep-merge", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "Merged preemption-point sweep" in out
+        assert "4 task-sets" in out
+
+
+class TestEngineFlagInterplay:
+    def test_checkpoint_resume_with_different_jobs(self, capsys, tmp_path):
+        # A sweep checkpointed under --jobs 2 resumes (as a no-op) under
+        # --jobs 1 and prints identical counts: the checkpoint is
+        # executor-agnostic.
+        checkpoint = tmp_path / "cp.json"
+        assert main(FIG2_SMALL + ["--jobs", "2",
+                                  "--checkpoint", str(checkpoint)]) == 0
+        first = capsys.readouterr().out
+        assert checkpoint.exists()
+        assert main(FIG2_SMALL + ["--checkpoint", str(checkpoint)]) == 0
+        second = capsys.readouterr().out
+        table = lambda text: [line for line in text.splitlines()
+                              if line and line[0].isdigit()]
+        assert table(first) == table(second)
+
+    def test_checkpoint_from_other_sweep_rejected(self, tmp_path):
+        from repro.exceptions import AnalysisError
+
+        checkpoint = tmp_path / "cp.json"
+        assert main(FIG2_SMALL + ["--checkpoint", str(checkpoint)]) == 0
+        with pytest.raises(AnalysisError):
+            main(["figure2", "--m", "2", "--tasksets", "5", "--seed", "3",
+                  "--step", "1.0", "--checkpoint", str(checkpoint)])
+
+    def test_shard_with_checkpoint_and_stream(self, capsys, tmp_path):
+        stream = tmp_path / "s.jsonl"
+        checkpoint = tmp_path / "cp.json"
+        out = tmp_path / "shard.json"
+        assert main(FIG2_SMALL + ["--shard", "1/2", "--shard-out", str(out),
+                                  "--checkpoint", str(checkpoint),
+                                  "--stream", str(stream)]) == 0
+        assert out.exists() and checkpoint.exists() and stream.exists()
+        lines = stream.read_text().splitlines()
+        assert '"type": "header"' in lines[0]
+        assert '"type": "summary"' in lines[-1]
+
+
 class TestDispatch:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2
-        assert "figure1" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "sweep-merge" in out
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,4 +1,6 @@
-"""Unit tests for :mod:`repro.engine` — executors, sweep, checkpoints."""
+"""Unit tests for :mod:`repro.engine` — executors, sweep, checkpoints,
+shard artifacts and streams.  (Cross-executor bit-identity lives in
+``tests/test_engine_conformance.py``.)"""
 
 import json
 
@@ -6,6 +8,7 @@ import pytest
 
 from repro.core.analyzer import AnalysisMethod
 from repro.engine.checkpoint import (
+    FORMAT_VERSION,
     ChunkRecord,
     SweepCheckpoint,
     coalesce_records,
@@ -15,11 +18,20 @@ from repro.engine.checkpoint import (
 from repro.engine.executors import (
     MultiprocessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     make_executor,
     map_ordered,
 )
+from repro.engine.shard import (
+    ShardArtifact,
+    ShardSpec,
+    load_shard,
+    merge_shards,
+    parse_shard,
+    save_shard,
+)
 from repro.engine.sweep import SweepEngine, SweepSpec, _contiguous_runs
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, CheckpointError, ShardError
 from repro.generator.profiles import GROUP1
 
 
@@ -59,6 +71,20 @@ class TestExecutors:
         expected = [abs(x) for x in range(-8, 8)]
         assert map_ordered(SerialExecutor(), abs, range(-8, 8)) == expected
         assert map_ordered(MultiprocessExecutor(3), abs, range(-8, 8)) == expected
+        assert map_ordered(ThreadExecutor(3), abs, range(-8, 8)) == expected
+
+    def test_thread_executor(self):
+        assert sorted(ThreadExecutor(4).map_unordered(abs, [-3, 1, -2])) == [1, 2, 3]
+        assert list(ThreadExecutor(2).map_unordered(abs, [])) == []
+        with pytest.raises(AnalysisError):
+            ThreadExecutor(0)
+
+    def test_make_executor_kinds(self):
+        assert isinstance(make_executor(4, kind="thread"), ThreadExecutor)
+        assert isinstance(make_executor(4, kind="process"), MultiprocessExecutor)
+        assert isinstance(make_executor(1, kind="thread"), SerialExecutor)
+        with pytest.raises(AnalysisError):
+            make_executor(4, kind="fibers")
 
 
 class TestSweepSpec:
@@ -94,7 +120,18 @@ class TestChunking:
 
     def test_chunks_respect_size_and_gaps(self):
         engine = SweepEngine(chunk_size=2)
-        assert engine._chunks([0, 1, 2, 5, 6, 9]) == [(0, 2), (2, 3), (5, 7), (9, 10)]
+        assert engine._chunks([0, 1, 2, 5, 6, 9]) == [
+            [(0, 2)], [(2, 3)], [(5, 7)], [(9, 10)],
+        ]
+
+    def test_strided_items_batch_into_shared_payloads(self):
+        # A shard's item set is strided: single-item runs must share an
+        # executor payload up to the chunk size, not go one-per-task.
+        engine = SweepEngine(chunk_size=3)
+        assert engine._chunks(range(0, 12, 2)) == [
+            [(0, 1), (2, 3), (4, 5)],
+            [(6, 7), (8, 9), (10, 11)],
+        ]
 
     def test_bad_chunk_size(self):
         with pytest.raises(AnalysisError):
@@ -147,8 +184,14 @@ class TestCheckpoint:
         assert merged[0].counts == {0: {"X": 3}}
 
     def test_coalesce_rejects_overlap(self):
-        with pytest.raises(AnalysisError):
+        with pytest.raises(CheckpointError):
             coalesce_records([ChunkRecord(0, 3, {}), ChunkRecord(2, 4, {})])
+
+    def test_coalesce_rejects_nested_overlap(self):
+        with pytest.raises(CheckpointError):
+            coalesce_records(
+                [ChunkRecord(0, 10, {0: {"X": 1}}), ChunkRecord(4, 6, {0: {"X": 1}})]
+            )
 
     def test_roundtrip(self, tmp_path):
         path = tmp_path / "cp.json"
@@ -163,11 +206,50 @@ class TestCheckpoint:
     def test_corrupt_rejected(self, tmp_path):
         path = tmp_path / "cp.json"
         path.write_text("not json")
-        with pytest.raises(AnalysisError):
+        with pytest.raises(CheckpointError):
             load_checkpoint(path)
         path.write_text(json.dumps({"version": 99, "fingerprint": "x", "records": []}))
-        with pytest.raises(AnalysisError):
+        with pytest.raises(CheckpointError):
             load_checkpoint(path)
+
+    def test_truncated_json_raises_checkpoint_error(self, tmp_path):
+        # A write torn mid-file (pre-atomic-save legacy, disk-full, ...)
+        # must surface as CheckpointError, not json.JSONDecodeError.
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, SweepCheckpoint("abc", [ChunkRecord(0, 2, {0: {"X": 1}})]))
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_fields_raise_checkpoint_error(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text(json.dumps({"version": 1, "fingerprint": "x"}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "fingerprint": "x",
+                    "records": [{"start": 0, "counts": {}}],
+                }
+            )
+        )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_save_is_atomic(self, tmp_path):
+        # The tmp file must never linger, and an existing checkpoint
+        # survives a failed overwrite attempt (rename is all-or-nothing).
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, SweepCheckpoint("abc", []))
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "cp.json"]
+        assert leftovers == []
+        assert load_checkpoint(path).fingerprint == "abc"
 
     def test_resume_matches_uninterrupted_run(self, tmp_path):
         from repro.engine.sweep import _run_chunk
@@ -208,3 +290,151 @@ class TestCheckpoint:
         )
         with pytest.raises(AnalysisError):
             SweepEngine(checkpoint_path=path).run(smaller)
+
+    def test_resume_after_partial_chunk(self, tmp_path):
+        # An interrupted run checkpointed mid-chunk-schedule: covered
+        # items end in the middle of what a chunk_size=4 run would
+        # schedule as one chunk.  Resuming with a *different* chunk size
+        # must slice the remainder afresh and still match bit-for-bit.
+        from repro.engine.sweep import _run_chunk
+
+        spec = _spec()  # 2 points x 6 task-sets = 12 items
+        full = SweepEngine().run(spec)
+        path = tmp_path / "sweep.json"
+        partial = [_run_chunk((spec, 0, 3)), _run_chunk((spec, 7, 9))]
+        save_checkpoint(path, SweepCheckpoint(spec.fingerprint(), partial))
+
+        resumed = SweepEngine(checkpoint_path=path, chunk_size=4).run(spec)
+        assert [p.schedulable for p in resumed.points] == [
+            p.schedulable for p in full.points
+        ]
+        # The final checkpoint coalesces to exactly the full item space.
+        records = load_checkpoint(path).records
+        assert [(r.start, r.stop) for r in records] == [(0, spec.total_items)]
+
+    def test_version_mismatch_rejected_by_engine(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        spec = _spec()
+        SweepEngine(checkpoint_path=path).run(spec)
+        payload = json.loads(path.read_text())
+        payload["version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError):
+            SweepEngine(checkpoint_path=path).run(spec)
+
+
+class TestShardSpec:
+    def test_validation(self):
+        with pytest.raises(ShardError):
+            ShardSpec(0, 0)
+        with pytest.raises(ShardError):
+            ShardSpec(-1, 4)
+        with pytest.raises(ShardError):
+            ShardSpec(4, 4)
+
+    def test_partition_is_disjoint_and_covering(self):
+        for count in (1, 2, 3, 5):
+            shards = [ShardSpec(i, count) for i in range(count)]
+            items = [set(s.items(17)) for s in shards]
+            union = set().union(*items)
+            assert union == set(range(17))
+            assert sum(len(s) for s in items) == 17  # pairwise disjoint
+
+    def test_parse_shard(self):
+        assert parse_shard("1/1") == ShardSpec(0, 1)
+        assert parse_shard("2/4") == ShardSpec(1, 4)
+        for bad in ("0/4", "5/4", "4", "a/b", "1/0", "-1/4", "1//2", ""):
+            with pytest.raises(ShardError):
+                parse_shard(bad)
+
+    def test_labels_are_one_based(self):
+        assert ShardSpec(1, 4).label == "2/4"
+
+
+class TestShardMerge:
+    def _artifacts(self, spec, count, tmp_path):
+        paths = []
+        for index in range(count):
+            path = tmp_path / f"s{index}.json"
+            SweepEngine().run(spec, shard=ShardSpec(index, count), shard_out=path)
+            paths.append(path)
+        return paths
+
+    def test_roundtrip(self, tmp_path):
+        spec = _spec()
+        path = self._artifacts(spec, 2, tmp_path)[0]
+        artifact = load_shard(path)
+        assert artifact.kind == "sweep"
+        assert artifact.fingerprint == spec.fingerprint()
+        assert artifact.shard == ShardSpec(0, 2)
+        assert artifact.total_items == spec.total_items
+        assert artifact.covered_items() == set(range(0, spec.total_items, 2))
+
+    def test_merge_detects_gap(self, tmp_path):
+        spec = _spec()
+        paths = self._artifacts(spec, 3, tmp_path)
+        with pytest.raises(ShardError, match="gap"):
+            merge_shards([paths[0], paths[2]])
+
+    def test_merge_detects_duplicate_shard(self, tmp_path):
+        spec = _spec()
+        paths = self._artifacts(spec, 2, tmp_path)
+        with pytest.raises(ShardError, match="duplicate|overlap"):
+            merge_shards([paths[0], paths[0], paths[1]])
+
+    def test_merge_rejects_mixed_sweeps(self, tmp_path):
+        a = self._artifacts(_spec(), 2, tmp_path)
+        other = tmp_path / "other"
+        other.mkdir()
+        b = self._artifacts(_spec(seed=99), 2, other)
+        with pytest.raises(ShardError, match="fingerprint"):
+            merge_shards([a[0], b[1]])
+
+    def test_merge_rejects_inconsistent_counts(self, tmp_path):
+        spec = _spec()
+        half = self._artifacts(spec, 2, tmp_path)[0]
+        third = tmp_path / "third.json"
+        SweepEngine().run(spec, shard=ShardSpec(1, 3), shard_out=third)
+        with pytest.raises(ShardError, match="shard count"):
+            merge_shards([half, third])
+
+    def test_load_rejects_version_and_kind_skew(self, tmp_path):
+        spec = _spec()
+        path = self._artifacts(spec, 1, tmp_path)[0]
+        payload = json.loads(path.read_text())
+        payload["version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="version"):
+            load_shard(path)
+        payload["version"] = FORMAT_VERSION
+        payload["kind"] = "mystery"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="kind"):
+            load_shard(path)
+        with pytest.raises(ShardError):
+            load_shard(tmp_path / "nope.json")
+
+    def test_merge_rejects_items_outside_slice(self, tmp_path):
+        spec = _spec()
+        paths = self._artifacts(spec, 2, tmp_path)
+        corrupt = load_shard(paths[0])
+        corrupt.records.append(ChunkRecord(1, 2, {0: {"X": 1}}))  # shard 2's item
+        with pytest.raises(ShardError, match="outside its slice"):
+            merge_shards([corrupt, load_shard(paths[1])])
+
+    def test_merge_empty_input(self):
+        with pytest.raises(ShardError, match="no shard"):
+            merge_shards([])
+
+    def test_merge_requires_sweep_kind(self, tmp_path):
+        artifact = ShardArtifact(
+            kind="splitsweep",
+            fingerprint="f",
+            shard=ShardSpec(0, 1),
+            total_items=1,
+            meta={},
+            records=[{"item": 0, "rows": [[1, 1, 0.5, True]]}],
+        )
+        path = save_shard(tmp_path / "sp.json", artifact)
+        with pytest.raises(ShardError, match="splitsweep"):
+            merge_shards([path])

@@ -1,0 +1,325 @@
+"""Cross-executor conformance suite for the sweep engine.
+
+The engine's contract is a single sentence: *for one
+:class:`~repro.engine.SweepSpec`, every execution mode produces the
+same result, bit for bit*.  This suite pins that sentence down across
+the whole mode matrix —
+
+* executors: serial, multiprocessing pool, thread pool;
+* chunking: any chunk size, including sizes that straddle points;
+* sharding: any partition into 1..4 shards, merged via
+  :func:`~repro.engine.merge_shards` (and the split sweep's own
+  :func:`~repro.experiments.splitsweep.merge_split_shards`);
+* interruption: a run killed mid-sweep and resumed from its checkpoint,
+  sharded or not;
+* streaming: the JSONL stream's chunk records sum to the final counts.
+
+"Bit for bit" means full :class:`~repro.engine.SweepResult` dataclass
+equality with only the wall-clock field zeroed (:func:`_strip`): same
+points, same denominators, same method names, same counts.  Specs are
+hypothesis-generated (``tests/strategies.sweep_specs``) so the matrix
+is exercised over many shapes, not one blessed example.
+"""
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    ShardSpec,
+    SweepEngine,
+    SweepResult,
+    SweepSpec,
+    ThreadExecutor,
+    merge_shards,
+    read_stream,
+)
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.splitsweep import merge_split_shards, run_split_sweep
+from repro.generator.profiles import GROUP1
+from tests.strategies import sweep_specs
+
+#: Shared hypothesis profile: engine runs are slow-ish per example, so
+#: keep example counts small and disable the per-example deadline.
+CONFORMANCE = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _strip(result: SweepResult) -> SweepResult:
+    """The result minus wall-clock, for bit-for-bit comparison."""
+    return dataclasses.replace(result, elapsed_seconds=0.0)
+
+
+def _reference(spec: SweepSpec) -> SweepResult:
+    """The baseline every mode must reproduce: serial, chunk size 1."""
+    return _strip(SweepEngine().run(spec))
+
+
+class _InterruptingExecutor:
+    """Serial executor that dies (like Ctrl-C) after ``after`` chunks."""
+
+    jobs = 1
+
+    def __init__(self, after: int) -> None:
+        self.after = after
+
+    def map_unordered(self, fn, payloads):
+        for index, payload in enumerate(payloads):
+            if index == self.after:
+                raise KeyboardInterrupt
+            yield fn(payload)
+
+
+def _fixed_spec(**overrides) -> SweepSpec:
+    defaults = dict(
+        m=2,
+        utilizations=(0.5, 1.0, 1.5),
+        n_tasksets=4,
+        profile=GROUP1,
+        seed=20160314,
+        label="conformance-fixed",
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestExecutorConformance:
+    """serial == multiprocess == threaded, with and without chunking."""
+
+    def test_all_executors_bit_identical(self):
+        spec = _fixed_spec()
+        reference = _reference(spec)
+        for executor in (
+            SerialExecutor(),
+            ThreadExecutor(3),
+            MultiprocessExecutor(3),
+        ):
+            result = SweepEngine(executor=executor).run(spec)
+            assert _strip(result) == reference, type(executor).__name__
+
+    @CONFORMANCE
+    @given(spec=sweep_specs(), chunk_size=st.integers(1, 7))
+    def test_thread_executor_any_chunking(self, spec, chunk_size):
+        reference = _reference(spec)
+        chunked = SweepEngine(
+            executor=ThreadExecutor(2), chunk_size=chunk_size
+        ).run(spec)
+        assert _strip(chunked) == reference
+
+    @CONFORMANCE
+    @given(spec=sweep_specs(), chunk_size=st.integers(1, 7))
+    def test_serial_any_chunking(self, spec, chunk_size):
+        assert _strip(SweepEngine(chunk_size=chunk_size).run(spec)) == _reference(
+            spec
+        )
+
+
+class TestShardConformance:
+    """Any shard partition merges back to the exact serial result."""
+
+    @CONFORMANCE
+    @given(
+        spec=sweep_specs(),
+        shard_count=st.integers(1, 4),
+        chunk_size=st.integers(1, 5),
+    )
+    def test_any_partition_merges_bit_identical(
+        self, spec, shard_count, chunk_size
+    ):
+        reference = _reference(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for index in range(shard_count):
+                path = Path(tmp) / f"shard{index}.json"
+                SweepEngine(chunk_size=chunk_size).run(
+                    spec, shard=ShardSpec(index, shard_count), shard_out=path
+                )
+                paths.append(path)
+            assert _strip(merge_shards(paths)) == reference
+
+    def test_sharded_runs_on_any_executor(self):
+        spec = _fixed_spec(n_tasksets=5)
+        reference = _reference(spec)
+        for executor in (ThreadExecutor(2), MultiprocessExecutor(2)):
+            with tempfile.TemporaryDirectory() as tmp:
+                paths = []
+                for index in range(3):
+                    path = Path(tmp) / f"shard{index}.json"
+                    SweepEngine(executor=executor).run(
+                        spec, shard=ShardSpec(index, 3), shard_out=path
+                    )
+                    paths.append(path)
+                assert _strip(merge_shards(paths)) == reference, (
+                    type(executor).__name__
+                )
+
+    def test_partial_shard_result_denominators(self):
+        # 2 points x 5 task-sets striped over 3 shards: shard 0 owns
+        # items 0,3,6,9 -> 2 items per point.
+        spec = _fixed_spec(utilizations=(0.5, 1.5), n_tasksets=5)
+        partial = SweepEngine().run(spec, shard=ShardSpec(0, 3))
+        assert [p.n_tasksets for p in partial.points] == [2, 2]
+        full = SweepEngine().run(spec)
+        assert [p.n_tasksets for p in full.points] == [5, 5]
+
+
+class TestInterruptResumeConformance:
+    """A killed run resumed from its checkpoint finishes bit-identically."""
+
+    @CONFORMANCE
+    @given(spec=sweep_specs(), interrupt_after=st.integers(0, 5))
+    def test_interrupted_then_resumed(self, spec, interrupt_after):
+        reference = _reference(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            checkpoint = Path(tmp) / "cp.json"
+            interrupted = SweepEngine(
+                executor=_InterruptingExecutor(interrupt_after),
+                checkpoint_path=checkpoint,
+                checkpoint_interval=0.0,
+            )
+            try:
+                interrupted.run(spec)
+            except KeyboardInterrupt:
+                pass
+            resumed = SweepEngine(checkpoint_path=checkpoint).run(spec)
+            assert _strip(resumed) == reference
+
+    def test_interrupted_shard_resumes_and_merges(self):
+        spec = _fixed_spec()
+        reference = _reference(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            shard0 = ShardSpec(0, 2)
+            checkpoint = Path(tmp) / "cp0.json"
+            paths = [Path(tmp) / "s0.json", Path(tmp) / "s1.json"]
+            try:
+                SweepEngine(
+                    executor=_InterruptingExecutor(2),
+                    checkpoint_path=checkpoint,
+                    checkpoint_interval=0.0,
+                ).run(spec, shard=shard0, shard_out=paths[0])
+            except KeyboardInterrupt:
+                pass
+            assert not paths[0].exists()  # artifact only on completion
+            SweepEngine(checkpoint_path=checkpoint).run(
+                spec, shard=shard0, shard_out=paths[0]
+            )
+            SweepEngine().run(spec, shard=ShardSpec(1, 2), shard_out=paths[1])
+            assert _strip(merge_shards(paths)) == reference
+
+    def test_shard_checkpoints_are_not_interchangeable(self):
+        from repro.exceptions import AnalysisError
+
+        spec = _fixed_spec()
+        with tempfile.TemporaryDirectory() as tmp:
+            checkpoint = Path(tmp) / "cp.json"
+            SweepEngine(checkpoint_path=checkpoint).run(spec, shard=ShardSpec(0, 2))
+            with pytest.raises(AnalysisError):
+                SweepEngine(checkpoint_path=checkpoint).run(
+                    spec, shard=ShardSpec(1, 2)
+                )
+            with pytest.raises(AnalysisError):
+                SweepEngine(checkpoint_path=checkpoint).run(spec)
+
+
+class TestStreamConformance:
+    """The JSONL stream reproduces the final counts exactly."""
+
+    @CONFORMANCE
+    @given(spec=sweep_specs(), chunk_size=st.integers(1, 5))
+    def test_stream_records_sum_to_result(self, spec, chunk_size):
+        with tempfile.TemporaryDirectory() as tmp:
+            stream = Path(tmp) / "sweep.jsonl"
+            result = SweepEngine(chunk_size=chunk_size).run(spec, stream=stream)
+            dump = read_stream(stream)
+            assert dump.complete
+            assert dump.header["fingerprint"] == spec.fingerprint()
+            assert dump.header["total_items"] == spec.total_items
+            expected = {
+                point: dict(p.schedulable)
+                for point, p in enumerate(result.points)
+            }
+            assert dump.counts() == expected
+
+    def test_resumed_stream_is_self_contained(self):
+        spec = _fixed_spec()
+        reference = _reference(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            checkpoint = Path(tmp) / "cp.json"
+            stream = Path(tmp) / "sweep.jsonl"
+            try:
+                SweepEngine(
+                    executor=_InterruptingExecutor(3),
+                    checkpoint_path=checkpoint,
+                    checkpoint_interval=0.0,
+                ).run(spec, stream=stream)
+            except KeyboardInterrupt:
+                pass
+            partial = read_stream(stream)
+            assert not partial.complete  # no summary line: torn run
+            SweepEngine(checkpoint_path=checkpoint).run(spec, stream=stream)
+            dump = read_stream(stream)
+            assert dump.complete
+            assert sum(r.stop - r.start for r in dump.chunks) == spec.total_items
+            expected = {
+                point: dict(p.schedulable)
+                for point, p in enumerate(reference.points)
+            }
+            assert dump.counts() == expected
+            from repro.engine.streaming import iter_stream
+
+            replayed = [
+                line
+                for line in iter_stream(stream)
+                if line.get("type") == "chunk" and line.get("replayed")
+            ]
+            assert replayed  # checkpointed chunks re-emitted into new stream
+
+
+class TestExperimentConformance:
+    """The acceptance criterion, at the experiment API level."""
+
+    @pytest.mark.parametrize("shard_count", [1, 2, 3, 4])
+    def test_figure2_sharded_merge_bit_identical(self, shard_count, tmp_path):
+        kwargs = dict(m=2, n_tasksets=4, seed=11, step=0.5)
+        reference = _strip(run_figure2(**kwargs))
+        paths = []
+        for index in range(shard_count):
+            path = tmp_path / f"fig2-{index}.json"
+            run_figure2(
+                **kwargs,
+                shard=ShardSpec(index, shard_count),
+                shard_out=path,
+            )
+            paths.append(path)
+        assert _strip(merge_shards(paths)) == reference
+
+    def test_splitsweep_sharded_merge_bit_identical(self, tmp_path):
+        kwargs = dict(
+            m=2, utilization=1.2, thresholds=[100.0, 25.0], n_tasksets=5,
+            seed=9, overhead=0.5,
+        )
+        reference = run_split_sweep(**kwargs)
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"split-{index}.json"
+            run_split_sweep(**kwargs, shard=ShardSpec(index, 2), shard_out=path)
+            paths.append(path)
+        # Bit-identical including the float means: the merge reduces
+        # per-item rows in corpus order, exactly like the serial run.
+        assert merge_split_shards(paths) == reference
+
+    def test_splitsweep_parallel_jobs_bit_identical(self):
+        kwargs = dict(
+            m=2, utilization=1.2, thresholds=[100.0, 25.0], n_tasksets=4,
+            seed=9,
+        )
+        assert run_split_sweep(**kwargs, jobs=2) == run_split_sweep(**kwargs)
