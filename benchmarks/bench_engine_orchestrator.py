@@ -1,0 +1,104 @@
+"""Orchestrator-tier overhead: live merge throughput and dispatch cost.
+
+Two bounds keep the new tier honest:
+
+* the live merger must fold thousands of stream chunk lines per second
+  — it runs inside the orchestrator's poll loop, so a slow merge would
+  throttle dispatch itself;
+* a whole orchestrated run (subprocess dispatch + stream tailing +
+  artifact merge) must cost only bounded overhead on top of the same
+  sweep run serially in-process, while producing the bit-identical
+  result — the whole point of the design.
+
+Sizes via ``REPRO_BENCH_TASKSETS`` / ``REPRO_BENCH_POINTS``.
+"""
+
+import dataclasses
+import json
+import time
+
+from benchmarks.conftest import sweep_grid
+from repro.engine import LiveMerger, plan_figure2
+from repro.engine.orchestrator import Orchestrator
+from repro.experiments.figure2 import run_figure2
+
+SEED = 2016
+SHARDS = 3
+CHUNKS_PER_SHARD = 3000
+
+
+def _write_stream(path, fingerprint, shard_index, chunks):
+    with path.open("w") as handle:
+        handle.write(json.dumps({
+            "type": "header", "version": 1, "kind": "sweep",
+            "fingerprint": fingerprint, "shard": None,
+            "total_items": SHARDS * chunks, "meta": {},
+        }) + "\n")
+        for i in range(chunks):
+            item = shard_index + SHARDS * i
+            handle.write(json.dumps({
+                "type": "chunk", "start": item, "stop": item + 1,
+                "counts": {"0": {"LP-ILP": 1, "LP-max": 0, "FP-ideal": 1}},
+                "replayed": False, "elapsed_seconds": 0.001,
+            }) + "\n")
+        handle.write(json.dumps({
+            "type": "summary", "done_items": chunks, "elapsed_seconds": 1.0,
+        }) + "\n")
+
+
+def test_livemerge_folds_thousands_of_chunks_fast(benchmark, tmp_path):
+    fingerprint = "b" * 64
+    paths = []
+    for index in range(SHARDS):
+        path = tmp_path / f"s{index}.jsonl"
+        _write_stream(path, fingerprint, index, CHUNKS_PER_SHARD)
+        paths.append(path)
+
+    def merge_from_scratch():
+        merger = LiveMerger(SHARDS * CHUNKS_PER_SHARD, fingerprint)
+        for index, path in enumerate(paths):
+            merger.attach(index, path)
+        return merger.poll()
+
+    view = benchmark.pedantic(merge_from_scratch, rounds=3, iterations=1)
+    assert view.finished
+    assert view.done_items == SHARDS * CHUNKS_PER_SHARD
+    assert view.counts[0]["LP-ILP"] == SHARDS * CHUNKS_PER_SHARD
+    assert len(view.timings) == SHARDS * CHUNKS_PER_SHARD
+    mean = benchmark.stats.stats.mean
+    per_line = mean / (SHARDS * (CHUNKS_PER_SHARD + 2))
+    assert per_line < 1e-3, (
+        f"live merge folds a stream line in {per_line * 1e6:.0f}us; "
+        "too slow for the orchestrator's poll loop"
+    )
+
+
+def test_orchestration_overhead_is_bounded(benchmark, bench_points, bench_tasksets, tmp_path):
+    m = 2
+    grid = sweep_grid(m, bench_points)
+    step = round(grid[1] - grid[0], 4) if len(grid) > 1 else 1.0
+
+    start = time.perf_counter()
+    serial = run_figure2(m=m, n_tasksets=bench_tasksets, seed=SEED, step=step)
+    serial_seconds = time.perf_counter() - start
+
+    plan = plan_figure2(m=m, n_tasksets=bench_tasksets, seed=SEED, step=step)
+
+    def orchestrate_full_sweep():
+        return Orchestrator(
+            plan, tmp_path / "orch", workers=SHARDS, poll_interval=0.05,
+        ).run()
+
+    outcome = benchmark.pedantic(orchestrate_full_sweep, rounds=1, iterations=1)
+    strip = lambda r: dataclasses.replace(r, elapsed_seconds=0.0)  # noqa: E731
+    assert strip(outcome.result) == strip(serial), (
+        "orchestrated result diverged from the serial run"
+    )
+    orchestrated_seconds = benchmark.stats.stats.mean
+    # Three shards redo the serial work across three interpreters;
+    # allow full serial time (workers share cores in CI) plus a
+    # constant for interpreter start-up, polling and the merge.
+    assert orchestrated_seconds < 2.0 * serial_seconds + 20.0, (
+        f"orchestration ({orchestrated_seconds:.1f}s) is out of line with "
+        f"the serial run ({serial_seconds:.1f}s)"
+    )

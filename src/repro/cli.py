@@ -8,13 +8,20 @@ Sub-commands map one-to-one onto the paper's artefacts:
 * ``timing``  — analysis runtime vs core count;
 * ``demo``    — generate one task-set, analyse and simulate it;
 * ``sweep-merge`` — recombine ``--shard I/N`` artifacts into the exact
-  unsharded result.
+  unsharded result;
+* ``sweep-orchestrate`` — run a whole sharded sweep as one command:
+  partition, dispatch every shard to a backend (local worker pool by
+  default, SSH/queue via ``--backend-template``), live-merge partial
+  streams, retry failed/stalled shards, merge and validate;
+* ``sweep-status`` — inspect a running or finished orchestration
+  directory from its streams and artifacts.
 
 The sweep sub-commands share the engine flags: ``--jobs`` (worker
 processes), ``--shard I/N`` + ``--shard-out`` (run one slice of the
 sweep, e.g. one CI matrix job), and ``--stream`` (incremental JSONL
 results); ``figure2`` and ``group2`` additionally take ``--checkpoint``
-(resume an interrupted run).
+(resume an interrupted run) and ``--chunk-size`` (pin the engine's
+otherwise-adaptive chunking).
 """
 
 from __future__ import annotations
@@ -131,6 +138,84 @@ def _build_parser() -> argparse.ArgumentParser:
     p8.add_argument("--chart", action="store_true", help="print an ASCII chart")
     p8.set_defaults(handler=_cmd_sweep_merge)
 
+    p9 = sub.add_parser(
+        "sweep-orchestrate",
+        help="run a whole sharded sweep: dispatch shards to a backend, "
+             "live-merge their streams, retry failures, merge + validate",
+    )
+    p9.add_argument(
+        "experiment", choices=("figure2", "group2", "splitsweep"),
+        help="which sweep to orchestrate",
+    )
+    p9.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent shard invocations (backend slots)",
+    )
+    p9.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: one per worker)",
+    )
+    p9.add_argument(
+        "--retries", type=int, default=2,
+        help="extra launch attempts per failed/stalled shard",
+    )
+    p9.add_argument(
+        "--backend", choices=("local", "template"), default="local",
+        help="where shard commands run",
+    )
+    p9.add_argument(
+        "--backend-template", type=str, default=None, metavar="TMPL",
+        help="command template containing {command}, e.g. "
+             "'ssh worker1 {command}' (implies --backend template)",
+    )
+    p9.add_argument(
+        "--out", type=str, default=None, metavar="DIR",
+        help="orchestration directory (default: orchestration-<experiment>-"
+             "m<M>); reuse it to resume an interrupted run",
+    )
+    p9.add_argument(
+        "--jobs-per-shard", type=int, default=1, metavar="J",
+        help="worker processes inside each shard invocation",
+    )
+    p9.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="seconds between dispatch/stream polls",
+    )
+    p9.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="S",
+        help="kill and relaunch a shard whose stream makes no progress "
+             "for S seconds (default: off)",
+    )
+    p9.add_argument("--m", type=int, default=4)
+    p9.add_argument(
+        "--tasksets", type=int, default=None,
+        help="task-sets per point (default: 300; splitsweep: 30)",
+    )
+    p9.add_argument("--seed", type=int, default=2016)
+    p9.add_argument("--step", type=float, default=None,
+                    help="utilisation grid step (figure2/group2)")
+    p9.add_argument("--utilization", type=float, default=1.75,
+                    help="corpus utilisation (splitsweep)")
+    p9.add_argument(
+        "--thresholds", type=float, nargs="+",
+        default=[1000.0, 100.0, 50.0, 25.0, 10.0, 5.0],
+        help="NPR size caps (splitsweep)",
+    )
+    p9.add_argument("--overhead", type=float, default=0.0,
+                    help="per-preemption-point WCET inflation (splitsweep)")
+    p9.add_argument("--csv", type=str, default=None, help="write series to CSV")
+    p9.add_argument("--chart", action="store_true", help="print an ASCII chart")
+    p9.add_argument("--quiet", action="store_true",
+                    help="suppress live progress lines")
+    p9.set_defaults(handler=_cmd_sweep_orchestrate)
+
+    p10 = sub.add_parser(
+        "sweep-status",
+        help="inspect a running or finished sweep-orchestrate directory",
+    )
+    p10.add_argument("out_dir", metavar="DIR", help="orchestration directory")
+    p10.set_defaults(handler=_cmd_sweep_status)
+
     return parser
 
 
@@ -170,6 +255,11 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--checkpoint", type=str, default=None,
         help="JSON checkpoint path; an interrupted sweep resumes from it",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="pin work items per executor task (default: adaptive sizing "
+             "from per-chunk wall-times on pool executors)",
     )
     _add_shard_args(parser)
 
@@ -235,6 +325,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
         jobs=args.jobs, checkpoint=args.checkpoint,
         shard=args.shard, shard_out=shard_out, stream=args.stream,
+        chunk_size=args.chunk_size,
     )
     shard_note = f", shard {args.shard.label}" if args.shard else ""
     print(sweep_table(result, title=f"Figure 2 (m={args.m}, group 1, "
@@ -261,6 +352,7 @@ def _cmd_group2(args: argparse.Namespace) -> int:
         m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
         jobs=args.jobs, checkpoint=args.checkpoint,
         shard=args.shard, shard_out=shard_out, stream=args.stream,
+        chunk_size=args.chunk_size,
     )
     shard_note = f", shard {args.shard.label}" if args.shard else ""
     print(sweep_table(report.sweep, title=f"Group 2 (m={args.m}{shard_note})"))
@@ -371,7 +463,7 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def _cmd_splitsweep(args: argparse.Namespace) -> int:
-    from repro.experiments.reporting import format_table
+    from repro.experiments.reporting import split_sweep_table
     from repro.experiments.splitsweep import run_split_sweep
 
     shard_out = _shard_out_path(args, f"splitsweep-m{args.m}")
@@ -387,10 +479,8 @@ def _cmd_splitsweep(args: argparse.Namespace) -> int:
         shard_out=shard_out,
         stream=args.stream,
     )
-    print(format_table(
-        ["NPR size cap", "mean q", "mean U", "LP-ILP schedulable %"],
-        [[f"{p.threshold:g}", f"{p.mean_q:.1f}", f"{p.mean_utilization:.2f}",
-          f"{100 * p.ratio:.1f}"] for p in points],
+    print(split_sweep_table(
+        points,
         title=(f"Preemption-point granularity sweep "
                f"(m={args.m}, U={args.utilization}, "
                f"overhead={args.overhead:g}, {args.tasksets} task-sets)"),
@@ -412,10 +502,10 @@ def _cmd_splitsweep(args: argparse.Namespace) -> int:
 def _cmd_sweep_merge(args: argparse.Namespace) -> int:
     from repro.engine.shard import KIND_SPLITSWEEP, load_shard, merge_shards
     from repro.experiments.reporting import (
-        format_table,
+        split_sweep_table,
         sweep_chart,
         sweep_table,
-        write_csv,
+        write_split_sweep_csv,
         write_sweep_csv,
     )
     from repro.experiments.splitsweep import merge_split_shards
@@ -425,27 +515,20 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
         if artifacts[0].kind == KIND_SPLITSWEEP:
             points = merge_split_shards(artifacts)
             meta = artifacts[0].meta
-            print(format_table(
-                ["NPR size cap", "mean q", "mean U", "schedulable %"],
-                [[f"{p.threshold:g}", f"{p.mean_q:.1f}",
-                  f"{p.mean_utilization:.2f}", f"{100 * p.ratio:.1f}"]
-                 for p in points],
+            print(split_sweep_table(
+                points,
                 title=(f"Merged preemption-point sweep "
                        f"(m={meta['m']}, U={meta['utilization']}, "
                        f"overhead={meta['overhead']:g}, "
                        f"{meta['n_tasksets']} task-sets, "
                        f"{len(artifacts)} shards)"),
+                method=str(meta.get("method", "LP-ILP")),
             ))
             if args.chart:
                 print("\n(--chart applies to figure2/group2 sweep shards; "
                       "splitsweep artifacts have no chart form)")
             if args.csv:
-                path = write_csv(
-                    args.csv,
-                    ["threshold", "mean_q", "mean_utilization", "ratio"],
-                    [[p.threshold, p.mean_q, p.mean_utilization, p.ratio]
-                     for p in points],
-                )
+                path = write_split_sweep_csv(points, args.csv)
                 print(f"series written to {path}")
             return 0
         result = merge_shards(artifacts)
@@ -467,6 +550,166 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"sweep-merge: {exc}", file=sys.stderr)
         return 1
+
+
+def _orchestrate_progress():
+    """Progress callback printing one line per cluster-state change."""
+    last = {"done": -1, "states": None}
+
+    def callback(view) -> None:
+        states = tuple(s.state for s in view.shards)
+        if view.done_items == last["done"] and states == last["states"]:
+            return
+        last["done"] = view.done_items
+        last["states"] = states
+        running = sum(s.state == "running" for s in view.shards)
+        finished = sum(s.state == "finished" for s in view.shards)
+        restarts = sum(s.restarts for s in view.shards)
+        line = (
+            f"[{view.done_items}/{view.total_items} items, "
+            f"{100 * view.fraction_done:.0f}%] shards: {running} running, "
+            f"{finished} finished"
+        )
+        if restarts:
+            line += f", {restarts} restarted"
+        print(line, flush=True)
+
+    return callback
+
+
+def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
+    import shlex
+
+    from repro.engine.backends import make_backend
+    from repro.engine.orchestrator import (
+        Orchestrator,
+        plan_figure2,
+        plan_group2,
+        plan_splitsweep,
+    )
+    from repro.experiments.reporting import (
+        split_sweep_table,
+        sweep_chart,
+        sweep_table,
+        write_split_sweep_csv,
+        write_sweep_csv,
+    )
+
+    try:
+        if args.experiment == "figure2":
+            tasksets = args.tasksets if args.tasksets is not None else 300
+            plan = plan_figure2(
+                m=args.m, n_tasksets=tasksets, seed=args.seed,
+                step=args.step, jobs=args.jobs_per_shard,
+            )
+        elif args.experiment == "group2":
+            tasksets = args.tasksets if args.tasksets is not None else 300
+            plan = plan_group2(
+                m=args.m, n_tasksets=tasksets, seed=args.seed,
+                step=args.step, jobs=args.jobs_per_shard,
+            )
+        else:
+            tasksets = args.tasksets if args.tasksets is not None else 30
+            plan = plan_splitsweep(
+                m=args.m, utilization=args.utilization,
+                thresholds=args.thresholds, n_tasksets=tasksets,
+                seed=args.seed, overhead=args.overhead,
+                jobs=args.jobs_per_shard,
+            )
+        out_dir = args.out or f"orchestration-{args.experiment}-m{args.m}"
+        kind = "template" if args.backend_template else args.backend
+        template = (
+            shlex.split(args.backend_template) if args.backend_template else None
+        )
+        with make_backend(kind, slots=args.workers, template=template) as backend:
+            outcome = Orchestrator(
+                plan,
+                out_dir,
+                backend=backend,
+                shards=args.shards,
+                retries=args.retries,
+                poll_interval=args.poll_interval,
+                stall_timeout=args.stall_timeout,
+                progress=None if args.quiet else _orchestrate_progress(),
+            ).run()
+    except ReproError as exc:
+        print(f"sweep-orchestrate: {exc}", file=sys.stderr)
+        return 1
+
+    shard_count = len(outcome.attempts)
+    if args.experiment == "splitsweep":
+        points = outcome.result
+        print(split_sweep_table(
+            points,
+            title=(f"Orchestrated splitsweep (m={args.m}, "
+                   f"U={args.utilization}, {tasksets} task-sets, "
+                   f"{shard_count} shards)"),
+        ))
+        if args.csv:
+            path = write_split_sweep_csv(points, args.csv)
+            print(f"series written to {path}")
+    else:
+        result = outcome.result
+        print(sweep_table(
+            result,
+            title=(f"Orchestrated {args.experiment} (m={result.m}, "
+                   f"{shard_count} shards, {tasksets} task-sets/point)"),
+        ))
+        if args.chart:
+            print()
+            print(sweep_chart(result))
+        if args.csv:
+            path = write_sweep_csv(result, args.csv)
+            print(f"series written to {path}")
+    retry_note = (
+        f", {outcome.retries} shard retr{'y' if outcome.retries == 1 else 'ies'}"
+        if outcome.retries else ""
+    )
+    print(f"\norchestrated {shard_count} shards in "
+          f"{outcome.elapsed_seconds:.1f}s{retry_note}; "
+          f"artifacts + manifest in {out_dir}")
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.engine.chunking import AdaptiveChunker, seed_chunker_from_timings
+    from repro.engine.orchestrator import read_status
+    from repro.experiments.reporting import format_table
+
+    try:
+        status = read_status(args.out_dir)
+    except ReproError as exc:
+        print(f"sweep-status: {exc}", file=sys.stderr)
+        return 1
+
+    manifest = status.manifest
+    view = status.view
+    rows = []
+    for shard in view.shards:
+        phase = "complete" if status.artifacts_done[shard.index] else shard.state
+        rows.append([
+            f"{shard.index + 1}/{len(view.shards)}",
+            phase,
+            shard.done_items,
+            shard.restarts,
+        ])
+    print(format_table(
+        ["shard", "state", "items done", "restarts"],
+        rows,
+        title=(f"{manifest['experiment']} orchestration in {args.out_dir} "
+               f"(manifest state: {status.state})"),
+    ))
+    print(f"\nprogress: {view.done_items}/{view.total_items} items "
+          f"({100 * view.fraction_done:.0f}%)")
+    if view.timings:
+        chunker = seed_chunker_from_timings(AdaptiveChunker(), list(view.timings))
+        print(f"observed cost: {chunker.per_item_seconds:.4f}s/item "
+              f"(suggested chunk size: {chunker.chunk_size()})")
+    if status.complete:
+        print(f"all {len(view.shards)} shard artifacts complete; merged "
+              f"result via: python -m repro sweep-merge "
+              f"{args.out_dir}/shard-*.artifact.json")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

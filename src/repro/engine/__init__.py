@@ -15,15 +15,36 @@ JSON checkpoints.
   invocations and merges back bit-identically;
 * :mod:`repro.engine.streaming` — incremental JSONL result streams;
 * :mod:`repro.engine.results` — the stable result types
-  (:class:`SweepPoint`, :class:`SweepResult`).
+  (:class:`SweepPoint`, :class:`SweepResult`);
+* :mod:`repro.engine.chunking` — adaptive chunk sizing from per-chunk
+  wall-time telemetry;
+* :mod:`repro.engine.backends` — pluggable dispatch of whole shard
+  invocations (local subprocesses, SSH/queue command templates);
+* :mod:`repro.engine.livemerge` — cluster-wide live merge of partial
+  shard streams;
+* :mod:`repro.engine.orchestrator` — the tier that turns the manual
+  shard workflow into a one-command cluster run.
 """
 
+from repro.engine.backends import (
+    BACKEND_KINDS,
+    DispatchBackend,
+    LocalBackend,
+    TemplateBackend,
+    make_backend,
+)
 from repro.engine.checkpoint import (
     FORMAT_VERSION,
     ChunkRecord,
     SweepCheckpoint,
+    clean_stale_tmps,
     load_checkpoint,
     save_checkpoint,
+)
+from repro.engine.chunking import (
+    AdaptiveChunker,
+    seed_chunker_from_timings,
+    suggest_chunk_size_from_stream,
 )
 from repro.engine.executors import (
     Executor,
@@ -32,6 +53,18 @@ from repro.engine.executors import (
     ThreadExecutor,
     make_executor,
     map_ordered,
+)
+from repro.engine.livemerge import ClusterView, LiveMerger, ShardProgress
+from repro.engine.orchestrator import (
+    OrchestrationOutcome,
+    OrchestrationPlan,
+    OrchestrationStatus,
+    Orchestrator,
+    orchestrate,
+    plan_figure2,
+    plan_group2,
+    plan_splitsweep,
+    read_status,
 )
 from repro.engine.results import SweepPoint, SweepResult
 from repro.engine.shard import (
@@ -42,7 +75,7 @@ from repro.engine.shard import (
     parse_shard,
     save_shard,
 )
-from repro.engine.streaming import StreamDump, StreamWriter, read_stream
+from repro.engine.streaming import StreamDump, StreamTail, StreamWriter, read_stream
 from repro.engine.sweep import (
     DEFAULT_METHODS,
     EngineProgress,
@@ -78,5 +111,27 @@ __all__ = [
     "merge_shards",
     "StreamWriter",
     "StreamDump",
+    "StreamTail",
     "read_stream",
+    "clean_stale_tmps",
+    "AdaptiveChunker",
+    "seed_chunker_from_timings",
+    "suggest_chunk_size_from_stream",
+    "BACKEND_KINDS",
+    "DispatchBackend",
+    "LocalBackend",
+    "TemplateBackend",
+    "make_backend",
+    "ClusterView",
+    "LiveMerger",
+    "ShardProgress",
+    "Orchestrator",
+    "OrchestrationPlan",
+    "OrchestrationOutcome",
+    "OrchestrationStatus",
+    "orchestrate",
+    "plan_figure2",
+    "plan_group2",
+    "plan_splitsweep",
+    "read_status",
 ]

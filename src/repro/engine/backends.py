@@ -1,0 +1,270 @@
+"""Pluggable dispatch backends: where whole shard invocations run.
+
+The in-process executors of :mod:`repro.engine.executors` parallelise
+*chunks* within one sweep invocation; a :class:`DispatchBackend`
+parallelises *shard invocations themselves* — each one a full
+``python -m repro <experiment> --shard I/N`` command — on whatever
+substrate can run a command: local subprocesses today, SSH hosts or a
+batch queue tomorrow.  The orchestrator
+(:mod:`repro.engine.orchestrator`) owns the policy (which shard, when,
+retries); backends own the mechanics (start a command, poll it, kill
+it).
+
+The contract is deliberately tiny and non-blocking:
+
+* :meth:`~DispatchBackend.launch` starts a command, appending its
+  stdout/stderr to a log file, and returns an opaque handle;
+* :meth:`~DispatchBackend.poll` returns the exit code, or ``None``
+  while still running;
+* :meth:`~DispatchBackend.cancel` kills the job (idempotent);
+* :attr:`~DispatchBackend.slots` is how many jobs may run at once.
+
+:class:`LocalBackend` executes argv directly.  :class:`TemplateBackend`
+wraps the command in a *command template* — e.g. ``["ssh", "worker1",
+"{command}"]`` or ``["sbatch", "--wait", "--wrap", "{command}"]`` —
+substituting the shell-quoted command for the ``{command}``
+placeholder, which is how SSH/queue dispatch drops in without a new
+backend class.  Both run the resulting argv as a local subprocess (for
+the template case, that subprocess *is* the ssh/queue client).
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+from types import TracebackType
+
+from repro.exceptions import DispatchError
+
+#: Placeholder a :class:`TemplateBackend` template must contain.
+COMMAND_PLACEHOLDER = "{command}"
+
+
+class DispatchBackend(ABC):
+    """Runs shard commands somewhere, up to ``slots`` at a time."""
+
+    #: Maximum concurrently-running jobs the backend can host.
+    slots: int = 1
+
+    @abstractmethod
+    def launch(
+        self,
+        argv: Sequence[str],
+        log_path: str | Path,
+        env: Mapping[str, str] | None = None,
+    ) -> object:
+        """Start ``argv``, teeing output to ``log_path``; return a handle.
+
+        ``env``, when given, *replaces* the child environment (callers
+        build it from ``os.environ`` plus overrides).  Raises
+        :class:`~repro.exceptions.DispatchError` when the job cannot be
+        started at all.
+        """
+
+    @abstractmethod
+    def poll(self, handle: object) -> int | None:
+        """Exit code of the job, or ``None`` while it is still running."""
+
+    @abstractmethod
+    def cancel(self, handle: object) -> None:
+        """Kill the job if still running (idempotent, best-effort)."""
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "DispatchBackend":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+class LocalBackend(DispatchBackend):
+    """Run shard commands as local subprocesses.
+
+    Parameters
+    ----------
+    slots:
+        Concurrent worker processes (the orchestrator's ``--workers``).
+    """
+
+    def __init__(self, slots: int = 1) -> None:
+        if slots < 1:
+            raise DispatchError(f"backend slots must be >= 1, got {slots}")
+        self.slots = slots
+        self._procs: list[subprocess.Popen] = []
+        self._logs: dict[int, object] = {}
+
+    def launch(
+        self,
+        argv: Sequence[str],
+        log_path: str | Path,
+        env: Mapping[str, str] | None = None,
+    ) -> subprocess.Popen:
+        log_path = Path(log_path)
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        # Append, not truncate: a retried shard's attempts share one log.
+        log = log_path.open("ab")
+        try:
+            proc = subprocess.Popen(
+                list(argv),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=dict(env) if env is not None else None,
+            )
+        except OSError as exc:
+            log.close()
+            raise DispatchError(
+                f"failed to launch {argv[0]!r}: {exc}"
+            ) from exc
+        self._procs.append(proc)
+        self._logs[proc.pid] = log
+        return proc
+
+    def poll(self, handle: object) -> int | None:
+        proc = self._as_proc(handle)
+        code = proc.poll()
+        if code is not None:
+            self._release_log(proc)
+        return code
+
+    def cancel(self, handle: object) -> None:
+        proc = self._as_proc(handle)
+        if proc.poll() is None:
+            proc.kill()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - kernel lag
+                pass
+        self._release_log(proc)
+
+    def close(self) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            self._release_log(proc)
+        self._procs.clear()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_proc(handle: object) -> subprocess.Popen:
+        if not isinstance(handle, subprocess.Popen):
+            raise DispatchError(
+                f"foreign job handle {handle!r}; not launched by this backend"
+            )
+        return handle
+
+    def _release_log(self, proc: subprocess.Popen) -> None:
+        log = self._logs.pop(proc.pid, None)
+        if log is not None:
+            log.close()
+
+
+class TemplateBackend(LocalBackend):
+    """Dispatch through a command template (SSH, queue clients, ...).
+
+    Every launch substitutes the shard command — shell-quoted into a
+    single string — for the ``{command}`` placeholder in the template,
+    then runs the resulting argv locally.  Examples::
+
+        TemplateBackend(["ssh", "worker1", "{command}"], slots=4)
+        TemplateBackend(["sh", "-c", "{command}"])
+
+    The template must contain the placeholder in at least one element
+    (embedded substrings work: ``"nice -n 10 {command}"``).
+
+    The local client process (ssh, the queue submitter) receives the
+    caller's ``env``, but a remote shell does *not* inherit it — so the
+    variables named in ``forward_env`` (default: ``PYTHONPATH``, the
+    orchestrator's import-path guarantee) are embedded into the command
+    itself as an ``env KEY=VALUE ...`` prefix before substitution.
+    Remote hosts therefore need the same filesystem layout (a shared
+    checkout), not a pre-exported environment.
+    """
+
+    def __init__(
+        self,
+        template: Sequence[str],
+        slots: int = 1,
+        forward_env: Sequence[str] = ("PYTHONPATH",),
+    ) -> None:
+        super().__init__(slots=slots)
+        template = [str(part) for part in template]
+        if not any(COMMAND_PLACEHOLDER in part for part in template):
+            raise DispatchError(
+                f"command template {template!r} lacks the "
+                f"{COMMAND_PLACEHOLDER!r} placeholder"
+            )
+        self.template = template
+        self.forward_env = tuple(forward_env)
+
+    def render(
+        self,
+        argv: Sequence[str],
+        env: Mapping[str, str] | None = None,
+    ) -> list[str]:
+        """The concrete argv for one shard command.
+
+        With ``env``, any ``forward_env`` variables present in it are
+        carried inside the command string (``env KEY=VALUE command``),
+        surviving shells the template crosses.
+        """
+        argv = [str(part) for part in argv]
+        if env is not None:
+            forwarded = [
+                f"{key}={env[key]}" for key in self.forward_env if key in env
+            ]
+            if forwarded:
+                argv = ["env", *forwarded, *argv]
+        command = shlex.join(argv)
+        return [
+            part.replace(COMMAND_PLACEHOLDER, command) for part in self.template
+        ]
+
+    def launch(
+        self,
+        argv: Sequence[str],
+        log_path: str | Path,
+        env: Mapping[str, str] | None = None,
+    ) -> subprocess.Popen:
+        return super().launch(self.render(argv, env=env), log_path, env=env)
+
+
+#: Backend kinds accepted by :func:`make_backend`.
+BACKEND_KINDS = ("local", "template")
+
+
+def make_backend(
+    kind: str = "local",
+    slots: int = 1,
+    template: Sequence[str] | None = None,
+) -> DispatchBackend:
+    """Construct a dispatch backend by kind.
+
+    ``"local"`` runs shard commands as local subprocesses;
+    ``"template"`` wraps them in ``template`` (which must contain
+    ``{command}``) — the drop-in path for SSH hosts or queue clients.
+    """
+    if kind not in BACKEND_KINDS:
+        raise DispatchError(
+            f"unknown backend kind {kind!r}; expected one of {BACKEND_KINDS}"
+        )
+    if kind == "template":
+        if template is None:
+            raise DispatchError(
+                "template backend needs a command template "
+                "(e.g. --backend-template 'ssh worker1 {command}')"
+            )
+        return TemplateBackend(template, slots=slots)
+    if template is not None:
+        raise DispatchError("--backend-template requires --backend template")
+    return LocalBackend(slots=slots)

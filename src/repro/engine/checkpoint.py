@@ -162,6 +162,36 @@ def write_json_atomic(path: str | Path, payload: dict) -> None:
         tmp.unlink(missing_ok=True)
 
 
+def clean_stale_tmps(target: str | Path) -> list[Path]:
+    """Remove orphaned atomic-write temp files, returning what was removed.
+
+    :func:`write_json_atomic` unlinks its pid-unique ``*.tmp`` in a
+    ``finally``, but a SIGKILL (or power loss) between ``write_text``
+    and ``os.replace`` orphans it; resumed runs would otherwise let
+    them accumulate in the output directory forever.
+
+    ``target`` is either a *file* path — clean the temps of that one
+    atomic-write target (``<name>.<pid>.tmp`` siblings) — or a
+    *directory* — clean every ``*.tmp`` directly inside it (the
+    orchestrator sweeps its whole output directory on start/resume).
+    Only call for targets no live process is writing: a concurrent
+    writer's in-flight temp would be yanked from under its rename.
+    """
+    target = Path(target)
+    if target.is_dir():
+        candidates = target.glob("*.tmp")
+    else:
+        candidates = target.parent.glob(f"{target.name}.*.tmp")
+    removed: list[Path] = []
+    for tmp in candidates:
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - racing unlink is fine
+            continue
+        removed.append(tmp)
+    return removed
+
+
 def save_checkpoint(path: str | Path, checkpoint: SweepCheckpoint) -> None:
     """Atomically write ``checkpoint`` (coalesced) as JSON."""
     payload = {

@@ -11,6 +11,14 @@ yields results as they complete.  Three implementations:
   start-up, useful when the work releases the GIL (NumPy-heavy items)
   or when worker processes are unavailable (restricted sandboxes).
 
+Every executor is a context manager with a uniform, idempotent
+:meth:`~Executor.close`: pool executors keep their worker pool alive
+across :meth:`~Executor.map_unordered` calls (the adaptive-chunking
+engine issues several short waves per sweep, and the orchestrator needs
+deterministic teardown rather than GC-timed pool finalisers) and
+release it only on ``close()``.  A closed executor raises
+:class:`~repro.exceptions.AnalysisError` on further use.
+
 Because every sweep work item derives its own RNG from the root
 :class:`numpy.random.SeedSequence` (see :mod:`repro.engine.sweep`), all
 executors produce bit-identical sweep counts for the same spec — the
@@ -24,6 +32,7 @@ import multiprocessing
 import os
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from types import TracebackType
 from typing import Protocol, TypeVar
 
 from repro.exceptions import AnalysisError
@@ -43,8 +52,50 @@ class Executor(Protocol):
         """Apply ``fn`` to every payload, yielding results as ready."""
         ...  # pragma: no cover - protocol
 
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+        ...  # pragma: no cover - protocol
 
-class SerialExecutor:
+    def __enter__(self) -> "Executor":
+        ...  # pragma: no cover - protocol
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class _ClosingMixin:
+    """Shared context-manager plumbing around a ``close()`` method."""
+
+    _closed = False
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise AnalysisError(
+                f"{type(self).__name__} has been closed; create a new one"
+            )
+
+    def __enter__(self):
+        self._check_open()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+class SerialExecutor(_ClosingMixin):
     """Run every payload in the calling process, in order."""
 
     jobs = 1
@@ -52,17 +103,21 @@ class SerialExecutor:
     def map_unordered(
         self, fn: Callable[[_P], _R], payloads: Sequence[_P]
     ) -> Iterator[_R]:
+        self._check_open()
         for payload in payloads:
             yield fn(payload)
 
 
-class MultiprocessExecutor:
-    """Run payloads on a :mod:`multiprocessing` worker pool.
+class MultiprocessExecutor(_ClosingMixin):
+    """Run payloads on a persistent :mod:`multiprocessing` worker pool.
 
-    A fresh pool is created per :meth:`map_unordered` call — the
-    executor has no shutdown API, and the callers batch all their work
-    into one call (or a few long ones), so pool start-up is amortised
-    over the batch rather than leaked across an object lifetime.
+    The pool is created lazily on the first :meth:`map_unordered` call
+    and reused by every later call — the adaptive-chunking engine and
+    the orchestrator both issue many small waves, so pool start-up must
+    be paid once, not per wave.  :meth:`close` (or the context manager)
+    tears the pool down deterministically; without it the pool would
+    linger until garbage collection (a ``__del__`` fallback still cleans
+    up, but don't rely on its timing).
 
     Parameters
     ----------
@@ -78,20 +133,41 @@ class MultiprocessExecutor:
         if jobs < 1:
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(processes=self.jobs)
+        return self._pool
 
     def map_unordered(
         self, fn: Callable[[_P], _R], payloads: Sequence[_P]
     ) -> Iterator[_R]:
+        self._check_open()
         payloads = list(payloads)
         if not payloads:
             return
-        workers = min(self.jobs, len(payloads))
-        with multiprocessing.get_context().Pool(processes=workers) as pool:
-            yield from pool.imap_unordered(fn, payloads)
+        yield from self._ensure_pool().imap_unordered(fn, payloads)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            # terminate(), not close(): a consumer that abandoned its
+            # result iterator mid-sweep (interrupt, failed shard) must
+            # not block teardown on half-finished tasks.
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        super().close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
-class ThreadExecutor:
-    """Run payloads on a :class:`~concurrent.futures.ThreadPoolExecutor`.
+class ThreadExecutor(_ClosingMixin):
+    """Run payloads on a persistent thread pool.
 
     Results are yielded in completion order, like
     :class:`MultiprocessExecutor`, but workers share the process: no
@@ -113,20 +189,28 @@ class ThreadExecutor:
         if jobs < 1:
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self._pool: ThreadPoolExecutor | None = None
 
     def map_unordered(
         self, fn: Callable[[_P], _R], payloads: Sequence[_P]
     ) -> Iterator[_R]:
+        self._check_open()
         payloads = list(payloads)
         if not payloads:
             return
-        workers = min(self.jobs, len(payloads))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(fn, payload) for payload in payloads}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield future.result()
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.jobs)
+        pending = {self._pool.submit(fn, payload) for payload in payloads}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        super().close()
 
 
 #: Executor kinds accepted by :func:`make_executor`.
@@ -138,7 +222,9 @@ def make_executor(jobs: int | None, kind: str = "process") -> Executor:
 
     ``kind`` selects the pool flavour for ``jobs > 1``: ``"process"``
     (the default, true parallelism) or ``"thread"`` (shared-process
-    workers, see :class:`ThreadExecutor`).
+    workers, see :class:`ThreadExecutor`).  Use the returned executor
+    as a context manager (or call ``close()``) so pools tear down
+    deterministically.
     """
     if kind not in EXECUTOR_KINDS:
         raise AnalysisError(

@@ -1,0 +1,189 @@
+"""Live merge of partial shard streams: cluster-wide progress and counts.
+
+:func:`~repro.engine.shard.merge_shards` recombines *finished* shard
+artifacts; this module merges shards *while they run*.  Every shard
+invocation appends one JSONL line per completed chunk to its ``--stream``
+file; a :class:`LiveMerger` keeps a :class:`~repro.engine.streaming.StreamTail`
+on each file and folds newly-completed lines into one cluster-wide
+:class:`ClusterView` — per-point schedulable counts so far, per-shard
+progress, and the pooled chunk-timing telemetry the adaptive chunk
+sizer (:mod:`repro.engine.chunking`) consumes.
+
+The view is an *observation*: the orchestrator still validates the
+final result through the shard-artifact fingerprint machinery.  But it
+is an honest one — chunk lines are only ever whole (the tail never
+splits a line), restarts are detected (a retried shard truncates its
+stream, resetting that shard's contribution), and a header fingerprint
+that does not match the expected sweep raises
+:class:`~repro.exceptions.ShardError` immediately rather than silently
+merging two different sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ShardError
+from repro.engine.streaming import StreamTail
+
+
+@dataclass(slots=True)
+class ShardProgress:
+    """What one shard's partial stream has revealed so far."""
+
+    index: int
+    path: Path
+    #: ``"waiting"`` (no stream yet), ``"running"``, or ``"finished"``
+    #: (summary line seen; the artifact may still be a moment behind).
+    state: str = "waiting"
+    done_items: int = 0
+    #: point index → method name → schedulable count, over chunk lines.
+    counts: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: ``(items, seconds)`` chunk-timing telemetry from this shard.
+    timings: list[tuple[int, float]] = field(default_factory=list)
+    #: Stream restarts observed (shard was retried).
+    restarts: int = 0
+
+    def _reset(self) -> None:
+        self.state = "waiting"
+        self.done_items = 0
+        self.counts = {}
+        self.timings = []
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterView:
+    """One consistent snapshot across every attached shard stream."""
+
+    total_items: int
+    done_items: int
+    #: point index → method name → schedulable count (partial).
+    counts: dict[int, dict[str, int]]
+    shards: tuple[ShardProgress, ...]
+    #: Pooled ``(items, seconds)`` telemetry across all shards.
+    timings: tuple[tuple[int, float], ...]
+
+    @property
+    def fraction_done(self) -> float:
+        return self.done_items / self.total_items if self.total_items else 0.0
+
+    @property
+    def finished(self) -> bool:
+        """Every shard stream ended with its summary line."""
+        return all(shard.state == "finished" for shard in self.shards)
+
+
+class LiveMerger:
+    """Fold growing shard streams into a cluster-wide progress view.
+
+    Parameters
+    ----------
+    total_items:
+        The full sweep's item count (for progress fractions).
+    fingerprint:
+        When set, every stream header must carry this sweep
+        fingerprint; a mismatch raises
+        :class:`~repro.exceptions.ShardError` (the stream belongs to a
+        different sweep — merging it would be garbage).
+    """
+
+    def __init__(self, total_items: int, fingerprint: str | None = None) -> None:
+        self.total_items = total_items
+        self.fingerprint = fingerprint
+        self._tails: dict[int, StreamTail] = {}
+        self._shards: dict[int, ShardProgress] = {}
+
+    def attach(self, index: int, path: str | Path) -> None:
+        """Start following shard ``index``'s stream file (may not exist yet)."""
+        path = Path(path)
+        self._tails[index] = StreamTail(path)
+        self._shards[index] = ShardProgress(index=index, path=path)
+
+    def reset(self, index: int, count_restart: bool = True) -> None:
+        """Discard shard ``index``'s accumulated state and re-tail from 0.
+
+        The orchestrator calls this whenever it launches a shard over
+        prior stream bytes — a retry, or the first launch of a resumed
+        orchestration whose previous process died: the old stream is
+        garbage (recovery resumes from the checkpoint, not the stream).
+        The tail's own size-shrink truncation detection remains as a
+        fallback for external observers, but an equal-or-longer rewrite
+        can race past it — the owner of the relaunch must not rely on
+        it.  ``count_restart=False`` resets without incrementing the
+        :attr:`ShardProgress.restarts` metric (resume, not retry).
+        """
+        shard = self._shards[index]
+        self._tails[index] = StreamTail(shard.path)
+        shard._reset()
+        if count_restart:
+            shard.restarts += 1
+
+    def poll(self) -> ClusterView:
+        """Consume newly-completed stream lines, return the merged view."""
+        for index, tail in self._tails.items():
+            shard = self._shards[index]
+            before = tail.truncations
+            lines = tail.poll()
+            if tail.truncations > before:
+                # The shard was relaunched and its writer truncated the
+                # stream: everything previously folded in is stale.
+                shard._reset()
+                shard.restarts += 1
+            for line in lines:
+                self._fold(shard, line)
+        return self.view()
+
+    def view(self) -> ClusterView:
+        """The current merged snapshot (no file reads)."""
+        counts: dict[int, dict[str, int]] = {}
+        timings: list[tuple[int, float]] = []
+        done = 0
+        for shard in self._shards.values():
+            done += shard.done_items
+            timings.extend(shard.timings)
+            for point, methods in shard.counts.items():
+                target = counts.setdefault(point, {})
+                for name, value in methods.items():
+                    target[name] = target.get(name, 0) + value
+        return ClusterView(
+            total_items=self.total_items,
+            done_items=done,
+            counts=counts,
+            shards=tuple(
+                self._shards[index] for index in sorted(self._shards)
+            ),
+            timings=tuple(timings),
+        )
+
+    # ------------------------------------------------------------------
+    def _fold(self, shard: ShardProgress, line: dict) -> None:
+        kind = line.get("type")
+        if kind == "header":
+            if (
+                self.fingerprint is not None
+                and line.get("fingerprint") != self.fingerprint
+            ):
+                raise ShardError(
+                    f"stream {shard.path} belongs to a different sweep "
+                    "(fingerprint mismatch); refusing to live-merge it"
+                )
+            shard.state = "running"
+        elif kind == "chunk":
+            shard.done_items += int(line["stop"]) - int(line["start"])
+            for point, methods in line.get("counts", {}).items():
+                target = shard.counts.setdefault(int(point), {})
+                for name, value in methods.items():
+                    target[name] = target.get(name, 0) + int(value)
+            if "elapsed_seconds" in line:
+                shard.timings.append(
+                    (
+                        int(line["stop"]) - int(line["start"]),
+                        float(line["elapsed_seconds"]),
+                    )
+                )
+        elif kind == "item":
+            # Per-item experiment payloads (split sweep): progress only.
+            shard.done_items += 1
+        elif kind == "summary":
+            shard.state = "finished"

@@ -1,0 +1,616 @@
+"""The orchestrator tier: one command runs a whole sharded sweep.
+
+PR 2 made sweeps shardable (``--shard I/N`` invocations merging
+bit-identically); a human still had to launch every shard and run
+``sweep-merge``.  The orchestrator closes that loop.  It owns whole
+:class:`~repro.engine.shard.ShardSpec` s:
+
+1. **partition** — an :class:`OrchestrationPlan` (built from an
+   experiment's parameters without running it) fixes the sweep
+   fingerprint, the item count and the base command line;
+2. **dispatch** — each shard becomes one ``python -m repro ...
+   --shard I/N --shard-out ... --stream ... [--checkpoint ...]``
+   invocation on a pluggable :class:`~repro.engine.backends.DispatchBackend`
+   (local subprocess pool by default; SSH/queue templates drop in);
+3. **observe** — a :class:`~repro.engine.livemerge.LiveMerger` tails
+   every shard's JSONL stream as it grows and folds partial chunks into
+   a cluster-wide progress/result view;
+4. **heal** — failed or stalled shards are relaunched on a fresh slot
+   (up to ``retries`` extra attempts each), resuming from their own
+   checkpoints where the experiment supports it, with a chunk size
+   seeded from the cluster's pooled wall-time telemetry
+   (:mod:`repro.engine.chunking`);
+5. **merge** — completed shard artifacts go through the *existing*
+   fingerprint-validated merge machinery
+   (:func:`~repro.engine.shard.merge_shards` /
+   :func:`~repro.experiments.splitsweep.merge_split_shards`), so the
+   final result is bit-identical to the serial run or an error — never
+   a silent mixture.
+
+Everything lives under one output directory: shard artifacts, streams,
+checkpoints, per-shard logs and an ``orchestration.json`` manifest,
+which makes the run resumable (re-running the same command reuses
+finished shard artifacts and resumes interrupted ones) and inspectable
+(``sweep-status <dir>``, :func:`read_status`).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import OrchestrationError, ShardError
+from repro.engine.backends import DispatchBackend, LocalBackend
+from repro.engine.checkpoint import FORMAT_VERSION, clean_stale_tmps, write_json_atomic
+from repro.engine.chunking import AdaptiveChunker, seed_chunker_from_timings
+from repro.engine.livemerge import ClusterView, LiveMerger
+from repro.engine.shard import KIND_SPLITSWEEP, KIND_SWEEP, ShardSpec, load_shard
+
+#: Manifest file name inside every orchestration output directory.
+MANIFEST_NAME = "orchestration.json"
+
+
+@dataclass(frozen=True, slots=True)
+class OrchestrationPlan:
+    """Everything the orchestrator needs to know *without* running the sweep.
+
+    Attributes
+    ----------
+    experiment:
+        Human name of the experiment (``"figure2"``, ``"group2"``,
+        ``"splitsweep"``) — also the sub-command dispatched to workers.
+    kind:
+        Artifact kind the shards will write (:data:`KIND_SWEEP` or
+        :data:`KIND_SPLITSWEEP`); selects the merge path.
+    fingerprint:
+        The unsharded spec fingerprint every shard artifact and stream
+        header must match.
+    total_items:
+        The full sweep's work-item count.
+    argv:
+        Base command for one shard invocation, *without* the per-shard
+        ``--shard/--shard-out/--stream/--checkpoint`` flags (the
+        orchestrator appends those).
+    supports_checkpoint:
+        Whether the experiment accepts ``--checkpoint`` (retried shards
+        then resume instead of restarting).
+    supports_chunk_size:
+        Whether the experiment accepts ``--chunk-size`` (relaunches are
+        then seeded from observed telemetry).
+    """
+
+    experiment: str
+    kind: str
+    fingerprint: str
+    total_items: int
+    argv: tuple[str, ...]
+    supports_checkpoint: bool = True
+    supports_chunk_size: bool = True
+
+
+@dataclass(slots=True)
+class _ShardJob:
+    """Orchestrator-side state of one shard."""
+
+    shard: ShardSpec
+    artifact: Path
+    stream: Path
+    checkpoint: Path | None
+    log: Path
+    attempts: int = 0
+    state: str = "pending"  # pending | running | done | failed
+    handle: object | None = None
+    last_done_items: int = 0
+    last_progress_at: float = field(default_factory=time.monotonic)
+
+
+@dataclass(frozen=True, slots=True)
+class OrchestrationOutcome:
+    """What a completed orchestration produced."""
+
+    #: The merged, fingerprint-validated result: a
+    #: :class:`~repro.engine.results.SweepResult` for sweep plans, the
+    #: :class:`~repro.experiments.splitsweep.SplitSweepPoint` list for
+    #: split sweeps.
+    result: object
+    #: Final live-merge snapshot (progress, telemetry, restarts).
+    view: ClusterView
+    #: Launch attempts per shard index (1 = no retry needed).
+    attempts: dict[int, int]
+    #: Extra attempts beyond the first, summed over shards.
+    retries: int
+    elapsed_seconds: float
+
+
+ProgressCallback = Callable[[ClusterView], None]
+
+
+def _python_env() -> dict[str, str]:
+    """Child environment guaranteeing ``import repro`` works."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
+
+
+class Orchestrator:
+    """Drive one :class:`OrchestrationPlan` to a merged result.
+
+    Parameters
+    ----------
+    plan:
+        What to run (see the plan builders below).
+    out_dir:
+        Directory owning every artifact/stream/checkpoint/log and the
+        manifest.  Reusing the directory resumes: finished shards are
+        reused, unfinished ones relaunched (resuming from their
+        checkpoints).  A directory owned by a *different* sweep is
+        rejected.
+    backend:
+        Where shard commands run; default a
+        :class:`~repro.engine.backends.LocalBackend` with ``workers``
+        slots.
+    workers:
+        Slot count for the default backend (ignored when ``backend`` is
+        given).
+    shards:
+        How many shards to partition into; default: one per backend
+        slot.
+    retries:
+        Extra launch attempts allowed per shard after a failure or
+        stall.
+    poll_interval:
+        Seconds between dispatch/stream polls.
+    stall_timeout:
+        When set, a running shard whose stream makes no progress for
+        this many seconds is killed and relaunched on a fresh slot
+        (straggler recovery).  ``None`` disables.
+    progress:
+        Optional callback receiving the merged
+        :class:`~repro.engine.livemerge.ClusterView` after every poll.
+    """
+
+    def __init__(
+        self,
+        plan: OrchestrationPlan,
+        out_dir: str | Path,
+        backend: DispatchBackend | None = None,
+        workers: int = 1,
+        shards: int | None = None,
+        retries: int = 2,
+        poll_interval: float = 0.2,
+        stall_timeout: float | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if retries < 0:
+            raise OrchestrationError(f"retries must be >= 0, got {retries}")
+        if poll_interval < 0:
+            raise OrchestrationError(
+                f"poll_interval must be >= 0, got {poll_interval}"
+            )
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise OrchestrationError(
+                f"stall_timeout must be > 0, got {stall_timeout}"
+            )
+        self.plan = plan
+        self.out_dir = Path(out_dir)
+        self.backend = backend if backend is not None else LocalBackend(workers)
+        self.shard_count = shards if shards is not None else self.backend.slots
+        if self.shard_count < 1:
+            raise OrchestrationError(
+                f"shard count must be >= 1, got {self.shard_count}"
+            )
+        self.retries = retries
+        self.poll_interval = poll_interval
+        self.stall_timeout = stall_timeout
+        self.progress = progress
+        self._env = _python_env()
+
+    # ------------------------------------------------------------------
+    def run(self) -> OrchestrationOutcome:
+        """Dispatch, live-merge, heal and finally merge the whole sweep."""
+        start = time.perf_counter()
+        jobs = self._prepare_jobs()
+        self._write_manifest(jobs, state="running")
+
+        merger = LiveMerger(self.plan.total_items, self.plan.fingerprint)
+        for index, job in enumerate(jobs):
+            merger.attach(index, job.stream)
+
+        pending = [i for i, job in enumerate(jobs) if job.state == "pending"]
+        running: set[int] = set()
+        try:
+            while pending or running:
+                while pending and len(running) < self.backend.slots:
+                    index = pending.pop(0)
+                    self._launch(jobs[index], merger)
+                    running.add(index)
+
+                view = merger.poll()
+                now = time.monotonic()
+                for index in sorted(running):
+                    job = jobs[index]
+                    code = self.backend.poll(job.handle)
+                    if code is None:
+                        self._check_stall(job, view, now)
+                        if job.state == "failed":
+                            running.discard(index)
+                            pending.insert(0, index)
+                        continue
+                    running.discard(index)
+                    if code == 0 and self._artifact_ok(job):
+                        job.state = "done"
+                        continue
+                    job.state = "failed"
+                    if job.attempts > self.retries:
+                        raise OrchestrationError(
+                            f"shard {job.shard.label} failed "
+                            f"{job.attempts} times (last exit code {code}); "
+                            f"see {job.log}"
+                        )
+                    pending.insert(0, index)
+
+                if self.progress is not None:
+                    self.progress(view)
+                if pending or running:
+                    time.sleep(self.poll_interval)
+        except BaseException:
+            for index in running:
+                self.backend.cancel(jobs[index].handle)
+            self._write_manifest(jobs, state="failed")
+            raise
+
+        final_view = merger.poll()
+        result = self._merge(jobs)
+        self._write_manifest(jobs, state="complete")
+        attempts = {i: job.attempts for i, job in enumerate(jobs)}
+        return OrchestrationOutcome(
+            result=result,
+            view=final_view,
+            attempts=attempts,
+            retries=sum(max(0, a - 1) for a in attempts.values()),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def _prepare_jobs(self) -> list[_ShardJob]:
+        """Lay out the output directory; reuse finished shard artifacts."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        manifest = load_manifest(self.out_dir)
+        if manifest is not None and manifest["fingerprint"] != self.plan.fingerprint:
+            raise OrchestrationError(
+                f"{self.out_dir} already holds an orchestration of a "
+                "different sweep (fingerprint mismatch); use a fresh "
+                "directory"
+            )
+        if (
+            manifest is not None
+            and int(manifest["shard_count"]) != self.shard_count
+        ):
+            raise OrchestrationError(
+                f"{self.out_dir} was partitioned into "
+                f"{manifest['shard_count']} shards; rerun with "
+                f"--shards {manifest['shard_count']} or use a fresh directory"
+            )
+        # Atomic-write temps orphaned by killed shard processes would
+        # otherwise pile up across resumes.
+        clean_stale_tmps(self.out_dir)
+
+        jobs: list[_ShardJob] = []
+        for index in range(self.shard_count):
+            shard = ShardSpec(index, self.shard_count)
+            stem = f"shard-{index + 1}of{self.shard_count}"
+            # ".artifact.json" keeps `shard-*.artifact.json` globs (the
+            # sweep-merge hint printed by sweep-status) from also
+            # matching the sibling checkpoint files.
+            job = _ShardJob(
+                shard=shard,
+                artifact=self.out_dir / f"{stem}.artifact.json",
+                stream=self.out_dir / f"{stem}.jsonl",
+                checkpoint=(
+                    self.out_dir / f"{stem}.checkpoint.json"
+                    if self.plan.supports_checkpoint
+                    else None
+                ),
+                log=self.out_dir / f"{stem}.log",
+            )
+            if self._artifact_ok(job):
+                job.state = "done"
+            jobs.append(job)
+        return jobs
+
+    def _artifact_ok(self, job: _ShardJob) -> bool:
+        """A completed, readable artifact of *this* sweep and shard?"""
+        if not job.artifact.exists():
+            return False
+        try:
+            artifact = load_shard(job.artifact)
+        except ShardError:
+            return False
+        return (
+            artifact.fingerprint == self.plan.fingerprint
+            and artifact.shard == job.shard
+            and artifact.kind == self.plan.kind
+        )
+
+    def _launch(self, job: _ShardJob, merger: LiveMerger) -> None:
+        if job.attempts > 0 or job.stream.exists():
+            # Any prior stream bytes — a relaunch's dead attempt, or a
+            # leftover from an interrupted orchestration being resumed —
+            # are stale the moment the new process truncates the file.
+            # Drop them and re-tail from scratch *before* the worker
+            # starts, so the live view never mixes two attempts and the
+            # tail never reads from a mid-line offset of the old file.
+            job.stream.unlink(missing_ok=True)
+            merger.reset(job.shard.index, count_restart=job.attempts > 0)
+        argv = list(self.plan.argv)
+        argv += ["--shard", job.shard.label]
+        argv += ["--shard-out", str(job.artifact)]
+        argv += ["--stream", str(job.stream)]
+        if job.checkpoint is not None:
+            argv += ["--checkpoint", str(job.checkpoint)]
+        if self.plan.supports_chunk_size and job.attempts > 0:
+            # Relaunches start with a chunk size matched to the item
+            # cost the cluster has already observed, instead of
+            # re-warming from single-item chunks.
+            timings = list(merger.view().timings)
+            if timings:
+                chunker = seed_chunker_from_timings(AdaptiveChunker(), timings)
+                argv += ["--chunk-size", str(chunker.chunk_size())]
+        job.handle = self.backend.launch(argv, job.log, env=self._env)
+        job.attempts += 1
+        job.state = "running"
+        job.last_done_items = 0
+        job.last_progress_at = time.monotonic()
+
+    def _check_stall(self, job: _ShardJob, view: ClusterView, now: float) -> None:
+        if self.stall_timeout is None:
+            return
+        done = view.shards[job.shard.index].done_items
+        if done > job.last_done_items:
+            job.last_done_items = done
+            job.last_progress_at = now
+            return
+        if now - job.last_progress_at >= self.stall_timeout:
+            self.backend.cancel(job.handle)
+            job.state = "failed"
+            if job.attempts > self.retries:
+                raise OrchestrationError(
+                    f"shard {job.shard.label} stalled "
+                    f"(no stream progress for {self.stall_timeout:.0f}s) "
+                    f"after {job.attempts} attempts; see {job.log}"
+                )
+
+    def _merge(self, jobs: Sequence[_ShardJob]):
+        paths = [job.artifact for job in jobs]
+        if self.plan.kind == KIND_SPLITSWEEP:
+            from repro.experiments.splitsweep import merge_split_shards
+
+            return merge_split_shards(paths)
+        from repro.engine.shard import merge_shards
+
+        return merge_shards(paths)
+
+    def _write_manifest(self, jobs: Sequence[_ShardJob], state: str) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "experiment": self.plan.experiment,
+            "kind": self.plan.kind,
+            "fingerprint": self.plan.fingerprint,
+            "total_items": self.plan.total_items,
+            "shard_count": self.shard_count,
+            "argv": list(self.plan.argv),
+            "state": state,
+            "shards": [
+                {
+                    "index": job.shard.index,
+                    "artifact": job.artifact.name,
+                    "stream": job.stream.name,
+                    "checkpoint": job.checkpoint.name if job.checkpoint else None,
+                    "log": job.log.name,
+                    "attempts": job.attempts,
+                }
+                for job in jobs
+            ],
+        }
+        write_json_atomic(self.out_dir / MANIFEST_NAME, payload)
+
+
+def orchestrate(plan: OrchestrationPlan, out_dir: str | Path, **kwargs):
+    """One-call convenience wrapper: build an :class:`Orchestrator`, run it."""
+    return Orchestrator(plan, out_dir, **kwargs).run()
+
+
+# ----------------------------------------------------------------------
+# Plan builders (lazy experiment imports keep engine -> experiments
+# dependencies out of module import time).
+
+def plan_figure2(
+    m: int,
+    n_tasksets: int = 300,
+    seed: int = 2016,
+    step: float | None = None,
+    jobs: int = 1,
+) -> OrchestrationPlan:
+    """Plan a Figure-2 sweep (same parameters as ``run_figure2``)."""
+    from repro.experiments.figure2 import figure2_spec
+
+    spec = figure2_spec(m=m, n_tasksets=n_tasksets, seed=seed, step=step)
+    argv = [
+        sys.executable, "-m", "repro", "figure2",
+        "--m", str(m), "--tasksets", str(n_tasksets), "--seed", str(seed),
+        "--jobs", str(jobs),
+    ]
+    if step is not None:
+        argv += ["--step", str(step)]
+    return OrchestrationPlan(
+        experiment="figure2",
+        kind=KIND_SWEEP,
+        fingerprint=spec.fingerprint(),
+        total_items=spec.total_items,
+        argv=tuple(argv),
+    )
+
+
+def plan_group2(
+    m: int,
+    n_tasksets: int = 300,
+    seed: int = 2016,
+    step: float | None = None,
+    jobs: int = 1,
+) -> OrchestrationPlan:
+    """Plan a group-2 sweep (same parameters as ``run_group2``)."""
+    from repro.experiments.group2 import group2_spec
+
+    spec = group2_spec(m=m, n_tasksets=n_tasksets, seed=seed, step=step)
+    argv = [
+        sys.executable, "-m", "repro", "group2",
+        "--m", str(m), "--tasksets", str(n_tasksets), "--seed", str(seed),
+        "--jobs", str(jobs),
+    ]
+    if step is not None:
+        argv += ["--step", str(step)]
+    return OrchestrationPlan(
+        experiment="group2",
+        kind=KIND_SWEEP,
+        fingerprint=spec.fingerprint(),
+        total_items=spec.total_items,
+        argv=tuple(argv),
+    )
+
+
+def plan_splitsweep(
+    m: int,
+    utilization: float,
+    thresholds: Sequence[float],
+    n_tasksets: int = 30,
+    seed: int = 2016,
+    overhead: float = 0.0,
+    jobs: int = 1,
+) -> OrchestrationPlan:
+    """Plan a split sweep (same parameters as ``run_split_sweep``).
+
+    Split sweeps have no checkpoint support (items are whole task-sets
+    re-analysed per threshold), so a retried shard restarts its slice.
+    """
+    from repro.core.analyzer import AnalysisMethod
+    from repro.experiments.splitsweep import split_sweep_fingerprint
+    from repro.generator.profiles import GROUP1
+
+    ordered = tuple(sorted((float(t) for t in thresholds), reverse=True))
+    fingerprint = split_sweep_fingerprint(
+        m, utilization, ordered, n_tasksets, seed, GROUP1,
+        AnalysisMethod.LP_ILP, overhead,
+    )
+    argv = [
+        sys.executable, "-m", "repro", "splitsweep",
+        "--m", str(m), "--utilization", str(utilization),
+        "--tasksets", str(n_tasksets), "--seed", str(seed),
+        "--overhead", str(overhead), "--jobs", str(jobs),
+        "--thresholds", *[str(t) for t in ordered],
+    ]
+    return OrchestrationPlan(
+        experiment="splitsweep",
+        kind=KIND_SPLITSWEEP,
+        fingerprint=fingerprint,
+        total_items=n_tasksets,
+        argv=tuple(argv),
+        supports_checkpoint=False,
+        supports_chunk_size=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Status inspection (the sweep-status command).
+
+@dataclass(frozen=True, slots=True)
+class OrchestrationStatus:
+    """Snapshot of a running or finished orchestration directory."""
+
+    manifest: dict
+    view: ClusterView
+    #: shard index → True when its artifact is complete and readable.
+    artifacts_done: dict[int, bool]
+
+    @property
+    def state(self) -> str:
+        return str(self.manifest.get("state", "unknown"))
+
+    @property
+    def complete(self) -> bool:
+        return all(self.artifacts_done.values())
+
+
+def load_manifest(out_dir: str | Path) -> dict | None:
+    """Read ``orchestration.json``; ``None`` when absent.
+
+    Raises
+    ------
+    OrchestrationError
+        On unreadable JSON or a format-version mismatch.
+    """
+    import json
+
+    path = Path(out_dir) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("version") != FORMAT_VERSION:
+            raise OrchestrationError(
+                f"manifest {path} has format version "
+                f"{payload.get('version')!r}, expected {FORMAT_VERSION}"
+            )
+        if not isinstance(payload.get("shards"), list):
+            raise OrchestrationError(f"manifest {path} has no shard table")
+        return payload
+    except OrchestrationError:
+        raise
+    except (json.JSONDecodeError, TypeError, ValueError, AttributeError) as exc:
+        raise OrchestrationError(
+            f"manifest {path} is unreadable ({exc})"
+        ) from exc
+
+
+def read_status(out_dir: str | Path) -> OrchestrationStatus:
+    """Inspect an orchestration directory from its files alone.
+
+    Progress comes from tailing the per-shard streams (exactly what the
+    live merger does inside a running orchestrator), completion from
+    loading the shard artifacts — so the command works on a live run,
+    a finished one, and a crashed one alike.
+    """
+    out_dir = Path(out_dir)
+    manifest = load_manifest(out_dir)
+    if manifest is None:
+        raise OrchestrationError(
+            f"{out_dir} has no {MANIFEST_NAME}; not an orchestration directory"
+        )
+    merger = LiveMerger(
+        int(manifest["total_items"]), str(manifest["fingerprint"])
+    )
+    artifacts_done: dict[int, bool] = {}
+    for entry in manifest["shards"]:
+        index = int(entry["index"])
+        merger.attach(index, out_dir / str(entry["stream"]))
+        artifact = out_dir / str(entry["artifact"])
+        done = False
+        if artifact.exists():
+            try:
+                loaded = load_shard(artifact)
+                done = loaded.fingerprint == manifest["fingerprint"]
+            except ShardError:
+                done = False
+        artifacts_done[index] = done
+    return OrchestrationStatus(
+        manifest=manifest,
+        view=merger.poll(),
+        artifacts_done=artifacts_done,
+    )

@@ -11,8 +11,11 @@ the final table.  The line schema:
   line, identifies the sweep (same fingerprint/meta as shard
   artifacts);
 * ``{"type": "chunk", "start": ..., "stop": ..., "counts": {...},
-  "replayed": bool}`` — one completed chunk (``replayed`` marks records
-  restored from a checkpoint rather than computed by this run);
+  "replayed": bool, "elapsed_seconds": float?}`` — one completed chunk
+  (``replayed`` marks records restored from a checkpoint rather than
+  computed by this run; ``elapsed_seconds`` is the chunk's wall-time in
+  its worker, the telemetry the adaptive chunk-sizer of
+  :mod:`repro.engine.chunking` feeds on — absent on replayed lines);
 * ``{"type": "item", ...}`` — experiment-specific per-item payloads
   (the split sweep streams one of these per task-set);
 * ``{"type": "summary", "done_items": ..., "elapsed_seconds": ...}`` —
@@ -25,6 +28,14 @@ artifacts — but :func:`read_stream` can rebuild a
 :class:`~repro.engine.checkpoint.ChunkRecord` list for offline
 inspection, and the conformance suite asserts a stream's records sum to
 exactly the sweep's final counts.
+
+:class:`StreamTail` reads the same files *while they grow*: it keeps a
+byte offset, returns only newly-completed lines on each poll, leaves a
+torn tail (a line the writer has not finished flushing) buffered until
+the newline lands, and detects truncation (a relaunched shard reopens
+its stream with ``"w"``) so a consumer can reset that shard's view.
+The cluster-wide live merger (:mod:`repro.engine.livemerge`) is built
+on it.
 """
 
 from __future__ import annotations
@@ -95,10 +106,17 @@ class StreamWriter:
             }
         )
 
-    def write_chunk(self, record: ChunkRecord, replayed: bool = False) -> None:
+    def write_chunk(
+        self,
+        record: ChunkRecord,
+        replayed: bool = False,
+        elapsed_seconds: float | None = None,
+    ) -> None:
         payload = record_to_json(record)
         payload["type"] = "chunk"
         payload["replayed"] = replayed
+        if elapsed_seconds is not None:
+            payload["elapsed_seconds"] = elapsed_seconds
         self._emit(payload)
 
     def write_item(self, item: int, **fields: object) -> None:
@@ -122,6 +140,10 @@ class StreamDump:
     chunks: list[ChunkRecord] = field(default_factory=list)
     items: list[dict] = field(default_factory=list)
     summary: dict | None = None
+    #: ``(items, seconds)`` telemetry from chunk lines that carried an
+    #: ``elapsed_seconds`` field — feed to an
+    #: :class:`~repro.engine.chunking.AdaptiveChunker`.
+    chunk_timings: list[tuple[int, float]] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -162,6 +184,78 @@ def iter_stream(path: str | Path):
             yield payload
 
 
+class StreamTail:
+    """Incrementally follow a JSONL stream that another process is writing.
+
+    Each :meth:`poll` returns the stream lines completed since the last
+    poll (possibly none).  Three concurrent-writer hazards are handled:
+
+    * **growth** — only bytes past the last consumed offset are read;
+    * **torn tail** — a trailing fragment without a newline (the writer
+      is mid-flush, or the OS exposed a partial write) is left pending;
+      the offset does not advance past it, so the completed line is
+      returned whole by a later poll;
+    * **truncation** — the file shrinking below the consumed offset
+      means the stream was restarted (a retried shard reopens with
+      ``"w"``): the tail resets to offset 0 and sets
+      :attr:`truncations` so the consumer can discard that shard's
+      accumulated state.
+
+    A missing file is simply "no lines yet" — the orchestrator attaches
+    tails before its shards have started writing.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        #: Times the stream restarted (file shrank under the tail).
+        self.truncations = 0
+
+    def poll(self) -> list[dict]:
+        """Parse and return the newly-completed lines (maybe empty).
+
+        Raises
+        ------
+        AnalysisError
+            On a *completed* line that is not a JSON object with a
+            ``type`` — the writer only flushes whole lines, so that is
+            corruption, not concurrency.
+        """
+        if not self.path.exists():
+            return []
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self._offset:
+            self._offset = 0
+            self.truncations += 1
+        if size == self._offset:
+            return []
+        with self.path.open("rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read(size - self._offset)
+        lines: list[dict] = []
+        consumed = 0
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # torn tail: wait for the writer to finish it
+            consumed += len(raw)
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(
+                    f"stream {self.path} has a corrupt line ({exc})"
+                ) from exc
+            if not isinstance(payload, dict) or "type" not in payload:
+                raise AnalysisError(
+                    f"stream {self.path} has a malformed line"
+                )
+            lines.append(payload)
+        self._offset += consumed
+        return lines
+
+
 def read_stream(path: str | Path) -> StreamDump:
     """Parse a whole stream file into a :class:`StreamDump`.
 
@@ -188,7 +282,12 @@ def read_stream(path: str | Path) -> StreamDump:
                 )
             dump = StreamDump(header=payload)
         elif payload["type"] == "chunk":
-            dump.chunks.append(record_from_json(payload))
+            record = record_from_json(payload)
+            dump.chunks.append(record)
+            if "elapsed_seconds" in payload:
+                dump.chunk_timings.append(
+                    (record.stop - record.start, float(payload["elapsed_seconds"]))
+                )
         elif payload["type"] == "item":
             dump.items.append(payload)
         elif payload["type"] == "summary":

@@ -4,7 +4,9 @@ A sweep is a grid of ``(utilisation point, task-set index)`` work items.
 Each item generates one random task-set and evaluates every requested
 method in a single pass (:func:`repro.core.analyzer.analyze_taskset_multi`).
 Items are grouped into chunks and handed to a pluggable executor
-(:mod:`repro.engine.executors`).
+(:mod:`repro.engine.executors`); on pool executors the chunk size is
+adapted on the fly from per-chunk wall-time telemetry
+(:mod:`repro.engine.chunking`) unless pinned explicitly.
 
 Determinism
 -----------
@@ -52,9 +54,11 @@ from repro.core.workload import MuMethod
 from repro.engine.checkpoint import (
     ChunkRecord,
     SweepCheckpoint,
+    clean_stale_tmps,
     load_checkpoint,
     save_checkpoint,
 )
+from repro.engine.chunking import AdaptiveChunker
 from repro.engine.executors import Executor, SerialExecutor
 from repro.engine.results import SweepPoint, SweepResult
 from repro.engine.shard import KIND_SWEEP, ShardArtifact, ShardSpec, save_shard, sweep_meta
@@ -188,7 +192,7 @@ EngineProgress = Callable[[ProgressEvent], None]
 
 def _run_runs(
     payload: tuple[SweepSpec, tuple[tuple[int, int], ...]],
-) -> list[ChunkRecord]:
+) -> list[tuple[ChunkRecord, float]]:
     """Evaluate a batch of contiguous runs (one executor round-trip).
 
     Sharded item sets are strided, so their contiguous runs are tiny
@@ -196,9 +200,19 @@ def _run_runs(
     per-task pickling/IPC cost proportional to the chunk size, not the
     item count, while records stay per-run (contiguous) so the
     checkpoint/artifact schema is unchanged.
+
+    Each run is timed *in the worker* and returned as ``(record,
+    seconds)``: the wall-time telemetry drives the adaptive chunk sizer
+    and is published on the stream's chunk lines for external sizers
+    (the orchestrator) to consume.
     """
     spec, runs = payload
-    return [_run_chunk((spec, start, stop)) for start, stop in runs]
+    timed: list[tuple[ChunkRecord, float]] = []
+    for start, stop in runs:
+        begin = time.perf_counter()
+        record = _run_chunk((spec, start, stop))
+        timed.append((record, time.perf_counter() - begin))
+    return timed
 
 
 def _contiguous_runs(items: Sequence[int]) -> list[tuple[int, int]]:
@@ -222,11 +236,20 @@ class SweepEngine:
         :class:`~repro.engine.executors.MultiprocessExecutor`.
     chunk_size:
         Work items per executor task.  Default: 1 for the serial
-        executor (exact per-item progress), else ``total / (jobs * 8)``
-        so the pool stays busy without starving progress updates.
+        executor (exact per-item progress); for pool executors the
+        engine sizes chunks *adaptively* from per-chunk wall-time
+        telemetry (see ``chunker``).  An explicit value pins the size.
+    chunker:
+        The :class:`~repro.engine.chunking.AdaptiveChunker` used when
+        ``chunk_size`` is not pinned and the executor is a pool; pass a
+        pre-seeded one to start from known timings (the orchestrator
+        seeds relaunched shards from their stream telemetry).  Default:
+        a fresh chunker.
     checkpoint_path:
         When set, completed work is periodically saved there and a
-        matching interrupted sweep resumes from it.
+        matching interrupted sweep resumes from it.  Stale atomic-write
+        temp files (``<checkpoint>.<pid>.tmp``, orphaned by a killed
+        process) are cleaned up on start.
     checkpoint_interval:
         Minimum seconds between checkpoint writes (0 = every chunk).
     progress:
@@ -234,10 +257,16 @@ class SweepEngine:
         executor, events for a chunk fire together on its completion.
     """
 
+    #: Batches dispatched per adaptive wave, as a multiple of the
+    #: executor's worker count: enough in flight that workers never idle
+    #: at a wave boundary, few enough that sizing reacts quickly.
+    WAVE_FACTOR = 4
+
     def __init__(
         self,
         executor: Executor | None = None,
         chunk_size: int | None = None,
+        chunker: AdaptiveChunker | None = None,
         checkpoint_path: str | Path | None = None,
         checkpoint_interval: float = 5.0,
         progress: EngineProgress | None = None,
@@ -246,6 +275,7 @@ class SweepEngine:
             raise AnalysisError(f"chunk_size must be >= 1, got {chunk_size}")
         self.executor = executor if executor is not None else SerialExecutor()
         self.chunk_size = chunk_size
+        self.chunker = chunker
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_interval = checkpoint_interval
         self.progress = progress
@@ -311,6 +341,9 @@ class SweepEngine:
         records: list[ChunkRecord] = []
         covered: set[int] = set()
         if self.checkpoint_path is not None:
+            # A killed previous run may have orphaned its atomic-write
+            # temp next to the checkpoint; sweep them before resuming.
+            clean_stale_tmps(self.checkpoint_path)
             loaded = load_checkpoint(self.checkpoint_path)
             if loaded is not None:
                 if loaded.fingerprint != checkpoint_fingerprint:
@@ -337,7 +370,9 @@ class SweepEngine:
                         done_in_point[item // spec.n_tasksets] += 1
 
         remaining = [i for i in planned if i not in covered]
-        payloads = [(spec, tuple(batch)) for batch in self._chunks(remaining)]
+        sizer: AdaptiveChunker | None = None
+        if self.chunk_size is None and self.executor.jobs > 1:
+            sizer = self.chunker if self.chunker is not None else AdaptiveChunker()
 
         writer = StreamWriter(stream) if stream is not None else None
         try:
@@ -357,37 +392,64 @@ class SweepEngine:
                     writer.write_chunk(record, replayed=True)
 
             last_save = time.monotonic()
-            for batch in self.executor.map_unordered(_run_runs, payloads):
-                for record in batch:
-                    records.append(record)
-                    if writer is not None:
-                        writer.write_chunk(record)
-                    for point, methods in record.counts.items():
-                        for method, count in methods.items():
-                            counts[point][method] += count
-                    for item in range(record.start, record.stop):
-                        point = item // spec.n_tasksets
-                        done_in_point[point] += 1
-                        done_items += 1
-                        if self.progress is not None:
-                            self.progress(
-                                ProgressEvent(
-                                    utilization=spec.utilizations[point],
-                                    point_index=point,
-                                    done_in_point=done_in_point[point],
-                                    n_tasksets=expected_in_point[point],
-                                    done_items=done_items,
-                                    total_items=len(planned),
-                                )
+            position = 0
+            while position < len(remaining):
+                # One *wave* of executor payloads.  With a pinned chunk
+                # size a single wave covers everything (the legacy
+                # behaviour); adaptively-sized runs dispatch a few
+                # batches per wave, observe their worker-measured
+                # wall-times, and re-size the next wave — pools persist
+                # across map_unordered calls, so waves cost no respawns.
+                if sizer is None:
+                    wave = remaining[position:]
+                    size = self.chunk_size
+                else:
+                    size = sizer.chunk_size()
+                    wave = remaining[
+                        position : position
+                        + size * self.executor.jobs * self.WAVE_FACTOR
+                    ]
+                position += len(wave)
+                payloads = [
+                    (spec, tuple(batch)) for batch in self._chunks(wave, size)
+                ]
+                for batch in self.executor.map_unordered(_run_runs, payloads):
+                    for record, chunk_seconds in batch:
+                        records.append(record)
+                        if sizer is not None:
+                            sizer.observe(
+                                record.stop - record.start, chunk_seconds
                             )
-                if self.checkpoint_path is not None:
-                    now = time.monotonic()
-                    if now - last_save >= self.checkpoint_interval:
-                        save_checkpoint(
-                            self.checkpoint_path,
-                            SweepCheckpoint(checkpoint_fingerprint, records),
-                        )
-                        last_save = now
+                        if writer is not None:
+                            writer.write_chunk(
+                                record, elapsed_seconds=chunk_seconds
+                            )
+                        for point, methods in record.counts.items():
+                            for method, count in methods.items():
+                                counts[point][method] += count
+                        for item in range(record.start, record.stop):
+                            point = item // spec.n_tasksets
+                            done_in_point[point] += 1
+                            done_items += 1
+                            if self.progress is not None:
+                                self.progress(
+                                    ProgressEvent(
+                                        utilization=spec.utilizations[point],
+                                        point_index=point,
+                                        done_in_point=done_in_point[point],
+                                        n_tasksets=expected_in_point[point],
+                                        done_items=done_items,
+                                        total_items=len(planned),
+                                    )
+                                )
+                    if self.checkpoint_path is not None:
+                        now = time.monotonic()
+                        if now - last_save >= self.checkpoint_interval:
+                            save_checkpoint(
+                                self.checkpoint_path,
+                                SweepCheckpoint(checkpoint_fingerprint, records),
+                            )
+                            last_save = now
 
             if self.checkpoint_path is not None:
                 save_checkpoint(
@@ -430,7 +492,9 @@ class SweepEngine:
         )
 
     # ------------------------------------------------------------------
-    def _chunks(self, remaining: Sequence[int]) -> list[list[tuple[int, int]]]:
+    def _chunks(
+        self, remaining: Sequence[int], size: int | None = None
+    ) -> list[list[tuple[int, int]]]:
         """Batch the remaining items into executor payloads.
 
         Each batch is a list of contiguous ``(start, stop)`` runs whose
@@ -438,10 +502,14 @@ class SweepEngine:
         contiguous item sets a batch is exactly one run; for strided
         (sharded) sets, many single-item runs share a batch so one
         executor round-trip still covers a chunk's worth of work.
+
+        ``size`` overrides the engine's pinned ``chunk_size`` (the
+        adaptive run loop passes the sizer's current suggestion).
         """
         if not remaining:
             return []
-        size = self.chunk_size
+        if size is None:
+            size = self.chunk_size
         if size is None:
             if self.executor.jobs <= 1:
                 size = 1

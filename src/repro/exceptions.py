@@ -11,6 +11,8 @@ rejected the input:
   counts, unordered priorities);
 * :class:`CheckpointError` / :class:`ShardError` — sweep-engine
   persistence problems (corrupt checkpoints, inconsistent shard sets);
+* :class:`DispatchError` / :class:`OrchestrationError` — distributed
+  orchestration failures (backend launches, exhausted shard retries);
 * :class:`IlpError` / :class:`IlpInfeasibleError` — ILP substrate
   failures;
 * :class:`GenerationError` — task-set generator parameter problems;
@@ -50,6 +52,16 @@ class CheckpointError(AnalysisError):
 
 class ShardError(AnalysisError):
     """A shard set is inconsistent: gaps, overlaps or mixed sweeps."""
+
+
+class DispatchError(AnalysisError):
+    """A dispatch backend failed to launch, poll or cancel a shard job."""
+
+
+class OrchestrationError(AnalysisError):
+    """A distributed sweep cannot complete: exhausted retries, a corrupt
+    orchestration manifest, or an output directory owned by a different
+    sweep."""
 
 
 class IlpError(ReproError):

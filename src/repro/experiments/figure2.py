@@ -24,7 +24,7 @@ from pathlib import Path
 from repro.exceptions import AnalysisError
 from repro.core.blocking import RhoSolver
 from repro.core.workload import MuMethod
-from repro.engine import ShardSpec
+from repro.engine import ShardSpec, SweepSpec
 from repro.experiments.runner import (
     DEFAULT_METHODS,
     SweepResult,
@@ -43,6 +43,37 @@ PAPER_TASKSETS_PER_POINT = 300
 DEFAULT_SEED = 2016
 
 
+def figure2_spec(
+    m: int,
+    n_tasksets: int = PAPER_TASKSETS_PER_POINT,
+    seed: int = DEFAULT_SEED,
+    step: float | None = None,
+    mu_method: MuMethod = "search",
+    rho_solver: RhoSolver = "assignment",
+) -> SweepSpec:
+    """The exact :class:`~repro.engine.SweepSpec` one Figure-2 run uses.
+
+    The single source of the sweep's identity: :func:`run_figure2`
+    executes it, while the orchestrator
+    (:func:`repro.engine.orchestrator.plan_figure2`) uses its
+    fingerprint and item count to dispatch and validate shard
+    invocations without running anything locally.
+    """
+    if m < 1:
+        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    return SweepSpec(
+        m=m,
+        utilizations=tuple(utilization_grid(m, step=step)),
+        n_tasksets=n_tasksets,
+        profile=GROUP1,
+        seed=seed,
+        methods=DEFAULT_METHODS,
+        label=f"figure2-m{m}-group1",
+        mu_method=mu_method,
+        rho_solver=rho_solver,
+    )
+
+
 def run_figure2(
     m: int,
     n_tasksets: int = PAPER_TASKSETS_PER_POINT,
@@ -55,6 +86,7 @@ def run_figure2(
     shard: ShardSpec | None = None,
     shard_out: str | Path | None = None,
     stream: str | Path | None = None,
+    chunk_size: int | None = None,
 ) -> SweepResult:
     """Regenerate one sub-figure of Figure 2.
 
@@ -81,24 +113,22 @@ def run_figure2(
         result bit-for-bit.
     stream:
         Optional JSONL stream path (one line per completed chunk).
+    chunk_size:
+        Pin the engine's chunk size (default: adaptive on pool
+        executors, per-item serially).
     """
-    if m < 1:
-        raise AnalysisError(f"core count m must be >= 1, got {m}")
+    spec = figure2_spec(
+        m=m, n_tasksets=n_tasksets, seed=seed, step=step,
+        mu_method=mu_method, rho_solver=rho_solver,
+    )
     return run_sweep(
-        m=m,
-        utilizations=utilization_grid(m, step=step),
-        n_tasksets=n_tasksets,
-        profile=GROUP1,
-        seed=seed,
-        methods=DEFAULT_METHODS,
-        label=f"figure2-m{m}-group1",
-        mu_method=mu_method,
-        rho_solver=rho_solver,
+        spec=spec,
         jobs=jobs,
         checkpoint=checkpoint,
         shard=shard,
         shard_out=shard_out,
         stream=stream,
+        chunk_size=chunk_size,
     )
 
 

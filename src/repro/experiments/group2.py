@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.engine import ShardSpec
+from repro.engine import ShardSpec, SweepSpec
 from repro.experiments.runner import (
     DEFAULT_METHODS,
     SweepResult,
@@ -36,6 +36,29 @@ class Group2Report:
         return self.max_gap <= 0.10
 
 
+def group2_spec(
+    m: int,
+    n_tasksets: int = 300,
+    seed: int = 2016,
+    step: float | None = None,
+) -> SweepSpec:
+    """The exact :class:`~repro.engine.SweepSpec` one group-2 run uses.
+
+    Shared by :func:`run_group2` and the orchestrator's
+    :func:`repro.engine.orchestrator.plan_group2`, so dispatched shard
+    invocations are fingerprint-validated against the same identity.
+    """
+    return SweepSpec(
+        m=m,
+        utilizations=tuple(utilization_grid(m, step=step)),
+        n_tasksets=n_tasksets,
+        profile=GROUP2,
+        seed=seed,
+        methods=DEFAULT_METHODS,
+        label=f"group2-m{m}",
+    )
+
+
 def run_group2(
     m: int,
     n_tasksets: int = 300,
@@ -46,27 +69,23 @@ def run_group2(
     shard: ShardSpec | None = None,
     shard_out: str | Path | None = None,
     stream: str | Path | None = None,
+    chunk_size: int | None = None,
 ) -> Group2Report:
     """Run the group-2 sweep and summarise the LP-max vs LP-ILP gap.
 
-    ``shard`` / ``shard_out`` / ``stream`` behave as in
+    ``shard`` / ``shard_out`` / ``stream`` / ``chunk_size`` behave as in
     :func:`repro.experiments.figure2.run_figure2`; note the gap summary
     of a sharded run covers only that shard's task-sets — merge the
     shards for the full-population gap.
     """
     sweep = run_sweep(
-        m=m,
-        utilizations=utilization_grid(m, step=step),
-        n_tasksets=n_tasksets,
-        profile=GROUP2,
-        seed=seed,
-        methods=DEFAULT_METHODS,
-        label=f"group2-m{m}",
+        spec=group2_spec(m=m, n_tasksets=n_tasksets, seed=seed, step=step),
         jobs=jobs,
         checkpoint=checkpoint,
         shard=shard,
         shard_out=shard_out,
         stream=stream,
+        chunk_size=chunk_size,
     )
     gaps = [
         abs(point.ratio("LP-ILP") - point.ratio("LP-max")) for point in sweep.points

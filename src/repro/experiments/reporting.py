@@ -88,6 +88,31 @@ def sweep_chart(result: SweepResult, height: int = 12) -> str:
     return "\n".join(lines)
 
 
+def split_sweep_table(
+    points: Sequence,
+    title: str | None = None,
+    method: str = "LP-ILP",
+) -> str:
+    """The standard split-sweep report (shared by every CLI handler
+    that prints :class:`~repro.experiments.splitsweep.SplitSweepPoint`
+    lists, so their headers and formatting cannot drift)."""
+    return format_table(
+        ["NPR size cap", "mean q", "mean U", f"{method} schedulable %"],
+        [[f"{p.threshold:g}", f"{p.mean_q:.1f}", f"{p.mean_utilization:.2f}",
+          f"{100 * p.ratio:.1f}"] for p in points],
+        title=title,
+    )
+
+
+def write_split_sweep_csv(points: Sequence, path: str | Path) -> Path:
+    """Dump split-sweep points in the standard CSV layout."""
+    return write_csv(
+        path,
+        ["threshold", "mean_q", "mean_utilization", "ratio"],
+        [[p.threshold, p.mean_q, p.mean_utilization, p.ratio] for p in points],
+    )
+
+
 def write_csv(
     path: str | Path,
     headers: Sequence[str],

@@ -49,11 +49,11 @@ ProgressHook = Callable[[float, int, int], None]
 
 
 def run_sweep(
-    m: int,
-    utilizations: Sequence[float],
-    n_tasksets: int,
-    profile: TasksetProfile,
-    seed: int,
+    m: int | None = None,
+    utilizations: Sequence[float] | None = None,
+    n_tasksets: int | None = None,
+    profile: TasksetProfile | None = None,
+    seed: int | None = None,
     methods: Sequence[AnalysisMethod] = DEFAULT_METHODS,
     label: str = "",
     mu_method: MuMethod = "search",
@@ -64,6 +64,8 @@ def run_sweep(
     shard: ShardSpec | None = None,
     shard_out: str | Path | None = None,
     stream: str | Path | None = None,
+    chunk_size: int | None = None,
+    spec: SweepSpec | None = None,
 ) -> SweepResult:
     """Run one schedulability sweep.
 
@@ -106,22 +108,52 @@ def run_sweep(
     stream:
         Optional JSONL path; completed chunks are appended and flushed
         incrementally (:mod:`repro.engine.streaming`).
+    chunk_size:
+        Pin the engine's chunk size; default lets pool executors size
+        chunks adaptively from per-chunk wall-time telemetry
+        (:mod:`repro.engine.chunking`).
+    spec:
+        A prebuilt :class:`~repro.engine.SweepSpec` to run as-is
+        (mutually exclusive with the individual spec parameters) — the
+        path used by experiments that also hand the same spec's
+        fingerprint to the orchestrator.
 
     Returns
     -------
     SweepResult
     """
-    spec = SweepSpec(
-        m=m,
-        utilizations=tuple(utilizations),
-        n_tasksets=n_tasksets,
-        profile=profile,
-        seed=seed,
-        methods=tuple(methods),
-        label=label,
-        mu_method=mu_method,
-        rho_solver=rho_solver,
-    )
+    if spec is not None:
+        conflicting = (
+            any(v is not None for v in (m, utilizations, n_tasksets, profile, seed))
+            or methods is not DEFAULT_METHODS
+            or label != ""
+            or mu_method != "search"
+            or rho_solver != "assignment"
+        )
+        if conflicting:
+            raise AnalysisError(
+                "run_sweep received both a prebuilt spec and individual "
+                "sweep parameters; the spec already fixes those — pass "
+                "one or the other"
+            )
+    if spec is None:
+        if m is None or utilizations is None or n_tasksets is None \
+                or profile is None or seed is None:
+            raise AnalysisError(
+                "run_sweep needs either a prebuilt spec or all of "
+                "m/utilizations/n_tasksets/profile/seed"
+            )
+        spec = SweepSpec(
+            m=m,
+            utilizations=tuple(utilizations),
+            n_tasksets=n_tasksets,
+            profile=profile,
+            seed=seed,
+            methods=tuple(methods),
+            label=label,
+            mu_method=mu_method,
+            rho_solver=rho_solver,
+        )
     engine_progress = None
     if progress is not None:
         hook = progress
@@ -129,12 +161,14 @@ def run_sweep(
         def engine_progress(event: ProgressEvent) -> None:
             hook(event.utilization, event.done_in_point, event.n_tasksets)
 
-    engine = SweepEngine(
-        executor=make_executor(jobs),
-        checkpoint_path=checkpoint,
-        progress=engine_progress,
-    )
-    return engine.run(spec, shard=shard, shard_out=shard_out, stream=stream)
+    with make_executor(jobs) as executor:
+        engine = SweepEngine(
+            executor=executor,
+            chunk_size=chunk_size,
+            checkpoint_path=checkpoint,
+            progress=engine_progress,
+        )
+        return engine.run(spec, shard=shard, shard_out=shard_out, stream=stream)
 
 
 def utilization_grid(m: int, step: float | None = None, start: float = 1.0) -> list[float]:

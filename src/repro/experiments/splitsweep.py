@@ -262,11 +262,13 @@ def run_split_sweep(
                     else None
                 ),
             )
-        executor = make_executor(jobs)
-        for index, rows in executor.map_unordered(_evaluate_split_item, payloads):
-            rows_by_index[index] = rows
-            if writer is not None:
-                writer.write_item(index, rows=rows)
+        with make_executor(jobs) as executor:
+            for index, rows in executor.map_unordered(
+                _evaluate_split_item, payloads
+            ):
+                rows_by_index[index] = rows
+                if writer is not None:
+                    writer.write_item(index, rows=rows)
         if writer is not None:
             writer.write_summary(
                 len(rows_by_index), time.perf_counter() - start_time

@@ -93,29 +93,29 @@ def run_timing(
         raise AnalysisError(f"samples must be >= 1, got {samples}")
     rows: list[TimingRow] = []
     root = np.random.SeedSequence(seed)
-    executor = make_executor(jobs)
-    for child, m in zip(root.spawn(len(core_counts)), core_counts):
-        rng = np.random.default_rng(child)
-        payloads = [
-            (
-                generate_taskset(rng, utilization_factor * m, profile),
-                m,
-                method,
-                mu_method,
-                rho_solver,
+    with make_executor(jobs) as executor:
+        for child, m in zip(root.spawn(len(core_counts)), core_counts):
+            rng = np.random.default_rng(child)
+            payloads = [
+                (
+                    generate_taskset(rng, utilization_factor * m, profile),
+                    m,
+                    method,
+                    mu_method,
+                    rho_solver,
+                )
+                for _ in range(samples)
+            ]
+            timed = map_ordered(executor, _time_sample, payloads)
+            durations = [duration for duration, _ in timed]
+            positive = sum(schedulable for _, schedulable in timed)
+            rows.append(
+                TimingRow(
+                    m=m,
+                    samples=samples,
+                    mean_seconds=sum(durations) / len(durations),
+                    max_seconds=max(durations),
+                    positive_answers=positive,
+                )
             )
-            for _ in range(samples)
-        ]
-        timed = map_ordered(executor, _time_sample, payloads)
-        durations = [duration for duration, _ in timed]
-        positive = sum(schedulable for _, schedulable in timed)
-        rows.append(
-            TimingRow(
-                m=m,
-                samples=samples,
-                mean_seconds=sum(durations) / len(durations),
-                max_seconds=max(durations),
-                positive_answers=positive,
-            )
-        )
     return rows

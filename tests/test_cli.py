@@ -238,12 +238,67 @@ class TestEngineFlagInterplay:
         assert '"type": "summary"' in lines[-1]
 
 
+class TestSweepOrchestrate:
+    ARGS = [
+        "sweep-orchestrate", "figure2", "--m", "2", "--tasksets", "4",
+        "--seed", "11", "--step", "0.5", "--workers", "2",
+        "--poll-interval", "0.05", "--quiet",
+    ]
+
+    def test_orchestrated_run_matches_serial_csv(self, capsys, tmp_path):
+        orch_csv = tmp_path / "orch.csv"
+        code = main(self.ARGS + [
+            "--out", str(tmp_path / "orch"), "--csv", str(orch_csv),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Orchestrated figure2" in out
+        assert "orchestrated 2 shards" in out
+        ref_csv = tmp_path / "ref.csv"
+        assert main(["figure2", "--m", "2", "--tasksets", "4", "--seed", "11",
+                     "--step", "0.5", "--csv", str(ref_csv)]) == 0
+        assert orch_csv.read_text() == ref_csv.read_text()
+
+    def test_status_after_completion(self, capsys, tmp_path):
+        out_dir = tmp_path / "orch"
+        assert main(self.ARGS + ["--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["sweep-status", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest state: complete" in out
+        assert "100%" in out
+        assert "artifacts complete" in out
+
+    def test_status_on_missing_directory_is_clean_error(self, capsys, tmp_path):
+        assert main(["sweep-status", str(tmp_path / "nope")]) == 1
+        err = capsys.readouterr().err
+        assert "sweep-status:" in err
+
+    def test_template_without_placeholder_is_clean_error(self, capsys, tmp_path):
+        code = main(self.ARGS + [
+            "--out", str(tmp_path / "orch"),
+            "--backend-template", "ssh worker1",
+        ])
+        assert code == 1
+        assert "{command}" in capsys.readouterr().err
+
+    def test_bad_worker_count_is_clean_error(self, capsys, tmp_path):
+        code = main([
+            "sweep-orchestrate", "figure2", "--m", "2", "--tasksets", "2",
+            "--workers", "0", "--out", str(tmp_path / "orch"), "--quiet",
+        ])
+        assert code == 1
+        assert "sweep-orchestrate:" in capsys.readouterr().err
+
+
 class TestDispatch:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2
         out = capsys.readouterr().out
         assert "figure1" in out
         assert "sweep-merge" in out
+        assert "sweep-orchestrate" in out
+        assert "sweep-status" in out
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -87,6 +87,47 @@ class TestExecutors:
             make_executor(4, kind="fibers")
 
 
+class TestExecutorLifecycle:
+    """Every executor is a context manager with a uniform close()."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [SerialExecutor, lambda: MultiprocessExecutor(2), lambda: ThreadExecutor(2)],
+        ids=["serial", "process", "thread"],
+    )
+    def test_context_manager_closes(self, factory):
+        with factory() as executor:
+            assert sorted(executor.map_unordered(abs, [-2, 1])) == [1, 2]
+        with pytest.raises(AnalysisError):
+            list(executor.map_unordered(abs, [-1]))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [SerialExecutor, lambda: MultiprocessExecutor(2), lambda: ThreadExecutor(2)],
+        ids=["serial", "process", "thread"],
+    )
+    def test_close_is_idempotent(self, factory):
+        executor = factory()
+        executor.close()
+        executor.close()
+
+    def test_pool_persists_across_map_calls(self):
+        # The adaptive engine issues many small waves; the pool must be
+        # created once and reused, not respawned per call.
+        with MultiprocessExecutor(2) as executor:
+            assert list(executor.map_unordered(abs, [-1])) == [1]
+            pool_before = executor._pool
+            assert pool_before is not None
+            assert list(executor.map_unordered(abs, [-2])) == [2]
+            assert executor._pool is pool_before
+
+    def test_closed_executor_rejects_reentry(self):
+        executor = SerialExecutor()
+        executor.close()
+        with pytest.raises(AnalysisError):
+            executor.__enter__()
+
+
 class TestSweepSpec:
     def test_validation(self):
         with pytest.raises(AnalysisError):
@@ -241,6 +282,30 @@ class TestCheckpoint:
         path.write_text(json.dumps([1, 2, 3]))
         with pytest.raises(CheckpointError):
             load_checkpoint(path)
+
+    def test_clean_stale_tmps_file_and_dir_modes(self, tmp_path):
+        from repro.engine import clean_stale_tmps
+
+        target = tmp_path / "cp.json"
+        target.write_text("{}")
+        orphan_a = tmp_path / "cp.json.1234.tmp"
+        orphan_b = tmp_path / "cp.json.5678.tmp"
+        unrelated = tmp_path / "other.json.1.tmp"
+        for path in (orphan_a, orphan_b, unrelated):
+            path.write_text("half-written")
+        removed = clean_stale_tmps(target)
+        assert sorted(removed) == sorted([orphan_a, orphan_b])
+        assert unrelated.exists()  # file mode cleans only its own temps
+        assert target.exists()
+        assert clean_stale_tmps(tmp_path) == [unrelated]  # dir mode: all
+
+    def test_engine_resume_cleans_orphaned_tmps(self, tmp_path):
+        checkpoint = tmp_path / "cp.json"
+        orphan = tmp_path / "cp.json.424242.tmp"
+        orphan.write_text("killed mid-write")
+        SweepEngine(checkpoint_path=checkpoint).run(_spec(n_tasksets=2))
+        assert not orphan.exists()
+        assert checkpoint.exists()
 
     def test_save_is_atomic(self, tmp_path):
         # The tmp file must never linger, and an existing checkpoint

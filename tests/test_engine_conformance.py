@@ -12,7 +12,10 @@ the whole mode matrix —
   :func:`~repro.experiments.splitsweep.merge_split_shards`);
 * interruption: a run killed mid-sweep and resumed from its checkpoint,
   sharded or not;
-* streaming: the JSONL stream's chunk records sum to the final counts.
+* streaming: the JSONL stream's chunk records sum to the final counts;
+* orchestration: a whole sweep dispatched as shard subprocesses by the
+  orchestrator tier — including a shard that fails and is retried —
+  merges back to the exact serial result.
 
 "Bit for bit" means full :class:`~repro.engine.SweepResult` dataclass
 equality with only the wall-clock field zeroed (:func:`_strip`): same
@@ -323,3 +326,69 @@ class TestExperimentConformance:
             seed=9,
         )
         assert run_split_sweep(**kwargs, jobs=2) == run_split_sweep(**kwargs)
+
+
+class TestOrchestratorConformance:
+    """The one-command cluster run reproduces the serial result exactly."""
+
+    KWARGS = dict(m=2, n_tasksets=4, seed=11, step=0.5)
+
+    def _reference(self):
+        return _strip(run_figure2(**self.KWARGS))
+
+    def test_orchestrated_figure2_bit_identical(self, tmp_path):
+        from repro.engine.orchestrator import Orchestrator, plan_figure2
+
+        plan = plan_figure2(**self.KWARGS)
+        outcome = Orchestrator(
+            plan, tmp_path / "orch", workers=3, poll_interval=0.05
+        ).run()
+        assert _strip(outcome.result) == self._reference()
+        assert outcome.view.done_items == plan.total_items
+        assert outcome.retries == 0
+
+    def test_failed_shard_retried_and_still_bit_identical(self, tmp_path):
+        import sys
+
+        from repro.engine.backends import LocalBackend
+        from repro.engine.orchestrator import Orchestrator, plan_figure2
+
+        class FlakyBackend(LocalBackend):
+            """First launch of shard 2/3 dies immediately (exit 3)."""
+
+            def __init__(self):
+                super().__init__(slots=3)
+                self.sabotaged = 0
+
+            def launch(self, argv, log_path, env=None):
+                argv = list(argv)
+                if self.sabotaged == 0 and "--shard" in argv:
+                    if argv[argv.index("--shard") + 1] == "2/3":
+                        self.sabotaged += 1
+                        argv = [sys.executable, "-c", "import sys; sys.exit(3)"]
+                return super().launch(argv, log_path, env=env)
+
+        plan = plan_figure2(**self.KWARGS)
+        with FlakyBackend() as backend:
+            outcome = Orchestrator(
+                plan, tmp_path / "orch", backend=backend, retries=2,
+                poll_interval=0.05,
+            ).run()
+        assert backend.sabotaged == 1
+        assert outcome.retries == 1
+        assert outcome.attempts[1] == 2  # shard 2/3 needed a second launch
+        assert _strip(outcome.result) == self._reference()
+
+    def test_orchestrated_splitsweep_identical(self, tmp_path):
+        from repro.engine.orchestrator import Orchestrator, plan_splitsweep
+
+        kwargs = dict(
+            m=2, utilization=1.2, thresholds=[100.0, 25.0], n_tasksets=5,
+            seed=9, overhead=0.5,
+        )
+        reference = run_split_sweep(**kwargs)
+        outcome = Orchestrator(
+            plan_splitsweep(**kwargs), tmp_path / "orch", workers=2,
+            poll_interval=0.05,
+        ).run()
+        assert outcome.result == reference

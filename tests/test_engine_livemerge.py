@@ -1,0 +1,290 @@
+"""Tail-follow stream reading and the cluster-wide live merger.
+
+The live merger consumes shard streams *while their writers are still
+appending*.  These tests pin the concurrency semantics that makes that
+safe: whole lines only, torn tails deferred (then delivered once the
+writer finishes the line), truncation (shard restart) detected, and
+:func:`repro.engine.streaming.read_stream` staying correct when invoked
+mid-write by an unrelated process (``sweep-status`` on a live run).
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine import LiveMerger, StreamTail, StreamWriter, read_stream
+from repro.engine.checkpoint import ChunkRecord
+from repro.exceptions import AnalysisError, ShardError
+
+HEADER = {
+    "type": "header",
+    "version": 1,
+    "kind": "sweep",
+    "fingerprint": "f" * 64,
+    "shard": None,
+    "total_items": 8,
+    "meta": {},
+}
+
+
+def _chunk_line(start, stop, counts=None, **extra):
+    payload = {
+        "type": "chunk",
+        "start": start,
+        "stop": stop,
+        "counts": counts or {},
+        "replayed": False,
+    }
+    payload.update(extra)
+    return json.dumps(payload) + "\n"
+
+
+def _append(path, text):
+    with path.open("a") as handle:
+        handle.write(text)
+        handle.flush()
+
+
+class TestStreamTail:
+    def test_missing_file_is_no_lines(self, tmp_path):
+        tail = StreamTail(tmp_path / "nope.jsonl")
+        assert tail.poll() == []
+
+    def test_incremental_growth(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        tail = StreamTail(path)
+        _append(path, json.dumps(HEADER) + "\n")
+        assert [l["type"] for l in tail.poll()] == ["header"]
+        assert tail.poll() == []  # nothing new
+        _append(path, _chunk_line(0, 2) + _chunk_line(2, 3))
+        assert [l["type"] for l in tail.poll()] == ["chunk", "chunk"]
+
+    def test_torn_tail_then_continued_write(self, tmp_path):
+        # The exact hazard the live merger faces: the writer has flushed
+        # only the first half of a line.  The tail must neither deliver
+        # the fragment nor lose it once the newline lands.
+        path = tmp_path / "s.jsonl"
+        tail = StreamTail(path)
+        whole = _chunk_line(0, 4, {"0": {"LP-ILP": 2}})
+        _append(path, json.dumps(HEADER) + "\n" + whole[:10])
+        first = tail.poll()
+        assert [l["type"] for l in first] == ["header"]
+        assert tail.poll() == []  # torn tail stays pending
+        _append(path, whole[10:])
+        (line,) = tail.poll()
+        assert line["type"] == "chunk"
+        assert line["counts"] == {"0": {"LP-ILP": 2}}
+
+    def test_truncation_detected_and_reread(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        tail = StreamTail(path)
+        _append(path, json.dumps(HEADER) + "\n" + _chunk_line(0, 5))
+        assert len(tail.poll()) == 2
+        # A retried shard reopens its stream with "w": shorter file.
+        path.write_text(json.dumps(HEADER) + "\n")
+        lines = tail.poll()
+        assert tail.truncations == 1
+        assert [l["type"] for l in lines] == ["header"]
+
+    def test_corrupt_complete_line_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(AnalysisError):
+            StreamTail(path).poll()
+
+    def test_concurrently_appending_writer(self, tmp_path):
+        """A writer thread appends while the tail polls: every line
+        arrives exactly once, whole, in order."""
+        path = tmp_path / "s.jsonl"
+        total = 40
+
+        def writer():
+            with path.open("w") as handle:
+                handle.write(json.dumps(HEADER) + "\n")
+                handle.flush()
+                for index in range(total):
+                    handle.write(_chunk_line(index, index + 1))
+                    handle.flush()
+                    time.sleep(0.001)
+
+        thread = threading.Thread(target=writer)
+        tail = StreamTail(path)
+        seen = []
+        thread.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while len(seen) < total + 1 and time.monotonic() < deadline:
+                seen.extend(tail.poll())
+        finally:
+            thread.join()
+        seen.extend(tail.poll())
+        assert [l["type"] for l in seen] == ["header"] + ["chunk"] * total
+        assert [l["start"] for l in seen[1:]] == list(range(total))
+
+
+class TestReadStreamUnderConcurrentWriter:
+    """Satellite: read_stream mid-write must see a valid prefix."""
+
+    def test_read_stream_tolerates_torn_then_continued_tail(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        torn = _chunk_line(4, 6)
+        _append(
+            path,
+            json.dumps(HEADER) + "\n" + _chunk_line(0, 4) + torn[: len(torn) // 2],
+        )
+        dump = read_stream(path)  # a "sweep-status" of a live run
+        assert not dump.complete
+        assert [(r.start, r.stop) for r in dump.chunks] == [(0, 4)]
+        # The writer finishes the torn line and the run completes.
+        _append(
+            path,
+            torn[len(torn) // 2 :]
+            + json.dumps(
+                {"type": "summary", "done_items": 6, "elapsed_seconds": 0.5}
+            )
+            + "\n",
+        )
+        dump = read_stream(path)
+        assert dump.complete
+        assert [(r.start, r.stop) for r in dump.chunks] == [(0, 4), (4, 6)]
+
+    def test_read_stream_while_writer_thread_appends(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        total = 25
+        stop = threading.Event()
+
+        def writer():
+            with StreamWriter(path) as out:
+                out.write_header(
+                    kind="sweep", fingerprint="f" * 64, total_items=total, meta={}
+                )
+                for index in range(total):
+                    out.write_chunk(
+                        ChunkRecord(index, index + 1, {0: {"LP-ILP": 1}}),
+                        elapsed_seconds=0.001,
+                    )
+                    time.sleep(0.001)
+                out.write_summary(total, 1.0)
+            stop.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            # Hammer read_stream concurrently: every call must parse a
+            # valid prefix (monotonically growing, never an error).
+            sizes = []
+            while not stop.is_set():
+                dump = read_stream(path) if path.exists() else None
+                if dump is not None:
+                    sizes.append(len(dump.chunks))
+                time.sleep(0.002)
+        finally:
+            thread.join()
+        final = read_stream(path)
+        assert final.complete
+        assert len(final.chunks) == total
+        assert sizes == sorted(sizes), "observed chunk counts went backwards"
+
+
+class TestLiveMerger:
+    def _write_shard_stream(self, path, fingerprint, chunks, summary=False):
+        with path.open("w") as handle:
+            header = dict(HEADER, fingerprint=fingerprint)
+            handle.write(json.dumps(header) + "\n")
+            for start, stop, counts in chunks:
+                handle.write(
+                    _chunk_line(start, stop, counts, elapsed_seconds=0.01)
+                )
+            if summary:
+                handle.write(
+                    json.dumps(
+                        {"type": "summary", "done_items": 0, "elapsed_seconds": 0}
+                    )
+                    + "\n"
+                )
+
+    def test_merges_partial_streams_incrementally(self, tmp_path):
+        fp = "a" * 64
+        merger = LiveMerger(total_items=8, fingerprint=fp)
+        s0, s1 = tmp_path / "s0.jsonl", tmp_path / "s1.jsonl"
+        merger.attach(0, s0)
+        merger.attach(1, s1)
+
+        view = merger.poll()
+        assert view.done_items == 0 and not view.finished
+
+        self._write_shard_stream(s0, fp, [(0, 2, {"0": {"LP-ILP": 1}})])
+        view = merger.poll()
+        assert view.done_items == 2
+        assert view.counts == {0: {"LP-ILP": 1}}
+        assert view.shards[0].state == "running"
+        assert view.shards[1].state == "waiting"
+
+        self._write_shard_stream(
+            s1, fp, [(2, 5, {"0": {"LP-ILP": 2}, "1": {"LP-ILP": 1}})],
+            summary=True,
+        )
+        view = merger.poll()
+        assert view.done_items == 5
+        assert view.counts == {0: {"LP-ILP": 3}, 1: {"LP-ILP": 1}}
+        assert view.shards[1].state == "finished"
+        assert view.fraction_done == pytest.approx(5 / 8)
+        assert len(view.timings) == 2
+
+    def test_shrunk_stream_detected_as_restart(self, tmp_path):
+        fp = "a" * 64
+        merger = LiveMerger(total_items=8, fingerprint=fp)
+        path = tmp_path / "s0.jsonl"
+        merger.attach(0, path)
+        self._write_shard_stream(
+            path, fp,
+            [(0, 2, {"0": {"LP-ILP": 2}}), (2, 4, {"0": {"LP-ILP": 2}})],
+        )
+        assert merger.poll().done_items == 4
+        # Retry truncates and rewrites a strictly shorter file.
+        self._write_shard_stream(path, fp, [(0, 2, {})])
+        view = merger.poll()
+        assert view.done_items == 2
+        assert view.counts == {}
+        assert view.shards[0].restarts == 1
+
+    def test_explicit_reset_discards_state(self, tmp_path):
+        # The orchestrator's relaunch path: reset() must work even when
+        # the rewritten stream is the same length or longer (the
+        # size-shrink heuristic cannot see those).
+        fp = "a" * 64
+        merger = LiveMerger(total_items=8, fingerprint=fp)
+        path = tmp_path / "s0.jsonl"
+        merger.attach(0, path)
+        self._write_shard_stream(path, fp, [(0, 4, {"0": {"LP-ILP": 4}})])
+        assert merger.poll().done_items == 4
+        path.unlink()
+        merger.reset(0)
+        self._write_shard_stream(path, fp, [(0, 2, {"0": {"LP-ILP": 2}})])
+        view = merger.poll()
+        assert view.done_items == 2
+        assert view.counts == {0: {"LP-ILP": 2}}
+        assert view.shards[0].restarts == 1
+
+    def test_foreign_fingerprint_rejected(self, tmp_path):
+        merger = LiveMerger(total_items=8, fingerprint="a" * 64)
+        path = tmp_path / "s0.jsonl"
+        merger.attach(0, path)
+        self._write_shard_stream(path, "b" * 64, [])
+        with pytest.raises(ShardError):
+            merger.poll()
+
+    def test_item_lines_count_as_progress(self, tmp_path):
+        # Split-sweep streams emit per-item lines, not chunk lines.
+        merger = LiveMerger(total_items=4)
+        path = tmp_path / "s0.jsonl"
+        merger.attach(0, path)
+        with path.open("w") as handle:
+            handle.write(json.dumps(dict(HEADER, kind="splitsweep")) + "\n")
+            handle.write(json.dumps({"type": "item", "item": 0, "rows": []}) + "\n")
+            handle.write(json.dumps({"type": "item", "item": 2, "rows": []}) + "\n")
+        view = merger.poll()
+        assert view.done_items == 2
+        assert view.counts == {}

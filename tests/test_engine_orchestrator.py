@@ -1,0 +1,384 @@
+"""Dispatch backends and the orchestrator tier.
+
+Unit tests for backends and plans, plus integration tests that really
+dispatch ``python -m repro`` shard subprocesses (kept tiny: m=2, a
+handful of task-sets).  The orchestrator's bit-identical contract with
+the serial run lives in ``tests/test_engine_conformance.py``.
+"""
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro.engine.backends import (
+    LocalBackend,
+    TemplateBackend,
+    make_backend,
+)
+from repro.engine.orchestrator import (
+    MANIFEST_NAME,
+    Orchestrator,
+    load_manifest,
+    plan_figure2,
+    plan_group2,
+    plan_splitsweep,
+    read_status,
+)
+from repro.exceptions import DispatchError, OrchestrationError
+from repro.experiments.figure2 import figure2_spec
+from repro.experiments.group2 import group2_spec
+
+
+def _wait_exit(backend, handle, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        code = backend.poll(handle)
+        if code is not None:
+            return code
+        time.sleep(0.02)
+    raise AssertionError("backend job did not exit in time")
+
+
+class TestLocalBackend:
+    def test_launch_poll_and_log(self, tmp_path):
+        log = tmp_path / "job.log"
+        with LocalBackend(slots=2) as backend:
+            handle = backend.launch(
+                [sys.executable, "-c", "print('hello from shard')"], log
+            )
+            assert _wait_exit(backend, handle) == 0
+        assert "hello from shard" in log.read_text()
+
+    def test_nonzero_exit_code_reported(self, tmp_path):
+        with LocalBackend() as backend:
+            handle = backend.launch(
+                [sys.executable, "-c", "import sys; sys.exit(3)"],
+                tmp_path / "job.log",
+            )
+            assert _wait_exit(backend, handle) == 3
+
+    def test_cancel_kills_running_job(self, tmp_path):
+        with LocalBackend() as backend:
+            handle = backend.launch(
+                [sys.executable, "-c", "import time; time.sleep(60)"],
+                tmp_path / "job.log",
+            )
+            assert backend.poll(handle) is None
+            backend.cancel(handle)
+            assert backend.poll(handle) is not None
+
+    def test_close_reaps_everything(self, tmp_path):
+        backend = LocalBackend()
+        handle = backend.launch(
+            [sys.executable, "-c", "import time; time.sleep(60)"],
+            tmp_path / "job.log",
+        )
+        backend.close()
+        assert backend.poll(handle) is not None
+
+    def test_launch_failure_raises_dispatch_error(self, tmp_path):
+        with LocalBackend() as backend:
+            with pytest.raises(DispatchError):
+                backend.launch(
+                    ["/nonexistent/binary/for/sure"], tmp_path / "job.log"
+                )
+
+    def test_log_appends_across_attempts(self, tmp_path):
+        log = tmp_path / "job.log"
+        with LocalBackend() as backend:
+            for word in ("first", "second"):
+                handle = backend.launch(
+                    [sys.executable, "-c", f"print('{word}')"], log
+                )
+                _wait_exit(backend, handle)
+        text = log.read_text()
+        assert "first" in text and "second" in text
+
+    def test_bad_slots_rejected(self):
+        with pytest.raises(DispatchError):
+            LocalBackend(slots=0)
+
+    def test_foreign_handle_rejected(self):
+        with LocalBackend() as backend:
+            with pytest.raises(DispatchError):
+                backend.poll("not a handle")
+
+
+class TestTemplateBackend:
+    def test_template_requires_placeholder(self):
+        with pytest.raises(DispatchError):
+            TemplateBackend(["ssh", "worker1"])
+
+    def test_render_substitutes_quoted_command(self):
+        backend = TemplateBackend(["ssh", "worker1", "{command}"])
+        rendered = backend.render(["python", "-m", "repro", "--label", "a b"])
+        assert rendered[:2] == ["ssh", "worker1"]
+        assert rendered[2] == "python -m repro --label 'a b'"
+
+    def test_embedded_placeholder(self):
+        backend = TemplateBackend(["sh", "-c", "nice -n 10 {command}"])
+        assert backend.render(["echo", "hi"]) == [
+            "sh", "-c", "nice -n 10 echo hi",
+        ]
+
+    def test_forwarded_env_travels_inside_the_command(self, tmp_path):
+        # ssh/queue shells don't inherit the local client's env, so the
+        # PYTHONPATH guarantee must ride inside the command string.
+        backend = TemplateBackend(["ssh", "worker1", "{command}"])
+        rendered = backend.render(
+            ["python", "-m", "repro"], env={"PYTHONPATH": "/repo/src", "HOME": "/x"}
+        )
+        assert rendered[2] == "env PYTHONPATH=/repo/src python -m repro"
+
+    def test_forwarded_env_really_reaches_the_child(self, tmp_path):
+        log = tmp_path / "job.log"
+        with TemplateBackend(["sh", "-c", "{command}"]) as backend:
+            handle = backend.launch(
+                [sys.executable, "-c",
+                 "import os; print('MARK=' + os.environ.get('PYTHONPATH', ''))"],
+                log,
+                env={"PATH": "/usr/bin:/bin", "PYTHONPATH": "/from/template"},
+            )
+            assert _wait_exit(backend, handle) == 0
+        assert "MARK=/from/template" in log.read_text()
+
+    def test_template_dispatch_really_runs(self, tmp_path):
+        # `sh -c {command}` is the smallest real template: the command
+        # travels as one string, exactly as it would over SSH.
+        log = tmp_path / "job.log"
+        with TemplateBackend(["sh", "-c", "{command}"]) as backend:
+            handle = backend.launch(
+                [sys.executable, "-c", "print('via template')"], log
+            )
+            assert _wait_exit(backend, handle) == 0
+        assert "via template" in log.read_text()
+
+    def test_make_backend(self):
+        assert isinstance(make_backend("local", slots=2), LocalBackend)
+        templated = make_backend(
+            "template", slots=2, template=["sh", "-c", "{command}"]
+        )
+        assert isinstance(templated, TemplateBackend)
+        with pytest.raises(DispatchError):
+            make_backend("slurm")
+        with pytest.raises(DispatchError):
+            make_backend("template")  # template kind without a template
+        with pytest.raises(DispatchError):
+            make_backend("local", template=["sh", "-c", "{command}"])
+
+
+class TestPlans:
+    def test_figure2_plan_matches_spec_identity(self):
+        plan = plan_figure2(m=2, n_tasksets=4, seed=11, step=0.5)
+        spec = figure2_spec(m=2, n_tasksets=4, seed=11, step=0.5)
+        assert plan.fingerprint == spec.fingerprint()
+        assert plan.total_items == spec.total_items
+        assert plan.kind == "sweep"
+        assert plan.supports_checkpoint
+        assert "figure2" in plan.argv
+
+    def test_group2_plan_matches_spec_identity(self):
+        plan = plan_group2(m=2, n_tasksets=4, seed=11, step=0.5)
+        spec = group2_spec(m=2, n_tasksets=4, seed=11, step=0.5)
+        assert plan.fingerprint == spec.fingerprint()
+        assert plan.total_items == spec.total_items
+
+    def test_splitsweep_plan(self):
+        plan = plan_splitsweep(
+            m=2, utilization=1.2, thresholds=[25.0, 100.0], n_tasksets=5,
+            seed=9,
+        )
+        assert plan.kind == "splitsweep"
+        assert plan.total_items == 5
+        assert not plan.supports_checkpoint
+        assert not plan.supports_chunk_size
+        # Thresholds are normalised to the CLI's descending order so the
+        # fingerprint matches what the dispatched command computes.
+        i = list(plan.argv).index("--thresholds")
+        assert list(plan.argv)[i + 1 : i + 3] == ["100.0", "25.0"]
+
+    def test_plans_differ_by_parameters(self):
+        base = plan_figure2(m=2, n_tasksets=4, seed=11, step=0.5)
+        assert base.fingerprint != plan_figure2(
+            m=2, n_tasksets=4, seed=12, step=0.5
+        ).fingerprint
+        assert base.fingerprint != plan_group2(
+            m=2, n_tasksets=4, seed=11, step=0.5
+        ).fingerprint
+
+
+class TestOrchestratorValidation:
+    def _plan(self):
+        return plan_figure2(m=2, n_tasksets=4, seed=11, step=0.5)
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(OrchestrationError):
+            Orchestrator(self._plan(), tmp_path, retries=-1)
+        with pytest.raises(OrchestrationError):
+            Orchestrator(self._plan(), tmp_path, poll_interval=-1.0)
+        with pytest.raises(OrchestrationError):
+            Orchestrator(self._plan(), tmp_path, stall_timeout=0.0)
+        with pytest.raises(OrchestrationError):
+            Orchestrator(self._plan(), tmp_path, shards=0)
+
+    def test_foreign_directory_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({
+            "version": 1, "fingerprint": "deadbeef", "shard_count": 2,
+            "total_items": 12, "shards": [],
+        }))
+        with pytest.raises(OrchestrationError):
+            Orchestrator(self._plan(), tmp_path, workers=2)._prepare_jobs()
+
+    def test_shard_count_change_rejected(self, tmp_path):
+        plan = self._plan()
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({
+            "version": 1, "fingerprint": plan.fingerprint, "shard_count": 3,
+            "total_items": plan.total_items, "shards": [],
+        }))
+        with pytest.raises(OrchestrationError):
+            Orchestrator(plan, tmp_path, workers=2)._prepare_jobs()
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{ truncated")
+        with pytest.raises(OrchestrationError):
+            load_manifest(tmp_path)
+
+    def test_version_skew_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"version": 99}))
+        with pytest.raises(OrchestrationError):
+            load_manifest(tmp_path)
+
+    def test_missing_manifest_is_none(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+    def test_status_needs_a_manifest(self, tmp_path):
+        with pytest.raises(OrchestrationError):
+            read_status(tmp_path)
+
+    def test_prepare_cleans_stale_tmps(self, tmp_path):
+        stale = tmp_path / "shard-1of2.json.12345.tmp"
+        stale.write_text("{}")
+        Orchestrator(self._plan(), tmp_path, workers=2)._prepare_jobs()
+        assert not stale.exists()
+
+
+class TestOrchestratorIntegration:
+    """Real subprocess dispatch on tiny sweeps."""
+
+    KWARGS = dict(m=2, n_tasksets=4, seed=11, step=0.5)
+
+    def test_resume_reuses_finished_artifacts(self, tmp_path):
+        plan = plan_figure2(**self.KWARGS)
+        out = tmp_path / "orch"
+        first = Orchestrator(plan, out, workers=2).run()
+        assert first.attempts == {0: 1, 1: 1}
+        # Second run over the same directory: nothing left to dispatch.
+        second = Orchestrator(plan, out, workers=2).run()
+        assert second.attempts == {0: 0, 1: 0}
+        # Both merges read the same artifacts, elapsed_seconds included.
+        assert second.result == first.result
+
+    def test_resume_over_stale_stream_recovers(self, tmp_path):
+        # An interrupted orchestration leaves a partial stream behind;
+        # the resumed first launch must discard it before tailing, or
+        # the live merger double-counts / reads mid-line offsets.
+        plan = plan_figure2(**self.KWARGS)
+        out = tmp_path / "orch"
+        out.mkdir()
+        stale = out / "shard-1of2.jsonl"
+        stale.write_text(
+            json.dumps({
+                "type": "header", "version": 1, "kind": "sweep",
+                "fingerprint": plan.fingerprint, "shard": None,
+                "total_items": plan.total_items, "meta": {},
+            }) + "\n"
+            + json.dumps({
+                "type": "chunk", "start": 0, "stop": plan.total_items,
+                "counts": {}, "replayed": False,
+            }) + "\n"
+        )
+        outcome = Orchestrator(plan, out, workers=2, poll_interval=0.05).run()
+        assert outcome.view.done_items == plan.total_items  # not doubled
+        # A resume is not a retry: the restarts metric stays clean.
+        assert all(s.restarts == 0 for s in outcome.view.shards)
+
+    def test_exhausted_retries_raise(self, tmp_path):
+        plan = plan_figure2(**self.KWARGS)
+
+        class AlwaysFails(LocalBackend):
+            def launch(self, argv, log_path, env=None):
+                return super().launch(
+                    [sys.executable, "-c", "import sys; sys.exit(7)"],
+                    log_path, env=env,
+                )
+
+        with AlwaysFails(slots=2) as backend:
+            with pytest.raises(OrchestrationError, match="failed"):
+                Orchestrator(
+                    plan, tmp_path / "orch", backend=backend, retries=1,
+                    poll_interval=0.05,
+                ).run()
+        manifest = load_manifest(tmp_path / "orch")
+        assert manifest["state"] == "failed"
+
+    def test_stalled_shard_is_relaunched(self, tmp_path):
+        plan = plan_figure2(**self.KWARGS)
+
+        class StallsOnce(LocalBackend):
+            def __init__(self):
+                super().__init__(slots=2)
+                self.stalled = 0
+
+            def launch(self, argv, log_path, env=None):
+                if self.stalled == 0 and "--shard" in list(argv):
+                    self.stalled += 1
+                    return super().launch(
+                        [sys.executable, "-c", "import time; time.sleep(600)"],
+                        log_path, env=env,
+                    )
+                return super().launch(argv, log_path, env=env)
+
+        with StallsOnce() as backend:
+            outcome = Orchestrator(
+                plan, tmp_path / "orch", backend=backend, retries=2,
+                poll_interval=0.05, stall_timeout=1.0,
+            ).run()
+        assert outcome.retries >= 1
+        assert sum(s.restarts for s in outcome.view.shards) >= 1
+
+    def test_status_on_live_directory(self, tmp_path):
+        # Build a half-done orchestration by hand: one finished shard
+        # artifact+stream, one shard mid-run (stream only).
+        from repro.engine import ShardSpec
+        from repro.experiments.figure2 import run_figure2
+
+        plan = plan_figure2(**self.KWARGS)
+        out = tmp_path / "orch"
+        out.mkdir()
+        run_figure2(
+            **self.KWARGS, shard=ShardSpec(0, 2),
+            shard_out=out / "shard-1of2.json", stream=out / "shard-1of2.jsonl",
+        )
+        manifest = {
+            "version": 1, "experiment": "figure2", "kind": "sweep",
+            "fingerprint": plan.fingerprint,
+            "total_items": plan.total_items, "shard_count": 2,
+            "argv": list(plan.argv), "state": "running",
+            "shards": [
+                {"index": 0, "artifact": "shard-1of2.json",
+                 "stream": "shard-1of2.jsonl", "checkpoint": None,
+                 "log": "shard-1of2.log", "attempts": 1},
+                {"index": 1, "artifact": "shard-2of2.json",
+                 "stream": "shard-2of2.jsonl", "checkpoint": None,
+                 "log": "shard-2of2.log", "attempts": 1},
+            ],
+        }
+        (out / MANIFEST_NAME).write_text(json.dumps(manifest))
+        status = read_status(out)
+        assert not status.complete
+        assert status.artifacts_done == {0: True, 1: False}
+        assert status.view.done_items == plan.total_items // 2
+        assert status.view.shards[0].state == "finished"
+        assert status.view.shards[1].state == "waiting"

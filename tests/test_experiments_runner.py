@@ -60,6 +60,22 @@ class TestRunSweep:
         assert len(sweep.points) == 2
         assert sweep.methods == ("FP-ideal", "LP-ILP", "LP-max")
 
+    def test_prebuilt_spec_conflicts_rejected(self):
+        from repro.engine import SweepSpec
+
+        spec = SweepSpec(
+            m=2, utilizations=(0.5,), n_tasksets=2, profile=GROUP1, seed=1
+        )
+        with pytest.raises(AnalysisError, match="one or the other"):
+            run_sweep(spec=spec, m=4)
+        with pytest.raises(AnalysisError, match="one or the other"):
+            run_sweep(spec=spec, methods=[AnalysisMethod.LP_ILP])
+        with pytest.raises(AnalysisError, match="one or the other"):
+            run_sweep(spec=spec, label="other")
+        # And neither-spec-nor-parameters is a clean error too.
+        with pytest.raises(AnalysisError, match="either a prebuilt spec"):
+            run_sweep(m=2, utilizations=[0.5])
+
     def test_counts_bounded(self, sweep):
         for point in sweep.points:
             for method in sweep.methods:
