@@ -11,8 +11,13 @@ Sub-commands map one-to-one onto the paper's artefacts:
   unsharded result;
 * ``sweep-orchestrate`` — run a whole sharded sweep as one command:
   partition, dispatch every shard to a backend (local worker pool by
-  default, SSH/queue via ``--backend-template``), live-merge partial
-  streams, retry failed/stalled shards, merge and validate;
+  default, SSH/queue via ``--backend-template``, persistent worker
+  daemons via ``--backend daemon``), live-merge partial streams, retry
+  failed/stalled shards, optionally re-partition stragglers onto idle
+  slots (``--elastic``), merge and validate;
+* ``sweep-daemon`` — serve shard work orders from a local socket with
+  the repro stack imported once (forked children skip the per-shard
+  interpreter + import cost);
 * ``sweep-status`` — inspect a running or finished orchestration
   directory from its streams and artifacts.
 
@@ -20,8 +25,10 @@ The sweep sub-commands share the engine flags: ``--jobs`` (worker
 processes), ``--shard I/N`` + ``--shard-out`` (run one slice of the
 sweep, e.g. one CI matrix job), and ``--stream`` (incremental JSONL
 results); ``figure2`` and ``group2`` additionally take ``--checkpoint``
-(resume an interrupted run) and ``--chunk-size`` (pin the engine's
-otherwise-adaptive chunking).
+(resume an interrupted run), ``--chunk-size`` (pin the engine's
+otherwise-adaptive chunking) and ``--shard-items`` (evaluate an
+explicit item subset of the shard's slice — how the orchestrator
+dispatches elastic sub-shards).
 """
 
 from __future__ import annotations
@@ -160,13 +167,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="extra launch attempts per failed/stalled shard",
     )
     p9.add_argument(
-        "--backend", choices=("local", "template"), default="local",
+        "--backend", choices=("local", "template", "daemon"), default="local",
         help="where shard commands run",
     )
     p9.add_argument(
         "--backend-template", type=str, default=None, metavar="TMPL",
         help="command template containing {command}, e.g. "
              "'ssh worker1 {command}' (implies --backend template)",
+    )
+    p9.add_argument(
+        "--daemon-socket", action="append", default=None, metavar="SOCK",
+        dest="daemon_sockets",
+        help="socket of a running sweep-daemon; repeat once per daemon "
+             "(implies --backend daemon)",
+    )
+    p9.add_argument(
+        "--elastic", action="store_true",
+        help="re-partition a straggling shard's remaining items onto "
+             "idle slots (figure2/group2: needs checkpoint support)",
+    )
+    p9.add_argument(
+        "--elastic-after", type=float, default=2.0, metavar="S",
+        help="seconds a shard must run before it may be split",
+    )
+    p9.add_argument(
+        "--max-splits", type=int, default=8, metavar="N",
+        help="ceiling on elastic re-partitions per orchestration",
     )
     p9.add_argument(
         "--out", type=str, default=None, metavar="DIR",
@@ -216,6 +242,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p10.add_argument("out_dir", metavar="DIR", help="orchestration directory")
     p10.set_defaults(handler=_cmd_sweep_status)
 
+    p11 = sub.add_parser(
+        "sweep-daemon",
+        help="serve shard work orders from a local socket (imports the "
+             "repro stack once; forked shards skip the per-launch "
+             "interpreter + import cost)",
+    )
+    p11.add_argument(
+        "--socket", type=str, required=True, metavar="SOCK",
+        help="AF_UNIX socket path to listen on (keep it short, e.g. "
+             "/tmp/repro-worker-1.sock)",
+    )
+    p11.add_argument(
+        "--capacity", type=int, default=1, metavar="N",
+        help="concurrent shard children this daemon hosts",
+    )
+    p11.set_defaults(handler=_cmd_sweep_daemon)
+
     return parser
 
 
@@ -225,6 +268,16 @@ def _shard_arg(text: str):
 
     try:
         return parse_shard(text)
+    except ShardError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _items_arg(text: str):
+    """argparse type for ``--shard-items`` (comma list, validated)."""
+    from repro.engine.shard import parse_items
+
+    try:
+        return parse_items(text)
     except ShardError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
@@ -262,6 +315,11 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "from per-chunk wall-times on pool executors)",
     )
     _add_shard_args(parser)
+    parser.add_argument(
+        "--shard-items", type=_items_arg, default=None, metavar="I,J,...",
+        help="evaluate only these work items of the shard's slice (the "
+             "orchestrator's elastic sub-shard dispatch)",
+    )
 
 
 def _shard_out_path(args: argparse.Namespace, stem: str) -> str | None:
@@ -325,7 +383,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
         jobs=args.jobs, checkpoint=args.checkpoint,
         shard=args.shard, shard_out=shard_out, stream=args.stream,
-        chunk_size=args.chunk_size,
+        chunk_size=args.chunk_size, items=args.shard_items,
     )
     shard_note = f", shard {args.shard.label}" if args.shard else ""
     print(sweep_table(result, title=f"Figure 2 (m={args.m}, group 1, "
@@ -352,7 +410,7 @@ def _cmd_group2(args: argparse.Namespace) -> int:
         m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
         jobs=args.jobs, checkpoint=args.checkpoint,
         shard=args.shard, shard_out=shard_out, stream=args.stream,
-        chunk_size=args.chunk_size,
+        chunk_size=args.chunk_size, items=args.shard_items,
     )
     shard_note = f", shard {args.shard.label}" if args.shard else ""
     print(sweep_table(report.sweep, title=f"Group 2 (m={args.m}{shard_note})"))
@@ -617,11 +675,20 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
                 jobs=args.jobs_per_shard,
             )
         out_dir = args.out or f"orchestration-{args.experiment}-m{args.m}"
-        kind = "template" if args.backend_template else args.backend
+        kind = args.backend
+        if args.backend_template:
+            kind = "template"
+        if args.daemon_sockets:
+            kind = "daemon"
         template = (
             shlex.split(args.backend_template) if args.backend_template else None
         )
-        with make_backend(kind, slots=args.workers, template=template) as backend:
+        with make_backend(
+            kind,
+            slots=args.workers,
+            template=template,
+            sockets=args.daemon_sockets,
+        ) as backend:
             outcome = Orchestrator(
                 plan,
                 out_dir,
@@ -630,6 +697,9 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
                 retries=args.retries,
                 poll_interval=args.poll_interval,
                 stall_timeout=args.stall_timeout,
+                elastic=args.elastic,
+                elastic_after=args.elastic_after,
+                max_splits=args.max_splits,
                 progress=None if args.quiet else _orchestrate_progress(),
             ).run()
     except ReproError as exc:
@@ -665,8 +735,12 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
         f", {outcome.retries} shard retr{'y' if outcome.retries == 1 else 'ies'}"
         if outcome.retries else ""
     )
-    print(f"\norchestrated {shard_count} shards in "
-          f"{outcome.elapsed_seconds:.1f}s{retry_note}; "
+    split_note = (
+        f", {outcome.splits} elastic split{'' if outcome.splits == 1 else 's'}"
+        if outcome.splits else ""
+    )
+    print(f"\norchestrated {shard_count} shard invocations in "
+          f"{outcome.elapsed_seconds:.1f}s{retry_note}{split_note}; "
           f"artifacts + manifest in {out_dir}")
     return 0
 
@@ -684,11 +758,18 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
 
     manifest = status.manifest
     view = status.view
+    labels = {
+        int(entry["index"]): str(
+            entry.get("label")
+            or f"{int(entry['index']) + 1}/{manifest['shard_count']}"
+        )
+        for entry in manifest["shards"]
+    }
     rows = []
     for shard in view.shards:
         phase = "complete" if status.artifacts_done[shard.index] else shard.state
         rows.append([
-            f"{shard.index + 1}/{len(view.shards)}",
+            labels.get(shard.index, f"{shard.index + 1}/{len(view.shards)}"),
             phase,
             shard.done_items,
             shard.restarts,
@@ -710,6 +791,16 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
               f"result via: python -m repro sweep-merge "
               f"{args.out_dir}/shard-*.artifact.json")
     return 0
+
+
+def _cmd_sweep_daemon(args: argparse.Namespace) -> int:
+    from repro.engine.daemon import run_daemon
+
+    try:
+        return run_daemon(args.socket, capacity=args.capacity)
+    except ReproError as exc:
+        print(f"sweep-daemon: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,7 +19,11 @@ JSON checkpoints.
 * :mod:`repro.engine.chunking` — adaptive chunk sizing from per-chunk
   wall-time telemetry;
 * :mod:`repro.engine.backends` — pluggable dispatch of whole shard
-  invocations (local subprocesses, SSH/queue command templates);
+  invocations (local subprocesses, SSH/queue command templates,
+  persistent worker-daemon pools);
+* :mod:`repro.engine.daemon` — the persistent worker daemon itself:
+  imports the stack once, forks warm shard children on socket-delivered
+  work orders;
 * :mod:`repro.engine.livemerge` — cluster-wide live merge of partial
   shard streams;
 * :mod:`repro.engine.orchestrator` — the tier that turns the manual
@@ -28,6 +32,9 @@ JSON checkpoints.
 
 from repro.engine.backends import (
     BACKEND_KINDS,
+    DAEMON_LOST_EXIT,
+    DaemonBackend,
+    DaemonHandle,
     DispatchBackend,
     LocalBackend,
     TemplateBackend,
@@ -39,7 +46,14 @@ from repro.engine.checkpoint import (
     SweepCheckpoint,
     clean_stale_tmps,
     load_checkpoint,
+    read_covered_items,
     save_checkpoint,
+)
+from repro.engine.daemon import (
+    DaemonClient,
+    WorkerDaemon,
+    run_daemon,
+    wait_for_daemon,
 )
 from repro.engine.chunking import (
     AdaptiveChunker,
@@ -72,6 +86,7 @@ from repro.engine.shard import (
     ShardSpec,
     load_shard,
     merge_shards,
+    parse_items,
     parse_shard,
     save_shard,
 )
@@ -106,9 +121,11 @@ __all__ = [
     "ShardSpec",
     "ShardArtifact",
     "parse_shard",
+    "parse_items",
     "save_shard",
     "load_shard",
     "merge_shards",
+    "read_covered_items",
     "StreamWriter",
     "StreamDump",
     "StreamTail",
@@ -118,9 +135,16 @@ __all__ = [
     "seed_chunker_from_timings",
     "suggest_chunk_size_from_stream",
     "BACKEND_KINDS",
+    "DAEMON_LOST_EXIT",
     "DispatchBackend",
     "LocalBackend",
     "TemplateBackend",
+    "DaemonBackend",
+    "DaemonHandle",
+    "DaemonClient",
+    "WorkerDaemon",
+    "run_daemon",
+    "wait_for_daemon",
     "make_backend",
     "ClusterView",
     "LiveMerger",

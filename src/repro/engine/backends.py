@@ -26,14 +26,21 @@ substituting the shell-quoted command for the ``{command}``
 placeholder, which is how SSH/queue dispatch drops in without a new
 backend class.  Both run the resulting argv as a local subprocess (for
 the template case, that subprocess *is* the ssh/queue client).
+:class:`DaemonBackend` pushes shard commands over local sockets to a
+pool of persistent :class:`~repro.engine.daemon.WorkerDaemon`
+processes, which fork the already-imported repro stack instead of
+paying an interpreter + import start per shard.
 """
 
 from __future__ import annotations
 
+import itertools
 import shlex
 import subprocess
+import uuid
 from abc import ABC, abstractmethod
 from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 from types import TracebackType
 
@@ -217,15 +224,23 @@ class TemplateBackend(LocalBackend):
         With ``env``, any ``forward_env`` variables present in it are
         carried inside the command string (``env KEY=VALUE command``),
         surviving shells the template crosses.
+
+        Every piece — each shard-command word *and* each forwarded
+        ``KEY=VALUE`` assignment — is quoted individually with
+        :func:`shlex.quote`, so values containing spaces, quotes, or
+        ``:``-adjacent empty ``PYTHONPATH`` segments arrive in the
+        remote shell byte-identical instead of being re-split.
         """
-        argv = [str(part) for part in argv]
+        pieces = [shlex.quote(str(part)) for part in argv]
         if env is not None:
             forwarded = [
-                f"{key}={env[key]}" for key in self.forward_env if key in env
+                shlex.quote(f"{key}={env[key]}")
+                for key in self.forward_env
+                if key in env
             ]
             if forwarded:
-                argv = ["env", *forwarded, *argv]
-        command = shlex.join(argv)
+                pieces = ["env", *forwarded, *pieces]
+        command = " ".join(pieces)
         return [
             part.replace(COMMAND_PLACEHOLDER, command) for part in self.template
         ]
@@ -239,25 +254,220 @@ class TemplateBackend(LocalBackend):
         return super().launch(self.render(argv, env=env), log_path, env=env)
 
 
+#: Exit code a lost daemon's jobs report, mirroring a SIGKILLed
+#: subprocess (``Popen`` reports killed children as ``-signum``).
+DAEMON_LOST_EXIT = -9
+
+
+@dataclass(slots=True)
+class DaemonHandle:
+    """Backend-side state of one job pushed to one daemon."""
+
+    client: object  # DaemonClient (typed loosely to keep imports lazy)
+    job_id: str
+    exit_code: int | None = None
+
+
+class DaemonBackend(DispatchBackend):
+    """Dispatch shard commands to a pool of persistent worker daemons.
+
+    Each socket names one :class:`~repro.engine.daemon.WorkerDaemon`;
+    the backend attaches to (claims) every daemon at construction — a
+    daemon already claimed by another orchestrator refuses the attach,
+    so two orchestrations can never interleave work orders on one
+    socket.  ``slots`` is the summed capacity of the *live* daemons: it
+    shrinks as daemons die, and the orchestrator's scheduling follows.
+
+    Every :meth:`poll` is a status round-trip on the daemon's socket
+    and therefore doubles as a heartbeat: a daemon that died (SIGKILL,
+    OOM, host gone) surfaces as a socket error, the backend marks the
+    daemon dead, and the affected handles report
+    :data:`DAEMON_LOST_EXIT` — a plain failed job to the orchestrator,
+    whose existing retry/stall healing relaunches the shard on a
+    surviving daemon.
+
+    Parameters
+    ----------
+    sockets:
+        The daemon socket paths (one per daemon).
+    request_timeout:
+        Seconds before one protocol round-trip is declared dead.
+    """
+
+    def __init__(
+        self,
+        sockets: Sequence[str | Path],
+        request_timeout: float = 30.0,
+    ) -> None:
+        from repro.engine.daemon import DaemonClient
+
+        if not sockets:
+            raise DispatchError("daemon backend needs at least one socket")
+        self._clients = []
+        self._active: dict[int, list[DaemonHandle]] = {}
+        # Globally unique job ids: daemons outlive backends, so a plain
+        # per-backend counter would collide with a previous
+        # orchestration's jobs.
+        self._id_prefix = uuid.uuid4().hex[:8]
+        self._ids = itertools.count(1)
+        try:
+            for path in sockets:
+                client = DaemonClient(path, request_timeout=request_timeout)
+                client.connect_and_attach()
+                self._active[id(client)] = []
+                self._clients.append(client)
+        except DispatchError:
+            self.close()
+            raise
+
+    @property
+    def slots(self) -> int:  # type: ignore[override]
+        return sum(client.capacity for client in self._clients if client.alive)
+
+    def launch(
+        self,
+        argv: Sequence[str],
+        log_path: str | Path,
+        env: Mapping[str, str] | None = None,
+    ) -> DaemonHandle:
+        # The forked child runs in the daemon's cwd, not ours: the log
+        # must be absolute (callers own the argv — the orchestrator
+        # already builds absolute artifact/stream/checkpoint paths).
+        log_path = Path(log_path).resolve()
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        for client in self._clients:
+            if not client.alive:
+                continue
+            if len(self._active[id(client)]) >= client.capacity:
+                continue
+            job_id = f"job-{self._id_prefix}-{next(self._ids)}"
+            try:
+                response = client.request(
+                    {
+                        "op": "submit",
+                        "job_id": job_id,
+                        "argv": [str(part) for part in argv],
+                        "log": str(log_path),
+                        "env": dict(env) if env is not None else None,
+                    }
+                )
+            except DispatchError:
+                self._lose(client)
+                continue
+            if not response.get("ok"):
+                raise DispatchError(
+                    f"daemon on {client.socket_path} rejected the shard: "
+                    f"{response.get('error')}"
+                )
+            handle = DaemonHandle(client=client, job_id=job_id)
+            self._active[id(client)].append(handle)
+            return handle
+        raise DispatchError(
+            "no live daemon slot available "
+            f"({sum(not c.alive for c in self._clients)} of "
+            f"{len(self._clients)} daemons dead)"
+        )
+
+    def poll(self, handle: object) -> int | None:
+        handle = self._as_handle(handle)
+        if handle.exit_code is not None:
+            return handle.exit_code
+        client = handle.client
+        if not client.alive:
+            self._finish(handle, DAEMON_LOST_EXIT)
+            return handle.exit_code
+        try:
+            response = client.request({"op": "status", "job_id": handle.job_id})
+        except DispatchError:
+            self._lose(client)
+            self._finish(handle, DAEMON_LOST_EXIT)
+            return handle.exit_code
+        if not response.get("ok"):
+            # The daemon no longer knows the job (restarted socket?):
+            # indistinguishable from a lost daemon for this handle.
+            self._finish(handle, DAEMON_LOST_EXIT)
+            return handle.exit_code
+        if response.get("state") == "running":
+            return None
+        self._finish(handle, int(response.get("code", DAEMON_LOST_EXIT)))
+        return handle.exit_code
+
+    def cancel(self, handle: object) -> None:
+        handle = self._as_handle(handle)
+        if handle.exit_code is not None:
+            return
+        client = handle.client
+        if client.alive:
+            try:
+                client.request({"op": "kill", "job_id": handle.job_id})
+            except DispatchError:
+                self._lose(client)
+        self._finish(handle, DAEMON_LOST_EXIT)
+
+    def close(self) -> None:
+        """Kill outstanding jobs and detach; the daemons keep serving."""
+        for handles in getattr(self, "_active", {}).values():
+            for handle in list(handles):
+                self.cancel(handle)
+        for client in getattr(self, "_clients", []):
+            client.close()
+
+    # ------------------------------------------------------------------
+    def _lose(self, client) -> None:
+        client.mark_dead()
+        for handle in list(self._active.get(id(client), [])):
+            self._finish(handle, DAEMON_LOST_EXIT)
+
+    def _finish(self, handle: DaemonHandle, code: int) -> None:
+        if handle.exit_code is None:
+            handle.exit_code = code
+        active = self._active.get(id(handle.client))
+        if active is not None and handle in active:
+            active.remove(handle)
+
+    @staticmethod
+    def _as_handle(handle: object) -> DaemonHandle:
+        if not isinstance(handle, DaemonHandle):
+            raise DispatchError(
+                f"foreign job handle {handle!r}; not launched by this backend"
+            )
+        return handle
+
+
 #: Backend kinds accepted by :func:`make_backend`.
-BACKEND_KINDS = ("local", "template")
+BACKEND_KINDS = ("local", "template", "daemon")
 
 
 def make_backend(
     kind: str = "local",
     slots: int = 1,
     template: Sequence[str] | None = None,
+    sockets: Sequence[str | Path] | None = None,
 ) -> DispatchBackend:
     """Construct a dispatch backend by kind.
 
     ``"local"`` runs shard commands as local subprocesses;
     ``"template"`` wraps them in ``template`` (which must contain
-    ``{command}``) — the drop-in path for SSH hosts or queue clients.
+    ``{command}``) — the drop-in path for SSH hosts or queue clients;
+    ``"daemon"`` pushes them to the persistent worker daemons listening
+    on ``sockets`` (``slots`` is then derived from the daemons'
+    capacities, not the argument).
     """
     if kind not in BACKEND_KINDS:
         raise DispatchError(
             f"unknown backend kind {kind!r}; expected one of {BACKEND_KINDS}"
         )
+    if kind == "daemon":
+        if template is not None:
+            raise DispatchError("--backend-template requires --backend template")
+        if not sockets:
+            raise DispatchError(
+                "daemon backend needs daemon sockets "
+                "(e.g. --daemon-socket /tmp/repro-worker-1.sock)"
+            )
+        return DaemonBackend(sockets)
+    if sockets:
+        raise DispatchError("--daemon-socket requires --backend daemon")
     if kind == "template":
         if template is None:
             raise DispatchError(

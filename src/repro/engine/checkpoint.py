@@ -144,6 +144,24 @@ def load_checkpoint(path: str | Path) -> SweepCheckpoint | None:
         ) from exc
 
 
+def read_covered_items(path: str | Path) -> set[int]:
+    """Best-effort covered-item set of a checkpoint file.
+
+    The orchestrator's elastic re-partitioner reads a *killed*
+    straggler's checkpoint to learn which items are already done before
+    splitting the remainder across idle slots.  A missing, corrupt or
+    truncated file — the process may have died at any byte — must not
+    abort the orchestration, so unlike :func:`load_checkpoint` this
+    never raises: anything unreadable is simply "nothing covered yet"
+    and the whole slice is re-partitioned.
+    """
+    try:
+        checkpoint = load_checkpoint(path)
+    except CheckpointError:
+        return set()
+    return checkpoint.covered_items() if checkpoint is not None else set()
+
+
 def write_json_atomic(path: str | Path, payload: dict) -> None:
     """Serialise ``payload`` to ``path`` via a unique tmp file + rename.
 

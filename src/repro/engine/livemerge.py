@@ -73,6 +73,19 @@ class ClusterView:
         """Every shard stream ended with its summary line."""
         return all(shard.state == "finished" for shard in self.shards)
 
+    def shard(self, key: int) -> ShardProgress:
+        """The progress entry attached under ``key``.
+
+        Keys are the merger's attach indexes.  For a plain partition
+        they equal positions in :attr:`shards`, but elastic sub-shards
+        get fresh keys above the shard count, so look up by key rather
+        than indexing the tuple.
+        """
+        for progress in self.shards:
+            if progress.index == key:
+                return progress
+        raise KeyError(f"no shard stream attached under key {key}")
+
 
 class LiveMerger:
     """Fold growing shard streams into a cluster-wide progress view.

@@ -20,7 +20,16 @@ bit-identically); a human still had to launch every shard and run
    checkpoints where the experiment supports it, with a chunk size
    seeded from the cluster's pooled wall-time telemetry
    (:mod:`repro.engine.chunking`);
-5. **merge** — completed shard artifacts go through the *existing*
+5. **re-partition** — with ``elastic=True``, a shard that trails the
+   cluster while slots sit idle is killed and its *remaining* items
+   (everything its checkpoint does not cover) are split into
+   *sub-shards*, one per free slot, each dispatched as an ordinary
+   invocation restricted to an explicit item subset
+   (``--shard-items``); the first sub-shard inherits the straggler's
+   checkpoint so no finished work is redone.  Sub-shard artifacts
+   carry the original shard coordinates with disjoint item subsets and
+   reassemble through the same merge as an unsplit run;
+6. **merge** — completed shard artifacts go through the *existing*
    fingerprint-validated merge machinery
    (:func:`~repro.engine.shard.merge_shards` /
    :func:`~repro.experiments.splitsweep.merge_split_shards`), so the
@@ -37,15 +46,21 @@ finished shard artifacts and resumes interrupted ones) and inspectable
 from __future__ import annotations
 
 import os
+import shutil
 import sys
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.exceptions import OrchestrationError, ShardError
+from repro.exceptions import DispatchError, OrchestrationError, ShardError
 from repro.engine.backends import DispatchBackend, LocalBackend
-from repro.engine.checkpoint import FORMAT_VERSION, clean_stale_tmps, write_json_atomic
+from repro.engine.checkpoint import (
+    FORMAT_VERSION,
+    clean_stale_tmps,
+    read_covered_items,
+    write_json_atomic,
+)
 from repro.engine.chunking import AdaptiveChunker, seed_chunker_from_timings
 from repro.engine.livemerge import ClusterView, LiveMerger
 from repro.engine.shard import KIND_SPLITSWEEP, KIND_SWEEP, ShardSpec, load_shard
@@ -94,18 +109,31 @@ class OrchestrationPlan:
 
 @dataclass(slots=True)
 class _ShardJob:
-    """Orchestrator-side state of one shard."""
+    """Orchestrator-side state of one shard (or elastic sub-shard)."""
 
     shard: ShardSpec
     artifact: Path
     stream: Path
     checkpoint: Path | None
     log: Path
+    #: Unique key this job's stream is attached under in the live
+    #: merger (== ``shard.index`` for whole shards; sub-shards get
+    #: fresh keys above the shard count).
+    merge_key: int = 0
+    #: Human name for messages and the manifest (``"2/3"`` for a whole
+    #: shard, ``"2/3+s1.2"`` for sub-shard 2 of split 1).
+    label: str = ""
+    #: Explicit item subset (sub-shards only); ``None`` = whole slice.
+    items: list[int] | None = None
     attempts: int = 0
-    state: str = "pending"  # pending | running | done | failed
+    state: str = "pending"  # pending | running | done | failed | split
     handle: object | None = None
     last_done_items: int = 0
     last_progress_at: float = field(default_factory=time.monotonic)
+    launched_at: float = field(default_factory=time.monotonic)
+
+    def planned_items(self, total: int) -> list[int]:
+        return self.items if self.items is not None else list(self.shard.items(total))
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,11 +147,17 @@ class OrchestrationOutcome:
     result: object
     #: Final live-merge snapshot (progress, telemetry, restarts).
     view: ClusterView
-    #: Launch attempts per shard index (1 = no retry needed).
+    #: Launch attempts per job (keyed by merge key; whole shards keep
+    #: their shard index, elastic sub-shards get keys above the shard
+    #: count).  1 = no retry needed, 0 = artifact reused from a
+    #: previous run.
     attempts: dict[int, int]
     #: Extra attempts beyond the first, summed over shards.
     retries: int
     elapsed_seconds: float
+    #: Elastic re-partitions performed (stragglers split onto idle
+    #: slots); 0 when ``elastic`` was off or never triggered.
+    splits: int = 0
 
 
 ProgressCallback = Callable[[ClusterView], None]
@@ -172,6 +206,21 @@ class Orchestrator:
         When set, a running shard whose stream makes no progress for
         this many seconds is killed and relaunched on a fresh slot
         (straggler recovery).  ``None`` disables.
+    elastic:
+        Enable elastic re-partitioning: when slots sit idle with no
+        pending shards, the job with the most remaining items is killed
+        and its remainder (read from its checkpoint, so finished work
+        is kept) is split across the idle slots plus its own as
+        sub-shard invocations.  Requires a checkpoint-capable plan.
+    elastic_after:
+        Seconds a job must have been running (since its last launch)
+        before it may be split — the damping that keeps a short sweep
+        from being shredded the moment a slot frees up.
+    elastic_min_items:
+        Never split a job with fewer remaining items than this.
+    max_splits:
+        Ceiling on split events per orchestration (sub-shards may
+        themselves be split until the budget runs out).
     progress:
         Optional callback receiving the merged
         :class:`~repro.engine.livemerge.ClusterView` after every poll.
@@ -187,6 +236,10 @@ class Orchestrator:
         retries: int = 2,
         poll_interval: float = 0.2,
         stall_timeout: float | None = None,
+        elastic: bool = False,
+        elastic_after: float = 2.0,
+        elastic_min_items: int = 2,
+        max_splits: int = 8,
         progress: ProgressCallback | None = None,
     ) -> None:
         if retries < 0:
@@ -199,8 +252,26 @@ class Orchestrator:
             raise OrchestrationError(
                 f"stall_timeout must be > 0, got {stall_timeout}"
             )
+        if elastic and not plan.supports_checkpoint:
+            raise OrchestrationError(
+                f"elastic re-partitioning needs checkpoint support, which "
+                f"the {plan.experiment!r} plan does not have"
+            )
+        if elastic_after < 0:
+            raise OrchestrationError(
+                f"elastic_after must be >= 0, got {elastic_after}"
+            )
+        if elastic_min_items < 2:
+            raise OrchestrationError(
+                f"elastic_min_items must be >= 2, got {elastic_min_items}"
+            )
+        if max_splits < 0:
+            raise OrchestrationError(f"max_splits must be >= 0, got {max_splits}")
         self.plan = plan
-        self.out_dir = Path(out_dir)
+        # Absolute: daemon-backend shard children run in the *daemon's*
+        # working directory, so relative artifact/stream/log paths
+        # would land there instead of where this orchestrator tails.
+        self.out_dir = Path(out_dir).resolve()
         self.backend = backend if backend is not None else LocalBackend(workers)
         self.shard_count = shards if shards is not None else self.backend.slots
         if self.shard_count < 1:
@@ -210,6 +281,13 @@ class Orchestrator:
         self.retries = retries
         self.poll_interval = poll_interval
         self.stall_timeout = stall_timeout
+        self.elastic = elastic
+        self.elastic_after = elastic_after
+        self.elastic_min_items = elastic_min_items
+        self.max_splits = max_splits
+        self._splits = 0
+        self._next_key = self.shard_count
+        self._split_seq = 0
         self.progress = progress
         self._env = _python_env()
 
@@ -221,8 +299,8 @@ class Orchestrator:
         self._write_manifest(jobs, state="running")
 
         merger = LiveMerger(self.plan.total_items, self.plan.fingerprint)
-        for index, job in enumerate(jobs):
-            merger.attach(index, job.stream)
+        for job in jobs:
+            merger.attach(job.merge_key, job.stream)
 
         pending = [i for i, job in enumerate(jobs) if job.state == "pending"]
         running: set[int] = set()
@@ -230,8 +308,32 @@ class Orchestrator:
             while pending or running:
                 while pending and len(running) < self.backend.slots:
                     index = pending.pop(0)
-                    self._launch(jobs[index], merger)
+                    job = jobs[index]
+                    try:
+                        self._launch(job, merger)
+                    except DispatchError as exc:
+                        # The slot vanished between the slots check and
+                        # the launch (an idle daemon died).  That is a
+                        # failed attempt, not a fatal orchestration
+                        # error: the slot count has shrunk, surviving
+                        # slots keep healing.
+                        job.attempts += 1
+                        job.state = "failed"
+                        if job.attempts > self.retries:
+                            raise OrchestrationError(
+                                f"shard {job.label} could not be "
+                                f"launched after {job.attempts} attempts "
+                                f"({exc})"
+                            ) from exc
+                        pending.append(index)
+                        break  # let the poll/sleep cycle pass first
                     running.add(index)
+                if pending and not running and self.backend.slots < 1:
+                    raise OrchestrationError(
+                        "backend has no live slots left to run "
+                        f"{len(pending)} pending shard(s); did every "
+                        "daemon die?"
+                    )
 
                 view = merger.poll()
                 now = time.monotonic()
@@ -251,11 +353,23 @@ class Orchestrator:
                     job.state = "failed"
                     if job.attempts > self.retries:
                         raise OrchestrationError(
-                            f"shard {job.shard.label} failed "
+                            f"shard {job.label} failed "
                             f"{job.attempts} times (last exit code {code}); "
                             f"see {job.log}"
                         )
                     pending.insert(0, index)
+
+                idle = self.backend.slots - len(running)
+                if self.elastic and not pending and running and idle >= 1:
+                    split_index = self._pick_straggler(jobs, running, view, now)
+                    if split_index is not None:
+                        running.discard(split_index)
+                        new_indexes = self._split_job(
+                            jobs, split_index, merger, parts=idle + 1
+                        )
+                        pending.extend(new_indexes)
+                        if new_indexes:
+                            self._write_manifest(jobs, state="running")
 
                 if self.progress is not None:
                     self.progress(view)
@@ -270,13 +384,18 @@ class Orchestrator:
         final_view = merger.poll()
         result = self._merge(jobs)
         self._write_manifest(jobs, state="complete")
-        attempts = {i: job.attempts for i, job in enumerate(jobs)}
+        attempts = {
+            job.merge_key: job.attempts
+            for job in jobs
+            if job.state != "split"
+        }
         return OrchestrationOutcome(
             result=result,
             view=final_view,
             attempts=attempts,
             retries=sum(max(0, a - 1) for a in attempts.values()),
             elapsed_seconds=time.perf_counter() - start,
+            splits=self._splits,
         )
 
     # ------------------------------------------------------------------
@@ -302,6 +421,12 @@ class Orchestrator:
         # Atomic-write temps orphaned by killed shard processes would
         # otherwise pile up across resumes.
         clean_stale_tmps(self.out_dir)
+        # A resumed run re-dispatches whole shards (sub-shard artifacts
+        # are not reused yet); a previous run's sub-shard files would
+        # overlap the recomputed whole-shard artifacts in any
+        # `shard-*.artifact.json` merge glob, so clear them out.
+        for stale in self.out_dir.glob("shard-*.sub*"):
+            stale.unlink(missing_ok=True)
 
         jobs: list[_ShardJob] = []
         for index in range(self.shard_count):
@@ -320,6 +445,8 @@ class Orchestrator:
                     else None
                 ),
                 log=self.out_dir / f"{stem}.log",
+                merge_key=index,
+                label=shard.label,
             )
             if self._artifact_ok(job):
                 job.state = "done"
@@ -327,18 +454,25 @@ class Orchestrator:
         return jobs
 
     def _artifact_ok(self, job: _ShardJob) -> bool:
-        """A completed, readable artifact of *this* sweep and shard?"""
+        """A completed, readable artifact of *this* sweep and job?"""
         if not job.artifact.exists():
             return False
         try:
             artifact = load_shard(job.artifact)
         except ShardError:
             return False
-        return (
-            artifact.fingerprint == self.plan.fingerprint
-            and artifact.shard == job.shard
-            and artifact.kind == self.plan.kind
-        )
+        if (
+            artifact.fingerprint != self.plan.fingerprint
+            or artifact.shard != job.shard
+            or artifact.kind != self.plan.kind
+        ):
+            return False
+        if job.items is not None:
+            # A sub-shard artifact must cover exactly its item subset;
+            # identity alone cannot tell two sub-shards of one shard
+            # apart.
+            return artifact.covered_items() == set(job.items)
+        return True
 
     def _launch(self, job: _ShardJob, merger: LiveMerger) -> None:
         if job.attempts > 0 or job.stream.exists():
@@ -349,17 +483,21 @@ class Orchestrator:
             # starts, so the live view never mixes two attempts and the
             # tail never reads from a mid-line offset of the old file.
             job.stream.unlink(missing_ok=True)
-            merger.reset(job.shard.index, count_restart=job.attempts > 0)
+            merger.reset(job.merge_key, count_restart=job.attempts > 0)
         argv = list(self.plan.argv)
         argv += ["--shard", job.shard.label]
+        if job.items is not None:
+            argv += ["--shard-items", ",".join(str(i) for i in job.items)]
         argv += ["--shard-out", str(job.artifact)]
         argv += ["--stream", str(job.stream)]
         if job.checkpoint is not None:
             argv += ["--checkpoint", str(job.checkpoint)]
-        if self.plan.supports_chunk_size and job.attempts > 0:
-            # Relaunches start with a chunk size matched to the item
-            # cost the cluster has already observed, instead of
-            # re-warming from single-item chunks.
+        if self.plan.supports_chunk_size and (
+            job.attempts > 0 or job.items is not None
+        ):
+            # Relaunches (and fresh sub-shards) start with a chunk size
+            # matched to the item cost the cluster has already
+            # observed, instead of re-warming from single-item chunks.
             timings = list(merger.view().timings)
             if timings:
                 chunker = seed_chunker_from_timings(AdaptiveChunker(), timings)
@@ -369,11 +507,12 @@ class Orchestrator:
         job.state = "running"
         job.last_done_items = 0
         job.last_progress_at = time.monotonic()
+        job.launched_at = time.monotonic()
 
     def _check_stall(self, job: _ShardJob, view: ClusterView, now: float) -> None:
         if self.stall_timeout is None:
             return
-        done = view.shards[job.shard.index].done_items
+        done = view.shard(job.merge_key).done_items
         if done > job.last_done_items:
             job.last_done_items = done
             job.last_progress_at = now
@@ -383,13 +522,126 @@ class Orchestrator:
             job.state = "failed"
             if job.attempts > self.retries:
                 raise OrchestrationError(
-                    f"shard {job.shard.label} stalled "
+                    f"shard {job.label} stalled "
                     f"(no stream progress for {self.stall_timeout:.0f}s) "
                     f"after {job.attempts} attempts; see {job.log}"
                 )
 
+    # ------------------------------------------------------------------
+    # Elastic re-partitioning
+    def _pick_straggler(
+        self,
+        jobs: Sequence[_ShardJob],
+        running: set[int],
+        view: ClusterView,
+        now: float,
+    ) -> int | None:
+        """The running job most worth splitting onto idle slots, if any."""
+        if self._splits >= self.max_splits:
+            return None
+        best_index: int | None = None
+        best_remaining = 0
+        for index in running:
+            job = jobs[index]
+            if now - job.launched_at < self.elastic_after:
+                continue
+            planned = len(job.planned_items(self.plan.total_items))
+            remaining = planned - view.shard(job.merge_key).done_items
+            if remaining < self.elastic_min_items:
+                continue
+            if remaining > best_remaining:
+                best_index, best_remaining = index, remaining
+        return best_index
+
+    def _split_job(
+        self,
+        jobs: list[_ShardJob],
+        index: int,
+        merger: LiveMerger,
+        parts: int,
+    ) -> list[int]:
+        """Kill the straggler at ``index``; re-partition its remainder.
+
+        Returns the indexes of the freshly-created sub-jobs (pending),
+        or ``[]`` when the straggler turned out to have finished before
+        the kill landed (its artifact is then complete and reused).
+        """
+        job = jobs[index]
+        self.backend.cancel(job.handle)
+        if self._artifact_ok(job):
+            # Lost the race in the best way: it finished while we were
+            # deciding to split it.
+            job.state = "done"
+            return []
+        self._splits += 1
+        self._split_seq += 1
+        split_id = self._split_seq
+
+        base = f"shard-{job.shard.index + 1}of{job.shard.count}.sub{split_id}"
+        planned = job.planned_items(self.plan.total_items)
+        covered: set[int] = set()
+        checkpoint0: Path | None = None
+        if job.checkpoint is not None:
+            # Snapshot the straggler's checkpoint under a fresh name
+            # and read the covered set from the *snapshot*: if the kill
+            # could not reach the process (its daemon died with it),
+            # the orphan keeps writing the original path, and items it
+            # finishes after this point belong to the other sub-shards
+            # — folding them into sub-shard 1's checkpoint would poison
+            # its planned-items validation.
+            checkpoint0 = self.out_dir / f"{base}-seed.checkpoint.json"
+            try:
+                shutil.copyfile(job.checkpoint, checkpoint0)
+            except OSError:
+                # No checkpoint yet: sub-shard 1 computes its items.
+                checkpoint0.unlink(missing_ok=True)
+            covered = read_covered_items(checkpoint0) & set(planned)
+        remaining = [i for i in planned if i not in covered]
+        # Strided groups, like the top-level partition, so expensive
+        # high-utilisation items spread across the sub-shards.
+        parts = max(1, min(parts, len(remaining) or 1))
+        groups = [remaining[offset::parts] for offset in range(parts)]
+
+        job.state = "split"
+        # The straggler's stream is garbage now; drop it from the live
+        # view (its finished work re-enters through sub-shard 1's
+        # checkpoint replay).
+        merger.reset(job.merge_key, count_restart=True)
+        job.stream.unlink(missing_ok=True)
+
+        new_indexes: list[int] = []
+        for part, group in enumerate(groups):
+            stem = f"{base}-{part + 1}of{len(groups)}"
+            if part == 0:
+                # Inherits the straggler's progress via the snapshot:
+                # replays the covered items, computes only its group.
+                items = sorted(covered | set(group))
+                checkpoint = (
+                    checkpoint0
+                    if checkpoint0 is not None
+                    else self.out_dir / f"{stem}.checkpoint.json"
+                )
+            else:
+                items = sorted(group)
+                checkpoint = self.out_dir / f"{stem}.checkpoint.json"
+            sub = _ShardJob(
+                shard=job.shard,
+                artifact=self.out_dir / f"{stem}.artifact.json",
+                stream=self.out_dir / f"{stem}.jsonl",
+                checkpoint=checkpoint,
+                log=self.out_dir / f"{stem}.log",
+                merge_key=self._next_key,
+                label=f"{job.shard.label}+s{split_id}.{part + 1}",
+                items=items,
+            )
+            self._next_key += 1
+            merger.attach(sub.merge_key, sub.stream)
+            jobs.append(sub)
+            new_indexes.append(len(jobs) - 1)
+        return new_indexes
+
     def _merge(self, jobs: Sequence[_ShardJob]):
-        paths = [job.artifact for job in jobs]
+        paths = [job.artifact for job in jobs if job.state != "split"]
         if self.plan.kind == KIND_SPLITSWEEP:
             from repro.experiments.splitsweep import merge_split_shards
 
@@ -410,7 +662,10 @@ class Orchestrator:
             "state": state,
             "shards": [
                 {
-                    "index": job.shard.index,
+                    "index": job.merge_key,
+                    "label": job.label,
+                    "state": job.state,
+                    "items": len(job.items) if job.items is not None else None,
                     "artifact": job.artifact.name,
                     "stream": job.stream.name,
                     "checkpoint": job.checkpoint.name if job.checkpoint else None,
@@ -598,6 +853,11 @@ def read_status(out_dir: str | Path) -> OrchestrationStatus:
     )
     artifacts_done: dict[int, bool] = {}
     for entry in manifest["shards"]:
+        if entry.get("state") == "split":
+            # Re-partitioned straggler: retired, its slice is owned by
+            # the sub-shard entries now; neither its (unlinked) stream
+            # nor its never-written artifact counts toward completion.
+            continue
         index = int(entry["index"])
         merger.attach(index, out_dir / str(entry["stream"]))
         artifact = out_dir / str(entry["artifact"])

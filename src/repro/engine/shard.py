@@ -23,6 +23,16 @@ would have produced (wall-clock aside).
 Artifacts carry a ``kind`` tag so other sharded experiments (the
 split-point sweep of :mod:`repro.experiments.splitsweep`) can reuse the
 same container and CLI merge command with their own record schema.
+
+Elastic re-partitioning (the orchestrator splitting a straggling
+shard's remaining items across idle slots) produces *sub-shard*
+artifacts: several artifacts carrying the same :class:`ShardSpec`
+coordinates, each covering a disjoint subset of that shard's slice.
+:func:`validate_shard_set` therefore accepts any number of artifacts
+per shard index as long as their item sets are pairwise disjoint and
+the union over all artifacts covers the item space exactly — the merge
+result is bit-identical either way, because chunk records are keyed by
+item index, never by which invocation produced them.
 """
 
 from __future__ import annotations
@@ -105,6 +115,35 @@ def parse_shard(text: str) -> ShardSpec:
             "(shards are one-based on the command line)"
         )
     return ShardSpec(index - 1, count)
+
+
+def parse_items(text: str) -> tuple[int, ...]:
+    """Parse the CLI's ``--shard-items`` comma list into item indexes.
+
+    The orchestrator uses this to dispatch elastic *sub-shards*: an
+    invocation that evaluates only an explicit subset of its
+    ``--shard I/N`` slice.  Rejects empty lists, non-integers and
+    negative indexes with a :class:`~repro.exceptions.ShardError`;
+    duplicates are collapsed and the result is sorted.
+    """
+    items: set[int] = set()
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            item = int(piece)
+        except ValueError as exc:
+            raise ShardError(
+                f"malformed item list {text!r}; expected comma-separated "
+                "integers, e.g. --shard-items 3,9,15"
+            ) from exc
+        if item < 0:
+            raise ShardError(f"work-item indexes must be >= 0, got {item}")
+        items.add(item)
+    if not items:
+        raise ShardError(f"item list {text!r} names no work items")
+    return tuple(sorted(items))
 
 
 @dataclass(slots=True)
@@ -240,8 +279,13 @@ def validate_shard_set(artifacts: list[ShardArtifact]) -> None:
 
     Raises :class:`~repro.exceptions.ShardError` naming the first
     problem found: empty input, mixed kinds/fingerprints/shard counts,
-    duplicate shards, missing shards, items outside a shard's slice, or
-    per-item gaps/overlaps in coverage.
+    missing shards, items outside a shard's slice, or per-item
+    gaps/overlaps in coverage.
+
+    Several artifacts may share one shard index (elastic sub-shards of
+    a re-partitioned straggler) as long as their item sets are pairwise
+    disjoint; two *full* artifacts of the same shard still fail — as an
+    item-level overlap rather than a duplicate-index error.
     """
     if not artifacts:
         raise ShardError("no shard artifacts to merge")
@@ -269,16 +313,8 @@ def validate_shard_set(artifacts: list[ShardArtifact]) -> None:
         if artifact.meta != first.meta:
             raise ShardError("shard artifacts disagree on sweep metadata")
 
-    seen: dict[int, ShardArtifact] = {}
-    for artifact in artifacts:
-        if artifact.shard.index in seen:
-            raise ShardError(
-                f"duplicate shard {artifact.shard.label} (overlap); "
-                "each shard must be merged exactly once"
-            )
-        seen[artifact.shard.index] = artifact
-
-    missing_shards = sorted(set(range(first.shard.count)) - set(seen))
+    seen_indexes = {artifact.shard.index for artifact in artifacts}
+    missing_shards = sorted(set(range(first.shard.count)) - seen_indexes)
     if missing_shards:
         human = ", ".join(f"{i + 1}/{first.shard.count}" for i in missing_shards)
         raise ShardError(f"missing shards (gap): {human}")
@@ -291,6 +327,13 @@ def validate_shard_set(artifacts: list[ShardArtifact]) -> None:
             raise ShardError(
                 f"shard {artifact.shard.label} covers item {min(outside)} "
                 "outside its slice (overlap); artifact is corrupt"
+            )
+        doubled = covered & items
+        if doubled:
+            raise ShardError(
+                f"item {min(doubled)} is covered by more than one artifact "
+                f"of shard {artifact.shard.label} (overlap); each item must "
+                "be merged exactly once"
             )
         covered |= items
     gaps = set(range(first.total_items)) - covered

@@ -195,21 +195,42 @@ class StreamTail:
       is mid-flush, or the OS exposed a partial write) is left pending;
       the offset does not advance past it, so the completed line is
       returned whole by a later poll;
-    * **truncation** — the file shrinking below the consumed offset
-      means the stream was restarted (a retried shard reopens with
-      ``"w"``): the tail resets to offset 0 and sets
+    * **truncation** — the file shrinking below the consumed offset, or
+      disappearing outright (the orchestrator unlinks a relaunched
+      shard's stream before its new attempt starts), means the stream
+      was restarted: the tail resets to offset 0 and sets
       :attr:`truncations` so the consumer can discard that shard's
-      accumulated state.
+      accumulated state;
+    * **rewrite race** — a stream truncated *and* already rewritten by
+      the time of the poll can have regrown to or past the consumed
+      offset, so the size check alone would resume reading mid-line (or
+      at a coincidental line boundary) in the new file's byte space.
+      Every poll therefore re-reads the bytes where the last consumed
+      line used to end and compares them to what was consumed; a
+      mismatch means the file under the tail is a different stream, and
+      the tail resets exactly like a detected truncation instead of
+      folding stale tail bytes into the consumer's view.
 
-    A missing file is simply "no lines yet" — the orchestrator attaches
-    tails before its shards have started writing.
+    A missing file that was never read from is simply "no lines yet" —
+    the orchestrator attaches tails before its shards have started
+    writing.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._offset = 0
-        #: Times the stream restarted (file shrank under the tail).
+        #: Bytes of the last consumed line (newline included), i.e. the
+        #: content of ``offset - len .. offset`` — re-checked on every
+        #: poll to detect a truncate-and-rewrite under the tail.
+        self._last_line = b""
+        #: Times the stream restarted (file shrank, vanished, or was
+        #: rewritten under the tail).
         self.truncations = 0
+
+    def _restart(self) -> None:
+        self._offset = 0
+        self._last_line = b""
+        self.truncations += 1
 
     def poll(self) -> list[dict]:
         """Parse and return the newly-completed lines (maybe empty).
@@ -222,25 +243,43 @@ class StreamTail:
             corruption, not concurrency.
         """
         if not self.path.exists():
+            if self._offset > 0:
+                # A stream we were mid-way through is gone: a relaunch
+                # unlinked it.  Surface the restart now so the consumer
+                # resets before the new attempt's lines arrive.
+                self._restart()
             return []
         try:
             size = self.path.stat().st_size
         except OSError:
             return []
         if size < self._offset:
-            self._offset = 0
-            self.truncations += 1
+            self._restart()
         if size == self._offset:
             return []
         with self.path.open("rb") as handle:
+            if self._offset > 0 and self._last_line:
+                # The offset is only meaningful while the file still
+                # holds the bytes we consumed up to it; a
+                # truncate-and-rewrite that regrew the file to or past
+                # the offset between polls would otherwise be read from
+                # an arbitrary position in the *new* content.  The last
+                # consumed line is the cheap witness: re-read its byte
+                # range and compare.
+                handle.seek(self._offset - len(self._last_line))
+                witness = handle.read(len(self._last_line))
+                if witness != self._last_line:
+                    self._restart()
             handle.seek(self._offset)
             data = handle.read(size - self._offset)
         lines: list[dict] = []
         consumed = 0
+        last_line = self._last_line
         for raw in data.splitlines(keepends=True):
             if not raw.endswith(b"\n"):
                 break  # torn tail: wait for the writer to finish it
             consumed += len(raw)
+            last_line = raw
             try:
                 payload = json.loads(raw)
             except json.JSONDecodeError as exc:
@@ -253,6 +292,7 @@ class StreamTail:
                 )
             lines.append(payload)
         self._offset += consumed
+        self._last_line = last_line
         return lines
 
 

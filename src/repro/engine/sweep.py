@@ -287,6 +287,7 @@ class SweepEngine:
         shard: ShardSpec | None = None,
         shard_out: str | Path | None = None,
         stream: str | Path | None = None,
+        items: Sequence[int] | None = None,
     ) -> SweepResult:
         """Execute the sweep (resuming from a checkpoint when present).
 
@@ -309,15 +310,39 @@ class SweepEngine:
             JSONL stream path; every completed chunk is appended and
             flushed the moment it finishes (checkpoint-restored chunks
             are replayed first so the file is self-contained).
+        items:
+            Explicit work-item subset (within the shard's slice) to
+            evaluate instead of the whole slice — the elastic
+            *sub-shard* path: the orchestrator splits a straggling
+            shard's remaining items across idle slots, and the
+            resulting artifacts (same shard coordinates, disjoint item
+            subsets) reassemble bit-identically through
+            :func:`~repro.engine.shard.merge_shards`.  Item RNG
+            derivation depends only on the item index, so any subset
+            produces exactly the per-item results of the full run.
         """
         start_time = time.perf_counter()
-        if shard is None and shard_out is not None:
+        if shard is None and (shard_out is not None or items is not None):
             shard = ShardSpec(0, 1)
-        planned = (
-            list(shard.items(spec.total_items))
-            if shard is not None
-            else list(range(spec.total_items))
-        )
+        if items is not None:
+            planned = sorted({int(item) for item in items})
+            if not planned:
+                raise AnalysisError("items subset names no work items")
+            bad = [
+                i for i in planned
+                if not 0 <= i < spec.total_items or not shard.owns(i)
+            ]
+            if bad:
+                raise AnalysisError(
+                    f"item {bad[0]} is outside shard {shard.label}'s slice "
+                    f"of the {spec.total_items}-item space"
+                )
+        else:
+            planned = (
+                list(shard.items(spec.total_items))
+                if shard is not None
+                else list(range(spec.total_items))
+            )
         planned_set = set(planned)
         expected_in_point = [0] * spec.n_points
         for item in planned:

@@ -19,6 +19,7 @@ the surrounding text discusses it as the same utilisation sweep as
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from pathlib import Path
 
 from repro.exceptions import AnalysisError
@@ -87,6 +88,7 @@ def run_figure2(
     shard_out: str | Path | None = None,
     stream: str | Path | None = None,
     chunk_size: int | None = None,
+    items: Sequence[int] | None = None,
 ) -> SweepResult:
     """Regenerate one sub-figure of Figure 2.
 
@@ -116,6 +118,9 @@ def run_figure2(
     chunk_size:
         Pin the engine's chunk size (default: adaptive on pool
         executors, per-item serially).
+    items:
+        Explicit work-item subset of the shard's slice (elastic
+        sub-shard dispatch); see :meth:`repro.engine.SweepEngine.run`.
     """
     spec = figure2_spec(
         m=m, n_tasksets=n_tasksets, seed=seed, step=step,
@@ -129,6 +134,7 @@ def run_figure2(
         shard_out=shard_out,
         stream=stream,
         chunk_size=chunk_size,
+        items=items,
     )
 
 

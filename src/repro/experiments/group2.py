@@ -9,6 +9,7 @@ regenerates that claim and quantifies the gap.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -70,10 +71,12 @@ def run_group2(
     shard_out: str | Path | None = None,
     stream: str | Path | None = None,
     chunk_size: int | None = None,
+    items: Sequence[int] | None = None,
 ) -> Group2Report:
     """Run the group-2 sweep and summarise the LP-max vs LP-ILP gap.
 
-    ``shard`` / ``shard_out`` / ``stream`` / ``chunk_size`` behave as in
+    ``shard`` / ``shard_out`` / ``stream`` / ``chunk_size`` / ``items``
+    behave as in
     :func:`repro.experiments.figure2.run_figure2`; note the gap summary
     of a sharded run covers only that shard's task-sets — merge the
     shards for the full-population gap.
@@ -86,6 +89,7 @@ def run_group2(
         shard_out=shard_out,
         stream=stream,
         chunk_size=chunk_size,
+        items=items,
     )
     gaps = [
         abs(point.ratio("LP-ILP") - point.ratio("LP-max")) for point in sweep.points

@@ -65,6 +65,7 @@ def run_sweep(
     shard_out: str | Path | None = None,
     stream: str | Path | None = None,
     chunk_size: int | None = None,
+    items: Sequence[int] | None = None,
     spec: SweepSpec | None = None,
 ) -> SweepResult:
     """Run one schedulability sweep.
@@ -112,6 +113,10 @@ def run_sweep(
         Pin the engine's chunk size; default lets pool executors size
         chunks adaptively from per-chunk wall-time telemetry
         (:mod:`repro.engine.chunking`).
+    items:
+        Explicit work-item subset within the shard's slice (the
+        orchestrator's elastic sub-shard dispatch); see
+        :meth:`repro.engine.SweepEngine.run`.
     spec:
         A prebuilt :class:`~repro.engine.SweepSpec` to run as-is
         (mutually exclusive with the individual spec parameters) — the
@@ -168,7 +173,9 @@ def run_sweep(
             checkpoint_path=checkpoint,
             progress=engine_progress,
         )
-        return engine.run(spec, shard=shard, shard_out=shard_out, stream=stream)
+        return engine.run(
+            spec, shard=shard, shard_out=shard_out, stream=stream, items=items
+        )
 
 
 def utilization_grid(m: int, step: float | None = None, start: float = 1.0) -> list[float]:

@@ -253,7 +253,7 @@ class TestSweepOrchestrate:
         assert code == 0
         out = capsys.readouterr().out
         assert "Orchestrated figure2" in out
-        assert "orchestrated 2 shards" in out
+        assert "orchestrated 2 shard invocations" in out
         ref_csv = tmp_path / "ref.csv"
         assert main(["figure2", "--m", "2", "--tasksets", "4", "--seed", "11",
                      "--step", "0.5", "--csv", str(ref_csv)]) == 0

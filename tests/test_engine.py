@@ -27,6 +27,7 @@ from repro.engine.shard import (
     ShardSpec,
     load_shard,
     merge_shards,
+    parse_items,
     parse_shard,
     save_shard,
 )
@@ -503,3 +504,99 @@ class TestShardMerge:
         path = save_shard(tmp_path / "sp.json", artifact)
         with pytest.raises(ShardError, match="splitsweep"):
             merge_shards([path])
+
+
+class TestParseItems:
+    def test_parses_sorts_and_dedupes(self):
+        assert parse_items("9,3,3,15") == (3, 9, 15)
+        assert parse_items(" 1 , 2 ,") == (1, 2)
+
+    @pytest.mark.parametrize("bad", ["", ",", "a,b", "1,-2", "1.5"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ShardError):
+            parse_items(bad)
+
+
+class TestItemSubsetRuns:
+    """Explicit item subsets: the elastic sub-shard execution path."""
+
+    def test_items_outside_slice_rejected(self):
+        spec = _spec()
+        with pytest.raises(AnalysisError, match="outside shard"):
+            SweepEngine().run(spec, shard=ShardSpec(0, 2), items=[1])
+        with pytest.raises(AnalysisError, match="outside shard"):
+            SweepEngine().run(spec, items=[spec.total_items])
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(AnalysisError, match="no work items"):
+            SweepEngine().run(_spec(), shard=ShardSpec(0, 2), items=[])
+
+    def test_items_without_shard_default_to_whole_space(self, tmp_path):
+        # items alone means "shard 1/1 restricted to these items".
+        spec = _spec()
+        path = tmp_path / "sub.json"
+        SweepEngine().run(spec, shard_out=path, items=[0, 3, 5])
+        artifact = load_shard(path)
+        assert artifact.shard == ShardSpec(0, 1)
+        assert artifact.covered_items() == {0, 3, 5}
+
+    def test_subset_checkpoint_resumes_into_superset(self, tmp_path):
+        # Sub-shard 1 inherits the straggler's checkpoint: a checkpoint
+        # covering part of the slice must resume cleanly into a run
+        # whose planned items are checkpoint-covered plus new ones.
+        spec = _spec()
+        shard = ShardSpec(0, 2)
+        checkpoint = tmp_path / "cp.json"
+        items = list(shard.items(spec.total_items))
+        SweepEngine(checkpoint_path=checkpoint).run(
+            spec, shard=shard, items=items[:2]
+        )
+        out = tmp_path / "sub.json"
+        SweepEngine(checkpoint_path=checkpoint).run(
+            spec, shard=shard, shard_out=out, items=items[:4]
+        )
+        assert load_shard(out).covered_items() == set(items[:4])
+
+
+class TestSubShardMerge:
+    """Multiple disjoint artifacts per shard index are mergeable."""
+
+    def test_disjoint_sub_shards_merge(self, tmp_path):
+        spec = _spec()
+        shard0 = ShardSpec(0, 2)
+        items = list(shard0.items(spec.total_items))
+        paths = []
+        for j, subset in enumerate((items[0::2], items[1::2])):
+            path = tmp_path / f"s0-{j}.json"
+            SweepEngine().run(spec, shard=shard0, shard_out=path, items=subset)
+            paths.append(path)
+        whole = tmp_path / "s1.json"
+        SweepEngine().run(spec, shard=ShardSpec(1, 2), shard_out=whole)
+        merged = merge_shards(paths + [whole])
+        reference = SweepEngine().run(spec)
+        assert [p.schedulable for p in merged.points] == [
+            p.schedulable for p in reference.points
+        ]
+
+    def test_overlapping_sub_shards_rejected(self, tmp_path):
+        spec = _spec()
+        shard0 = ShardSpec(0, 2)
+        items = list(shard0.items(spec.total_items))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        SweepEngine().run(spec, shard=shard0, shard_out=a, items=items)
+        SweepEngine().run(spec, shard=shard0, shard_out=b, items=items[:2])
+        whole = tmp_path / "s1.json"
+        SweepEngine().run(spec, shard=ShardSpec(1, 2), shard_out=whole)
+        with pytest.raises(ShardError, match="overlap"):
+            merge_shards([a, b, whole])
+
+    def test_sub_shards_with_gap_rejected(self, tmp_path):
+        spec = _spec()
+        shard0 = ShardSpec(0, 2)
+        items = list(shard0.items(spec.total_items))
+        a = tmp_path / "a.json"
+        SweepEngine().run(spec, shard=shard0, shard_out=a, items=items[:2])
+        whole = tmp_path / "s1.json"
+        SweepEngine().run(spec, shard=ShardSpec(1, 2), shard_out=whole)
+        with pytest.raises(ShardError, match="gap|uncovered"):
+            merge_shards([a, whole])

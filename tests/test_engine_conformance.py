@@ -392,3 +392,154 @@ class TestOrchestratorConformance:
             poll_interval=0.05,
         ).run()
         assert outcome.result == reference
+
+
+class TestElasticConformance:
+    """Elastic re-partitioning keeps the bit-identical contract.
+
+    Sub-shard artifacts (same shard coordinates, disjoint item subsets,
+    the first inheriting the straggler's checkpoint) must reassemble
+    into exactly the serial result — at the merge level for arbitrary
+    hypothesis-generated partitions, and end to end through an
+    orchestrator that really splits stragglers onto idle slots.
+    """
+
+    @CONFORMANCE
+    @given(
+        spec=sweep_specs(),
+        shard_count=st.integers(1, 3),
+        data=st.data(),
+    )
+    def test_any_elastic_partition_merges_bit_identical(
+        self, spec, shard_count, data
+    ):
+        reference = _reference(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for index in range(shard_count):
+                shard = ShardSpec(index, shard_count)
+                items = list(shard.items(spec.total_items))
+                if len(items) >= 2 and data.draw(
+                    st.booleans(), label=f"split shard {index}"
+                ):
+                    # Split this shard like the orchestrator would:
+                    # covered prefix inherited by sub-shard 1, the rest
+                    # strided over 2..parts sub-shards.
+                    parts = data.draw(
+                        st.integers(2, min(4, len(items))),
+                        label=f"parts of shard {index}",
+                    )
+                    cut = data.draw(
+                        st.integers(0, len(items) - parts),
+                        label=f"covered prefix of shard {index}",
+                    )
+                    covered, remaining = items[:cut], items[cut:]
+                    groups = [remaining[p::parts] for p in range(parts)]
+                    subsets = [sorted(covered + groups[0]), *groups[1:]]
+                    for part, subset in enumerate(subsets):
+                        path = Path(tmp) / f"s{index}.{part}.json"
+                        SweepEngine().run(
+                            spec, shard=shard, shard_out=path, items=subset
+                        )
+                        paths.append(path)
+                else:
+                    path = Path(tmp) / f"s{index}.json"
+                    SweepEngine().run(spec, shard=shard, shard_out=path)
+                    paths.append(path)
+            assert _strip(merge_shards(paths)) == reference
+
+    def test_orchestrated_elastic_split_bit_identical(self, tmp_path):
+        # 2 shards on 3 slots: the idle slot forces a split immediately
+        # (elastic_after=0), so the merged result really is assembled
+        # from sub-shard artifacts.
+        from repro.engine.orchestrator import Orchestrator, plan_figure2
+
+        kwargs = dict(m=2, n_tasksets=6, seed=11, step=0.5)
+        reference = _strip(run_figure2(**kwargs))
+        plan = plan_figure2(**kwargs)
+        outcome = Orchestrator(
+            plan, tmp_path / "orch", workers=3, shards=2,
+            poll_interval=0.05, elastic=True, elastic_after=0.0,
+        ).run()
+        assert outcome.splits >= 1
+        assert _strip(outcome.result) == reference
+        # The artifacts on disk are themselves a mergeable set — the
+        # sweep-merge glob path works on an elastically-split run.
+        artifacts = sorted((tmp_path / "orch").glob("shard-*.artifact.json"))
+        assert len(artifacts) > 2  # sub-shards present
+        assert _strip(merge_shards(artifacts)) == reference
+
+    def test_elastic_requires_checkpoint_support(self, tmp_path):
+        from repro.engine.orchestrator import Orchestrator, plan_splitsweep
+        from repro.exceptions import OrchestrationError
+
+        plan = plan_splitsweep(
+            m=2, utilization=1.2, thresholds=[100.0], n_tasksets=4, seed=9
+        )
+        with pytest.raises(OrchestrationError, match="checkpoint"):
+            Orchestrator(plan, tmp_path / "orch", workers=2, elastic=True)
+
+
+class TestDaemonConformance:
+    """Daemon-backend orchestration reproduces the serial result."""
+
+    KWARGS = dict(m=2, n_tasksets=6, seed=11, step=0.5)
+
+    @pytest.fixture
+    def daemon_pool(self):
+        import tempfile as tf
+
+        from repro.engine.daemon import WorkerDaemon
+
+        with tf.TemporaryDirectory(prefix="reprod-", dir="/tmp") as tmp:
+            daemons = []
+            for index in range(3):
+                daemon = WorkerDaemon(Path(tmp) / f"w{index}.sock")
+                daemon.serve_in_thread()
+                daemons.append(daemon)
+            try:
+                yield daemons
+            finally:
+                for daemon in daemons:
+                    daemon.stop()
+
+    def test_daemon_orchestration_bit_identical(self, daemon_pool, tmp_path):
+        from repro.engine.backends import DaemonBackend
+        from repro.engine.orchestrator import Orchestrator, plan_figure2
+
+        reference = _strip(run_figure2(**self.KWARGS))
+        plan = plan_figure2(**self.KWARGS)
+        with DaemonBackend([d.socket_path for d in daemon_pool]) as backend:
+            outcome = Orchestrator(
+                plan, tmp_path / "orch", backend=backend, poll_interval=0.05,
+            ).run()
+        assert _strip(outcome.result) == reference
+        assert outcome.retries == 0
+
+    def test_daemon_killed_mid_run_with_elastic_still_bit_identical(
+        self, daemon_pool, tmp_path
+    ):
+        # The acceptance-criteria case: daemons + elastic splits + a
+        # daemon dying mid-run, healed back to the exact serial result.
+        from repro.engine.backends import DaemonBackend
+        from repro.engine.orchestrator import Orchestrator, plan_figure2
+
+        reference = _strip(run_figure2(**self.KWARGS))
+        plan = plan_figure2(**self.KWARGS)
+        killed = {"done": False}
+
+        def progress(view):
+            if not killed["done"] and any(
+                s.state != "waiting" for s in view.shards
+            ):
+                daemon_pool[0].stop()  # socket dies like a SIGKILL
+                killed["done"] = True
+
+        with DaemonBackend([d.socket_path for d in daemon_pool]) as backend:
+            outcome = Orchestrator(
+                plan, tmp_path / "orch", backend=backend, shards=2,
+                retries=3, poll_interval=0.05,
+                elastic=True, elastic_after=0.0, progress=progress,
+            ).run()
+        assert killed["done"]
+        assert _strip(outcome.result) == reference

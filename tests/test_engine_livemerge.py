@@ -94,6 +94,49 @@ class TestStreamTail:
         with pytest.raises(AnalysisError):
             StreamTail(path).poll()
 
+    def test_unlinked_stream_counts_as_restart(self, tmp_path):
+        # The orchestrator unlinks a relaunched shard's stream before
+        # the new attempt starts; an external tail (a second
+        # sweep-status process, a monitor) must read that as a restart,
+        # not silently keep its stale offset.
+        path = tmp_path / "s.jsonl"
+        tail = StreamTail(path)
+        _append(path, json.dumps(HEADER) + "\n" + _chunk_line(0, 5))
+        assert len(tail.poll()) == 2
+        path.unlink()
+        assert tail.poll() == []
+        assert tail.truncations == 1
+        _append(path, json.dumps(HEADER) + "\n" + _chunk_line(0, 2))
+        lines = tail.poll()
+        assert [l["type"] for l in lines] == ["header", "chunk"]
+        assert lines[1]["stop"] == 2
+
+    def test_truncate_and_regrow_past_offset_resets_cleanly(self, tmp_path):
+        # Satellite regression: between two polls the stream is
+        # truncated AND rewritten to a size at or beyond the consumed
+        # offset.  The size check alone cannot see that; the tail must
+        # still reset instead of parsing the new file from a stale
+        # mid-line offset (folding garbage into the cluster view or
+        # raising a bogus corruption error).
+        path = tmp_path / "s.jsonl"
+        tail = StreamTail(path)
+        short = json.dumps(HEADER) + "\n" + _chunk_line(0, 1)
+        _append(path, short)
+        assert len(tail.poll()) == 2  # offset now == len(short)
+        # Rewrite with *longer* content whose bytes at the old offset
+        # are mid-line.
+        rewritten = (
+            json.dumps(HEADER) + "\n"
+            + _chunk_line(0, 3, {"0": {"LP-ILP": 99}})
+            + _chunk_line(3, 6)
+        )
+        assert len(rewritten) > len(short)
+        path.write_text(rewritten)
+        lines = tail.poll()
+        assert tail.truncations == 1
+        assert [l["type"] for l in lines] == ["header", "chunk", "chunk"]
+        assert lines[1]["counts"] == {"0": {"LP-ILP": 99}}
+
     def test_concurrently_appending_writer(self, tmp_path):
         """A writer thread appends while the tail polls: every line
         arrives exactly once, whole, in order."""
@@ -249,6 +292,27 @@ class TestLiveMerger:
         assert view.done_items == 2
         assert view.counts == {}
         assert view.shards[0].restarts == 1
+
+    def test_regrown_rewrite_detected_as_restart(self, tmp_path):
+        # Satellite regression, merger level: a relaunched shard that
+        # truncated and already rewrote a *longer* stream between polls
+        # must reset that shard's contribution, not fold the new lines
+        # on top of the stale ones (double counting) or die parsing
+        # from a stale offset.
+        fp = "a" * 64
+        merger = LiveMerger(total_items=8, fingerprint=fp)
+        path = tmp_path / "s0.jsonl"
+        merger.attach(0, path)
+        self._write_shard_stream(path, fp, [(0, 2, {"0": {"LP-ILP": 2}})])
+        assert merger.poll().done_items == 2
+        self._write_shard_stream(
+            path, fp,
+            [(0, 4, {"0": {"LP-ILP": 1}}), (4, 6, {"0": {"LP-ILP": 1}})],
+        )
+        view = merger.poll()
+        assert view.shards[0].restarts == 1
+        assert view.done_items == 6
+        assert view.counts == {0: {"LP-ILP": 2}}
 
     def test_explicit_reset_discards_state(self, tmp_path):
         # The orchestrator's relaunch path: reset() must work even when

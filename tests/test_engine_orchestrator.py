@@ -144,6 +144,54 @@ class TestTemplateBackend:
             assert _wait_exit(backend, handle) == 0
         assert "MARK=/from/template" in log.read_text()
 
+    @pytest.mark.parametrize("pythonpath", [
+        "/repo with spaces/src",            # spaces must survive the shell
+        "/repo/src:",                       # trailing : (empty segment)
+        ":/repo/src",                       # leading : (empty segment)
+        "/a b/src::/c d/src",               # both hazards at once
+        "/quo'te/src",                      # a quote in the path itself
+    ])
+    def test_forwarded_env_survives_shell_byte_identical(
+        self, tmp_path, pythonpath
+    ):
+        # The satellite regression: PYTHONPATH values with spaces or
+        # ':'-adjacent empty segments must arrive in the (template-side)
+        # shell's child byte-identical, not re-split into extra argv
+        # words or stripped of their empty segments.
+        log = tmp_path / "job.log"
+        with TemplateBackend(["sh", "-c", "{command}"]) as backend:
+            handle = backend.launch(
+                [sys.executable, "-c",
+                 "import os; print('MARK=[' + os.environ['PYTHONPATH'] + ']')"],
+                log,
+                env={"PATH": "/usr/bin:/bin", "PYTHONPATH": pythonpath},
+            )
+            assert _wait_exit(backend, handle) == 0
+        assert f"MARK=[{pythonpath}]" in log.read_text()
+
+    def test_rendered_argv_words_survive_shell_byte_identical(self, tmp_path):
+        # Same hazard on the command words themselves: an argument with
+        # spaces and quotes must come out of the remote shell as one
+        # argv element.
+        log = tmp_path / "job.log"
+        tricky = "a b 'c' \"d\" $HOME ;e"
+        with TemplateBackend(["sh", "-c", "{command}"]) as backend:
+            handle = backend.launch(
+                [sys.executable, "-c", "import sys; print(sys.argv[1])",
+                 tricky],
+                log,
+            )
+            assert _wait_exit(backend, handle) == 0
+        assert tricky in log.read_text()
+
+    def test_render_quotes_each_piece(self):
+        backend = TemplateBackend(["ssh", "worker1", "{command}"])
+        rendered = backend.render(
+            ["python", "-m", "repro"],
+            env={"PYTHONPATH": "/my repo/src:"},
+        )
+        assert rendered[2] == "env 'PYTHONPATH=/my repo/src:' python -m repro"
+
     def test_template_dispatch_really_runs(self, tmp_path):
         # `sh -c {command}` is the smallest real template: the command
         # travels as one string, exactly as it would over SSH.
@@ -222,6 +270,12 @@ class TestOrchestratorValidation:
             Orchestrator(self._plan(), tmp_path, stall_timeout=0.0)
         with pytest.raises(OrchestrationError):
             Orchestrator(self._plan(), tmp_path, shards=0)
+        with pytest.raises(OrchestrationError):
+            Orchestrator(self._plan(), tmp_path, elastic=True, elastic_after=-1.0)
+        with pytest.raises(OrchestrationError):
+            Orchestrator(self._plan(), tmp_path, elastic=True, elastic_min_items=1)
+        with pytest.raises(OrchestrationError):
+            Orchestrator(self._plan(), tmp_path, elastic=True, max_splits=-1)
 
     def test_foreign_directory_rejected(self, tmp_path):
         (tmp_path / MANIFEST_NAME).write_text(json.dumps({
@@ -322,6 +376,81 @@ class TestOrchestratorIntegration:
                 ).run()
         manifest = load_manifest(tmp_path / "orch")
         assert manifest["state"] == "failed"
+
+    def test_failed_launch_is_retried_not_fatal(self, tmp_path):
+        # A slot can vanish between the orchestrator's slots check and
+        # the launch (an idle daemon dying): the DispatchError must
+        # count as a failed attempt and heal, not abort the run.
+        plan = plan_figure2(**self.KWARGS)
+
+        class LaunchFlake(LocalBackend):
+            def __init__(self):
+                super().__init__(slots=2)
+                self.flaked = 0
+
+            def launch(self, argv, log_path, env=None):
+                if self.flaked == 0 and "--shard" in list(argv):
+                    self.flaked += 1
+                    raise DispatchError("slot vanished under the launch")
+                return super().launch(argv, log_path, env=env)
+
+        with LaunchFlake() as backend:
+            outcome = Orchestrator(
+                plan, tmp_path / "orch", backend=backend, retries=2,
+                poll_interval=0.05,
+            ).run()
+        assert backend.flaked == 1
+        assert outcome.retries >= 1
+        assert outcome.view.done_items == plan.total_items
+
+    def test_exhausted_launch_failures_raise(self, tmp_path):
+        plan = plan_figure2(**self.KWARGS)
+
+        class NeverLaunches(LocalBackend):
+            def __init__(self):
+                super().__init__(slots=2)
+
+            def launch(self, argv, log_path, env=None):
+                raise DispatchError("no slot, ever")
+
+        with NeverLaunches() as backend:
+            with pytest.raises(OrchestrationError, match="could not be launched"):
+                Orchestrator(
+                    plan, tmp_path / "orch", backend=backend, retries=1,
+                    poll_interval=0.01,
+                ).run()
+
+    def test_never_started_shard_trips_stall_relaunch(self, tmp_path):
+        # Satellite regression: a backend launch that "succeeds" but
+        # whose process dies pre-open (here: never opens the stream and
+        # never exits) must trip the stall relaunch purely off the
+        # launch clock — there is no stream progress to wait on.
+        plan = plan_figure2(**self.KWARGS)
+
+        class NeverStarts(LocalBackend):
+            def __init__(self):
+                super().__init__(slots=2)
+                self.sabotaged = 0
+
+            def launch(self, argv, log_path, env=None):
+                if self.sabotaged == 0 and "--shard" in list(argv):
+                    self.sabotaged += 1
+                    return super().launch(
+                        [sys.executable, "-c", "import time; time.sleep(600)"],
+                        log_path, env=env,
+                    )
+                return super().launch(argv, log_path, env=env)
+
+        with NeverStarts() as backend:
+            outcome = Orchestrator(
+                plan, tmp_path / "orch", backend=backend, retries=3,
+                poll_interval=0.05, stall_timeout=3.0,
+            ).run()
+        assert backend.sabotaged == 1
+        assert outcome.retries >= 1
+        # The sabotaged shard's stream was never created, yet every
+        # item was recovered by the relaunch.
+        assert outcome.view.done_items == plan.total_items
 
     def test_stalled_shard_is_relaunched(self, tmp_path):
         plan = plan_figure2(**self.KWARGS)
