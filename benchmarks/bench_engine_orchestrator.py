@@ -120,9 +120,9 @@ def test_daemon_dispatch_beats_subprocess_launch_overhead(benchmark, tmp_path):
     point, one task-set), so both timings are dominated by launch
     overhead, which is exactly what the daemon exists to remove.
     """
-    from repro.engine.orchestrator import _python_env
+    from repro.engine.backends import worker_env
 
-    env = _python_env()
+    env = worker_env()
     launches = 3
     argv = [
         sys.executable, "-m", "repro", "figure2",

@@ -19,7 +19,15 @@ Sub-commands map one-to-one onto the paper's artefacts:
   the repro stack imported once (forked children skip the per-shard
   interpreter + import cost);
 * ``sweep-status`` — inspect a running or finished orchestration
-  directory from its streams and artifacts.
+  directory from its streams and artifacts;
+* ``sweep-run`` — execute a *declarative job*: a versioned JSON
+  :class:`~repro.engine.jobspec.JobSpec` (``--job job.json`` or
+  ``--job-json '<spec>'``) naming the workload (figure2 / group2 /
+  splitsweep + parameters) and the execution policy; ``--set
+  key=value`` and the engine flags layer overrides on top, and the
+  orchestration flags (``--workers`` / ``--backend`` / ``--elastic``
+  ...) run the same job as a whole sharded orchestration instead of a
+  single inline invocation.
 
 The sweep sub-commands share the engine flags: ``--jobs`` (worker
 processes), ``--shard I/N`` + ``--shard-out`` (run one slice of the
@@ -28,7 +36,9 @@ results); ``figure2`` and ``group2`` additionally take ``--checkpoint``
 (resume an interrupted run), ``--chunk-size`` (pin the engine's
 otherwise-adaptive chunking) and ``--shard-items`` (evaluate an
 explicit item subset of the shard's slice — how the orchestrator
-dispatches elastic sub-shards).
+dispatches elastic sub-shards).  Every experiment subcommand is sugar
+over the same spec-building path as ``sweep-run``: the flags construct
+a JobSpec, and ``sweep-run --save-job`` round-trips it to a file.
 """
 
 from __future__ import annotations
@@ -182,6 +192,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "(implies --backend daemon)",
     )
     p9.add_argument(
+        "--daemon-capacity", type=int, default=None, metavar="N",
+        help="cap concurrent shard jobs packed onto each daemon "
+             "(default: each daemon's declared capacity)",
+    )
+    p9.add_argument(
         "--elastic", action="store_true",
         help="re-partition a straggling shard's remaining items onto "
              "idle slots (figure2/group2: needs checkpoint support)",
@@ -258,6 +273,109 @@ def _build_parser() -> argparse.ArgumentParser:
         help="concurrent shard children this daemon hosts",
     )
     p11.set_defaults(handler=_cmd_sweep_daemon)
+
+    p12 = sub.add_parser(
+        "sweep-run",
+        help="execute a declarative JobSpec (JSON job file) — inline by "
+             "default, or as a whole orchestrated sweep with the "
+             "orchestration flags",
+    )
+    source = p12.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--job", type=str, default=None, metavar="FILE",
+        help="JSON job file (see README 'Declarative jobs')",
+    )
+    source.add_argument(
+        "--job-json", type=str, default=None, metavar="JSON",
+        help="the JobSpec JSON inline (how orchestrators and daemons "
+             "embed the job verbatim in work orders)",
+    )
+    p12.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="overrides",
+        help="override one spec field, e.g. --set workload.m=8 or "
+             "--set execution.jobs=4 (repeatable; bare field names "
+             "resolve to their section)",
+    )
+    p12.add_argument(
+        "--save-job", type=str, default=None, metavar="FILE",
+        help="write the effective (post-override) spec to FILE and "
+             "continue",
+    )
+    p12.add_argument(
+        "--dry-run", action="store_true",
+        help="print the effective spec and exit without running",
+    )
+    # Engine flag overrides (None = keep the job file's value).
+    p12.add_argument("-j", "--jobs", type=int, default=None,
+                     help="override execution.jobs")
+    p12.add_argument("--executor", choices=("process", "thread"),
+                     default=None, help="override execution.executor")
+    p12.add_argument("--checkpoint", type=str, default=None,
+                     help="override execution.checkpoint")
+    p12.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                     help="override execution.chunk_size")
+    p12.add_argument("--shard", type=_shard_arg, default=None, metavar="I/N",
+                     help="override execution.shard")
+    p12.add_argument("--shard-out", type=str, default=None, metavar="PATH",
+                     help="override execution.shard_out")
+    p12.add_argument("--stream", type=str, default=None, metavar="PATH",
+                     help="override execution.stream")
+    p12.add_argument("--shard-items", type=_items_arg, default=None,
+                     metavar="I,J,...", help="override execution.items")
+    # Orchestration flags: any of them switches from one inline
+    # invocation to a whole sharded orchestration of the same job.
+    p12.add_argument(
+        "--workers", type=int, default=None,
+        help="orchestrate with this many backend slots",
+    )
+    p12.add_argument(
+        "--shards", type=int, default=None,
+        help="orchestration shard count (default: one per worker)",
+    )
+    p12.add_argument("--retries", type=int, default=2,
+                     help="extra launch attempts per failed/stalled shard")
+    p12.add_argument(
+        "--backend", choices=("local", "template", "daemon"), default=None,
+        help="orchestrate on this backend instead of running inline",
+    )
+    p12.add_argument(
+        "--backend-template", type=str, default=None, metavar="TMPL",
+        help="command template containing {command} (implies --backend "
+             "template)",
+    )
+    p12.add_argument(
+        "--daemon-socket", action="append", default=None, metavar="SOCK",
+        dest="daemon_sockets",
+        help="socket of a running sweep-daemon; repeat once per daemon "
+             "(implies --backend daemon)",
+    )
+    p12.add_argument(
+        "--daemon-capacity", type=int, default=None, metavar="N",
+        help="cap concurrent shard jobs packed onto each daemon",
+    )
+    p12.add_argument("--elastic", action="store_true",
+                     help="re-partition straggling shards onto idle slots")
+    p12.add_argument("--elastic-after", type=float, default=2.0, metavar="S",
+                     help="seconds a shard must run before it may be split")
+    p12.add_argument("--max-splits", type=int, default=8, metavar="N",
+                     help="ceiling on elastic re-partitions")
+    p12.add_argument(
+        "--out", type=str, default=None, metavar="DIR",
+        help="orchestration directory (default: orchestration-<kind>-m<M>)",
+    )
+    p12.add_argument("--poll-interval", type=float, default=0.2,
+                     help="seconds between dispatch/stream polls")
+    p12.add_argument("--stall-timeout", type=float, default=None, metavar="S",
+                     help="relaunch a shard with no stream progress for S "
+                          "seconds")
+    p12.add_argument("--quiet", action="store_true",
+                     help="suppress live progress lines")
+    p12.add_argument("--csv", type=str, default=None,
+                     help="write series to CSV")
+    p12.add_argument("--chart", action="store_true",
+                     help="print an ASCII chart (sweep kinds)")
+    p12.set_defaults(handler=_cmd_sweep_run)
 
     return parser
 
@@ -340,6 +458,47 @@ def _print_shard_note(args: argparse.Namespace, shard_out: str) -> None:
     )
 
 
+def _job_from_args(
+    kind: str, args: argparse.Namespace, shard_out: str | None
+):
+    """The :class:`~repro.engine.jobspec.JobSpec` an experiment
+    subcommand's flags denote — built through the experiments' own
+    ``*_job`` helpers, so the CLI, the programmatic API and the
+    orchestrator plans can never drift apart."""
+    from repro.engine.jobspec import ExecutionPolicy
+
+    execution = ExecutionPolicy(
+        jobs=args.jobs,
+        chunk_size=getattr(args, "chunk_size", None),
+        checkpoint=getattr(args, "checkpoint", None),
+        stream=args.stream,
+        shard_out=shard_out,
+        shard=args.shard,
+        items=getattr(args, "shard_items", None),
+    )
+    if kind == "figure2":
+        from repro.experiments.figure2 import figure2_job
+
+        return figure2_job(
+            m=args.m, n_tasksets=args.tasksets, seed=args.seed,
+            step=args.step, execution=execution,
+        )
+    if kind == "group2":
+        from repro.experiments.group2 import group2_job
+
+        return group2_job(
+            m=args.m, n_tasksets=args.tasksets, seed=args.seed,
+            step=args.step, execution=execution,
+        )
+    from repro.experiments.splitsweep import splitsweep_job
+
+    return splitsweep_job(
+        m=args.m, utilization=args.utilization,
+        thresholds=tuple(args.thresholds), n_tasksets=args.tasksets,
+        seed=args.seed, overhead=args.overhead, execution=execution,
+    )
+
+
 # ----------------------------------------------------------------------
 def _cmd_figure1(_: argparse.Namespace) -> int:
     from repro.experiments.figure1 import (
@@ -375,16 +534,11 @@ def _cmd_figure1(_: argparse.Namespace) -> int:
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    from repro.experiments.figure2 import run_figure2
+    from repro.engine.session import run_job
     from repro.experiments.reporting import sweep_chart, sweep_table, write_sweep_csv
 
     shard_out = _shard_out_path(args, f"figure2-m{args.m}")
-    result = run_figure2(
-        m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
-        jobs=args.jobs, checkpoint=args.checkpoint,
-        shard=args.shard, shard_out=shard_out, stream=args.stream,
-        chunk_size=args.chunk_size, items=args.shard_items,
-    )
+    result = run_job(_job_from_args("figure2", args, shard_out))
     shard_note = f", shard {args.shard.label}" if args.shard else ""
     print(sweep_table(result, title=f"Figure 2 (m={args.m}, group 1, "
                                     f"{args.tasksets} task-sets/point"
@@ -402,16 +556,12 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 
 
 def _cmd_group2(args: argparse.Namespace) -> int:
-    from repro.experiments.group2 import run_group2
+    from repro.engine.session import run_job
+    from repro.experiments.group2 import summarize_group2
     from repro.experiments.reporting import sweep_table, write_sweep_csv
 
     shard_out = _shard_out_path(args, f"group2-m{args.m}")
-    report = run_group2(
-        m=args.m, n_tasksets=args.tasksets, seed=args.seed, step=args.step,
-        jobs=args.jobs, checkpoint=args.checkpoint,
-        shard=args.shard, shard_out=shard_out, stream=args.stream,
-        chunk_size=args.chunk_size, items=args.shard_items,
-    )
+    report = summarize_group2(run_job(_job_from_args("group2", args, shard_out)))
     shard_note = f", shard {args.shard.label}" if args.shard else ""
     print(sweep_table(report.sweep, title=f"Group 2 (m={args.m}{shard_note})"))
     print(f"\nLP-max vs LP-ILP ratio gap: max {100 * report.max_gap:.1f} pts, "
@@ -521,22 +671,11 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def _cmd_splitsweep(args: argparse.Namespace) -> int:
+    from repro.engine.session import run_job
     from repro.experiments.reporting import split_sweep_table
-    from repro.experiments.splitsweep import run_split_sweep
 
     shard_out = _shard_out_path(args, f"splitsweep-m{args.m}")
-    points = run_split_sweep(
-        m=args.m,
-        utilization=args.utilization,
-        thresholds=sorted(args.thresholds, reverse=True),
-        n_tasksets=args.tasksets,
-        seed=args.seed,
-        overhead=args.overhead,
-        jobs=args.jobs,
-        shard=args.shard,
-        shard_out=shard_out,
-        stream=args.stream,
-    )
+    points = run_job(_job_from_args("splitsweep", args, shard_out))
     print(split_sweep_table(
         points,
         title=(f"Preemption-point granularity sweep "
@@ -635,12 +774,68 @@ def _orchestrate_progress():
     return callback
 
 
-def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
+def _orchestrate_plan(plan, args: argparse.Namespace, default_out: str):
+    """Run ``plan`` on the backend the orchestration flags describe.
+
+    The execution half shared by ``sweep-orchestrate`` and an
+    orchestrated ``sweep-run``; raises ``ReproError`` subclasses on
+    failure.  Returns ``(outcome, out_dir)``.
+    """
     import shlex
 
     from repro.engine.backends import make_backend
+    from repro.engine.orchestrator import Orchestrator
+
+    out_dir = args.out or default_out
+    kind = getattr(args, "backend", None) or "local"
+    if args.backend_template:
+        kind = "template"
+    if args.daemon_sockets:
+        kind = "daemon"
+    workers = args.workers if args.workers is not None else 2
+    template = (
+        shlex.split(args.backend_template) if args.backend_template else None
+    )
+    with make_backend(
+        kind,
+        slots=workers,
+        template=template,
+        sockets=args.daemon_sockets,
+        daemon_capacity=args.daemon_capacity,
+    ) as backend:
+        outcome = Orchestrator(
+            plan,
+            out_dir,
+            backend=backend,
+            shards=args.shards,
+            retries=args.retries,
+            poll_interval=args.poll_interval,
+            stall_timeout=args.stall_timeout,
+            elastic=args.elastic,
+            elastic_after=args.elastic_after,
+            max_splits=args.max_splits,
+            progress=None if args.quiet else _orchestrate_progress(),
+        ).run()
+    return outcome, out_dir
+
+
+def _print_orchestration_summary(outcome, out_dir) -> None:
+    shard_count = len(outcome.attempts)
+    retry_note = (
+        f", {outcome.retries} shard retr{'y' if outcome.retries == 1 else 'ies'}"
+        if outcome.retries else ""
+    )
+    split_note = (
+        f", {outcome.splits} elastic split{'' if outcome.splits == 1 else 's'}"
+        if outcome.splits else ""
+    )
+    print(f"\norchestrated {shard_count} shard invocations in "
+          f"{outcome.elapsed_seconds:.1f}s{retry_note}{split_note}; "
+          f"artifacts + manifest in {out_dir}")
+
+
+def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
     from repro.engine.orchestrator import (
-        Orchestrator,
         plan_figure2,
         plan_group2,
         plan_splitsweep,
@@ -674,34 +869,9 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
                 seed=args.seed, overhead=args.overhead,
                 jobs=args.jobs_per_shard,
             )
-        out_dir = args.out or f"orchestration-{args.experiment}-m{args.m}"
-        kind = args.backend
-        if args.backend_template:
-            kind = "template"
-        if args.daemon_sockets:
-            kind = "daemon"
-        template = (
-            shlex.split(args.backend_template) if args.backend_template else None
+        outcome, out_dir = _orchestrate_plan(
+            plan, args, f"orchestration-{args.experiment}-m{args.m}"
         )
-        with make_backend(
-            kind,
-            slots=args.workers,
-            template=template,
-            sockets=args.daemon_sockets,
-        ) as backend:
-            outcome = Orchestrator(
-                plan,
-                out_dir,
-                backend=backend,
-                shards=args.shards,
-                retries=args.retries,
-                poll_interval=args.poll_interval,
-                stall_timeout=args.stall_timeout,
-                elastic=args.elastic,
-                elastic_after=args.elastic_after,
-                max_splits=args.max_splits,
-                progress=None if args.quiet else _orchestrate_progress(),
-            ).run()
     except ReproError as exc:
         print(f"sweep-orchestrate: {exc}", file=sys.stderr)
         return 1
@@ -731,17 +901,132 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
         if args.csv:
             path = write_sweep_csv(result, args.csv)
             print(f"series written to {path}")
-    retry_note = (
-        f", {outcome.retries} shard retr{'y' if outcome.retries == 1 else 'ies'}"
-        if outcome.retries else ""
+    _print_orchestration_summary(outcome, out_dir)
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.engine.jobspec import (
+        JobSpec,
+        load_job,
+        parse_set_override,
+        save_job,
     )
-    split_note = (
-        f", {outcome.splits} elastic split{'' if outcome.splits == 1 else 's'}"
-        if outcome.splits else ""
+    from repro.engine.orchestrator import plan_from_jobspec
+    from repro.engine.session import run_job
+    from repro.experiments.group2 import summarize_group2
+    from repro.experiments.reporting import (
+        split_sweep_table,
+        sweep_chart,
+        sweep_table,
+        write_split_sweep_csv,
+        write_sweep_csv,
     )
-    print(f"\norchestrated {shard_count} shard invocations in "
-          f"{outcome.elapsed_seconds:.1f}s{retry_note}{split_note}; "
-          f"artifacts + manifest in {out_dir}")
+
+    try:
+        job = (
+            load_job(args.job) if args.job is not None
+            else JobSpec.from_json(args.job_json)
+        )
+        overrides = dict(parse_set_override(pair) for pair in args.overrides)
+        if overrides:
+            job = job.with_overrides(overrides)
+        flag_overrides = {
+            key: getattr(args, attr)
+            for attr, key in (
+                ("jobs", "execution.jobs"),
+                ("executor", "execution.executor"),
+                ("checkpoint", "execution.checkpoint"),
+                ("chunk_size", "execution.chunk_size"),
+                ("shard", "execution.shard"),
+                ("shard_out", "execution.shard_out"),
+                ("stream", "execution.stream"),
+                ("shard_items", "execution.items"),
+            )
+            if getattr(args, attr) is not None
+        }
+        if flag_overrides:
+            job = job.with_overrides(flag_overrides)
+        if job.execution.shard is not None and job.execution.shard_out is None:
+            # Same fallback as the legacy subcommands: a sharded run
+            # always persists its artifact, or the slice's work could
+            # never be merged.
+            shard = job.execution.shard
+            job = job.with_overrides({
+                "execution.shard_out":
+                f"{job.kind}-m{job.workload.m}"
+                f"-shard{shard.index + 1}of{shard.count}.json"
+            })
+        if args.save_job:
+            save_job(args.save_job, job)
+            print(f"effective job written to {args.save_job}")
+        if args.dry_run:
+            print(job.to_json())
+            return 0
+
+        workload = job.workload
+        orchestrated = (
+            args.workers is not None
+            or args.shards is not None
+            or args.out is not None
+            or args.elastic
+            or args.backend is not None
+            or bool(args.backend_template)
+            or bool(args.daemon_sockets)
+        )
+        if orchestrated:
+            outcome, out_dir = _orchestrate_plan(
+                plan_from_jobspec(job), args,
+                f"orchestration-{workload.kind}-m{workload.m}",
+            )
+            result = outcome.result
+        else:
+            result = run_job(job)
+    except ReproError as exc:
+        print(f"sweep-run: {exc}", file=sys.stderr)
+        return 1
+
+    if workload.kind == "splitsweep":
+        print(split_sweep_table(
+            result,
+            title=(f"Preemption-point granularity sweep "
+                   f"(m={workload.m}, U={workload.utilization}, "
+                   f"overhead={workload.overhead:g}, "
+                   f"{workload.n_tasksets} task-sets)"),
+        ))
+        if args.csv:
+            path = write_split_sweep_csv(result, args.csv)
+            print(f"series written to {path}")
+    else:
+        titles = {"figure2": "Figure 2", "group2": "Group 2"}
+        shard = job.execution.shard
+        shard_note = f", shard {shard.label}" if shard else ""
+        print(sweep_table(
+            result,
+            title=(f"{titles[workload.kind]} (m={workload.m}, "
+                   f"{workload.n_tasksets} task-sets/point{shard_note})"),
+        ))
+        if workload.kind == "group2":
+            report = summarize_group2(result)
+            print(f"\nLP-max vs LP-ILP ratio gap: "
+                  f"max {100 * report.max_gap:.1f} pts, "
+                  f"mean {100 * report.mean_gap:.1f} pts "
+                  f"({'agree' if report.methods_agree else 'diverge'})")
+        if args.chart:
+            print()
+            print(sweep_chart(result))
+        if args.csv:
+            path = write_sweep_csv(result, args.csv)
+            print(f"series written to {path}")
+    if orchestrated:
+        _print_orchestration_summary(outcome, out_dir)
+    elif job.execution.shard is not None and job.execution.shard_out:
+        print(
+            f"\nshard {job.execution.shard.label} artifact written to "
+            f"{job.execution.shard_out}\n"
+            "(partial counts above cover only this shard; recombine every "
+            "shard with: python -m repro sweep-merge SHARD.json ...)"
+        )
     return 0
 
 

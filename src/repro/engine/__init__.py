@@ -27,7 +27,11 @@ JSON checkpoints.
 * :mod:`repro.engine.livemerge` — cluster-wide live merge of partial
   shard streams;
 * :mod:`repro.engine.orchestrator` — the tier that turns the manual
-  shard workflow into a one-command cluster run.
+  shard workflow into a one-command cluster run;
+* :mod:`repro.engine.jobspec` — the declarative, serializable
+  :class:`JobSpec` (workload + execution policy) every tier speaks;
+* :mod:`repro.engine.session` — the :class:`Session` façade running,
+  submitting and resuming jobs uniformly.
 """
 
 from repro.engine.backends import (
@@ -68,6 +72,15 @@ from repro.engine.executors import (
     make_executor,
     map_ordered,
 )
+from repro.engine.jobspec import (
+    JOBSPEC_VERSION,
+    WORKLOAD_KINDS,
+    ExecutionPolicy,
+    JobSpec,
+    Workload,
+    load_job,
+    save_job,
+)
 from repro.engine.livemerge import ClusterView, LiveMerger, ShardProgress
 from repro.engine.orchestrator import (
     OrchestrationOutcome,
@@ -76,10 +89,12 @@ from repro.engine.orchestrator import (
     Orchestrator,
     orchestrate,
     plan_figure2,
+    plan_from_jobspec,
     plan_group2,
     plan_splitsweep,
     read_status,
 )
+from repro.engine.session import JobHandle, JobStatus, Session, run_job
 from repro.engine.results import SweepPoint, SweepResult
 from repro.engine.shard import (
     ShardArtifact,
@@ -155,7 +170,19 @@ __all__ = [
     "OrchestrationStatus",
     "orchestrate",
     "plan_figure2",
+    "plan_from_jobspec",
     "plan_group2",
     "plan_splitsweep",
     "read_status",
+    "JOBSPEC_VERSION",
+    "WORKLOAD_KINDS",
+    "JobSpec",
+    "Workload",
+    "ExecutionPolicy",
+    "load_job",
+    "save_job",
+    "JobHandle",
+    "JobStatus",
+    "Session",
+    "run_job",
 ]

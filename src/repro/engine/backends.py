@@ -50,6 +50,25 @@ from repro.exceptions import DispatchError
 COMMAND_PLACEHOLDER = "{command}"
 
 
+def worker_env() -> dict[str, str]:
+    """A child environment guaranteeing ``import repro`` works.
+
+    Every dispatcher (orchestrator, session submits) launches workers
+    as ``python -m repro ...`` commands; the repro package's own source
+    root is prepended to ``PYTHONPATH`` so the child resolves the same
+    code the parent runs, wherever its working directory lands.
+    """
+    import os as _os
+
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(_os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{_os.pathsep}{existing}"
+    return env
+
+
 class DispatchBackend(ABC):
     """Runs shard commands somewhere, up to ``slots`` at a time."""
 
@@ -292,17 +311,29 @@ class DaemonBackend(DispatchBackend):
         The daemon socket paths (one per daemon).
     request_timeout:
         Seconds before one protocol round-trip is declared dead.
+    capacity_limit:
+        Optional per-daemon ceiling on concurrently packed jobs: the
+        effective capacity of each daemon is ``min(declared, limit)``.
+        The CLI's ``--daemon-capacity`` maps here — useful to hold back
+        slots on daemons whose declared capacity is shared with other
+        work.  ``None`` (default) uses each daemon's declared capacity.
     """
 
     def __init__(
         self,
         sockets: Sequence[str | Path],
         request_timeout: float = 30.0,
+        capacity_limit: int | None = None,
     ) -> None:
         from repro.engine.daemon import DaemonClient
 
         if not sockets:
             raise DispatchError("daemon backend needs at least one socket")
+        if capacity_limit is not None and capacity_limit < 1:
+            raise DispatchError(
+                f"daemon capacity limit must be >= 1, got {capacity_limit}"
+            )
+        self._capacity_limit = capacity_limit
         self._clients = []
         self._active: dict[int, list[DaemonHandle]] = {}
         # Globally unique job ids: daemons outlive backends, so a plain
@@ -320,9 +351,17 @@ class DaemonBackend(DispatchBackend):
             self.close()
             raise
 
+    def _capacity(self, client) -> int:
+        """The daemon's effective capacity (declared, optionally capped)."""
+        if self._capacity_limit is None:
+            return client.capacity
+        return min(client.capacity, self._capacity_limit)
+
     @property
     def slots(self) -> int:  # type: ignore[override]
-        return sum(client.capacity for client in self._clients if client.alive)
+        return sum(
+            self._capacity(client) for client in self._clients if client.alive
+        )
 
     def launch(
         self,
@@ -338,7 +377,7 @@ class DaemonBackend(DispatchBackend):
         for client in self._clients:
             if not client.alive:
                 continue
-            if len(self._active[id(client)]) >= client.capacity:
+            if len(self._active[id(client)]) >= self._capacity(client):
                 continue
             job_id = f"job-{self._id_prefix}-{next(self._ids)}"
             try:
@@ -443,6 +482,7 @@ def make_backend(
     slots: int = 1,
     template: Sequence[str] | None = None,
     sockets: Sequence[str | Path] | None = None,
+    daemon_capacity: int | None = None,
 ) -> DispatchBackend:
     """Construct a dispatch backend by kind.
 
@@ -451,7 +491,8 @@ def make_backend(
     ``{command}``) — the drop-in path for SSH hosts or queue clients;
     ``"daemon"`` pushes them to the persistent worker daemons listening
     on ``sockets`` (``slots`` is then derived from the daemons'
-    capacities, not the argument).
+    capacities, not the argument; ``daemon_capacity`` caps how many
+    jobs are packed onto each daemon regardless of what it declares).
     """
     if kind not in BACKEND_KINDS:
         raise DispatchError(
@@ -465,9 +506,11 @@ def make_backend(
                 "daemon backend needs daemon sockets "
                 "(e.g. --daemon-socket /tmp/repro-worker-1.sock)"
             )
-        return DaemonBackend(sockets)
+        return DaemonBackend(sockets, capacity_limit=daemon_capacity)
     if sockets:
         raise DispatchError("--daemon-socket requires --backend daemon")
+    if daemon_capacity is not None:
+        raise DispatchError("--daemon-capacity requires --backend daemon")
     if kind == "template":
         if template is None:
             raise DispatchError(

@@ -1,0 +1,666 @@
+"""Declarative job descriptions: one serializable object from CLI to daemon.
+
+Four PRs of organic growth left the execution stack with several
+near-duplicate entry points, each taking the same ever-growing kwarg
+forest (``jobs``, ``checkpoint``, ``shard``, ``shard_out``, ``stream``,
+``items``, ``chunk_size``, ...).  A :class:`JobSpec` replaces all of
+that with a single frozen, JSON-round-trippable value with two
+sections:
+
+* the **workload** (:class:`Workload`): *what* to compute — a ``kind``
+  (``figure2`` / ``group2`` / ``splitsweep``) plus that experiment's
+  generator/analysis parameters.  The workload alone determines the
+  sweep fingerprint, so two jobs with equal workloads merge and resume
+  interchangeably regardless of how they execute;
+* the **execution policy** (:class:`ExecutionPolicy`): *how* to run it
+  — executor kind and worker count, chunk sizing, checkpoint / stream /
+  shard-artifact paths, and an optional shard (or explicit item subset)
+  restricting the invocation to a slice of the item space.
+
+Everything speaks this one schema: ``python -m repro sweep-run --job
+job.json`` executes a spec from disk, the legacy experiment subcommands
+build one from their flags, the orchestrator dispatches per-shard
+specs as ``sweep-run --job-json '<spec>'`` command lines (so daemon
+work orders embed the JobSpec JSON verbatim), and
+:class:`~repro.engine.session.Session` is the programmatic façade.
+
+The on-disk format is versioned (:data:`JOBSPEC_VERSION`) and *strict*:
+unknown keys, keys that do not apply to the workload's kind, and
+version skews all raise :class:`~repro.exceptions.JobSpecError` instead
+of being silently dropped — a job file is a contract, not a suggestion.
+Override layering (:meth:`JobSpec.with_overrides`, the CLI's ``--set
+key=value``) patches a loaded spec without mutating the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.exceptions import JobSpecError, ShardError
+from repro.engine.shard import ShardSpec, parse_items, parse_shard
+
+#: Bump when the JobSpec JSON schema changes; older files are rejected.
+JOBSPEC_VERSION = 1
+
+#: Workload kinds a :class:`JobSpec` can describe.
+WORKLOAD_KINDS = ("figure2", "group2", "splitsweep")
+
+#: Executor kinds an :class:`ExecutionPolicy` may request
+#: (``jobs == 1`` always runs serially, whatever the kind).
+EXECUTOR_KINDS = ("process", "thread")
+
+#: Default task-sets per kind (figure2/group2 follow the paper's 300).
+_DEFAULT_TASKSETS = {"figure2": 300, "group2": 300, "splitsweep": 30}
+
+#: Default NPR-size thresholds of a splitsweep workload.
+_DEFAULT_THRESHOLDS = (1000.0, 100.0, 50.0, 25.0, 10.0, 5.0)
+
+
+def _parse_opt_float(text: str) -> float | None:
+    if text.strip().lower() in ("", "none", "null"):
+        return None
+    return float(text)
+
+
+def _parse_opt_int(text: str) -> int | None:
+    if text.strip().lower() in ("", "none", "null"):
+        return None
+    return int(text)
+
+
+def _parse_opt_str(text: str) -> str | None:
+    if text.strip().lower() in ("", "none", "null"):
+        return None
+    return text
+
+
+def _parse_floats(text: str) -> tuple[float, ...]:
+    pieces = [p for p in text.replace(",", " ").split() if p]
+    if not pieces:
+        raise ValueError("empty number list")
+    return tuple(float(p) for p in pieces)
+
+
+#: ``--set`` coercers, per section and field (strings → typed values).
+_WORKLOAD_PARSERS = {
+    "kind": str,
+    "m": int,
+    "n_tasksets": int,
+    "seed": int,
+    "step": _parse_opt_float,
+    "mu_method": str,
+    "rho_solver": str,
+    "utilization": float,
+    "thresholds": _parse_floats,
+    "overhead": float,
+}
+
+_EXECUTION_PARSERS = {
+    "executor": str,
+    "jobs": int,
+    "chunk_size": _parse_opt_int,
+    "checkpoint": _parse_opt_str,
+    "stream": _parse_opt_str,
+    "shard_out": _parse_opt_str,
+    "shard": lambda text: parse_shard(text) if text.strip().lower() not in ("", "none", "null") else None,
+    "items": lambda text: parse_items(text) if text.strip().lower() not in ("", "none", "null") else None,
+}
+
+#: JSON keys each workload kind accepts (strictness: anything else is
+#: rejected, including known fields that do not apply to the kind).
+_KIND_KEYS = {
+    "figure2": ("kind", "m", "n_tasksets", "seed", "step",
+                "mu_method", "rho_solver"),
+    "group2": ("kind", "m", "n_tasksets", "seed", "step"),
+    "splitsweep": ("kind", "m", "n_tasksets", "seed",
+                   "utilization", "thresholds", "overhead"),
+}
+
+_EXECUTION_KEYS = ("executor", "jobs", "chunk_size", "checkpoint",
+                   "stream", "shard_out", "shard", "items")
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """What one job computes: an experiment kind plus its parameters.
+
+    Fields not applicable to the ``kind`` must stay at their defaults —
+    a figure2 workload with ``utilization`` set, or a group2 workload
+    with a non-default ``mu_method``, is rejected rather than silently
+    ignored, so a job file can never *look* like it configures
+    something it does not.
+
+    Attributes
+    ----------
+    kind:
+        ``"figure2"``, ``"group2"`` or ``"splitsweep"``.
+    m:
+        Core count.
+    n_tasksets:
+        Task-sets per utilisation point (figure2/group2) or corpus size
+        (splitsweep); ``None`` resolves to the kind's paper default.
+    seed:
+        Root seed; every work item derives its own RNG from it.
+    step:
+        Utilisation grid step (figure2/group2; ``None`` scales with m).
+    mu_method / rho_solver:
+        LP-ILP solver selection (figure2 only).
+    utilization:
+        Corpus utilisation (splitsweep; ``None`` resolves to 1.75).
+    thresholds:
+        NPR-size caps, normalised to descending order (splitsweep).
+    overhead:
+        Per-preemption-point WCET inflation (splitsweep).
+    """
+
+    kind: str
+    m: int = 4
+    n_tasksets: int | None = None
+    seed: int = 2016
+    step: float | None = None
+    mu_method: str = "search"
+    rho_solver: str = "assignment"
+    utilization: float | None = None
+    thresholds: tuple[float, ...] | None = None
+    overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise JobSpecError(
+                f"unknown workload kind {self.kind!r}; "
+                f"expected one of {WORKLOAD_KINDS}"
+            )
+        if self.m < 1:
+            raise JobSpecError(f"core count m must be >= 1, got {self.m}")
+        if self.n_tasksets is None:
+            object.__setattr__(
+                self, "n_tasksets", _DEFAULT_TASKSETS[self.kind]
+            )
+        if self.n_tasksets < 1:
+            raise JobSpecError(
+                f"n_tasksets must be >= 1, got {self.n_tasksets}"
+            )
+        if self.kind == "splitsweep":
+            if self.step is not None:
+                raise JobSpecError("splitsweep workloads take no 'step'")
+            if self.mu_method != "search" or self.rho_solver != "assignment":
+                raise JobSpecError(
+                    "splitsweep workloads take no mu_method/rho_solver "
+                    "(the split sweep fixes its LP-ILP solver)"
+                )
+            if self.thresholds is None:
+                object.__setattr__(self, "thresholds", _DEFAULT_THRESHOLDS)
+            thresholds = tuple(
+                sorted((float(t) for t in self.thresholds), reverse=True)
+            )
+            if not thresholds:
+                raise JobSpecError("splitsweep needs at least one threshold")
+            object.__setattr__(self, "thresholds", thresholds)
+            if self.overhead < 0:
+                raise JobSpecError(
+                    f"overhead must be >= 0, got {self.overhead}"
+                )
+            if self.utilization is None:
+                object.__setattr__(self, "utilization", 1.75)
+            if not self.utilization > 0:
+                raise JobSpecError(
+                    f"utilization must be > 0, got {self.utilization}"
+                )
+        else:
+            if self.utilization is not None:
+                raise JobSpecError(
+                    f"{self.kind} workloads take no 'utilization'"
+                )
+            if self.thresholds is not None:
+                raise JobSpecError(
+                    f"{self.kind} workloads take no 'thresholds'"
+                )
+            if self.overhead != 0.0:
+                raise JobSpecError(f"{self.kind} workloads take no 'overhead'")
+            if self.step is not None and self.step <= 0:
+                raise JobSpecError(f"step must be > 0, got {self.step}")
+        if self.kind == "group2" and (
+            self.mu_method != "search" or self.rho_solver != "assignment"
+        ):
+            raise JobSpecError(
+                "group2 workloads fix mu_method/rho_solver at their "
+                "defaults (the group-2 spec does not parameterise them)"
+            )
+        if self.kind == "figure2":
+            if self.mu_method not in ("search", "ilp", "ilp-paper"):
+                raise JobSpecError(
+                    f"unknown mu_method {self.mu_method!r}; expected "
+                    "search, ilp or ilp-paper"
+                )
+            if self.rho_solver not in ("assignment", "ilp"):
+                raise JobSpecError(
+                    f"unknown rho_solver {self.rho_solver!r}; expected "
+                    "assignment or ilp"
+                )
+
+    # ------------------------------------------------------------------
+    def sweep_spec(self):
+        """The exact engine :class:`~repro.engine.sweep.SweepSpec` this
+        workload denotes (figure2/group2 kinds only).
+
+        Delegates to the experiments' own spec builders so a job's
+        fingerprint is *identical* to the legacy subcommand's — the
+        property the conformance suite pins.
+        """
+        if self.kind == "figure2":
+            from repro.experiments.figure2 import figure2_spec
+
+            return figure2_spec(
+                m=self.m, n_tasksets=self.n_tasksets, seed=self.seed,
+                step=self.step, mu_method=self.mu_method,
+                rho_solver=self.rho_solver,
+            )
+        if self.kind == "group2":
+            from repro.experiments.group2 import group2_spec
+
+            return group2_spec(
+                m=self.m, n_tasksets=self.n_tasksets, seed=self.seed,
+                step=self.step,
+            )
+        raise JobSpecError(
+            "splitsweep workloads have no SweepSpec; run them through "
+            "Session.run() / sweep-run"
+        )
+
+    def fingerprint(self) -> str:
+        """The workload's sweep fingerprint (execution-independent)."""
+        if self.kind == "splitsweep":
+            from repro.core.analyzer import AnalysisMethod
+            from repro.experiments.splitsweep import split_sweep_fingerprint
+            from repro.generator.profiles import GROUP1
+
+            return split_sweep_fingerprint(
+                self.m, self.utilization, self.thresholds, self.n_tasksets,
+                self.seed, GROUP1, AnalysisMethod.LP_ILP, self.overhead,
+            )
+        return self.sweep_spec().fingerprint()
+
+    @property
+    def total_items(self) -> int:
+        """The full (unsharded) work-item count."""
+        if self.kind == "splitsweep":
+            return self.n_tasksets
+        return self.sweep_spec().total_items
+
+    @property
+    def supports_checkpoint(self) -> bool:
+        """Whether invocations of this kind can resume from checkpoints."""
+        return self.kind != "splitsweep"
+
+    @property
+    def merge_kind(self) -> str:
+        """The shard-artifact ``kind`` tag this workload produces."""
+        from repro.engine.shard import KIND_SPLITSWEEP, KIND_SWEEP
+
+        return KIND_SPLITSWEEP if self.kind == "splitsweep" else KIND_SWEEP
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Only the keys applicable to the kind are emitted (and later
+        accepted back), so a job file documents exactly its knobs."""
+        payload: dict = {"kind": self.kind, "m": self.m,
+                         "n_tasksets": self.n_tasksets, "seed": self.seed}
+        if self.kind in ("figure2", "group2"):
+            payload["step"] = self.step
+        if self.kind == "figure2":
+            payload["mu_method"] = self.mu_method
+            payload["rho_solver"] = self.rho_solver
+        if self.kind == "splitsweep":
+            payload["utilization"] = self.utilization
+            payload["thresholds"] = list(self.thresholds)
+            payload["overhead"] = self.overhead
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: object) -> "Workload":
+        if not isinstance(payload, Mapping):
+            raise JobSpecError("'workload' must be a JSON object")
+        kind = payload.get("kind")
+        if kind not in WORKLOAD_KINDS:
+            raise JobSpecError(
+                f"unknown workload kind {kind!r}; expected one of "
+                f"{WORKLOAD_KINDS}"
+            )
+        allowed = _KIND_KEYS[kind]
+        unknown = sorted(set(payload) - set(allowed))
+        if unknown:
+            raise JobSpecError(
+                f"workload key {unknown[0]!r} is not accepted by kind "
+                f"{kind!r} (allowed: {', '.join(allowed)})"
+            )
+        kwargs: dict = {"kind": str(kind)}
+        try:
+            for key in allowed:
+                if key == "kind" or key not in payload:
+                    continue
+                value = payload[key]
+                if key in ("m", "n_tasksets", "seed"):
+                    kwargs[key] = int(value)
+                elif key == "step":
+                    kwargs[key] = None if value is None else float(value)
+                elif key in ("mu_method", "rho_solver"):
+                    kwargs[key] = str(value)
+                elif key == "utilization":
+                    kwargs[key] = float(value)
+                elif key == "overhead":
+                    kwargs[key] = float(value)
+                elif key == "thresholds":
+                    if not isinstance(value, Sequence) or isinstance(value, str):
+                        raise JobSpecError(
+                            "'thresholds' must be a list of numbers"
+                        )
+                    kwargs[key] = tuple(float(t) for t in value)
+        except JobSpecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise JobSpecError(f"malformed workload value ({exc})") from exc
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionPolicy:
+    """How one job invocation executes (all fields optional).
+
+    Attributes
+    ----------
+    executor:
+        Pool flavour for ``jobs > 1``: ``"process"`` or ``"thread"``.
+    jobs:
+        Worker count; 1 runs serially (results are identical either
+        way — the engine's determinism contract).
+    chunk_size:
+        Pin the engine's work-items-per-task; ``None`` lets pool
+        executors size chunks adaptively from wall-time telemetry.
+    checkpoint:
+        JSON checkpoint path; a re-run of the same job resumes from it.
+    stream:
+        JSONL stream path (one line per completed chunk).
+    shard_out:
+        Shard-artifact path written on completion.
+    shard:
+        Evaluate only this slice of the item space.
+    items:
+        Explicit work-item subset within the shard's slice (the
+        orchestrator's elastic sub-shard dispatch).
+    """
+
+    executor: str = "process"
+    jobs: int = 1
+    chunk_size: int | None = None
+    checkpoint: str | None = None
+    stream: str | None = None
+    shard_out: str | None = None
+    shard: ShardSpec | None = None
+    items: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_KINDS:
+            raise JobSpecError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTOR_KINDS}"
+            )
+        if self.jobs < 1:
+            raise JobSpecError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise JobSpecError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        for name in ("checkpoint", "stream", "shard_out"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, str(value))
+        if self.items is not None:
+            items = tuple(sorted({int(i) for i in self.items}))
+            if not items:
+                raise JobSpecError("items subset names no work items")
+            if items[0] < 0:
+                raise JobSpecError(
+                    f"work-item indexes must be >= 0, got {items[0]}"
+                )
+            object.__setattr__(self, "items", items)
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "jobs": self.jobs,
+            "chunk_size": self.chunk_size,
+            "checkpoint": self.checkpoint,
+            "stream": self.stream,
+            "shard_out": self.shard_out,
+            "shard": self.shard.label if self.shard is not None else None,
+            "items": list(self.items) if self.items is not None else None,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: object) -> "ExecutionPolicy":
+        if not isinstance(payload, Mapping):
+            raise JobSpecError("'execution' must be a JSON object")
+        unknown = sorted(set(payload) - set(_EXECUTION_KEYS))
+        if unknown:
+            raise JobSpecError(
+                f"unknown execution key {unknown[0]!r} "
+                f"(allowed: {', '.join(_EXECUTION_KEYS)})"
+            )
+        kwargs: dict = {}
+        try:
+            if "executor" in payload:
+                kwargs["executor"] = str(payload["executor"])
+            if "jobs" in payload:
+                kwargs["jobs"] = int(payload["jobs"])
+            if "chunk_size" in payload and payload["chunk_size"] is not None:
+                kwargs["chunk_size"] = int(payload["chunk_size"])
+            for key in ("checkpoint", "stream", "shard_out"):
+                if key in payload and payload[key] is not None:
+                    kwargs[key] = str(payload[key])
+            if "shard" in payload and payload["shard"] is not None:
+                kwargs["shard"] = parse_shard(str(payload["shard"]))
+            if "items" in payload and payload["items"] is not None:
+                items = payload["items"]
+                if not isinstance(items, Sequence) or isinstance(items, str):
+                    raise JobSpecError("'items' must be a list of integers")
+                kwargs["items"] = tuple(int(i) for i in items)
+        except JobSpecError:
+            raise
+        except ShardError as exc:
+            raise JobSpecError(str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            raise JobSpecError(f"malformed execution value ({exc})") from exc
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One complete, serializable job: a workload plus how to run it."""
+
+    workload: Workload
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+
+    def __post_init__(self) -> None:
+        if not self.workload.supports_checkpoint:
+            for name in ("checkpoint", "chunk_size", "items"):
+                if getattr(self.execution, name) is not None:
+                    raise JobSpecError(
+                        f"{self.workload.kind} workloads do not support "
+                        f"execution.{name}"
+                    )
+
+    # Convenience passthroughs ----------------------------------------
+    @property
+    def kind(self) -> str:
+        return self.workload.kind
+
+    def fingerprint(self) -> str:
+        return self.workload.fingerprint()
+
+    @property
+    def total_items(self) -> int:
+        return self.workload.total_items
+
+    # Serialisation ----------------------------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "version": JOBSPEC_VERSION,
+            "workload": self.workload.to_json_dict(),
+            "execution": self.execution.to_json_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+    @classmethod
+    def from_json_dict(cls, payload: object) -> "JobSpec":
+        if not isinstance(payload, Mapping):
+            raise JobSpecError("a job spec must be a JSON object")
+        if payload.get("version") != JOBSPEC_VERSION:
+            raise JobSpecError(
+                f"job spec has format version {payload.get('version')!r}, "
+                f"expected {JOBSPEC_VERSION}"
+            )
+        unknown = sorted(set(payload) - {"version", "workload", "execution"})
+        if unknown:
+            raise JobSpecError(
+                f"unknown job spec key {unknown[0]!r} "
+                "(allowed: version, workload, execution)"
+            )
+        if "workload" not in payload:
+            raise JobSpecError("job spec has no 'workload' section")
+        workload = Workload.from_json_dict(payload["workload"])
+        execution = (
+            ExecutionPolicy.from_json_dict(payload["execution"])
+            if "execution" in payload
+            else ExecutionPolicy()
+        )
+        return cls(workload=workload, execution=execution)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise JobSpecError(f"job spec is not valid JSON ({exc})") from exc
+        return cls.from_json_dict(payload)
+
+    # Override layering ------------------------------------------------
+    def with_overrides(self, overrides: Mapping[str, object]) -> "JobSpec":
+        """A new spec with dotted-key overrides applied.
+
+        Keys are ``"workload.<field>"`` / ``"execution.<field>"``;
+        a bare ``"<field>"`` resolves to whichever section owns it
+        (field names never collide across the two sections).  String
+        values are coerced to the field's type (``"none"`` clears an
+        optional field), so CLI ``--set key=value`` pairs feed straight
+        in; already-typed values pass through unchanged.
+        """
+        workload_kwargs: dict = {}
+        execution_kwargs: dict = {}
+        for dotted, value in overrides.items():
+            section, _, name = dotted.rpartition(".")
+            if not section:
+                if name in _WORKLOAD_PARSERS:
+                    section = "workload"
+                elif name in _EXECUTION_PARSERS:
+                    section = "execution"
+                else:
+                    raise JobSpecError(
+                        f"override names no job spec field: {dotted!r}"
+                    )
+            if section == "workload":
+                parsers, target = _WORKLOAD_PARSERS, workload_kwargs
+            elif section == "execution":
+                parsers, target = _EXECUTION_PARSERS, execution_kwargs
+            else:
+                raise JobSpecError(
+                    f"override section must be 'workload' or 'execution', "
+                    f"got {dotted!r}"
+                )
+            if name not in parsers:
+                raise JobSpecError(
+                    f"{section} has no field {name!r} "
+                    f"(allowed: {', '.join(parsers)})"
+                )
+            if isinstance(value, str) and parsers[name] is not str:
+                try:
+                    value = parsers[name](value)
+                except JobSpecError:
+                    raise
+                except ShardError as exc:
+                    raise JobSpecError(str(exc)) from exc
+                except (TypeError, ValueError) as exc:
+                    raise JobSpecError(
+                        f"malformed override {dotted}={value!r} ({exc})"
+                    ) from exc
+            target[name] = value
+        workload = (
+            replace(self.workload, **workload_kwargs)
+            if workload_kwargs else self.workload
+        )
+        execution = (
+            replace(self.execution, **execution_kwargs)
+            if execution_kwargs else self.execution
+        )
+        return JobSpec(workload=workload, execution=execution)
+
+    def for_worker(self) -> "JobSpec":
+        """The spec an orchestrated shard invocation starts from.
+
+        Per-shard placement (shard, artifact/stream/checkpoint paths,
+        item subsets) is appended by the orchestrator as ``sweep-run``
+        flag overrides, so the base worker spec must not carry any —
+        two shards sharing one would clobber each other's files.
+        """
+        return JobSpec(
+            workload=self.workload,
+            execution=replace(
+                self.execution,
+                checkpoint=None, stream=None, shard_out=None,
+                shard=None, items=None,
+            ),
+        )
+
+
+def parse_set_override(text: str) -> tuple[str, str]:
+    """Split one CLI ``--set key=value`` pair (value stays a string)."""
+    key, sep, value = text.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise JobSpecError(
+            f"malformed --set {text!r}; expected key=value, "
+            "e.g. --set workload.m=8"
+        )
+    return key, value
+
+
+def load_job(path: str | Path) -> JobSpec:
+    """Read and validate a job file.
+
+    Raises
+    ------
+    JobSpecError
+        On a missing file, unreadable JSON, unknown keys or a
+        format-version mismatch.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JobSpecError(f"job file {path} does not exist")
+    try:
+        return JobSpec.from_json(path.read_text())
+    except JobSpecError as exc:
+        raise JobSpecError(f"{path}: {exc}") from exc
+
+
+def save_job(path: str | Path, job: JobSpec) -> Path:
+    """Atomically write ``job`` as versioned JSON."""
+    from repro.engine.checkpoint import write_json_atomic
+
+    path = Path(path)
+    write_json_atomic(path, job.to_json_dict())
+    return path

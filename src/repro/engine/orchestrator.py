@@ -8,9 +8,12 @@ bit-identically); a human still had to launch every shard and run
 1. **partition** — an :class:`OrchestrationPlan` (built from an
    experiment's parameters without running it) fixes the sweep
    fingerprint, the item count and the base command line;
-2. **dispatch** — each shard becomes one ``python -m repro ...
-   --shard I/N --shard-out ... --stream ... [--checkpoint ...]``
-   invocation on a pluggable :class:`~repro.engine.backends.DispatchBackend`
+2. **dispatch** — each shard becomes one ``python -m repro sweep-run
+   --job-json '<spec>' --shard I/N --shard-out ... --stream ...
+   [--checkpoint ...]`` invocation — the declarative
+   :class:`~repro.engine.jobspec.JobSpec` embedded verbatim in the
+   work order, placement appended as overrides — on a pluggable
+   :class:`~repro.engine.backends.DispatchBackend`
    (local subprocess pool by default; SSH/queue templates drop in);
 3. **observe** — a :class:`~repro.engine.livemerge.LiveMerger` tails
    every shard's JSONL stream as it grows and folds partial chunks into
@@ -45,7 +48,7 @@ finished shard artifacts and resumes interrupted ones) and inspectable
 
 from __future__ import annotations
 
-import os
+import re
 import shutil
 import sys
 import time
@@ -54,7 +57,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.exceptions import DispatchError, OrchestrationError, ShardError
-from repro.engine.backends import DispatchBackend, LocalBackend
+from repro.engine.backends import DispatchBackend, LocalBackend, worker_env
 from repro.engine.checkpoint import (
     FORMAT_VERSION,
     clean_stale_tmps,
@@ -63,7 +66,7 @@ from repro.engine.checkpoint import (
 )
 from repro.engine.chunking import AdaptiveChunker, seed_chunker_from_timings
 from repro.engine.livemerge import ClusterView, LiveMerger
-from repro.engine.shard import KIND_SPLITSWEEP, KIND_SWEEP, ShardSpec, load_shard
+from repro.engine.shard import KIND_SPLITSWEEP, ShardSpec, load_shard
 
 #: Manifest file name inside every orchestration output directory.
 MANIFEST_NAME = "orchestration.json"
@@ -161,17 +164,6 @@ class OrchestrationOutcome:
 
 
 ProgressCallback = Callable[[ClusterView], None]
-
-
-def _python_env() -> dict[str, str]:
-    """Child environment guaranteeing ``import repro`` works."""
-    import repro
-
-    src = str(Path(repro.__file__).resolve().parents[1])
-    env = dict(os.environ)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
-    return env
 
 
 class Orchestrator:
@@ -289,7 +281,7 @@ class Orchestrator:
         self._next_key = self.shard_count
         self._split_seq = 0
         self.progress = progress
-        self._env = _python_env()
+        self._env = worker_env()
 
     # ------------------------------------------------------------------
     def run(self) -> OrchestrationOutcome:
@@ -421,12 +413,13 @@ class Orchestrator:
         # Atomic-write temps orphaned by killed shard processes would
         # otherwise pile up across resumes.
         clean_stale_tmps(self.out_dir)
-        # A resumed run re-dispatches whole shards (sub-shard artifacts
-        # are not reused yet); a previous run's sub-shard files would
-        # overlap the recomputed whole-shard artifacts in any
-        # `shard-*.artifact.json` merge glob, so clear them out.
-        for stale in self.out_dir.glob("shard-*.sub*"):
-            stale.unlink(missing_ok=True)
+        # Elastic sub-shards of later splits must never reuse a file
+        # stem a previous (interrupted, now partially reused) run
+        # already claimed.
+        for existing in self.out_dir.glob("shard-*.sub*"):
+            match = re.search(r"\.sub(\d+)", existing.name)
+            if match is not None:
+                self._split_seq = max(self._split_seq, int(match.group(1)))
 
         jobs: list[_ShardJob] = []
         for index in range(self.shard_count):
@@ -449,9 +442,135 @@ class Orchestrator:
                 label=shard.label,
             )
             if self._artifact_ok(job):
+                jobs.append(job)
                 job.state = "done"
-            jobs.append(job)
+                continue
+            # Resumable elastic orchestrations: an interrupted run may
+            # have left *finished sub-shard artifacts* (disjoint item
+            # subsets of this shard's slice) behind.  Reuse them as
+            # done jobs and dispatch only the uncovered remainder,
+            # instead of recomputing the whole slice.  Only
+            # checkpoint-capable plans can have produced sub-shards
+            # (and only they accept item-subset invocations).
+            partials = (
+                self._reusable_partials(shard, stem)
+                if self.plan.supports_checkpoint
+                else []
+            )
+            if not partials:
+                # Nothing reusable: stale partial files (invalid
+                # artifacts, streams, seed checkpoints) from the dead
+                # run would otherwise shadow this shard's fresh attempt.
+                for stale in self.out_dir.glob(f"{stem}.sub*"):
+                    stale.unlink(missing_ok=True)
+                for stale in self.out_dir.glob(f"{stem}.resume*"):
+                    stale.unlink(missing_ok=True)
+                jobs.append(job)
+                continue
+            # Invalid partials (corrupt files, artifacts of another
+            # sweep) must not survive next to the reused ones: the
+            # sweep-status recovery hint globs
+            # `shard-*.artifact.json`, and a stale foreign artifact
+            # would break that merge.
+            reused_artifacts = {path for path, _ in partials}
+            for stale in self.out_dir.glob(f"{stem}.*.artifact.json"):
+                if stale not in reused_artifacts:
+                    stale.unlink(missing_ok=True)
+                    stale.with_name(
+                        stale.name[: -len(".artifact.json")] + ".jsonl"
+                    ).unlink(missing_ok=True)
+            covered: set[int] = set()
+            for path, item_set in partials:
+                sub_stem = path.name[: -len(".artifact.json")]
+                done = _ShardJob(
+                    shard=shard,
+                    artifact=path,
+                    stream=self.out_dir / f"{sub_stem}.jsonl",
+                    checkpoint=None,
+                    log=self.out_dir / f"{sub_stem}.log",
+                    merge_key=self._next_key,
+                    label=f"{shard.label}+{sub_stem.split('.', 1)[1]}",
+                    items=sorted(item_set),
+                )
+                self._next_key += 1
+                done.state = "done"
+                covered |= item_set
+                jobs.append(done)
+            remaining = [
+                i for i in shard.items(self.plan.total_items)
+                if i not in covered
+            ]
+            if remaining:
+                # A fresh ".resumeN" stem per remainder generation: a
+                # *finished* resume artifact is reused above as a
+                # partial and must not be overwritten by the next
+                # remainder; an *unfinished* one keeps its stem (and
+                # thus its checkpoint) across interruptions.
+                generation = 1
+                while (
+                    self.out_dir / f"{stem}.resume{generation}.artifact.json"
+                ).exists():
+                    generation += 1
+                resume_stem = f"{stem}.resume{generation}"
+                checkpoint = None
+                if self.plan.supports_checkpoint:
+                    checkpoint = self.out_dir / f"{resume_stem}.checkpoint.json"
+                    # The checkpoint survives interruptions, but a
+                    # remainder shrunk by newly-reused sub-artifacts
+                    # must not resume from coverage it no longer owns
+                    # (the engine rejects covered ⊄ planned).
+                    if checkpoint.exists() and not (
+                        read_covered_items(checkpoint) <= set(remaining)
+                    ):
+                        checkpoint.unlink(missing_ok=True)
+                jobs.append(
+                    _ShardJob(
+                        shard=shard,
+                        artifact=self.out_dir / f"{resume_stem}.artifact.json",
+                        stream=self.out_dir / f"{resume_stem}.jsonl",
+                        checkpoint=checkpoint,
+                        log=self.out_dir / f"{resume_stem}.log",
+                        merge_key=self._next_key,
+                        label=f"{shard.label}+resume{generation}",
+                        items=remaining,
+                    )
+                )
+                self._next_key += 1
         return jobs
+
+    def _reusable_partials(
+        self, shard: ShardSpec, stem: str
+    ) -> list[tuple[Path, set[int]]]:
+        """Finished partial artifacts of ``shard`` worth keeping.
+
+        Sub-shard artifacts from an interrupted elastic run (and the
+        ``.resume`` remainders of an earlier resume) qualify when they
+        really belong to this sweep and shard, sit inside the shard's
+        slice, and are pairwise disjoint; anything else is skipped and
+        later recomputed.  The whole-shard artifact itself
+        (``<stem>.artifact.json``) is handled by the caller.
+        """
+        partials: list[tuple[Path, set[int]]] = []
+        covered: set[int] = set()
+        slice_items = set(shard.items(self.plan.total_items))
+        for path in sorted(self.out_dir.glob(f"{stem}.*.artifact.json")):
+            try:
+                artifact = load_shard(path)
+            except ShardError:
+                continue
+            if (
+                artifact.fingerprint != self.plan.fingerprint
+                or artifact.kind != self.plan.kind
+                or artifact.shard != shard
+                or artifact.total_items != self.plan.total_items
+            ):
+                continue
+            items = artifact.covered_items()
+            if not items or not items <= slice_items or items & covered:
+                continue
+            covered |= items
+            partials.append((path, items))
+        return partials
 
     def _artifact_ok(self, job: _ShardJob) -> bool:
         """A completed, readable artifact of *this* sweep and job?"""
@@ -687,6 +806,36 @@ def orchestrate(plan: OrchestrationPlan, out_dir: str | Path, **kwargs):
 # Plan builders (lazy experiment imports keep engine -> experiments
 # dependencies out of module import time).
 
+def plan_from_jobspec(job) -> OrchestrationPlan:
+    """The :class:`OrchestrationPlan` dispatching one declarative job.
+
+    Every shard invocation becomes ``python -m repro sweep-run
+    --job-json '<spec>'`` — the work order (local argv, SSH template
+    command, or daemon submit message) carries the JobSpec JSON
+    verbatim, and the orchestrator appends only per-shard placement
+    flags (``--shard``, ``--shard-out``, ``--stream``,
+    ``--checkpoint``, ``--chunk-size``, ``--shard-items``), which
+    ``sweep-run`` layers over the embedded spec.  The dispatched spec
+    is the job's :meth:`~repro.engine.jobspec.JobSpec.for_worker` form:
+    its own placement fields stripped, its executor/jobs/chunk-size
+    policy kept.
+    """
+    worker = job.for_worker()
+    argv = (
+        sys.executable, "-m", "repro", "sweep-run",
+        "--job-json", worker.to_json(indent=None),
+    )
+    return OrchestrationPlan(
+        experiment=job.kind,
+        kind=job.workload.merge_kind,
+        fingerprint=job.fingerprint(),
+        total_items=job.total_items,
+        argv=argv,
+        supports_checkpoint=job.workload.supports_checkpoint,
+        supports_chunk_size=job.workload.supports_checkpoint,
+    )
+
+
 def plan_figure2(
     m: int,
     n_tasksets: int = 300,
@@ -695,23 +844,13 @@ def plan_figure2(
     jobs: int = 1,
 ) -> OrchestrationPlan:
     """Plan a Figure-2 sweep (same parameters as ``run_figure2``)."""
-    from repro.experiments.figure2 import figure2_spec
+    from repro.engine.jobspec import ExecutionPolicy
+    from repro.experiments.figure2 import figure2_job
 
-    spec = figure2_spec(m=m, n_tasksets=n_tasksets, seed=seed, step=step)
-    argv = [
-        sys.executable, "-m", "repro", "figure2",
-        "--m", str(m), "--tasksets", str(n_tasksets), "--seed", str(seed),
-        "--jobs", str(jobs),
-    ]
-    if step is not None:
-        argv += ["--step", str(step)]
-    return OrchestrationPlan(
-        experiment="figure2",
-        kind=KIND_SWEEP,
-        fingerprint=spec.fingerprint(),
-        total_items=spec.total_items,
-        argv=tuple(argv),
-    )
+    return plan_from_jobspec(figure2_job(
+        m=m, n_tasksets=n_tasksets, seed=seed, step=step,
+        execution=ExecutionPolicy(jobs=jobs),
+    ))
 
 
 def plan_group2(
@@ -722,23 +861,13 @@ def plan_group2(
     jobs: int = 1,
 ) -> OrchestrationPlan:
     """Plan a group-2 sweep (same parameters as ``run_group2``)."""
-    from repro.experiments.group2 import group2_spec
+    from repro.engine.jobspec import ExecutionPolicy
+    from repro.experiments.group2 import group2_job
 
-    spec = group2_spec(m=m, n_tasksets=n_tasksets, seed=seed, step=step)
-    argv = [
-        sys.executable, "-m", "repro", "group2",
-        "--m", str(m), "--tasksets", str(n_tasksets), "--seed", str(seed),
-        "--jobs", str(jobs),
-    ]
-    if step is not None:
-        argv += ["--step", str(step)]
-    return OrchestrationPlan(
-        experiment="group2",
-        kind=KIND_SWEEP,
-        fingerprint=spec.fingerprint(),
-        total_items=spec.total_items,
-        argv=tuple(argv),
-    )
+    return plan_from_jobspec(group2_job(
+        m=m, n_tasksets=n_tasksets, seed=seed, step=step,
+        execution=ExecutionPolicy(jobs=jobs),
+    ))
 
 
 def plan_splitsweep(
@@ -755,31 +884,15 @@ def plan_splitsweep(
     Split sweeps have no checkpoint support (items are whole task-sets
     re-analysed per threshold), so a retried shard restarts its slice.
     """
-    from repro.core.analyzer import AnalysisMethod
-    from repro.experiments.splitsweep import split_sweep_fingerprint
-    from repro.generator.profiles import GROUP1
+    from repro.engine.jobspec import ExecutionPolicy
+    from repro.experiments.splitsweep import splitsweep_job
 
-    ordered = tuple(sorted((float(t) for t in thresholds), reverse=True))
-    fingerprint = split_sweep_fingerprint(
-        m, utilization, ordered, n_tasksets, seed, GROUP1,
-        AnalysisMethod.LP_ILP, overhead,
-    )
-    argv = [
-        sys.executable, "-m", "repro", "splitsweep",
-        "--m", str(m), "--utilization", str(utilization),
-        "--tasksets", str(n_tasksets), "--seed", str(seed),
-        "--overhead", str(overhead), "--jobs", str(jobs),
-        "--thresholds", *[str(t) for t in ordered],
-    ]
-    return OrchestrationPlan(
-        experiment="splitsweep",
-        kind=KIND_SPLITSWEEP,
-        fingerprint=fingerprint,
-        total_items=n_tasksets,
-        argv=tuple(argv),
-        supports_checkpoint=False,
-        supports_chunk_size=False,
-    )
+    return plan_from_jobspec(splitsweep_job(
+        m=m, utilization=utilization,
+        thresholds=tuple(float(t) for t in thresholds),
+        n_tasksets=n_tasksets, seed=seed, overhead=overhead,
+        execution=ExecutionPolicy(jobs=jobs),
+    ))
 
 
 # ----------------------------------------------------------------------

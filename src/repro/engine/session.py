@@ -1,0 +1,274 @@
+"""The Session façade: run, submit and resume declarative jobs.
+
+A :class:`Session` is the one programmatic entry point for executing
+:class:`~repro.engine.jobspec.JobSpec` values.  It owns nothing the
+spec does not say: the workload picks the experiment, the execution
+policy picks executors/paths, and the session merely routes —
+
+* :meth:`Session.run` executes a job **inline** (in this process) on
+  the engine: figure2/group2 workloads through
+  :class:`~repro.engine.sweep.SweepEngine`, splitsweep workloads
+  through the split-sweep runner.  Serial engine, process pool or
+  thread pool is purely the policy's choice;
+* :meth:`Session.submit` dispatches a job **asynchronously** onto any
+  :class:`~repro.engine.backends.DispatchBackend` — local subprocesses
+  by default, SSH/queue templates or persistent worker daemons alike —
+  as a ``python -m repro sweep-run --job-json '<spec>'`` command line,
+  so the work order carries the job description verbatim.  The
+  returned :class:`JobHandle` supports :meth:`Session.status`,
+  :meth:`Session.wait` and :meth:`Session.result` (which loads the
+  job's shard artifact and rebuilds the experiment result through the
+  fingerprint-validated merge machinery);
+* :meth:`Session.resume` re-runs a job *file*; a job whose policy
+  names a checkpoint resumes from it for free.
+
+The orchestrator remains the tier for whole sharded sweeps (healing,
+elastic re-partitioning); a session is the thin uniform substrate the
+CLI, tests and scripts share.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import DispatchError, JobSpecError
+from repro.engine.backends import DispatchBackend, LocalBackend, worker_env
+from repro.engine.executors import make_executor
+from repro.engine.jobspec import JobSpec, save_job
+from repro.engine.shard import load_shard
+from repro.engine.sweep import EngineProgress, SweepEngine
+
+
+@dataclass(frozen=True, slots=True)
+class JobStatus:
+    """One poll of a submitted job."""
+
+    state: str  # "running" | "done" | "failed"
+    exit_code: int | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state != "running"
+
+
+@dataclass(slots=True)
+class JobHandle:
+    """Session-side state of one submitted job."""
+
+    job: JobSpec
+    job_file: Path
+    artifact: Path
+    log: Path
+    backend_handle: object
+    exit_code: int | None = None
+
+
+class Session:
+    """Execute :class:`~repro.engine.jobspec.JobSpec` values uniformly.
+
+    Parameters
+    ----------
+    backend:
+        Where :meth:`submit` dispatches job invocations; ``None``
+        lazily creates a single-slot
+        :class:`~repro.engine.backends.LocalBackend` on first submit.
+        Inline :meth:`run` never touches the backend.
+    out_dir:
+        Directory owning submit-time files (job copy, artifact, log)
+        for jobs whose policy does not name a ``shard_out``.  Only
+        required when such a job is submitted.
+    progress:
+        Optional per-item :class:`~repro.engine.sweep.ProgressEvent`
+        callback for inline sweep runs.
+    """
+
+    def __init__(
+        self,
+        backend: DispatchBackend | None = None,
+        out_dir: str | Path | None = None,
+        progress: EngineProgress | None = None,
+    ) -> None:
+        self._backend = backend
+        self._owns_backend = False
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.progress = progress
+        self._submits = 0
+
+    # ------------------------------------------------------------------
+    # Inline execution
+    def run(self, job: JobSpec):
+        """Execute ``job`` in this process, blocking until done.
+
+        Returns the workload's natural result: a
+        :class:`~repro.engine.results.SweepResult` for figure2/group2,
+        the :class:`~repro.experiments.splitsweep.SplitSweepPoint` list
+        for splitsweep.
+        """
+        policy = job.execution
+        if job.kind == "splitsweep":
+            from repro.core.analyzer import AnalysisMethod
+            from repro.experiments.splitsweep import _run_split_sweep
+            from repro.generator.profiles import GROUP1
+
+            workload = job.workload
+            return _run_split_sweep(
+                m=workload.m,
+                utilization=workload.utilization,
+                thresholds=list(workload.thresholds),
+                n_tasksets=workload.n_tasksets,
+                seed=workload.seed,
+                profile=GROUP1,
+                method=AnalysisMethod.LP_ILP,
+                overhead=workload.overhead,
+                jobs=policy.jobs,
+                executor_kind=policy.executor,
+                shard=policy.shard,
+                shard_out=policy.shard_out,
+                stream=policy.stream,
+            )
+        with make_executor(policy.jobs, kind=policy.executor) as executor:
+            engine = SweepEngine(executor=executor, progress=self.progress)
+            return engine.run(job)
+
+    def resume(self, path: str | Path):
+        """Re-run the job stored at ``path`` (checkpoints resume free)."""
+        from repro.engine.jobspec import load_job
+
+        return self.run(load_job(path))
+
+    # ------------------------------------------------------------------
+    # Asynchronous submission
+    def submit(self, job: JobSpec, name: str | None = None) -> JobHandle:
+        """Dispatch ``job`` onto the backend; returns immediately.
+
+        The job must produce an artifact for :meth:`result` to load:
+        a policy without ``shard_out`` gets one assigned under the
+        session's ``out_dir`` (which is then required).  The effective
+        spec is also written next to the artifact as ``<name>.job.json``
+        — the durable record of exactly what was dispatched.
+        """
+        self._submits += 1
+        name = name or f"job-{self._submits}"
+        if job.execution.shard_out is None:
+            if self.out_dir is None:
+                raise JobSpecError(
+                    "submitted job has no execution.shard_out and the "
+                    "session has no out_dir to assign one under"
+                )
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            job = job.with_overrides(
+                {"execution.shard_out":
+                 str(self.out_dir / f"{name}.artifact.json")}
+            )
+        artifact = Path(job.execution.shard_out).resolve()
+        job = job.with_overrides({"execution.shard_out": str(artifact)})
+        job_file = artifact.with_name(f"{name}.job.json")
+        save_job(job_file, job)
+        log = artifact.with_name(f"{name}.log")
+        argv = [
+            sys.executable, "-m", "repro", "sweep-run",
+            "--job-json", job.to_json(indent=None),
+        ]
+        handle = self._ensure_backend().launch(argv, log, env=worker_env())
+        return JobHandle(
+            job=job, job_file=job_file, artifact=artifact, log=log,
+            backend_handle=handle,
+        )
+
+    def status(self, handle: JobHandle) -> JobStatus:
+        """Poll a submitted job: running, done (artifact ok) or failed."""
+        if handle.exit_code is None:
+            handle.exit_code = self._ensure_backend().poll(
+                handle.backend_handle
+            )
+        if handle.exit_code is None:
+            return JobStatus("running")
+        if handle.exit_code == 0 and handle.artifact.exists():
+            return JobStatus("done", handle.exit_code)
+        return JobStatus("failed", handle.exit_code)
+
+    def wait(self, handle: JobHandle, timeout: float = 300.0) -> JobStatus:
+        """Block until the job finishes (or ``timeout`` elapses)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(handle)
+            if status.finished:
+                return status
+            if time.monotonic() >= deadline:
+                raise DispatchError(
+                    f"job {handle.job_file.name} still running after "
+                    f"{timeout:.0f}s; see {handle.log}"
+                )
+            time.sleep(0.05)
+
+    def result(self, handle: JobHandle):
+        """The finished job's result, rebuilt from its shard artifact.
+
+        Waits for completion first; a failed job raises
+        :class:`~repro.exceptions.DispatchError` with the log tail.
+
+        A whole-sweep job yields the experiment's merged result (a
+        :class:`~repro.engine.results.SweepResult` or split-sweep
+        point list).  A job restricted to a shard or item subset can
+        never yield one on its own — its
+        :class:`~repro.engine.shard.ShardArtifact` is returned
+        instead, to be combined with the sweep's other artifacts via
+        :func:`~repro.engine.shard.merge_shards` /
+        :func:`~repro.experiments.splitsweep.merge_split_shards`.
+        """
+        status = self.wait(handle)
+        if status.state != "done":
+            tail = ""
+            if handle.log.exists():
+                tail = handle.log.read_text()[-2000:]
+            raise DispatchError(
+                f"job {handle.job_file.name} failed "
+                f"(exit code {status.exit_code}):\n{tail}"
+            )
+        artifact = load_shard(handle.artifact)
+        if artifact.covered_items() != set(range(artifact.total_items)):
+            return artifact
+        if handle.job.kind == "splitsweep":
+            from repro.experiments.splitsweep import merge_split_shards
+
+            return merge_split_shards([artifact])
+        from repro.engine.shard import merge_shards
+
+        return merge_shards([artifact])
+
+    # ------------------------------------------------------------------
+    def _ensure_backend(self) -> DispatchBackend:
+        if self._backend is None:
+            self._backend = LocalBackend(slots=1)
+            self._owns_backend = True
+        return self._backend
+
+    def close(self) -> None:
+        """Release the session's own backend (a borrowed one is kept)."""
+        if self._owns_backend and self._backend is not None:
+            self._backend.close()
+            self._backend = None
+            self._owns_backend = False
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def run_job(job: JobSpec, progress: EngineProgress | None = None):
+    """One-call convenience: execute ``job`` inline in this process."""
+    with Session(progress=progress) as session:
+        return session.run(job)
+
+
+__all__ = [
+    "JobHandle",
+    "JobStatus",
+    "Session",
+    "run_job",
+]

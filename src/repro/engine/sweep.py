@@ -283,7 +283,7 @@ class SweepEngine:
     # ------------------------------------------------------------------
     def run(
         self,
-        spec: SweepSpec,
+        spec,
         shard: ShardSpec | None = None,
         shard_out: str | Path | None = None,
         stream: str | Path | None = None,
@@ -294,7 +294,15 @@ class SweepEngine:
         Parameters
         ----------
         spec:
-            What to sweep.
+            What to sweep: a :class:`SweepSpec`, or a whole
+            :class:`~repro.engine.jobspec.JobSpec` — the declarative
+            path.  A job's workload resolves to its exact
+            :class:`SweepSpec` and its execution policy supplies the
+            shard / artifact / stream / item-subset placement plus any
+            checkpoint and pinned chunk size the engine's constructor
+            left unset (the engine's own executor is used either way —
+            worker-pool choice belongs to whoever built the engine,
+            e.g. :class:`~repro.engine.session.Session`).
         shard:
             When set, evaluate only this slice of the item space; the
             returned partial result reports, per utilisation point, the
@@ -321,6 +329,32 @@ class SweepEngine:
             derivation depends only on the item index, so any subset
             produces exactly the per-item results of the full run.
         """
+        from repro.engine.jobspec import JobSpec
+
+        if isinstance(spec, JobSpec):
+            job = spec
+            policy = job.execution
+            engine = SweepEngine(
+                executor=self.executor,
+                chunk_size=(
+                    self.chunk_size if self.chunk_size is not None
+                    else policy.chunk_size
+                ),
+                chunker=self.chunker,
+                checkpoint_path=(
+                    self.checkpoint_path if self.checkpoint_path is not None
+                    else policy.checkpoint
+                ),
+                checkpoint_interval=self.checkpoint_interval,
+                progress=self.progress,
+            )
+            return engine.run(
+                job.workload.sweep_spec(),
+                shard=shard if shard is not None else policy.shard,
+                shard_out=shard_out if shard_out is not None else policy.shard_out,
+                stream=stream if stream is not None else policy.stream,
+                items=items if items is not None else policy.items,
+            )
         start_time = time.perf_counter()
         if shard is None and (shard_out is not None or items is not None):
             shard = ShardSpec(0, 1)

@@ -11,6 +11,8 @@ rejected the input:
   counts, unordered priorities);
 * :class:`CheckpointError` / :class:`ShardError` — sweep-engine
   persistence problems (corrupt checkpoints, inconsistent shard sets);
+* :class:`JobSpecError` — malformed declarative job descriptions
+  (unknown keys, version skew, kind/policy mismatches);
 * :class:`DispatchError` / :class:`OrchestrationError` — distributed
   orchestration failures (backend launches, exhausted shard retries);
 * :class:`IlpError` / :class:`IlpInfeasibleError` — ILP substrate
@@ -52,6 +54,12 @@ class CheckpointError(AnalysisError):
 
 class ShardError(AnalysisError):
     """A shard set is inconsistent: gaps, overlaps or mixed sweeps."""
+
+
+class JobSpecError(AnalysisError):
+    """A declarative job description is malformed: an unknown workload
+    kind or field, a format-version skew, an override naming no field,
+    or an execution policy the workload kind does not support."""
 
 
 class DispatchError(AnalysisError):

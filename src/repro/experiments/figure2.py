@@ -19,6 +19,7 @@ the surrounding text discusses it as the same utilisation sweep as
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -26,10 +27,11 @@ from repro.exceptions import AnalysisError
 from repro.core.blocking import RhoSolver
 from repro.core.workload import MuMethod
 from repro.engine import ShardSpec, SweepSpec
+from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
+from repro.engine.session import run_job
 from repro.experiments.runner import (
     DEFAULT_METHODS,
     SweepResult,
-    run_sweep,
     utilization_grid,
 )
 from repro.generator.profiles import GROUP1
@@ -75,6 +77,27 @@ def figure2_spec(
     )
 
 
+def figure2_job(
+    m: int,
+    n_tasksets: int = PAPER_TASKSETS_PER_POINT,
+    seed: int = DEFAULT_SEED,
+    step: float | None = None,
+    mu_method: MuMethod = "search",
+    rho_solver: RhoSolver = "assignment",
+    execution: ExecutionPolicy | None = None,
+) -> JobSpec:
+    """The declarative :class:`~repro.engine.jobspec.JobSpec` of one
+    Figure-2 run — what the CLI subcommand, ``sweep-run`` job files and
+    the orchestrator all build."""
+    return JobSpec(
+        workload=Workload(
+            kind="figure2", m=m, n_tasksets=n_tasksets, seed=seed,
+            step=step, mu_method=mu_method, rho_solver=rho_solver,
+        ),
+        execution=execution if execution is not None else ExecutionPolicy(),
+    )
+
+
 def run_figure2(
     m: int,
     n_tasksets: int = PAPER_TASKSETS_PER_POINT,
@@ -91,6 +114,14 @@ def run_figure2(
     items: Sequence[int] | None = None,
 ) -> SweepResult:
     """Regenerate one sub-figure of Figure 2.
+
+    .. deprecated::
+        A thin shim over the declarative job API — it builds the same
+        :class:`~repro.engine.jobspec.JobSpec` as
+        ``python -m repro sweep-run`` and executes it through
+        :class:`~repro.engine.session.Session`, bit-identically to
+        every previous release.  New code should build the job
+        directly (:func:`figure2_job`) or ship a job file.
 
     Parameters
     ----------
@@ -122,20 +153,26 @@ def run_figure2(
         Explicit work-item subset of the shard's slice (elastic
         sub-shard dispatch); see :meth:`repro.engine.SweepEngine.run`.
     """
-    spec = figure2_spec(
+    warnings.warn(
+        "run_figure2() is deprecated: build a JobSpec (figure2_job()) and "
+        "run it through repro.engine.session.Session / sweep-run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    job = figure2_job(
         m=m, n_tasksets=n_tasksets, seed=seed, step=step,
         mu_method=mu_method, rho_solver=rho_solver,
+        execution=ExecutionPolicy(
+            jobs=jobs,
+            chunk_size=chunk_size,
+            checkpoint=checkpoint,
+            stream=stream,
+            shard_out=shard_out,
+            shard=shard,
+            items=tuple(items) if items is not None else None,
+        ),
     )
-    return run_sweep(
-        spec=spec,
-        jobs=jobs,
-        checkpoint=checkpoint,
-        shard=shard,
-        shard_out=shard_out,
-        stream=stream,
-        chunk_size=chunk_size,
-        items=items,
-    )
+    return run_job(job)
 
 
 def check_figure2_shape(result: SweepResult, tolerance: float = 0.05) -> list[str]:

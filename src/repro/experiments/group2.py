@@ -9,15 +9,17 @@ regenerates that claim and quantifies the gap.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine import ShardSpec, SweepSpec
+from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
+from repro.engine.session import run_job
 from repro.experiments.runner import (
     DEFAULT_METHODS,
     SweepResult,
-    run_sweep,
     utilization_grid,
 )
 from repro.generator.profiles import GROUP2
@@ -60,6 +62,35 @@ def group2_spec(
     )
 
 
+def group2_job(
+    m: int,
+    n_tasksets: int = 300,
+    seed: int = 2016,
+    step: float | None = None,
+    execution: ExecutionPolicy | None = None,
+) -> JobSpec:
+    """The declarative :class:`~repro.engine.jobspec.JobSpec` of one
+    group-2 run."""
+    return JobSpec(
+        workload=Workload(
+            kind="group2", m=m, n_tasksets=n_tasksets, seed=seed, step=step,
+        ),
+        execution=execution if execution is not None else ExecutionPolicy(),
+    )
+
+
+def summarize_group2(sweep: SweepResult) -> Group2Report:
+    """Fold a group-2 sweep into its LP-max vs LP-ILP gap summary."""
+    gaps = [
+        abs(point.ratio("LP-ILP") - point.ratio("LP-max")) for point in sweep.points
+    ]
+    return Group2Report(
+        sweep=sweep,
+        max_gap=max(gaps),
+        mean_gap=sum(gaps) / len(gaps),
+    )
+
+
 def run_group2(
     m: int,
     n_tasksets: int = 300,
@@ -75,27 +106,33 @@ def run_group2(
 ) -> Group2Report:
     """Run the group-2 sweep and summarise the LP-max vs LP-ILP gap.
 
+    .. deprecated::
+        A thin shim over the declarative job API (see
+        :func:`group2_job` / :func:`summarize_group2`); results are
+        bit-identical to previous releases.
+
     ``shard`` / ``shard_out`` / ``stream`` / ``chunk_size`` / ``items``
     behave as in
     :func:`repro.experiments.figure2.run_figure2`; note the gap summary
     of a sharded run covers only that shard's task-sets — merge the
     shards for the full-population gap.
     """
-    sweep = run_sweep(
-        spec=group2_spec(m=m, n_tasksets=n_tasksets, seed=seed, step=step),
-        jobs=jobs,
-        checkpoint=checkpoint,
-        shard=shard,
-        shard_out=shard_out,
-        stream=stream,
-        chunk_size=chunk_size,
-        items=items,
+    warnings.warn(
+        "run_group2() is deprecated: build a JobSpec (group2_job()) and "
+        "run it through repro.engine.session.Session / sweep-run",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    gaps = [
-        abs(point.ratio("LP-ILP") - point.ratio("LP-max")) for point in sweep.points
-    ]
-    return Group2Report(
-        sweep=sweep,
-        max_gap=max(gaps),
-        mean_gap=sum(gaps) / len(gaps),
+    job = group2_job(
+        m=m, n_tasksets=n_tasksets, seed=seed, step=step,
+        execution=ExecutionPolicy(
+            jobs=jobs,
+            chunk_size=chunk_size,
+            checkpoint=checkpoint,
+            stream=stream,
+            shard_out=shard_out,
+            shard=shard,
+            items=tuple(items) if items is not None else None,
+        ),
     )
+    return summarize_group2(run_job(job))

@@ -177,6 +177,35 @@ def _reduce_split_rows(
     return points
 
 
+def splitsweep_job(
+    m: int,
+    utilization: float = 1.75,
+    thresholds: tuple[float, ...] | None = None,
+    n_tasksets: int = 30,
+    seed: int = 2016,
+    overhead: float = 0.0,
+    execution=None,
+):
+    """The declarative :class:`~repro.engine.jobspec.JobSpec` of one
+    split-sweep run — what the CLI subcommand, ``sweep-run`` job files
+    and the orchestrator all build.  The job form fixes the paper's
+    GROUP1 corpus and LP-ILP analysis; the ``profile`` / ``method``
+    research knobs remain on :func:`run_split_sweep`."""
+    from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
+
+    return JobSpec(
+        workload=Workload(
+            kind="splitsweep", m=m, utilization=utilization,
+            thresholds=(
+                tuple(float(t) for t in thresholds)
+                if thresholds is not None else None
+            ),
+            n_tasksets=n_tasksets, seed=seed, overhead=overhead,
+        ),
+        execution=execution if execution is not None else ExecutionPolicy(),
+    )
+
+
 def run_split_sweep(
     m: int,
     utilization: float,
@@ -192,6 +221,15 @@ def run_split_sweep(
     stream: str | Path | None = None,
 ) -> list[SplitSweepPoint]:
     """Schedulability vs NPR-size threshold on a fixed task-set corpus.
+
+    .. deprecated::
+        A thin shim over the declarative job API: the default
+        profile/method configuration is exactly what a
+        ``kind="splitsweep"`` :class:`~repro.engine.jobspec.JobSpec`
+        describes (run through
+        :class:`~repro.engine.session.Session` / ``sweep-run``);
+        results are bit-identical to previous releases.  The
+        ``profile`` / ``method`` research knobs remain available here.
 
     The same ``n_tasksets`` task-sets are re-analysed at every
     threshold, so points are directly comparable.
@@ -219,6 +257,41 @@ def run_split_sweep(
         Optional JSONL path; one ``item`` line per task-set, flushed as
         each completes.
     """
+    import warnings
+
+    warnings.warn(
+        "run_split_sweep() is deprecated: build a kind='splitsweep' "
+        "JobSpec and run it through repro.engine.session.Session / "
+        "sweep-run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_split_sweep(
+        m=m, utilization=utilization, thresholds=thresholds,
+        n_tasksets=n_tasksets, seed=seed, profile=profile, method=method,
+        overhead=overhead, jobs=jobs, shard=shard, shard_out=shard_out,
+        stream=stream,
+    )
+
+
+def _run_split_sweep(
+    m: int,
+    utilization: float,
+    thresholds: list[float],
+    n_tasksets: int = 30,
+    seed: int = 2016,
+    profile: TasksetProfile = GROUP1,
+    method: AnalysisMethod = AnalysisMethod.LP_ILP,
+    overhead: float = 0.0,
+    jobs: int = 1,
+    executor_kind: str = "process",
+    shard: ShardSpec | None = None,
+    shard_out: str | Path | None = None,
+    stream: str | Path | None = None,
+) -> list[SplitSweepPoint]:
+    """The split-sweep runner behind :func:`run_split_sweep` and the
+    Session's ``kind="splitsweep"`` jobs (which also pick the executor
+    flavour)."""
     if not thresholds:
         raise AnalysisError("need at least one threshold")
     thresholds = tuple(thresholds)
@@ -262,7 +335,7 @@ def run_split_sweep(
                     else None
                 ),
             )
-        with make_executor(jobs) as executor:
+        with make_executor(jobs, kind=executor_kind) as executor:
             for index, rows in executor.map_unordered(
                 _evaluate_split_item, payloads
             ):

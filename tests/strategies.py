@@ -90,6 +90,78 @@ def sweep_specs(
 
 
 @st.composite
+def job_specs(draw):
+    """Random declarative jobs for the JobSpec round-trip property.
+
+    Covers every workload kind, optional fields both set and unset,
+    and execution policies with shards/items/paths — the full surface
+    ``from_json(to_json(s)) == s`` must hold over.  Specs are never
+    executed, so sizes are unconstrained.
+    """
+    from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
+    from repro.engine.shard import ShardSpec
+
+    kind = draw(st.sampled_from(("figure2", "group2", "splitsweep")))
+    finite = st.floats(
+        min_value=0.1, max_value=64.0, allow_nan=False, allow_infinity=False
+    )
+    workload_kwargs: dict = {
+        "kind": kind,
+        "m": draw(st.integers(1, 64)),
+        "n_tasksets": draw(st.one_of(st.none(), st.integers(1, 1000))),
+        "seed": draw(st.integers(0, 2**32)),
+    }
+    if kind in ("figure2", "group2"):
+        workload_kwargs["step"] = draw(st.one_of(st.none(), finite))
+    if kind == "figure2":
+        workload_kwargs["mu_method"] = draw(
+            st.sampled_from(("search", "ilp", "ilp-paper"))
+        )
+        workload_kwargs["rho_solver"] = draw(
+            st.sampled_from(("assignment", "ilp"))
+        )
+    if kind == "splitsweep":
+        workload_kwargs["utilization"] = draw(finite)
+        workload_kwargs["thresholds"] = tuple(
+            draw(st.lists(finite, min_size=1, max_size=6, unique=True))
+        )
+        workload_kwargs["overhead"] = draw(
+            st.floats(0.0, 10.0, allow_nan=False)
+        )
+    workload = Workload(**workload_kwargs)
+
+    execution_kwargs: dict = {
+        "executor": draw(st.sampled_from(("process", "thread"))),
+        "jobs": draw(st.integers(1, 16)),
+        "stream": draw(st.one_of(st.none(), st.just("out/stream.jsonl"))),
+        "shard_out": draw(st.one_of(st.none(), st.just("out/shard.json"))),
+    }
+    count = draw(st.integers(1, 8))
+    shard = draw(
+        st.one_of(st.none(), st.builds(
+            ShardSpec, st.integers(0, count - 1), st.just(count)
+        ))
+    )
+    execution_kwargs["shard"] = shard
+    if workload.supports_checkpoint:
+        execution_kwargs["chunk_size"] = draw(
+            st.one_of(st.none(), st.integers(1, 100))
+        )
+        execution_kwargs["checkpoint"] = draw(
+            st.one_of(st.none(), st.just("out/ckpt.json"))
+        )
+        if shard is not None:
+            items = draw(st.one_of(st.none(), st.lists(
+                st.integers(0, 50), min_size=1, max_size=8, unique=True,
+            )))
+            if items is not None:
+                execution_kwargs["items"] = tuple(
+                    item * shard.count + shard.index for item in items
+                )
+    return JobSpec(workload=workload, execution=ExecutionPolicy(**execution_kwargs))
+
+
+@st.composite
 def mu_tables(draw, max_tasks: int = 5, m: int = 4) -> dict[str, list[float]]:
     """Random per-task μ arrays: non-negative, zero-padded past a cut."""
     n_tasks = draw(st.integers(1, max_tasks))

@@ -295,6 +295,95 @@ class TestDaemonBackend:
             for daemon in daemons:
                 daemon.stop()
 
+    def test_capacity_limit_caps_packing(self, sock_dir):
+        # Satellite (--daemon-capacity): the backend may hold back
+        # slots below what daemons declare.
+        daemon = _daemon(sock_dir, capacity=3)
+        try:
+            with DaemonBackend(
+                [daemon.socket_path], capacity_limit=1
+            ) as backend:
+                assert backend.slots == 1
+                handle = backend.launch(
+                    [sys.executable, "-c", "import time; time.sleep(600)"],
+                    sock_dir / "a.log",
+                )
+                # The daemon would accept more; the backend must not.
+                with pytest.raises(DispatchError, match="no live daemon"):
+                    backend.launch(
+                        [sys.executable, "-c", "print()"], sock_dir / "b.log"
+                    )
+                backend.cancel(handle)
+            with pytest.raises(DispatchError):
+                DaemonBackend([daemon.socket_path], capacity_limit=0)
+            # The daemon releases the previous controller's claim
+            # asynchronously on disconnect; retry the re-attach briefly.
+            deadline = time.monotonic() + 10.0
+            while True:
+                try:
+                    made = make_backend(
+                        "daemon", sockets=[daemon.socket_path],
+                        daemon_capacity=2,
+                    )
+                    break
+                except DispatchError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.02)
+            assert isinstance(made, DaemonBackend)
+            assert made.slots == 2
+            made.close()
+            with pytest.raises(DispatchError):
+                make_backend("local", daemon_capacity=2)
+        finally:
+            daemon.stop()
+
+    def test_capacity_two_daemon_packs_two_shards(self, sock_dir):
+        # Satellite, end to end: one capacity-2 daemon hosts a whole
+        # 2-shard orchestration — both shard jobs packed concurrently
+        # onto the one socket — and the merged result is bit-identical.
+        import dataclasses
+        import warnings
+
+        from repro.engine.orchestrator import Orchestrator, plan_figure2
+        from repro.experiments.figure2 import run_figure2
+
+        kwargs = dict(m=2, n_tasksets=6, seed=11, step=0.5)
+        daemon = _daemon(sock_dir, capacity=2)
+
+        class PackingProbe(DaemonBackend):
+            """Records how many jobs were in flight per daemon at once."""
+
+            peak = 0
+
+            def launch(self, argv, log_path, env=None):
+                handle = super().launch(argv, log_path, env=env)
+                in_flight = max(
+                    len(active) for active in self._active.values()
+                )
+                PackingProbe.peak = max(PackingProbe.peak, in_flight)
+                return handle
+
+        try:
+            plan = plan_figure2(**kwargs)
+            with PackingProbe([daemon.socket_path]) as backend:
+                assert backend.slots == 2
+                outcome = Orchestrator(
+                    plan, sock_dir / "orch", backend=backend,
+                    poll_interval=0.05,
+                ).run()
+            # Default partition: one shard per slot = 2 shards, both
+            # packed concurrently onto the one daemon socket.
+            assert len(outcome.attempts) == 2
+            assert PackingProbe.peak == 2
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                reference = run_figure2(**kwargs)
+            strip = lambda r: dataclasses.replace(r, elapsed_seconds=0.0)  # noqa: E731
+            assert strip(outcome.result) == strip(reference)
+        finally:
+            daemon.stop()
+
     def test_cancel(self, sock_dir):
         daemon = _daemon(sock_dir)
         try:
@@ -443,6 +532,43 @@ class TestDaemonProcess:
         finally:
             proc.kill()
             proc.wait()
+
+    def test_sweep_run_job_via_daemon_elastic_matches_legacy(self, sock_dir):
+        # Acceptance: a declarative job executed as `sweep-run --job
+        # ... --backend daemon --elastic` reproduces the legacy
+        # subcommand's CSV byte-for-byte.
+        import json
+
+        from repro.cli import main
+
+        job_file = sock_dir / "job.json"
+        job_file.write_text(json.dumps({
+            "version": 1,
+            "workload": {"kind": "figure2", "m": 2, "n_tasksets": 6,
+                         "seed": 11, "step": 0.5},
+        }))
+        daemons = [
+            _daemon(sock_dir, name=f"w{i}.sock", capacity=1) for i in range(2)
+        ]
+        try:
+            legacy_csv = sock_dir / "legacy.csv"
+            assert main([
+                "figure2", "--m", "2", "--tasksets", "6", "--seed", "11",
+                "--step", "0.5", "--csv", str(legacy_csv),
+            ]) == 0
+            job_csv = sock_dir / "job.csv"
+            assert main([
+                "sweep-run", "--job", str(job_file),
+                "--backend", "daemon",
+                "--daemon-socket", str(daemons[0].socket_path),
+                "--daemon-socket", str(daemons[1].socket_path),
+                "--elastic", "--out", str(sock_dir / "orch"),
+                "--csv", str(job_csv), "--quiet",
+            ]) == 0
+            assert job_csv.read_bytes() == legacy_csv.read_bytes()
+        finally:
+            for daemon in daemons:
+                daemon.stop()
 
     def test_sigkilled_daemon_mid_shard_heals_via_orchestrator(self, sock_dir):
         # Satellite, end to end: SIGKILL a daemon process while its

@@ -1,0 +1,301 @@
+"""The declarative JobSpec: round-trips, strictness, overrides.
+
+The job schema is the contract every tier speaks (CLI flags, job
+files, orchestrator work orders, daemon submits), so these tests pin
+it hard: a golden checked-in fixture, exact ``from_json(to_json(s)) ==
+s`` round-trips (hypothesis-generated), strict unknown-key /
+version-skew / kind-mismatch rejection, and override layering.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+
+from repro.engine.jobspec import (
+    JOBSPEC_VERSION,
+    ExecutionPolicy,
+    JobSpec,
+    Workload,
+    load_job,
+    parse_set_override,
+    save_job,
+)
+from repro.engine.shard import ShardSpec
+from repro.exceptions import AnalysisError, JobSpecError
+
+from tests.strategies import job_specs
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples" / "jobs"
+
+
+def _figure2_job(**execution) -> JobSpec:
+    return JobSpec(
+        workload=Workload(kind="figure2", m=2, n_tasksets=4, seed=3, step=1.0),
+        execution=ExecutionPolicy(**execution),
+    )
+
+
+class TestGoldenFixtures:
+    """The checked-in example jobs are the schema's reference forms."""
+
+    @pytest.mark.parametrize("name, kind", [
+        ("figure2-small.json", "figure2"),
+        ("group2-small.json", "group2"),
+        ("splitsweep-small.json", "splitsweep"),
+    ])
+    def test_fixture_loads_and_round_trips(self, name, kind):
+        job = load_job(EXAMPLES / name)
+        assert job.kind == kind
+        assert JobSpec.from_json(job.to_json()) == job
+        # The serialised dict matches the file byte-for-byte modulo
+        # formatting: the fixture *is* the canonical JSON form.
+        assert job.to_json_dict() == json.loads((EXAMPLES / name).read_text())
+
+    def test_figure2_fixture_matches_legacy_spec_identity(self):
+        from repro.experiments.figure2 import figure2_spec
+
+        job = load_job(EXAMPLES / "figure2-small.json")
+        spec = figure2_spec(m=2, n_tasksets=20, seed=2016, step=0.25)
+        assert job.fingerprint() == spec.fingerprint()
+        assert job.total_items == spec.total_items
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        job = _figure2_job(jobs=4, checkpoint="ckpt.json",
+                           shard=ShardSpec(1, 3))
+        assert JobSpec.from_json(job.to_json()) == job
+
+    def test_file_round_trip(self, tmp_path):
+        job = _figure2_job(stream="s.jsonl")
+        save_job(tmp_path / "job.json", job)
+        assert load_job(tmp_path / "job.json") == job
+
+    @settings(max_examples=60, deadline=None)
+    @given(job=job_specs())
+    def test_random_specs_round_trip(self, job):
+        assert JobSpec.from_json(job.to_json()) == job
+        assert JobSpec.from_json(job.to_json(indent=None)) == job
+
+    def test_paths_normalise_to_strings(self, tmp_path):
+        job = _figure2_job(checkpoint=tmp_path / "c.json")
+        assert isinstance(job.execution.checkpoint, str)
+        assert JobSpec.from_json(job.to_json()) == job
+
+    def test_splitsweep_thresholds_normalise_descending(self):
+        a = Workload(kind="splitsweep", thresholds=(25.0, 100.0))
+        b = Workload(kind="splitsweep", thresholds=(100.0, 25.0))
+        assert a == b
+        assert a.thresholds == (100.0, 25.0)
+
+
+class TestStrictness:
+    def test_unknown_top_level_key_rejected(self):
+        payload = _figure2_job().to_json_dict()
+        payload["notes"] = "hi"
+        with pytest.raises(JobSpecError, match="notes"):
+            JobSpec.from_json_dict(payload)
+
+    def test_unknown_workload_key_rejected(self):
+        payload = _figure2_job().to_json_dict()
+        payload["workload"]["cores"] = 8
+        with pytest.raises(JobSpecError, match="cores"):
+            JobSpec.from_json_dict(payload)
+
+    def test_unknown_execution_key_rejected(self):
+        payload = _figure2_job().to_json_dict()
+        payload["execution"]["nice"] = 10
+        with pytest.raises(JobSpecError, match="nice"):
+            JobSpec.from_json_dict(payload)
+
+    def test_key_of_other_kind_rejected(self):
+        # 'thresholds' is a real field — but not a figure2 field.
+        payload = _figure2_job().to_json_dict()
+        payload["workload"]["thresholds"] = [10.0]
+        with pytest.raises(JobSpecError, match="thresholds"):
+            JobSpec.from_json_dict(payload)
+
+    def test_version_skew_rejected(self):
+        payload = _figure2_job().to_json_dict()
+        payload["version"] = JOBSPEC_VERSION + 1
+        with pytest.raises(JobSpecError, match="version"):
+            JobSpec.from_json_dict(payload)
+        payload.pop("version")
+        with pytest.raises(JobSpecError, match="version"):
+            JobSpec.from_json_dict(payload)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobSpecError, match="kind"):
+            JobSpec.from_json_dict({
+                "version": JOBSPEC_VERSION,
+                "workload": {"kind": "figure3"},
+            })
+        with pytest.raises(JobSpecError):
+            Workload(kind="figure3")
+
+    def test_not_json_rejected(self):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_json("{ truncated")
+        with pytest.raises(JobSpecError):
+            JobSpec.from_json("[1, 2]")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(JobSpecError, match="does not exist"):
+            load_job(tmp_path / "nope.json")
+
+    def test_splitsweep_rejects_sweep_only_policy(self):
+        workload = Workload(kind="splitsweep", m=2, n_tasksets=3)
+        for field in ("checkpoint", "chunk_size", "items"):
+            value = {"checkpoint": "c.json", "chunk_size": 4,
+                     "items": (0, 1)}[field]
+            with pytest.raises(JobSpecError, match=field):
+                JobSpec(workload=workload,
+                        execution=ExecutionPolicy(**{field: value}))
+
+    def test_group2_rejects_solver_knobs(self):
+        with pytest.raises(JobSpecError):
+            Workload(kind="group2", mu_method="ilp")
+
+    def test_programmatic_cross_kind_fields_rejected(self):
+        # Strictness is symmetric: constructing a Workload with a
+        # field of another kind fails exactly like parsing one would.
+        with pytest.raises(JobSpecError, match="utilization"):
+            Workload(kind="figure2", utilization=3.5)
+        with pytest.raises(JobSpecError, match="mu_method"):
+            Workload(kind="splitsweep", mu_method="ilp")
+        with pytest.raises(JobSpecError, match="step"):
+            Workload(kind="splitsweep", step=0.5)
+
+    def test_validation_errors(self):
+        with pytest.raises(JobSpecError):
+            Workload(kind="figure2", m=0)
+        with pytest.raises(JobSpecError):
+            Workload(kind="figure2", n_tasksets=0)
+        with pytest.raises(JobSpecError):
+            Workload(kind="figure2", step=-1.0)
+        with pytest.raises(JobSpecError):
+            Workload(kind="figure2", mu_method="guess")
+        with pytest.raises(JobSpecError):
+            Workload(kind="splitsweep", thresholds=())
+        with pytest.raises(JobSpecError):
+            ExecutionPolicy(jobs=0)
+        with pytest.raises(JobSpecError):
+            ExecutionPolicy(chunk_size=0)
+        with pytest.raises(JobSpecError):
+            ExecutionPolicy(executor="gpu")
+
+    def test_jobspec_error_is_analysis_error(self):
+        # Callers catching the historical broad class keep working.
+        with pytest.raises(AnalysisError):
+            Workload(kind="figure2", m=0)
+
+
+class TestOverrides:
+    def test_dotted_overrides(self):
+        job = _figure2_job()
+        patched = job.with_overrides(
+            {"workload.m": 8, "execution.jobs": 4}
+        )
+        assert patched.workload.m == 8
+        assert patched.execution.jobs == 4
+        # The original is untouched (immutability).
+        assert job.workload.m == 2
+
+    def test_bare_names_resolve_to_their_section(self):
+        patched = _figure2_job().with_overrides({"m": 8, "jobs": 4})
+        assert patched.workload.m == 8
+        assert patched.execution.jobs == 4
+
+    def test_string_values_coerce(self):
+        patched = _figure2_job().with_overrides({
+            "workload.m": "8",
+            "workload.step": "0.5",
+            "execution.shard": "2/4",
+            "execution.items": "9,1,5",
+            "execution.chunk_size": "none",
+        })
+        assert patched.workload.m == 8
+        assert patched.workload.step == 0.5
+        assert patched.execution.shard == ShardSpec(1, 4)
+        assert patched.execution.items == (1, 5, 9)
+        assert patched.execution.chunk_size is None
+
+    def test_override_round_trips(self):
+        patched = _figure2_job().with_overrides({"workload.seed": 7})
+        assert JobSpec.from_json(patched.to_json()) == patched
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(JobSpecError, match="no job spec field"):
+            _figure2_job().with_overrides({"turbo": "on"})
+        with pytest.raises(JobSpecError, match="no field"):
+            _figure2_job().with_overrides({"workload.turbo": "on"})
+        with pytest.raises(JobSpecError, match="section"):
+            _figure2_job().with_overrides({"deploy.m": "3"})
+
+    def test_override_still_validated(self):
+        with pytest.raises(JobSpecError):
+            _figure2_job().with_overrides({"workload.m": "0"})
+
+    def test_parse_set_override(self):
+        assert parse_set_override("workload.m=8") == ("workload.m", "8")
+        assert parse_set_override("stream=a=b.jsonl") == ("stream", "a=b.jsonl")
+        with pytest.raises(JobSpecError):
+            parse_set_override("no-equals-sign")
+        with pytest.raises(JobSpecError):
+            parse_set_override("=value")
+
+
+class TestWorkloadSemantics:
+    def test_defaults_resolve_per_kind(self):
+        assert Workload(kind="figure2").n_tasksets == 300
+        assert Workload(kind="group2").n_tasksets == 300
+        assert Workload(kind="splitsweep").n_tasksets == 30
+        assert Workload(kind="splitsweep").thresholds == (
+            1000.0, 100.0, 50.0, 25.0, 10.0, 5.0,
+        )
+
+    def test_fingerprints_match_experiment_specs(self):
+        from repro.core.analyzer import AnalysisMethod
+        from repro.experiments.group2 import group2_spec
+        from repro.experiments.splitsweep import split_sweep_fingerprint
+        from repro.generator.profiles import GROUP1
+
+        workload = Workload(kind="group2", m=2, n_tasksets=4, seed=11, step=0.5)
+        assert workload.fingerprint() == group2_spec(
+            m=2, n_tasksets=4, seed=11, step=0.5
+        ).fingerprint()
+
+        workload = Workload(
+            kind="splitsweep", m=2, utilization=1.2,
+            thresholds=(100.0, 25.0), n_tasksets=5, seed=9,
+        )
+        assert workload.fingerprint() == split_sweep_fingerprint(
+            2, 1.2, (100.0, 25.0), 5, 9, GROUP1,
+            AnalysisMethod.LP_ILP, 0.0,
+        )
+
+    def test_fingerprint_ignores_execution(self):
+        job = _figure2_job()
+        assert job.fingerprint() == replace(
+            job, execution=ExecutionPolicy(jobs=16, shard=ShardSpec(0, 2))
+        ).fingerprint()
+
+    def test_splitsweep_has_no_sweep_spec(self):
+        with pytest.raises(JobSpecError):
+            Workload(kind="splitsweep").sweep_spec()
+
+    def test_for_worker_strips_placement(self):
+        job = _figure2_job(
+            jobs=3, checkpoint="c.json", stream="s.jsonl",
+            shard_out="a.json", shard=ShardSpec(0, 2), items=(0, 2),
+        )
+        worker = job.for_worker()
+        assert worker.execution.jobs == 3
+        assert worker.execution.checkpoint is None
+        assert worker.execution.stream is None
+        assert worker.execution.shard_out is None
+        assert worker.execution.shard is None
+        assert worker.execution.items is None

@@ -218,6 +218,12 @@ class TestTemplateBackend:
 
 
 class TestPlans:
+    @staticmethod
+    def _embedded_job(plan):
+        """The JobSpec JSON a plan's worker command carries verbatim."""
+        argv = list(plan.argv)
+        return json.loads(argv[argv.index("--job-json") + 1])
+
     def test_figure2_plan_matches_spec_identity(self):
         plan = plan_figure2(m=2, n_tasksets=4, seed=11, step=0.5)
         spec = figure2_spec(m=2, n_tasksets=4, seed=11, step=0.5)
@@ -225,13 +231,16 @@ class TestPlans:
         assert plan.total_items == spec.total_items
         assert plan.kind == "sweep"
         assert plan.supports_checkpoint
-        assert "figure2" in plan.argv
+        # Worker command lines carry the declarative job, not flags.
+        assert "sweep-run" in plan.argv
+        assert self._embedded_job(plan)["workload"]["kind"] == "figure2"
 
     def test_group2_plan_matches_spec_identity(self):
         plan = plan_group2(m=2, n_tasksets=4, seed=11, step=0.5)
         spec = group2_spec(m=2, n_tasksets=4, seed=11, step=0.5)
         assert plan.fingerprint == spec.fingerprint()
         assert plan.total_items == spec.total_items
+        assert self._embedded_job(plan)["workload"]["kind"] == "group2"
 
     def test_splitsweep_plan(self):
         plan = plan_splitsweep(
@@ -242,10 +251,20 @@ class TestPlans:
         assert plan.total_items == 5
         assert not plan.supports_checkpoint
         assert not plan.supports_chunk_size
-        # Thresholds are normalised to the CLI's descending order so the
+        # Thresholds are normalised to descending order so the
         # fingerprint matches what the dispatched command computes.
-        i = list(plan.argv).index("--thresholds")
-        assert list(plan.argv)[i + 1 : i + 3] == ["100.0", "25.0"]
+        workload = self._embedded_job(plan)["workload"]
+        assert workload["thresholds"] == [100.0, 25.0]
+
+    def test_worker_job_carries_no_placement(self):
+        # Per-shard placement is appended as flag overrides; a base
+        # worker spec carrying any would make shards clobber each other.
+        execution = self._embedded_job(
+            plan_figure2(m=2, n_tasksets=4, seed=11, step=0.5, jobs=3)
+        )["execution"]
+        assert execution["jobs"] == 3
+        for field in ("shard", "shard_out", "stream", "checkpoint", "items"):
+            assert execution[field] is None
 
     def test_plans_differ_by_parameters(self):
         base = plan_figure2(m=2, n_tasksets=4, seed=11, step=0.5)
@@ -470,12 +489,132 @@ class TestOrchestratorIntegration:
                 return super().launch(argv, log_path, env=env)
 
         with StallsOnce() as backend:
+            # 3s, not 1s: worker start-up (interpreter + numpy import)
+            # already costs >1s on a loaded single-core box, so a 1s
+            # stall timeout intermittently killed *healthy* shards.
             outcome = Orchestrator(
-                plan, tmp_path / "orch", backend=backend, retries=2,
-                poll_interval=0.05, stall_timeout=1.0,
+                plan, tmp_path / "orch", backend=backend, retries=3,
+                poll_interval=0.05, stall_timeout=3.0,
             ).run()
         assert outcome.retries >= 1
         assert sum(s.restarts for s in outcome.view.shards) >= 1
+
+    def test_resume_reuses_finished_sub_shard_artifacts(self, tmp_path):
+        # Satellite (resumable elastic orchestrations): an interrupted
+        # elastic run leaves finished *sub-shard* artifacts behind; a
+        # resumed run must reuse them and dispatch only the uncovered
+        # remainder, instead of recomputing the slice from scratch.
+        import dataclasses
+        import warnings
+
+        from repro.engine import ShardSpec
+        from repro.engine.shard import load_shard
+        from repro.experiments.figure2 import run_figure2
+
+        plan = plan_figure2(**self.KWARGS)
+        out = tmp_path / "orch"
+        out.mkdir()
+        shard = ShardSpec(0, 2)
+        slice_items = list(shard.items(plan.total_items))
+        sub_items = slice_items[: len(slice_items) // 2]
+        sub_artifact = out / "shard-1of2.sub1-1of2.artifact.json"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            run_figure2(
+                **self.KWARGS, shard=shard, items=sub_items,
+                shard_out=sub_artifact,
+                stream=out / "shard-1of2.sub1-1of2.jsonl",
+            )
+            reference = run_figure2(**self.KWARGS)
+        before = sub_artifact.read_bytes()
+
+        outcome = Orchestrator(plan, out, workers=2, poll_interval=0.05).run()
+
+        # The sub artifact was reused byte-for-byte, not recomputed.
+        assert sub_artifact.read_bytes() == before
+        assert sorted(outcome.attempts.values()).count(0) == 1
+        # The remainder invocation computed exactly the uncovered items.
+        remainder = load_shard(out / "shard-1of2.resume1.artifact.json")
+        assert remainder.covered_items() == (
+            set(slice_items) - set(sub_items)
+        )
+        strip = lambda r: dataclasses.replace(r, elapsed_seconds=0.0)  # noqa: E731
+        assert strip(outcome.result) == strip(reference)
+
+        # A third run over the same directory reuses everything.
+        again = Orchestrator(plan, out, workers=2, poll_interval=0.05).run()
+        assert set(again.attempts.values()) == {0}
+        assert again.result == outcome.result
+
+    def test_corrupt_sub_artifacts_cleaned_not_reused(self, tmp_path):
+        plan = plan_figure2(**self.KWARGS)
+        out = tmp_path / "orch"
+        out.mkdir()
+        stale = out / "shard-1of2.sub1-1of2.artifact.json"
+        stale.write_text("{ corrupt")
+        (out / "shard-1of2.sub1-1of2.jsonl").write_text("garbage\n")
+        outcome = Orchestrator(plan, out, workers=2, poll_interval=0.05).run()
+        # Nothing reusable: whole shards were dispatched, the stale
+        # partial files swept so they cannot shadow the fresh attempt.
+        assert outcome.attempts == {0: 1, 1: 1}
+        assert not stale.exists()
+        assert outcome.view.done_items == plan.total_items
+
+    def test_invalid_partials_swept_even_when_others_are_reused(self, tmp_path):
+        # A valid sub artifact next to a corrupt one: the good one is
+        # reused, the bad one must still be deleted or it would poison
+        # the `shard-*.artifact.json` merge glob sweep-status prints.
+        import warnings
+
+        from repro.engine import ShardSpec
+        from repro.experiments.figure2 import run_figure2
+
+        plan = plan_figure2(**self.KWARGS)
+        out = tmp_path / "orch"
+        out.mkdir()
+        shard = ShardSpec(0, 2)
+        slice_items = list(shard.items(plan.total_items))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            run_figure2(
+                **self.KWARGS, shard=shard, items=slice_items[:2],
+                shard_out=out / "shard-1of2.sub1-1of2.artifact.json",
+            )
+        corrupt = out / "shard-1of2.sub1-2of2.artifact.json"
+        corrupt.write_text("{ corrupt")
+        outcome = Orchestrator(plan, out, workers=2, poll_interval=0.05).run()
+        assert not corrupt.exists()
+        assert sorted(outcome.attempts.values()).count(0) == 1  # reused
+        import dataclasses
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            reference = run_figure2(**self.KWARGS)
+        strip = lambda r: dataclasses.replace(r, elapsed_seconds=0.0)  # noqa: E731
+        assert strip(outcome.result) == strip(reference)
+
+    def test_sub_artifact_of_other_sweep_not_reused(self, tmp_path):
+        import warnings
+
+        from repro.engine import ShardSpec
+        from repro.experiments.figure2 import run_figure2
+
+        plan = plan_figure2(**self.KWARGS)
+        out = tmp_path / "orch"
+        out.mkdir()
+        shard = ShardSpec(0, 2)
+        other = dict(self.KWARGS, seed=self.KWARGS["seed"] + 1)
+        foreign = out / "shard-1of2.sub1-1of2.artifact.json"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            run_figure2(
+                **other, shard=shard,
+                items=list(shard.items(plan.total_items))[:1],
+                shard_out=foreign,
+            )
+        outcome = Orchestrator(plan, out, workers=2, poll_interval=0.05).run()
+        assert outcome.attempts == {0: 1, 1: 1}  # recomputed whole shards
+        assert not foreign.exists()
 
     def test_status_on_live_directory(self, tmp_path):
         # Build a half-done orchestration by hand: one finished shard
