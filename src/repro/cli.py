@@ -34,9 +34,11 @@ processes), ``--shard I/N`` + ``--shard-out`` (run one slice of the
 sweep, e.g. one CI matrix job), and ``--stream`` (incremental JSONL
 results); ``figure2`` and ``group2`` additionally take ``--checkpoint``
 (resume an interrupted run), ``--chunk-size`` (pin the engine's
-otherwise-adaptive chunking) and ``--shard-items`` (evaluate an
+otherwise-adaptive chunking), ``--shard-items`` (evaluate an
 explicit item subset of the shard's slice — how the orchestrator
-dispatches elastic sub-shards).  Every experiment subcommand is sugar
+dispatches elastic sub-shards) and ``--cache``/``--cache-dir`` (the
+content-addressed verdict cache: bit-identical results, repeated
+sweeps skip recomputation).  Every experiment subcommand is sugar
 over the same spec-building path as ``sweep-run``: the flags construct
 a JobSpec, and ``sweep-run --save-job`` round-trips it to a file.
 """
@@ -244,6 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p9.add_argument("--overhead", type=float, default=0.0,
                     help="per-preemption-point WCET inflation (splitsweep)")
+    _add_cache_args(p9, default="off")
     p9.add_argument("--csv", type=str, default=None, help="write series to CSV")
     p9.add_argument("--chart", action="store_true", help="print an ASCII chart")
     p9.add_argument("--quiet", action="store_true",
@@ -323,6 +326,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="override execution.stream")
     p12.add_argument("--shard-items", type=_items_arg, default=None,
                      metavar="I,J,...", help="override execution.items")
+    _add_cache_args(p12, default=None)
     # Orchestration flags: any of them switches from one inline
     # invocation to a whole sharded orchestration of the same job.
     p12.add_argument(
@@ -438,6 +442,23 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="evaluate only these work items of the shard's slice (the "
              "orchestrator's elastic sub-shard dispatch)",
     )
+    _add_cache_args(parser, default="off")
+
+
+def _add_cache_args(
+    parser: argparse.ArgumentParser, default: str | None
+) -> None:
+    """Verdict-cache flags (``default=None`` keeps a job file's value)."""
+    parser.add_argument(
+        "--cache", choices=("off", "read", "readwrite"), default=default,
+        help="content-addressed verdict cache: 'readwrite' records every "
+             "analysed task-set, 'read' only consumes prior entries; "
+             "results are bit-identical in every mode",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="verdict cache directory (default: results/cache)",
+    )
 
 
 def _shard_out_path(args: argparse.Namespace, stem: str) -> str | None:
@@ -475,6 +496,8 @@ def _job_from_args(
         shard_out=shard_out,
         shard=args.shard,
         items=getattr(args, "shard_items", None),
+        cache=getattr(args, "cache", None) or "off",
+        cache_dir=getattr(args, "cache_dir", None),
     )
     if kind == "figure2":
         from repro.experiments.figure2 import figure2_job
@@ -832,6 +855,10 @@ def _print_orchestration_summary(outcome, out_dir) -> None:
     print(f"\norchestrated {shard_count} shard invocations in "
           f"{outcome.elapsed_seconds:.1f}s{retry_note}{split_note}; "
           f"artifacts + manifest in {out_dir}")
+    view = outcome.view
+    if view.cache_hits or view.cache_misses:
+        print(f"verdict cache: {view.cache_hits} hits / "
+              f"{view.cache_misses} misses")
 
 
 def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
@@ -854,14 +881,24 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
             plan = plan_figure2(
                 m=args.m, n_tasksets=tasksets, seed=args.seed,
                 step=args.step, jobs=args.jobs_per_shard,
+                cache=args.cache, cache_dir=args.cache_dir,
             )
         elif args.experiment == "group2":
             tasksets = args.tasksets if args.tasksets is not None else 300
             plan = plan_group2(
                 m=args.m, n_tasksets=tasksets, seed=args.seed,
                 step=args.step, jobs=args.jobs_per_shard,
+                cache=args.cache, cache_dir=args.cache_dir,
             )
         else:
+            if args.cache != "off":
+                print(
+                    "sweep-orchestrate: splitsweep does not support "
+                    "--cache (the verdict cache keys full multi-method "
+                    "analyses)",
+                    file=sys.stderr,
+                )
+                return 1
             tasksets = args.tasksets if args.tasksets is not None else 30
             plan = plan_splitsweep(
                 m=args.m, utilization=args.utilization,
@@ -942,6 +979,8 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
                 ("shard_out", "execution.shard_out"),
                 ("stream", "execution.stream"),
                 ("shard_items", "execution.items"),
+                ("cache", "execution.cache"),
+                ("cache_dir", "execution.cache_dir"),
             )
             if getattr(args, attr) is not None
         }
@@ -1067,6 +1106,11 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
     ))
     print(f"\nprogress: {view.done_items}/{view.total_items} items "
           f"({100 * view.fraction_done:.0f}%)")
+    if view.cache_hits or view.cache_misses:
+        total = view.cache_hits + view.cache_misses
+        print(f"verdict cache: {view.cache_hits} hits / "
+              f"{view.cache_misses} misses "
+              f"({100 * view.cache_hits / total:.0f}% hit rate)")
     if view.timings:
         chunker = seed_chunker_from_timings(AdaptiveChunker(), list(view.timings))
         print(f"observed cost: {chunker.per_item_seconds:.4f}s/item "

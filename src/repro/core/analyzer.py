@@ -28,6 +28,7 @@ from enum import Enum
 
 from repro.exceptions import AnalysisError
 from repro.core.blocking import RhoSolver, lp_ilp_deltas, lp_max_deltas
+from repro.core.interference import InterferenceMemo
 from repro.core.results import MultiAnalysis, TaskAnalysis, TasksetAnalysis
 from repro.core.rta import response_time_bounds
 from repro.core.workload import MuMethod
@@ -60,10 +61,12 @@ def _analyze_validated(
     mu_method: MuMethod,
     rho_solver: RhoSolver,
     mu_cache: dict[str, list[float]],
+    memo: InterferenceMemo | None = None,
+    warm_starts: dict[str, float] | None = None,
 ) -> TasksetAnalysis:
     """One method on an already-validated task-set (shared μ cache)."""
     if method is AnalysisMethod.FP_IDEAL:
-        tasks = response_time_bounds(taskset, m)
+        tasks = response_time_bounds(taskset, m, memo=memo)
         return TasksetAnalysis(method.value, m, tuple(tasks))
 
     if method is AnalysisMethod.LP_MAX:
@@ -80,7 +83,12 @@ def _analyze_validated(
             )
 
     tasks = response_time_bounds(
-        taskset, m, delta_provider=provider, limited_preemption=True
+        taskset,
+        m,
+        delta_provider=provider,
+        limited_preemption=True,
+        memo=memo,
+        warm_starts=warm_starts,
     )
     return TasksetAnalysis(method.value, m, tuple(tasks))
 
@@ -140,6 +148,7 @@ def analyze_taskset_multi(
     mu_method: MuMethod = "search",
     rho_solver: RhoSolver = "assignment",
     dominance_pruning: bool = True,
+    cache=None,
 ) -> MultiAnalysis:
     """Analyse ``taskset`` with several methods in a single pass.
 
@@ -176,6 +185,21 @@ def analyze_taskset_multi(
         dropped.  ``None`` runs all three.
     dominance_pruning:
         Skip analyses whose verdict follows from a dominating method.
+        The pruned path also warm-starts the LP fixpoints from the
+        FP-ideal converged responses (sound lower bounds: Eq. 4 only
+        adds non-negative terms to Eq. 1), which preserves every
+        response bound and verdict bit-for-bit and shrinks only the
+        diagnostic ``iterations``/``preemptions`` counters of the LP
+        results — the same class of detail pruning itself already
+        substitutes.
+    cache:
+        Optional :class:`~repro.engine.vcache.VerdictCache` (duck-typed:
+        ``key_for``/``get``/``put``).  On a hit the stored
+        :class:`MultiAnalysis` is returned without analysing; on a miss
+        the fresh result is stored when the cache is writable.  The key
+        covers the task-set content and every argument of this function,
+        so a cached verdict is only ever replayed for an identical
+        request.
 
     Returns
     -------
@@ -194,11 +218,30 @@ def analyze_taskset_multi(
         raise AnalysisError("need at least one analysis method")
     validate_taskset_for_analysis(taskset, m)
 
+    key: str | None = None
+    if cache is not None:
+        key = cache.key_for(
+            taskset,
+            m,
+            tuple(mm.value for mm in wanted),
+            mu_method,
+            rho_solver,
+            dominance_pruning,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+
     mu_cache: dict[str, list[float]] = {}
     computed: dict[AnalysisMethod, TasksetAnalysis] = {}
+    memo = InterferenceMemo(taskset, m)
 
-    def run(method: AnalysisMethod) -> TasksetAnalysis:
-        result = _analyze_validated(taskset, m, method, mu_method, rho_solver, mu_cache)
+    def run(
+        method: AnalysisMethod, warm_starts: dict[str, float] | None = None
+    ) -> TasksetAnalysis:
+        result = _analyze_validated(
+            taskset, m, method, mu_method, rho_solver, mu_cache, memo, warm_starts
+        )
         computed[method] = result
         return result
 
@@ -214,19 +257,25 @@ def analyze_taskset_multi(
             for method in lp_wanted:
                 computed[method] = _pruned_unschedulable(method, taskset, m)
         elif lp_wanted:
+            # The converged FP-ideal responses are sound lower bounds on
+            # the LP fixpoints (Eq. 4 ⊇ Eq. 1): warm-start both.
+            warm = {t.name: t.response for t in fp.tasks if t.schedulable}
             # LP-max is cheap (no μ / scenario machinery); when LP-ILP
             # is wanted it doubles as a pre-filter for the expensive
             # Eq. 8 path, so compute it either way.
-            lp_max = run(AnalysisMethod.LP_MAX)
+            lp_max = run(AnalysisMethod.LP_MAX, warm)
             if AnalysisMethod.LP_ILP in lp_wanted:
                 if lp_max.schedulable:
                     computed[AnalysisMethod.LP_ILP] = TasksetAnalysis(
                         AnalysisMethod.LP_ILP.value, m, lp_max.tasks
                     )
                 else:
-                    run(AnalysisMethod.LP_ILP)
+                    run(AnalysisMethod.LP_ILP, warm)
 
-    return MultiAnalysis(m=m, analyses=tuple(computed[mm] for mm in wanted))
+    result = MultiAnalysis(m=m, analyses=tuple(computed[mm] for mm in wanted))
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result
 
 
 def is_schedulable(

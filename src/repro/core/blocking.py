@@ -28,7 +28,7 @@ from repro.core.scenarios import (
     rho_assignment,
     rho_ilp,
 )
-from repro.core.workload import MuMethod, mu_array
+from repro.core.workload import MuMethod, mu_array_shared
 from repro.model.task import DAGTask
 
 RhoSolver = Literal["assignment", "ilp"]
@@ -120,7 +120,7 @@ def lp_ilp_deltas(
                     f"cached mu array of {task.name!r} has {len(mu)} entries, need {m}"
                 )
         else:
-            mu = mu_array(task, m, method=mu_method)
+            mu = mu_array_shared(task, m, method=mu_method)
             if mu_cache is not None:
                 mu_cache[task.name] = mu
         mu_by_task[task.name] = mu
@@ -143,7 +143,10 @@ def _lp_ilp_single(
         if rho_solver == "assignment":
             value: float | None = rho_assignment(mu_by_task, scenario)
         elif rho_solver == "ilp":
-            value = rho_ilp(mu_by_task, scenario, m)
+            # Carry the best scenario workload so far as the ILP
+            # incumbent: later scenarios only pay for the branches that
+            # could still raise the maximum.
+            value = rho_ilp(mu_by_task, scenario, m, floor=best)
         else:
             raise AnalysisError(
                 f"unknown rho solver {rho_solver!r}; choose 'assignment' or 'ilp'"

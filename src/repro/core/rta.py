@@ -11,19 +11,36 @@ interference-free bound) and is monotonically non-decreasing, because
 ``W_i``, ``h_k`` and hence both interference terms are non-decreasing in
 the window length. It stops at a fixpoint, or is abandoned as
 unschedulable as soon as the estimate exceeds ``D_k``.
+
+Hot path
+--------
+The interference terms are evaluated through an
+:class:`~repro.core.interference.InterferenceMemo` — precomputed
+per-task constants, a cross-iteration/cross-method ``W_i`` memo and a
+numpy batch for wide hp prefixes — instead of the reference functions in
+:mod:`repro.core.interference`.  The memo reproduces the reference
+float-for-float (asserted by the property suite), so results are
+bit-identical to the seed kernel.
+
+``warm_starts`` lets a caller seed the fixpoint of a task with a known
+*lower bound* on its response (e.g. the converged FP-ideal response when
+analysing the LP methods: Eq. 4 only adds the non-negative ``I^lp_k``
+term, so the FP-ideal fixpoint can never exceed the LP one).  Starting
+the monotone iteration anywhere between the base window and the least
+fixpoint converges to the *same* least fixpoint — only the informational
+``iterations`` counter shrinks.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping
 
 from repro.exceptions import AnalysisError
 from repro.core.interference import (
-    higher_priority_interference,
+    InterferenceMemo,
     lower_priority_interference,
 )
-from repro.core.preemptions import max_preemptions
 from repro.core.results import TaskAnalysis
 from repro.model.task import DAGTask
 from repro.model.taskset import TaskSet
@@ -48,6 +65,9 @@ def response_time_bounds(
     m: int,
     delta_provider: DeltaProvider | None = None,
     limited_preemption: bool = False,
+    *,
+    warm_starts: Mapping[str, float] | None = None,
+    memo: InterferenceMemo | None = None,
 ) -> list[TaskAnalysis]:
     """Run the RTA over a whole task-set.
 
@@ -65,6 +85,15 @@ def response_time_bounds(
         When True, Eq. 4 is used: the lower-priority interference
         ``Δ^m + p_k·Δ^{m−1}`` enters the fixpoint with ``p_k``
         re-evaluated at the current window.
+    warm_starts:
+        Optional per-task-name lower bounds on the converged response
+        (see module docstring); the fixpoint starts at
+        ``max(base, warm_start)``.  Affects only the ``iterations``
+        counter, never the response.
+    memo:
+        Optional shared :class:`InterferenceMemo`; one is created when
+        absent.  The multi-method analyzer passes a single memo so
+        ``W_i``/``h_k`` evaluations are reused across methods.
 
     Returns
     -------
@@ -84,11 +113,13 @@ def response_time_bounds(
     if limited_preemption and delta_provider is None:
         raise AnalysisError("limited_preemption=True requires a delta_provider")
     provider = delta_provider or _no_blocking
+    if memo is None:
+        memo = InterferenceMemo(taskset, m)
 
     results: list[TaskAnalysis] = []
-    responses: dict[str, float] = {}
+    responses: list[float] = []
     failed = False
-    for task in taskset:
+    for rank, task in enumerate(taskset):
         if failed:
             results.append(
                 TaskAnalysis(
@@ -100,14 +131,14 @@ def response_time_bounds(
                 )
             )
             continue
-        hp_tasks = taskset.hp(task.name)
         delta_m, delta_m1 = provider(task) if limited_preemption else (0.0, 0.0)
+        warm = warm_starts.get(task.name) if warm_starts else None
         analysis = _fixpoint(
-            task, hp_tasks, m, responses, delta_m, delta_m1, limited_preemption
+            task, rank, m, responses, delta_m, delta_m1, limited_preemption, memo, warm
         )
         results.append(analysis)
         if analysis.schedulable:
-            responses[task.name] = analysis.response
+            responses.append(analysis.response)
         else:
             failed = True
     return results
@@ -115,23 +146,28 @@ def response_time_bounds(
 
 def _fixpoint(
     task: DAGTask,
-    hp_tasks: Sequence[DAGTask],
+    rank: int,
     m: int,
-    responses: dict[str, float],
+    responses: list[float],
     delta_m: float,
     delta_m1: float,
     limited_preemption: bool,
+    memo: InterferenceMemo,
+    warm_start: float | None,
 ) -> TaskAnalysis:
     base = task.longest_path + (task.volume - task.longest_path) / m
     window = base
+    if warm_start is not None and warm_start > base:
+        window = warm_start
+    deadline = task.deadline
     preemptions = 0
     for iteration in range(1, _MAX_ITERATIONS + 1):
-        interference = higher_priority_interference(hp_tasks, window, m, responses)
+        interference = memo.interference(rank, window, responses)
         if limited_preemption:
-            preemptions = max_preemptions(task, hp_tasks, window)
+            preemptions = memo.preemptions(rank, window)
             interference += lower_priority_interference(delta_m, delta_m1, preemptions)
         candidate = base + math.floor(interference / m)
-        if candidate > task.deadline:
+        if candidate > deadline:
             return TaskAnalysis(
                 name=task.name,
                 schedulable=False,

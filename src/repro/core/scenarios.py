@@ -144,8 +144,15 @@ def rho_ilp(
     mu_by_task: dict[str, list[float]],
     scenario: ExecutionScenario,
     m: int,
+    floor: float | None = None,
 ) -> float | None:
     """``ρ_k[s_l]`` via the paper's ILP; ``None`` when infeasible.
+
+    ``floor`` warm-starts the branch-and-bound with a workload value
+    already achieved by another scenario: assignments that cannot beat
+    it are pruned, and ``None`` is returned when nothing better exists
+    (the caller keeps its running maximum, so the portfolio result is
+    unchanged — only cheaper).
 
     Variables ``w_i^c`` select "task ``τ_i`` contributes with ``c``
     cores". Constraints (paper Section V-B):
@@ -206,7 +213,7 @@ def rho_ilp(
         name="all m cores covered",
     )
 
-    solution = solve(program)
+    solution = solve(program, incumbent=floor)
     if not solution.is_optimal:
         return None
     return solution.objective

@@ -75,6 +75,34 @@ def mu_array(
     return [mu_value(dag, c, method) for c in range(1, m + 1)]
 
 
+#: Process-level μ memo keyed by DAG *content* (DAG equality/hash ignore
+#: node insertion order), core count and method.  μ is a pure function
+#: of those three, so the memo is exact; it carries μ arrays across
+#: task-sets — e.g. between adjacent utilization points of a sweep job
+#: that regenerate structurally identical DAGs.  Bounded: cleared
+#: wholesale when full (sweep access patterns have no useful LRU order).
+_MU_SHARED: dict[tuple[DAG, int, str], tuple[float, ...]] = {}
+_MU_SHARED_MAX = 1024
+
+
+def mu_array_shared(task: DAGTask | DAG, m: int, method: MuMethod = "search") -> list[float]:
+    """:func:`mu_array` through the process-level content-addressed memo.
+
+    Returns a fresh list on every call (callers may stash it in
+    per-analysis caches); the memo itself stores immutable tuples.
+    """
+    dag = task.graph if isinstance(task, DAGTask) else task
+    key = (dag, m, method)
+    hit = _MU_SHARED.get(key)
+    if hit is not None:
+        return list(hit)
+    values = mu_array(dag, m, method)
+    if len(_MU_SHARED) >= _MU_SHARED_MAX:
+        _MU_SHARED.clear()
+    _MU_SHARED[key] = tuple(values)
+    return values
+
+
 def mu_value(dag: DAG, c: int, method: MuMethod = "search") -> float:
     """``μ[c]`` for a single core count ``c`` (0 when unattainable)."""
     if c < 1:

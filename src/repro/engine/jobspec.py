@@ -41,6 +41,7 @@ from pathlib import Path
 
 from repro.exceptions import JobSpecError, ShardError
 from repro.engine.shard import ShardSpec, parse_items, parse_shard
+from repro.engine.vcache import CACHE_MODES
 
 #: Bump when the JobSpec JSON schema changes; older files are rejected.
 JOBSPEC_VERSION = 1
@@ -107,6 +108,8 @@ _EXECUTION_PARSERS = {
     "shard_out": _parse_opt_str,
     "shard": lambda text: parse_shard(text) if text.strip().lower() not in ("", "none", "null") else None,
     "items": lambda text: parse_items(text) if text.strip().lower() not in ("", "none", "null") else None,
+    "cache": str,
+    "cache_dir": _parse_opt_str,
 }
 
 #: JSON keys each workload kind accepts (strictness: anything else is
@@ -120,7 +123,8 @@ _KIND_KEYS = {
 }
 
 _EXECUTION_KEYS = ("executor", "jobs", "chunk_size", "checkpoint",
-                   "stream", "shard_out", "shard", "items")
+                   "stream", "shard_out", "shard", "items",
+                   "cache", "cache_dir")
 
 
 @dataclass(frozen=True, slots=True)
@@ -390,6 +394,15 @@ class ExecutionPolicy:
     items:
         Explicit work-item subset within the shard's slice (the
         orchestrator's elastic sub-shard dispatch).
+    cache:
+        Verdict-cache mode: ``"off"`` (default), ``"read"`` (hit the
+        cache, never write) or ``"readwrite"``.  The cache is keyed by
+        analysis content (:mod:`repro.engine.vcache`), so it is policy,
+        not workload — it never enters the sweep fingerprint and any
+        mode produces bit-identical results.
+    cache_dir:
+        Verdict-cache directory; ``None`` means the default
+        (``results/cache``) when the cache is on.
     """
 
     executor: str = "process"
@@ -400,6 +413,8 @@ class ExecutionPolicy:
     shard_out: str | None = None
     shard: ShardSpec | None = None
     items: tuple[int, ...] | None = None
+    cache: str = "off"
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -413,7 +428,12 @@ class ExecutionPolicy:
             raise JobSpecError(
                 f"chunk_size must be >= 1, got {self.chunk_size}"
             )
-        for name in ("checkpoint", "stream", "shard_out"):
+        if self.cache not in CACHE_MODES:
+            raise JobSpecError(
+                f"unknown cache mode {self.cache!r}; "
+                f"expected one of {CACHE_MODES}"
+            )
+        for name in ("checkpoint", "stream", "shard_out", "cache_dir"):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, str(value))
@@ -438,6 +458,8 @@ class ExecutionPolicy:
             "shard_out": self.shard_out,
             "shard": self.shard.label if self.shard is not None else None,
             "items": list(self.items) if self.items is not None else None,
+            "cache": self.cache,
+            "cache_dir": self.cache_dir,
         }
 
     @classmethod
@@ -458,9 +480,13 @@ class ExecutionPolicy:
                 kwargs["jobs"] = int(payload["jobs"])
             if "chunk_size" in payload and payload["chunk_size"] is not None:
                 kwargs["chunk_size"] = int(payload["chunk_size"])
-            for key in ("checkpoint", "stream", "shard_out"):
+            for key in ("checkpoint", "stream", "shard_out", "cache_dir"):
                 if key in payload and payload[key] is not None:
                     kwargs[key] = str(payload[key])
+            # Additive field: absent in pre-cache job files, which stay
+            # valid at the same JOBSPEC_VERSION.
+            if "cache" in payload and payload["cache"] is not None:
+                kwargs["cache"] = str(payload["cache"])
             if "shard" in payload and payload["shard"] is not None:
                 kwargs["shard"] = parse_shard(str(payload["shard"]))
             if "items" in payload and payload["items"] is not None:
@@ -492,6 +518,13 @@ class JobSpec:
                         f"{self.workload.kind} workloads do not support "
                         f"execution.{name}"
                     )
+            if self.execution.cache != "off":
+                raise JobSpecError(
+                    f"{self.workload.kind} workloads do not support "
+                    "execution.cache (the verdict cache keys full "
+                    "multi-method analyses; the split sweep re-analyses "
+                    "transformed task-sets per threshold)"
+                )
 
     # Convenience passthroughs ----------------------------------------
     @property

@@ -42,6 +42,10 @@ class ShardProgress:
     counts: dict[int, dict[str, int]] = field(default_factory=dict)
     #: ``(items, seconds)`` chunk-timing telemetry from this shard.
     timings: list[tuple[int, float]] = field(default_factory=list)
+    #: Verdict-cache hits/misses summed over this shard's chunk lines
+    #: (0 when the shard ran with the cache off).
+    cache_hits: int = 0
+    cache_misses: int = 0
     #: Stream restarts observed (shard was retried).
     restarts: int = 0
 
@@ -50,6 +54,8 @@ class ShardProgress:
         self.done_items = 0
         self.counts = {}
         self.timings = []
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +69,9 @@ class ClusterView:
     shards: tuple[ShardProgress, ...]
     #: Pooled ``(items, seconds)`` telemetry across all shards.
     timings: tuple[tuple[int, float], ...]
+    #: Verdict-cache hits/misses pooled across all shards.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def fraction_done(self) -> float:
@@ -152,9 +161,13 @@ class LiveMerger:
         counts: dict[int, dict[str, int]] = {}
         timings: list[tuple[int, float]] = []
         done = 0
+        cache_hits = 0
+        cache_misses = 0
         for shard in self._shards.values():
             done += shard.done_items
             timings.extend(shard.timings)
+            cache_hits += shard.cache_hits
+            cache_misses += shard.cache_misses
             for point, methods in shard.counts.items():
                 target = counts.setdefault(point, {})
                 for name, value in methods.items():
@@ -167,6 +180,8 @@ class LiveMerger:
                 self._shards[index] for index in sorted(self._shards)
             ),
             timings=tuple(timings),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
     # ------------------------------------------------------------------
@@ -195,6 +210,10 @@ class LiveMerger:
                         float(line["elapsed_seconds"]),
                     )
                 )
+            cache = line.get("cache")
+            if isinstance(cache, dict):
+                shard.cache_hits += int(cache.get("hits", 0))
+                shard.cache_misses += int(cache.get("misses", 0))
         elif kind == "item":
             # Per-item experiment payloads (split sweep): progress only.
             shard.done_items += 1

@@ -53,7 +53,7 @@ import shutil
 import sys
 import time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.exceptions import DispatchError, OrchestrationError, ShardError
@@ -818,9 +818,22 @@ def plan_from_jobspec(job) -> OrchestrationPlan:
     ``sweep-run`` layers over the embedded spec.  The dispatched spec
     is the job's :meth:`~repro.engine.jobspec.JobSpec.for_worker` form:
     its own placement fields stripped, its executor/jobs/chunk-size
-    policy kept.
+    and verdict-cache policy kept.
     """
     worker = job.for_worker()
+    if worker.execution.cache != "off":
+        # Daemon-backend shard children run in the daemon's working
+        # directory; resolve the cache directory now so every worker
+        # (and a later resume from another cwd) shares one cache.
+        from repro.engine.vcache import DEFAULT_CACHE_DIR
+
+        cache_dir = worker.execution.cache_dir or DEFAULT_CACHE_DIR
+        worker = replace(
+            worker,
+            execution=replace(
+                worker.execution, cache_dir=str(Path(cache_dir).resolve())
+            ),
+        )
     argv = (
         sys.executable, "-m", "repro", "sweep-run",
         "--job-json", worker.to_json(indent=None),
@@ -842,6 +855,8 @@ def plan_figure2(
     seed: int = 2016,
     step: float | None = None,
     jobs: int = 1,
+    cache: str = "off",
+    cache_dir: str | None = None,
 ) -> OrchestrationPlan:
     """Plan a Figure-2 sweep (same parameters as ``run_figure2``)."""
     from repro.engine.jobspec import ExecutionPolicy
@@ -849,7 +864,7 @@ def plan_figure2(
 
     return plan_from_jobspec(figure2_job(
         m=m, n_tasksets=n_tasksets, seed=seed, step=step,
-        execution=ExecutionPolicy(jobs=jobs),
+        execution=ExecutionPolicy(jobs=jobs, cache=cache, cache_dir=cache_dir),
     ))
 
 
@@ -859,6 +874,8 @@ def plan_group2(
     seed: int = 2016,
     step: float | None = None,
     jobs: int = 1,
+    cache: str = "off",
+    cache_dir: str | None = None,
 ) -> OrchestrationPlan:
     """Plan a group-2 sweep (same parameters as ``run_group2``)."""
     from repro.engine.jobspec import ExecutionPolicy
@@ -866,7 +883,7 @@ def plan_group2(
 
     return plan_from_jobspec(group2_job(
         m=m, n_tasksets=n_tasksets, seed=seed, step=step,
-        execution=ExecutionPolicy(jobs=jobs),
+        execution=ExecutionPolicy(jobs=jobs, cache=cache, cache_dir=cache_dir),
     ))
 
 

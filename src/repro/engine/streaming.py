@@ -11,11 +11,13 @@ the final table.  The line schema:
   line, identifies the sweep (same fingerprint/meta as shard
   artifacts);
 * ``{"type": "chunk", "start": ..., "stop": ..., "counts": {...},
-  "replayed": bool, "elapsed_seconds": float?}`` — one completed chunk
-  (``replayed`` marks records restored from a checkpoint rather than
-  computed by this run; ``elapsed_seconds`` is the chunk's wall-time in
-  its worker, the telemetry the adaptive chunk-sizer of
-  :mod:`repro.engine.chunking` feeds on — absent on replayed lines);
+  "replayed": bool, "elapsed_seconds": float?, "cache": {...}?}`` — one
+  completed chunk (``replayed`` marks records restored from a
+  checkpoint rather than computed by this run; ``elapsed_seconds`` is
+  the chunk's wall-time in its worker, the telemetry the adaptive
+  chunk-sizer of :mod:`repro.engine.chunking` feeds on;
+  ``cache`` carries the chunk's verdict-cache ``{"hits", "misses"}``
+  deltas when a cache is enabled — both absent on replayed lines);
 * ``{"type": "item", ...}`` — experiment-specific per-item payloads
   (the split sweep streams one of these per task-set);
 * ``{"type": "summary", "done_items": ..., "elapsed_seconds": ...}`` —
@@ -111,12 +113,18 @@ class StreamWriter:
         record: ChunkRecord,
         replayed: bool = False,
         elapsed_seconds: float | None = None,
+        cache: dict[str, int] | None = None,
     ) -> None:
         payload = record_to_json(record)
         payload["type"] = "chunk"
         payload["replayed"] = replayed
         if elapsed_seconds is not None:
             payload["elapsed_seconds"] = elapsed_seconds
+        if cache is not None:
+            # Additive telemetry (like elapsed_seconds): the chunk's
+            # verdict-cache hit/miss deltas.  Readers that predate it
+            # ignore unknown fields, so no format-version bump.
+            payload["cache"] = dict(cache)
         self._emit(payload)
 
     def write_item(self, item: int, **fields: object) -> None:

@@ -47,7 +47,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, CacheError
 from repro.core.analyzer import AnalysisMethod, analyze_taskset_multi
 from repro.core.blocking import RhoSolver
 from repro.core.workload import MuMethod
@@ -63,6 +63,7 @@ from repro.engine.executors import Executor, SerialExecutor
 from repro.engine.results import SweepPoint, SweepResult
 from repro.engine.shard import KIND_SWEEP, ShardArtifact, ShardSpec, save_shard, sweep_meta
 from repro.engine.streaming import StreamWriter
+from repro.engine.vcache import CACHE_MODES, DEFAULT_CACHE_DIR, VerdictCache
 from repro.generator.profiles import TasksetProfile
 from repro.generator.taskset_gen import generate_taskset
 
@@ -149,9 +150,78 @@ class SweepSpec:
         return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def _run_chunk(payload: tuple[SweepSpec, int, int]) -> ChunkRecord:
-    """Evaluate work items ``start .. stop - 1`` (runs in a worker)."""
-    spec, start, stop = payload
+#: ``(mode, directory)`` describing the verdict cache of one run;
+#: ``None`` = cache off.  Travels inside executor payloads, so it must
+#: stay a plain picklable value.
+CacheConfig = tuple[str, str] | None
+
+
+#: Process-level verdict-cache handles keyed by ``(mode, directory)``.
+#: Pool workers reuse one handle (and its in-memory entry map) across
+#: every chunk they evaluate; the handle's own per-pid shard files keep
+#: concurrent writers from ever sharing a file (see
+#: :mod:`repro.engine.vcache`).
+_RUN_CACHES: dict[tuple[str, str], VerdictCache] = {}
+
+
+def _cache_for(config: CacheConfig) -> VerdictCache | None:
+    if config is None:
+        return None
+    cache = _RUN_CACHES.get(config)
+    if cache is None:
+        mode, directory = config
+        cache = VerdictCache(directory, mode=mode)
+        _RUN_CACHES[config] = cache
+    return cache
+
+
+class _CacheSession:
+    """Per-run view of a shared cache with private hit/miss counters.
+
+    The :class:`~repro.engine.vcache.VerdictCache` handle is shared by
+    every run in the process (and every thread, under the thread
+    executor), so diffing its *global* counters around a run would
+    attribute concurrent runs' lookups to each other.  Each run instead
+    wraps the handle in one of these: same lookups, but the counters
+    belong to this run alone.
+    """
+
+    __slots__ = ("_cache", "hits", "misses")
+
+    def __init__(self, cache: VerdictCache) -> None:
+        self._cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, *args, **kwargs) -> str:
+        return self._cache.key_for(*args, **kwargs)
+
+    def get(self, key: str):
+        verdict = self._cache.get(key)
+        if verdict is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return verdict
+
+    def put(self, key: str, verdict) -> None:
+        self._cache.put(key, verdict)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+def _run_chunk(payload, cache=None) -> ChunkRecord:
+    """Evaluate work items ``start .. stop - 1`` (runs in a worker).
+
+    ``payload`` is ``(spec, start, stop)`` or, with a verdict cache
+    enabled, ``(spec, start, stop, cache_config)``; ``cache`` (a
+    :class:`_CacheSession`) overrides the payload's config when the
+    caller wants per-run hit/miss attribution.
+    """
+    spec, start, stop = payload[0], payload[1], payload[2]
+    if cache is None and len(payload) > 3:
+        cache = _cache_for(payload[3])
     counts: dict[int, dict[str, int]] = {}
     for item in range(start, stop):
         point_index, taskset_index = divmod(item, spec.n_tasksets)
@@ -165,6 +235,7 @@ def _run_chunk(payload: tuple[SweepSpec, int, int]) -> ChunkRecord:
             spec.methods,
             mu_method=spec.mu_method,
             rho_solver=spec.rho_solver,
+            cache=cache,
         )
         point = counts.setdefault(
             point_index, {method.value: 0 for method in spec.methods}
@@ -191,8 +262,8 @@ EngineProgress = Callable[[ProgressEvent], None]
 
 
 def _run_runs(
-    payload: tuple[SweepSpec, tuple[tuple[int, int], ...]],
-) -> list[tuple[ChunkRecord, float]]:
+    payload,
+) -> list[tuple[ChunkRecord, float, dict[str, int] | None]]:
     """Evaluate a batch of contiguous runs (one executor round-trip).
 
     Sharded item sets are strided, so their contiguous runs are tiny
@@ -201,17 +272,25 @@ def _run_runs(
     item count, while records stay per-run (contiguous) so the
     checkpoint/artifact schema is unchanged.
 
+    ``payload`` is ``(spec, runs)`` or ``(spec, runs, cache_config)``.
     Each run is timed *in the worker* and returned as ``(record,
-    seconds)``: the wall-time telemetry drives the adaptive chunk sizer
-    and is published on the stream's chunk lines for external sizers
-    (the orchestrator) to consume.
+    seconds, cache_stats)``: the wall-time telemetry drives the
+    adaptive chunk sizer and both it and the per-run verdict-cache
+    hit/miss deltas (``None`` with the cache off) are published on the
+    stream's chunk lines for external consumers (the orchestrator's
+    sizer, ``sweep-status``).
     """
-    spec, runs = payload
-    timed: list[tuple[ChunkRecord, float]] = []
+    spec, runs = payload[0], payload[1]
+    config: CacheConfig = payload[2] if len(payload) > 2 else None
+    cache = _cache_for(config)
+    timed: list[tuple[ChunkRecord, float, dict[str, int] | None]] = []
     for start, stop in runs:
+        session = _CacheSession(cache) if cache is not None else None
         begin = time.perf_counter()
-        record = _run_chunk((spec, start, stop))
-        timed.append((record, time.perf_counter() - begin))
+        record = _run_chunk((spec, start, stop), cache=session)
+        seconds = time.perf_counter() - begin
+        stats = session.stats() if session is not None else None
+        timed.append((record, seconds, stats))
     return timed
 
 
@@ -255,6 +334,16 @@ class SweepEngine:
     progress:
         Optional per-item :class:`ProgressEvent` callback.  With a pool
         executor, events for a chunk fire together on its completion.
+    cache:
+        Verdict-cache mode: ``"off"`` (default), ``"read"`` or
+        ``"readwrite"``.  ``None`` defers to the job's execution
+        policy (and means ``"off"`` for bare :class:`SweepSpec` runs).
+        Cached verdicts are keyed by analysis content
+        (:mod:`repro.engine.vcache`), so any mode yields bit-identical
+        results — hits merely skip recomputation.
+    cache_dir:
+        Verdict-cache directory; ``None`` defers to the policy and
+        falls back to :data:`~repro.engine.vcache.DEFAULT_CACHE_DIR`.
     """
 
     #: Batches dispatched per adaptive wave, as a multiple of the
@@ -270,15 +359,23 @@ class SweepEngine:
         checkpoint_path: str | Path | None = None,
         checkpoint_interval: float = 5.0,
         progress: EngineProgress | None = None,
+        cache: str | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise AnalysisError(f"chunk_size must be >= 1, got {chunk_size}")
+        if cache is not None and cache not in CACHE_MODES:
+            raise CacheError(
+                f"unknown cache mode {cache!r}; expected one of {CACHE_MODES}"
+            )
         self.executor = executor if executor is not None else SerialExecutor()
         self.chunk_size = chunk_size
         self.chunker = chunker
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_interval = checkpoint_interval
         self.progress = progress
+        self.cache = cache
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
 
     # ------------------------------------------------------------------
     def run(
@@ -347,6 +444,11 @@ class SweepEngine:
                 ),
                 checkpoint_interval=self.checkpoint_interval,
                 progress=self.progress,
+                cache=self.cache if self.cache is not None else policy.cache,
+                cache_dir=(
+                    self.cache_dir if self.cache_dir is not None
+                    else policy.cache_dir
+                ),
             )
             return engine.run(
                 job.workload.sweep_spec(),
@@ -433,6 +535,17 @@ class SweepEngine:
         if self.chunk_size is None and self.executor.jobs > 1:
             sizer = self.chunker if self.chunker is not None else AdaptiveChunker()
 
+        # The cache config rides inside every executor payload: pool
+        # workers open their own handle (with per-pid write shards) on
+        # first use, so no cross-process state needs coordinating here.
+        cache_config: CacheConfig = None
+        if self.cache is not None and self.cache != "off":
+            cache_config = (
+                self.cache,
+                self.cache_dir if self.cache_dir is not None
+                else DEFAULT_CACHE_DIR,
+            )
+
         writer = StreamWriter(stream) if stream is not None else None
         try:
             if writer is not None:
@@ -470,10 +583,11 @@ class SweepEngine:
                     ]
                 position += len(wave)
                 payloads = [
-                    (spec, tuple(batch)) for batch in self._chunks(wave, size)
+                    (spec, tuple(batch), cache_config)
+                    for batch in self._chunks(wave, size)
                 ]
                 for batch in self.executor.map_unordered(_run_runs, payloads):
-                    for record, chunk_seconds in batch:
+                    for record, chunk_seconds, cache_stats in batch:
                         records.append(record)
                         if sizer is not None:
                             sizer.observe(
@@ -481,7 +595,9 @@ class SweepEngine:
                             )
                         if writer is not None:
                             writer.write_chunk(
-                                record, elapsed_seconds=chunk_seconds
+                                record,
+                                elapsed_seconds=chunk_seconds,
+                                cache=cache_stats,
                             )
                         for point, methods in record.counts.items():
                             for method, count in methods.items():

@@ -1,0 +1,332 @@
+"""Persistent content-addressed cache of :class:`MultiAnalysis` verdicts.
+
+Layout: a cache directory (default ``results/cache/``) holding
+
+* ``CACHE_META.json`` — informational marker (written atomically via
+  tmp + ``os.replace``) recording the cache format and version;
+* ``shard-<pid>.jsonl`` — per-process append-only write shards.  Every
+  entry is one complete JSON line ``{"version", "key", "verdict"}``,
+  written with a single buffered write and flushed immediately, so an
+  entry becomes visible atomically at line granularity the moment it is
+  durable.  Readers merge all ``*.jsonl`` shards with no cross-process
+  locking; a torn final line (a writer killed mid-append) and any
+  corrupt or version-skewed entry are *swept* — skipped, counted, and
+  the verdict recomputed — never silently trusted.
+
+Keys are SHA-256 over the canonical task-set fingerprint
+(:mod:`repro.core.fingerprint`) plus every analysis knob that can change
+the verdict (``m``, the requested methods, ``mu_method``,
+``rho_solver``, ``dominance_pruning``) and :data:`CACHE_VERSION`.
+Bumping :data:`CACHE_VERSION` therefore invalidates every existing
+entry without touching the files.
+
+Daemon safety: write shards are keyed by pid and lazily reopened after
+a fork, so any number of worker processes (including daemon-spawned
+ones) can append concurrently; each sees its own writes immediately via
+the in-memory index and everyone else's on the next cache open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exceptions import CacheError
+from repro.core.fingerprint import taskset_fingerprint
+from repro.core.results import MultiAnalysis, TaskAnalysis, TasksetAnalysis
+from repro.engine.checkpoint import write_json_atomic
+from repro.model.taskset import TaskSet
+
+#: Version of the cache entry schema *and* of the analysis semantics the
+#: entries were computed under; part of every key.
+CACHE_VERSION = 1
+
+#: Cache modes accepted by the execution policy and the CLI.
+CACHE_MODES = ("off", "read", "readwrite")
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = "results/cache"
+
+_META_NAME = "CACHE_META.json"
+
+
+def verdict_key(
+    taskset: TaskSet,
+    m: int,
+    methods: tuple[str, ...],
+    mu_method: str,
+    rho_solver: str,
+    dominance_pruning: bool,
+) -> str:
+    """Cache key of one ``analyze_taskset_multi`` invocation."""
+    import hashlib
+
+    text = (
+        f"repro.vcache/v{CACHE_VERSION}|ts={taskset_fingerprint(taskset)}"
+        f"|m={m}|methods={','.join(methods)}|mu={mu_method}"
+        f"|rho={rho_solver}|prune={dominance_pruning}"
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# verdict (de)serialisation — exact float round-trip, inf included
+# ----------------------------------------------------------------------
+def _verdict_to_json(multi: MultiAnalysis) -> dict:
+    return {
+        "m": multi.m,
+        "analyses": [
+            {
+                "method": analysis.method,
+                "m": analysis.m,
+                "tasks": [
+                    {
+                        "name": t.name,
+                        "schedulable": t.schedulable,
+                        "response": t.response,
+                        "iterations": t.iterations,
+                        "delta_m": t.delta_m,
+                        "delta_m_minus_1": t.delta_m_minus_1,
+                        "preemptions": t.preemptions,
+                        "analyzed": t.analyzed,
+                    }
+                    for t in analysis.tasks
+                ],
+            }
+            for analysis in multi.analyses
+        ],
+    }
+
+
+def _verdict_from_json(payload: dict) -> MultiAnalysis:
+    try:
+        analyses = tuple(
+            TasksetAnalysis(
+                method=str(entry["method"]),
+                m=int(entry["m"]),
+                tasks=tuple(
+                    TaskAnalysis(
+                        name=str(t["name"]),
+                        schedulable=bool(t["schedulable"]),
+                        response=float(t["response"]),
+                        iterations=int(t["iterations"]),
+                        delta_m=float(t["delta_m"]),
+                        delta_m_minus_1=float(t["delta_m_minus_1"]),
+                        preemptions=int(t["preemptions"]),
+                        analyzed=bool(t["analyzed"]),
+                    )
+                    for t in entry["tasks"]
+                ),
+            )
+            for entry in payload["analyses"]
+        )
+        return MultiAnalysis(m=int(payload["m"]), analyses=analyses)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError(f"malformed cache verdict: {exc}") from exc
+
+
+def _parse_entry(line: str) -> tuple[str, MultiAnalysis]:
+    """One JSONL line → ``(key, verdict)``; :class:`CacheError` if bad."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise CacheError(f"corrupt cache line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CacheError(f"cache line is not an object: {type(payload).__name__}")
+    if payload.get("version") != CACHE_VERSION:
+        raise CacheError(
+            f"cache entry version {payload.get('version')!r} != {CACHE_VERSION}"
+        )
+    key = payload.get("key")
+    if not isinstance(key, str) or not key:
+        raise CacheError("cache entry has no key")
+    verdict = payload.get("verdict")
+    if not isinstance(verdict, dict):
+        raise CacheError("cache entry has no verdict object")
+    return key, _verdict_from_json(verdict)
+
+
+class VerdictCache:
+    """A handle on the on-disk verdict cache.
+
+    Parameters
+    ----------
+    directory:
+        The cache directory; created (with parents) for ``readwrite``.
+    mode:
+        ``"read"`` (lookups only) or ``"readwrite"`` (lookups + inserts).
+        ``"off"`` is rejected — callers represent *off* as no cache at
+        all (``None``).
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup counters since this handle was opened.
+    swept:
+        Corrupt, truncated or version-skewed entries skipped while
+        loading shards (each one is recomputed on demand, never used).
+    """
+
+    def __init__(self, directory: str | os.PathLike, mode: str) -> None:
+        if mode not in CACHE_MODES or mode == "off":
+            raise CacheError(
+                f"invalid cache mode {mode!r}; expected 'read' or 'readwrite'"
+            )
+        self.directory = Path(directory)
+        self.mode = mode
+        self.hits = 0
+        self.misses = 0
+        self.swept = 0
+        self._entries: dict[str, MultiAnalysis] | None = None
+        self._handle = None
+        self._writer_pid: int | None = None
+        if mode == "readwrite":
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise CacheError(
+                    f"cannot create cache directory {self.directory}: {exc}"
+                ) from exc
+            meta = self.directory / _META_NAME
+            if not meta.exists():
+                write_json_atomic(
+                    meta,
+                    {"format": "repro.vcache/sharded-jsonl", "cache_version": CACHE_VERSION},
+                )
+        elif self.directory.exists() and not self.directory.is_dir():
+            raise CacheError(f"cache path {self.directory} is not a directory")
+
+    @classmethod
+    def open(cls, directory: str | os.PathLike | None, mode: str) -> "VerdictCache":
+        """Open a cache handle; ``directory=None`` uses the default."""
+        return cls(directory if directory is not None else DEFAULT_CACHE_DIR, mode)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _load(self) -> dict[str, MultiAnalysis]:
+        if self._entries is None:
+            entries: dict[str, MultiAnalysis] = {}
+            if self.directory.is_dir():
+                for shard in sorted(self.directory.glob("*.jsonl")):
+                    try:
+                        text = shard.read_text(encoding="utf-8")
+                    except OSError:
+                        continue
+                    for line in text.splitlines():
+                        if not line.strip():
+                            continue
+                        try:
+                            key, verdict = _parse_entry(line)
+                        except CacheError:
+                            self.swept += 1
+                            continue
+                        entries[key] = verdict
+            self._entries = entries
+        return self._entries
+
+    def key_for(
+        self,
+        taskset: TaskSet,
+        m: int,
+        methods: tuple[str, ...],
+        mu_method: str,
+        rho_solver: str,
+        dominance_pruning: bool,
+    ) -> str:
+        """See :func:`verdict_key` (bound form used by the analyzer)."""
+        return verdict_key(taskset, m, methods, mu_method, rho_solver, dominance_pruning)
+
+    def get(self, key: str) -> MultiAnalysis | None:
+        """Look a verdict up; counts a hit or a miss."""
+        verdict = self._load().get(key)
+        if verdict is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return verdict
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    @property
+    def writable(self) -> bool:
+        return self.mode == "readwrite"
+
+    def put(self, key: str, verdict: MultiAnalysis) -> None:
+        """Insert a verdict (no-op in ``read`` mode).
+
+        The entry is appended to this process's shard as one complete
+        line and flushed, and recorded in the in-memory index.
+        """
+        if self.mode != "readwrite":
+            return
+        entries = self._load()
+        if key in entries:
+            return
+        entries[key] = verdict
+        line = json.dumps(
+            {"version": CACHE_VERSION, "key": key, "verdict": _verdict_to_json(verdict)},
+            separators=(",", ":"),
+        )
+        pid = os.getpid()
+        if self._handle is None or self._writer_pid != pid:
+            # First write, or this handle crossed a fork: (re)open the
+            # pid-keyed shard so concurrent processes never share a file.
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+            path = self.directory / f"shard-{pid}.jsonl"
+            # A previous incarnation of this pid may have died mid-write
+            # and left a torn final line; terminate it so the appended
+            # entry stays parseable (the fragment is swept on read).
+            torn_tail = False
+            try:
+                if path.exists() and path.stat().st_size > 0:
+                    with path.open("rb") as probe:
+                        probe.seek(-1, os.SEEK_END)
+                        torn_tail = probe.read(1) != b"\n"
+            except OSError:  # pragma: no cover - best effort
+                pass
+            try:
+                self._handle = path.open("a", encoding="utf-8")
+            except OSError as exc:
+                raise CacheError(f"cannot open cache shard for writing: {exc}") from exc
+            if torn_tail:
+                self._handle.write("\n")
+            self._writer_pid = pid
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the write shard (idempotent)."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._handle = None
+            self._writer_pid = None
+
+    def stats(self) -> dict[str, int]:
+        """Telemetry snapshot: ``{"hits": ..., "misses": ...}``."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __enter__(self) -> "VerdictCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VerdictCache({str(self.directory)!r}, mode={self.mode!r}, "
+            f"hits={self.hits}, misses={self.misses}, swept={self.swept})"
+        )

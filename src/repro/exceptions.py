@@ -11,6 +11,8 @@ rejected the input:
   counts, unordered priorities);
 * :class:`CheckpointError` / :class:`ShardError` — sweep-engine
   persistence problems (corrupt checkpoints, inconsistent shard sets);
+* :class:`CacheError` — verdict-cache problems (unusable cache
+  directory, corrupt or version-skewed entries);
 * :class:`JobSpecError` — malformed declarative job descriptions
   (unknown keys, version skew, kind/policy mismatches);
 * :class:`DispatchError` / :class:`OrchestrationError` — distributed
@@ -54,6 +56,15 @@ class CheckpointError(AnalysisError):
 
 class ShardError(AnalysisError):
     """A shard set is inconsistent: gaps, overlaps or mixed sweeps."""
+
+
+class CacheError(AnalysisError):
+    """The verdict cache is unusable or an entry is corrupt/version-skewed.
+
+    Individual bad entries are swept (skipped and recomputed) by the
+    cache itself, never silently trusted; this error surfaces when the
+    cache cannot operate at all (bad mode, unusable directory).
+    """
 
 
 class JobSpecError(AnalysisError):

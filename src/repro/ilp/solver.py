@@ -26,7 +26,11 @@ from repro.ilp.solution import IlpSolution, IlpStatus
 _DEFAULT_NODE_LIMIT = 5_000_000
 
 
-def solve(program: BinaryProgram, node_limit: int = _DEFAULT_NODE_LIMIT) -> IlpSolution:
+def solve(
+    program: BinaryProgram,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+    incumbent: float | None = None,
+) -> IlpSolution:
     """Optimise ``program`` exactly.
 
     Parameters
@@ -36,12 +40,23 @@ def solve(program: BinaryProgram, node_limit: int = _DEFAULT_NODE_LIMIT) -> IlpS
     node_limit:
         Safety valve on branch-and-bound nodes; exceeded limits raise
         rather than silently returning a sub-optimal answer.
+    incumbent:
+        Optional warm-start objective value (in the program's own
+        objective space).  The search is seeded just *below* it, so any
+        assignment at least as good as the incumbent still survives the
+        bound prune and the optimum is found exactly whenever it beats
+        the incumbent; when nothing at least as good exists the solver
+        returns the ``INFEASIBLE`` marker, which a caller holding the
+        incumbent solution treats as "keep what you have".  Used by the
+        ρ scenario portfolio to carry the best scenario value into the
+        next scenario's solve.
 
     Returns
     -------
     IlpSolution
         Optimal assignment, or an ``INFEASIBLE`` marker when no
-        assignment satisfies the constraints.
+        assignment satisfies the constraints (or none beats the
+        incumbent).
 
     Raises
     ------
@@ -68,7 +83,11 @@ def solve(program: BinaryProgram, node_limit: int = _DEFAULT_NODE_LIMIT) -> IlpS
         for var, _ in constraint.coeffs:
             by_var[var].append(constraint)
 
-    best_value = float("-inf")
+    # The 1e-12 offset cancels the bound prune's tie epsilon so the
+    # effective threshold is exactly the incumbent: any completion
+    # strictly better than it survives the prune and the optimum is
+    # found exactly whenever it beats the warm start.
+    best_value = float("-inf") if incumbent is None else sign * incumbent - 1e-12
     best_assignment: dict[str, int] | None = None
     fixed: dict[str, int] = {}
     nodes = 0

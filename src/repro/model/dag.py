@@ -222,7 +222,11 @@ class DAG:
         return self.wcets() == other.wcets() and set(self._edges) == set(other._edges)
 
     def __hash__(self) -> int:
-        return hash((tuple(sorted(self.wcets().items())), frozenset(self._edges)))
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((tuple(sorted(self.wcets().items())), frozenset(self._edges)))
+            self.__dict__["_hash"] = cached
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DAG(|V|={len(self)}, |E|={len(self._edges)}, vol={self.volume:g})"

@@ -33,7 +33,7 @@ class TaskSet:
         On empty input, duplicate names, missing or duplicate priorities.
     """
 
-    __slots__ = ("_tasks", "_index")
+    __slots__ = ("_tasks", "_index", "_hp_views", "_lp_views")
 
     def __init__(self, tasks: Iterable[DAGTask]) -> None:
         task_list = list(tasks)
@@ -53,6 +53,8 @@ class TaskSet:
             sorted(task_list, key=lambda t: t.priority)
         )
         self._index: dict[str, int] = {t.name: i for i, t in enumerate(self._tasks)}
+        self._hp_views: dict[str, tuple[DAGTask, ...]] = {}
+        self._lp_views: dict[str, tuple[DAGTask, ...]] = {}
 
     # ------------------------------------------------------------------
     # container protocol
@@ -91,12 +93,28 @@ class TaskSet:
     # priority subsets (paper Section III-A)
     # ------------------------------------------------------------------
     def hp(self, name: str) -> tuple[DAGTask, ...]:
-        """``hp(k)``: tasks with higher priority than task ``name``."""
-        return self._tasks[: self.rank(name)]
+        """``hp(k)``: tasks with higher priority than task ``name``.
+
+        The tuple view is built once per task and cached — the analyzer
+        asks for it once per task per method, which used to rebuild
+        O(n²) slices per analysis.
+        """
+        view = self._hp_views.get(name)
+        if view is None:
+            view = self._tasks[: self.rank(name)]
+            self._hp_views[name] = view
+        return view
 
     def lp(self, name: str) -> tuple[DAGTask, ...]:
-        """``lp(k)``: tasks with lower priority than task ``name``."""
-        return self._tasks[self.rank(name) + 1 :]
+        """``lp(k)``: tasks with lower priority than task ``name``.
+
+        Cached like :meth:`hp`.
+        """
+        view = self._lp_views.get(name)
+        if view is None:
+            view = self._tasks[self.rank(name) + 1 :]
+            self._lp_views[name] = view
+        return view
 
     # ------------------------------------------------------------------
     # aggregates

@@ -136,6 +136,13 @@ def job_specs(draw):
         "stream": draw(st.one_of(st.none(), st.just("out/stream.jsonl"))),
         "shard_out": draw(st.one_of(st.none(), st.just("out/shard.json"))),
     }
+    if kind != "splitsweep":  # split sweeps reject the verdict cache
+        execution_kwargs["cache"] = draw(
+            st.sampled_from(("off", "read", "readwrite"))
+        )
+        execution_kwargs["cache_dir"] = draw(
+            st.one_of(st.none(), st.just("out/cache"))
+        )
     count = draw(st.integers(1, 8))
     shard = draw(
         st.one_of(st.none(), st.builds(

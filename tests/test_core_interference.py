@@ -1,6 +1,8 @@
 """Unit tests for :mod:`repro.core.interference`."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.interference import (
     higher_priority_interference,
@@ -93,3 +95,91 @@ class TestLowerPriorityInterference:
             lower_priority_interference(0.0, -1.0, 0)
         with pytest.raises(AnalysisError):
             lower_priority_interference(0.0, 0.0, -1)
+
+
+class TestInterferenceMemo:
+    """The memoised/vectorised ``I^hp_k`` path must be bit-identical."""
+
+    @staticmethod
+    def _taskset(seed: int, utilization: float):
+        import numpy as np
+
+        from repro.generator.profiles import GROUP1
+        from repro.generator.taskset_gen import generate_taskset
+
+        return generate_taskset(
+            np.random.default_rng(seed), utilization, GROUP1
+        )
+
+    @given(
+        seed=st.integers(0, 2**16),
+        utilization=st.sampled_from((0.8, 1.5, 2.5)),
+        window=st.floats(0.0, 500.0, allow_nan=False),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_memo_matches_seed_scalar_path(
+        self, seed, utilization, window, data
+    ):
+        from repro.core.interference import InterferenceMemo
+
+        ts = self._taskset(seed, utilization)
+        m = 4
+        responses = [
+            data.draw(
+                st.floats(0.0, 300.0, allow_nan=False), label=f"R_{i}"
+            )
+            for i in range(len(ts))
+        ]
+        memo = InterferenceMemo(ts, m)
+        by_name = {t.name: r for t, r in zip(ts.tasks, responses)}
+        for count in range(len(ts) + 1):
+            expected = higher_priority_interference(
+                ts.tasks[:count], window, m, by_name
+            )
+            assert memo.interference(count, window, responses[:count]) == expected
+            # Memoised re-query returns the identical value.
+            assert memo.interference(count, window, responses[:count]) == expected
+
+    @given(
+        seed=st.integers(0, 2**16),
+        window=st.floats(0.0, 500.0, allow_nan=False),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vector_batch_bit_identical_to_scalar_loop(
+        self, seed, window, data
+    ):
+        from repro.core.interference import InterferenceMemo
+
+        ts = self._taskset(seed, 2.0)
+        m = 4
+        responses = [
+            data.draw(
+                st.floats(0.0, 300.0, allow_nan=False), label=f"R_{i}"
+            )
+            for i in range(len(ts))
+        ]
+        # Force the numpy batch on one memo, forbid it on the other.
+        batch = InterferenceMemo(ts, m, vector_min_tasks=1)
+        scalar = InterferenceMemo(ts, m, vector_min_tasks=10**9)
+        for count in range(len(ts) + 1):
+            assert batch.interference(
+                count, window, responses[:count]
+            ) == scalar.interference(count, window, responses[:count])
+
+    def test_preemptions_formula(self, diamond):
+        from repro.core.interference import InterferenceMemo
+        from repro.model.taskset import TaskSet
+
+        ts = TaskSet([
+            DAGTask("hi", diamond, period=20.0, priority=0),
+            DAGTask("mid", diamond, period=30.0, priority=1),
+            DAGTask("lo", diamond, period=50.0, priority=2),
+        ])
+        memo = InterferenceMemo(ts, 2)
+        # q = |V| - 1 = 3 for the diamond; h over hp periods 20 and 30
+        # in a window of 45 is ceil(45/20) + ceil(45/30) = 3 + 2 = 5.
+        assert memo.preemptions(2, 45.0) == 3  # min(q=3, h=5)
+        assert memo.preemptions(2, 0.0) == 0   # empty window
+        assert memo.preemptions(0, 45.0) == 0  # no hp tasks

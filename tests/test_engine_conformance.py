@@ -543,3 +543,144 @@ class TestDaemonConformance:
             ).run()
         assert killed["done"]
         assert _strip(outcome.result) == reference
+
+
+class TestCacheConformance:
+    """The verdict cache never changes a result — only how fast it lands.
+
+    Cache-off, cache-miss (cold readwrite), cache-hit (warm read) and
+    cross-process cache sharing must all be bit-identical to the plain
+    serial run; telemetry must account for every item.
+    """
+
+    def _cache_totals(self, stream: Path) -> tuple[int, int]:
+        from repro.engine.streaming import iter_stream
+
+        hits = misses = 0
+        for line in iter_stream(stream):
+            if line.get("type") == "chunk" and "cache" in line:
+                hits += line["cache"]["hits"]
+                misses += line["cache"]["misses"]
+        return hits, misses
+
+    @CONFORMANCE
+    @given(spec=sweep_specs(), chunk_size=st.integers(1, 5))
+    def test_cache_modes_bit_identical(self, spec, chunk_size):
+        reference = _reference(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            cache_dir = Path(tmp) / "cache"
+            cold = SweepEngine(
+                chunk_size=chunk_size, cache="readwrite", cache_dir=cache_dir
+            ).run(spec, stream=Path(tmp) / "cold.jsonl")
+            warm = SweepEngine(
+                chunk_size=chunk_size, cache="read", cache_dir=cache_dir
+            ).run(spec, stream=Path(tmp) / "warm.jsonl")
+            assert _strip(cold) == reference
+            assert _strip(warm) == reference
+            hits, misses = self._cache_totals(Path(tmp) / "cold.jsonl")
+            assert (hits, misses) == (0, spec.total_items)
+            hits, misses = self._cache_totals(Path(tmp) / "warm.jsonl")
+            assert (hits, misses) == (spec.total_items, 0)
+
+    def test_cache_shared_across_executors(self, tmp_path):
+        # A serial run populates the cache; pool workers then serve the
+        # whole sweep from it — and still reproduce the exact result.
+        spec = _fixed_spec()
+        reference = _reference(spec)
+        cache_dir = tmp_path / "cache"
+        SweepEngine(cache="readwrite", cache_dir=cache_dir).run(spec)
+        for executor in (ThreadExecutor(3), MultiprocessExecutor(3)):
+            stream = tmp_path / f"{type(executor).__name__}.jsonl"
+            result = SweepEngine(
+                executor=executor, cache="read", cache_dir=cache_dir
+            ).run(spec, stream=stream)
+            assert _strip(result) == reference, type(executor).__name__
+            hits, misses = self._cache_totals(stream)
+            assert (hits, misses) == (spec.total_items, 0)
+
+    def test_sharded_runs_share_one_cache(self, tmp_path):
+        spec = _fixed_spec(n_tasksets=5)
+        reference = _reference(spec)
+        cache_dir = tmp_path / "cache"
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"shard{index}.json"
+            SweepEngine(cache="readwrite", cache_dir=cache_dir).run(
+                spec, shard=ShardSpec(index, 3), shard_out=path
+            )
+            paths.append(path)
+        assert _strip(merge_shards(paths)) == reference
+        # Re-merging from a fully warm cache is still bit-identical.
+        paths2 = []
+        for index in range(3):
+            path = tmp_path / f"warm{index}.json"
+            stream = tmp_path / f"warm{index}.jsonl"
+            SweepEngine(cache="read", cache_dir=cache_dir).run(
+                spec, shard=ShardSpec(index, 3), shard_out=path, stream=stream
+            )
+            hits, misses = self._cache_totals(stream)
+            assert misses == 0 and hits > 0
+            paths2.append(path)
+        assert _strip(merge_shards(paths2)) == reference
+
+    def test_daemon_killed_mid_run_with_warm_cache_bit_identical(
+        self, tmp_path
+    ):
+        # The acceptance-criteria case with the cache in the loop: a
+        # pre-warmed verdict cache, daemon workers, an elastic split,
+        # and a daemon killed mid-run — healed to the exact serial
+        # result, with cache hits visible in the cluster view.
+        import tempfile as tf
+
+        from repro.engine.backends import DaemonBackend
+        from repro.engine.daemon import WorkerDaemon
+        from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
+        from repro.engine.orchestrator import Orchestrator, plan_figure2
+
+        kwargs = dict(m=2, n_tasksets=6, seed=11, step=0.5)
+        reference = _strip(run_figure2(**kwargs))
+        cache_dir = tmp_path / "cache"
+        # Warm the cache in-process: same workload, so same task-sets.
+        warmup = JobSpec(
+            workload=Workload(kind="figure2", **kwargs),
+            execution=ExecutionPolicy(
+                cache="readwrite", cache_dir=str(cache_dir)
+            ),
+        )
+        assert _strip(SweepEngine().run(warmup)) == reference
+
+        plan = plan_figure2(
+            **kwargs, cache="readwrite", cache_dir=str(cache_dir)
+        )
+        killed = {"done": False}
+
+        with tf.TemporaryDirectory(prefix="reprod-", dir="/tmp") as tmp:
+            daemons = []
+            for index in range(3):
+                daemon = WorkerDaemon(Path(tmp) / f"w{index}.sock")
+                daemon.serve_in_thread()
+                daemons.append(daemon)
+
+            def progress(view):
+                if not killed["done"] and any(
+                    s.state != "waiting" for s in view.shards
+                ):
+                    daemons[0].stop()  # socket dies like a SIGKILL
+                    killed["done"] = True
+
+            try:
+                with DaemonBackend(
+                    [d.socket_path for d in daemons]
+                ) as backend:
+                    outcome = Orchestrator(
+                        plan, tmp_path / "orch", backend=backend, shards=2,
+                        retries=3, poll_interval=0.05,
+                        elastic=True, elastic_after=0.0, progress=progress,
+                    ).run()
+            finally:
+                for daemon in daemons:
+                    daemon.stop()
+        assert killed["done"]
+        assert _strip(outcome.result) == reference
+        assert outcome.view.cache_hits > 0
+        assert outcome.view.cache_misses == 0  # every verdict pre-warmed

@@ -1,0 +1,192 @@
+"""Unit tests for the persistent verdict cache (:mod:`repro.engine.vcache`)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import AnalysisMethod, analyze_taskset_multi
+from repro.core.results import MultiAnalysis, TaskAnalysis, TasksetAnalysis
+from repro.engine.vcache import (
+    CACHE_VERSION,
+    VerdictCache,
+    _verdict_from_json,
+    _verdict_to_json,
+    verdict_key,
+)
+from repro.exceptions import CacheError
+from repro.generator.profiles import GROUP1
+from repro.generator.taskset_gen import generate_taskset
+
+ALL_METHODS = tuple(AnalysisMethod)
+
+
+def _taskset(seed=1, utilization=1.2):
+    return generate_taskset(np.random.default_rng(seed), utilization, GROUP1)
+
+
+class TestVerdictKey:
+    def test_deterministic(self):
+        ts = _taskset()
+        args = (ts, 2, ("fp-ideal",), "search", "assignment", True)
+        assert verdict_key(*args) == verdict_key(*args)
+
+    def test_every_argument_is_keyed(self):
+        ts = _taskset()
+        base = verdict_key(ts, 2, ("fp-ideal",), "search", "assignment", True)
+        variants = [
+            verdict_key(ts, 4, ("fp-ideal",), "search", "assignment", True),
+            verdict_key(ts, 2, ("lp-max",), "search", "assignment", True),
+            verdict_key(ts, 2, ("fp-ideal",), "ilp", "assignment", True),
+            verdict_key(ts, 2, ("fp-ideal",), "search", "ilp", True),
+            verdict_key(ts, 2, ("fp-ideal",), "search", "assignment", False),
+            verdict_key(
+                _taskset(seed=2), 2, ("fp-ideal",), "search", "assignment", True
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+
+class TestVerdictRoundTrip:
+    def test_real_analysis_round_trips(self):
+        multi = analyze_taskset_multi(_taskset(), 2, ALL_METHODS)
+        payload = json.loads(json.dumps(_verdict_to_json(multi)))
+        assert _verdict_from_json(payload) == multi
+
+    def test_infinite_response_round_trips(self):
+        # json serialises inf as the (non-standard but symmetric)
+        # ``Infinity`` literal; the cache relies on that round-trip.
+        multi = MultiAnalysis(
+            m=2,
+            analyses=(
+                TasksetAnalysis(
+                    method="fp-ideal",
+                    m=2,
+                    tasks=(
+                        TaskAnalysis(
+                            name="t",
+                            schedulable=False,
+                            response=float("inf"),
+                            iterations=7,
+                            delta_m=1.5,
+                            delta_m_minus_1=0.5,
+                            preemptions=3,
+                            analyzed=True,
+                        ),
+                    ),
+                ),
+            ),
+        )
+        restored = _verdict_from_json(
+            json.loads(json.dumps(_verdict_to_json(multi)))
+        )
+        assert restored == multi
+        assert math.isinf(restored.analyses[0].tasks[0].response)
+
+    def test_malformed_verdict_raises_cache_error(self):
+        with pytest.raises(CacheError):
+            _verdict_from_json({"m": 2})  # no analyses
+        with pytest.raises(CacheError):
+            _verdict_from_json({"m": 2, "analyses": [{"method": "x"}]})
+
+
+class TestVerdictCache:
+    def test_mode_off_rejected(self, tmp_path):
+        with pytest.raises(CacheError):
+            VerdictCache(tmp_path, mode="off")
+        with pytest.raises(CacheError):
+            VerdictCache(tmp_path, mode="bogus")
+
+    def test_read_mode_on_missing_dir_is_empty(self, tmp_path):
+        cache = VerdictCache(tmp_path / "nope", mode="read")
+        assert cache.get("deadbeef") is None
+        assert cache.stats() == {"hits": 0, "misses": 1}
+        assert not (tmp_path / "nope").exists()  # read mode creates nothing
+
+    def test_read_mode_put_is_noop(self, tmp_path):
+        (tmp_path / "c").mkdir()
+        cache = VerdictCache(tmp_path / "c", mode="read")
+        cache.put("k", analyze_taskset_multi(_taskset(), 2, ALL_METHODS))
+        assert list((tmp_path / "c").glob("*.jsonl")) == []
+
+    def test_cache_path_must_be_a_directory(self, tmp_path):
+        bogus = tmp_path / "file"
+        bogus.write_text("not a directory")
+        with pytest.raises(CacheError):
+            VerdictCache(bogus, mode="read")
+
+    def test_cached_hit_is_bit_identical_across_all_methods(self, tmp_path):
+        ts = _taskset()
+        fresh = analyze_taskset_multi(ts, 2, ALL_METHODS)
+        with VerdictCache(tmp_path / "c", mode="readwrite") as writer:
+            first = analyze_taskset_multi(ts, 2, ALL_METHODS, cache=writer)
+        assert first == fresh
+        assert writer.stats() == {"hits": 0, "misses": 1}
+        # A brand-new handle must serve the verdict from disk.
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        hit = analyze_taskset_multi(ts, 2, ALL_METHODS, cache=reader)
+        assert hit == fresh
+        assert reader.stats() == {"hits": 1, "misses": 0}
+
+    def test_distinct_parameters_never_share_verdicts(self, tmp_path):
+        ts = _taskset()
+        with VerdictCache(tmp_path / "c", mode="readwrite") as cache:
+            analyze_taskset_multi(ts, 2, ALL_METHODS, cache=cache)
+            # Same task-set, different m: a miss, not a stale hit.
+            on_four = analyze_taskset_multi(ts, 4, ALL_METHODS, cache=cache)
+        assert cache.misses == 2
+        assert on_four == analyze_taskset_multi(ts, 4, ALL_METHODS)
+
+    def test_put_skips_existing_key(self, tmp_path):
+        multi = analyze_taskset_multi(_taskset(), 2, ALL_METHODS)
+        with VerdictCache(tmp_path / "c", mode="readwrite") as cache:
+            cache.put("k", multi)
+            cache.put("k", multi)
+        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        assert len(shard.read_text().splitlines()) == 1
+
+
+class TestStaleEntrySweeping:
+    def _populate(self, directory):
+        ts = _taskset()
+        with VerdictCache(directory, mode="readwrite") as cache:
+            verdict = analyze_taskset_multi(ts, 2, ALL_METHODS, cache=cache)
+        shard = next(directory.glob("shard-*.jsonl"))
+        return ts, verdict, shard
+
+    def test_corrupt_and_skewed_lines_are_swept(self, tmp_path):
+        ts, verdict, shard = self._populate(tmp_path / "c")
+        good = shard.read_text()
+        bad = tmp_path / "c" / "shard-999.jsonl"
+        bad.write_text(
+            "{\"version\": 1, \"key\": \"trunc\", \"verd"  # torn line
+            + "\n[1, 2, 3]\n"  # not an object
+            + json.dumps({"version": CACHE_VERSION + 1, "key": "skew",
+                          "verdict": {}}) + "\n"
+            + json.dumps({"version": CACHE_VERSION, "verdict": {}}) + "\n"
+            + json.dumps({"version": CACHE_VERSION, "key": "noverdict"})
+            + "\n"
+        )
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        hit = analyze_taskset_multi(ts, 2, ALL_METHODS, cache=reader)
+        assert hit == verdict  # the good entry survives its bad neighbours
+        assert reader.swept == 5
+        assert good == shard.read_text()  # sweeping never rewrites shards
+
+    def test_truncated_entry_is_recomputed_and_restored(self, tmp_path):
+        # Regression: a writer killed mid-line leaves a torn final
+        # entry.  It must be swept, recomputed, and re-persisted — not
+        # crash the reader, not serve garbage.
+        ts, verdict, shard = self._populate(tmp_path / "c")
+        text = shard.read_text()
+        shard.write_text(text[: len(text) // 2])  # tear the only entry
+        with VerdictCache(tmp_path / "c", mode="readwrite") as cache:
+            recomputed = analyze_taskset_multi(ts, 2, ALL_METHODS, cache=cache)
+            assert cache.swept == 1
+            assert cache.stats() == {"hits": 0, "misses": 1}
+        assert recomputed == verdict
+        # The repaired cache now serves the verdict again.
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        assert analyze_taskset_multi(ts, 2, ALL_METHODS, cache=reader) == verdict
+        assert reader.stats() == {"hits": 1, "misses": 0}

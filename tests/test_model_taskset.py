@@ -58,6 +58,14 @@ class TestSubsets:
         assert len(ts) == 4
         assert "t1" in ts
         assert "zz" not in ts
+
+    def test_hp_lp_views_are_cached(self, ts):
+        # The analyzer asks for these once per task per method; the
+        # views must be built once and returned by identity afterwards.
+        assert ts.hp("t2") is ts.hp("t2")
+        assert ts.lp("t1") is ts.lp("t1")
+        assert ts.hp("t2") == ts.tasks[:2]
+        assert ts.lp("t1") == ts.tasks[2:]
         assert ts[0].name == "t0"
         assert [t.name for t in ts] == ["t0", "t1", "t2", "t3"]
 
