@@ -246,7 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p9.add_argument("--overhead", type=float, default=0.0,
                     help="per-preemption-point WCET inflation (splitsweep)")
-    _add_cache_args(p9, default="off")
+    _add_cache_args(p9, default=None)
     p9.add_argument("--csv", type=str, default=None, help="write series to CSV")
     p9.add_argument("--chart", action="store_true", help="print an ASCII chart")
     p9.add_argument("--quiet", action="store_true",
@@ -442,13 +442,15 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="evaluate only these work items of the shard's slice (the "
              "orchestrator's elastic sub-shard dispatch)",
     )
-    _add_cache_args(parser, default="off")
+    _add_cache_args(parser, default=None)
 
 
 def _add_cache_args(
     parser: argparse.ArgumentParser, default: str | None
 ) -> None:
-    """Verdict-cache flags (``default=None`` keeps a job file's value)."""
+    """Verdict-cache flags (``default=None`` keeps a job file's value,
+    or — on the flag-driven subcommands — resolves through
+    :func:`_resolve_cache_mode`)."""
     parser.add_argument(
         "--cache", choices=("off", "read", "readwrite"), default=default,
         help="content-addressed verdict cache: 'readwrite' records every "
@@ -479,6 +481,19 @@ def _print_shard_note(args: argparse.Namespace, shard_out: str) -> None:
     )
 
 
+def _resolve_cache_mode(args: argparse.Namespace) -> str:
+    """The effective ``--cache`` mode of a flag-driven subcommand.
+
+    ``--cache-dir`` without ``--cache`` used to be silently ignored
+    (the cache stayed off); naming a directory is an intent to use it,
+    so it implies ``readwrite``.  An explicit ``--cache`` always wins.
+    """
+    cache = getattr(args, "cache", None)
+    if cache is not None:
+        return cache
+    return "readwrite" if getattr(args, "cache_dir", None) else "off"
+
+
 def _job_from_args(
     kind: str, args: argparse.Namespace, shard_out: str | None
 ):
@@ -496,7 +511,7 @@ def _job_from_args(
         shard_out=shard_out,
         shard=args.shard,
         items=getattr(args, "shard_items", None),
-        cache=getattr(args, "cache", None) or "off",
+        cache=_resolve_cache_mode(args),
         cache_dir=getattr(args, "cache_dir", None),
     )
     if kind == "figure2":
@@ -599,19 +614,23 @@ def _cmd_group2(args: argparse.Namespace) -> int:
 
 
 def _cmd_timing(args: argparse.Namespace) -> int:
-    from repro.experiments.reporting import format_table
-    from repro.experiments.timing import run_timing
+    from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
+    from repro.engine.session import run_job
+    from repro.experiments.timing import timing_table
 
-    rows = run_timing(
-        core_counts=tuple(args.m), samples=args.samples, seed=args.seed,
-        jobs=args.jobs,
-    )
-    print(format_table(
-        ["m", "samples", "mean (s)", "max (s)", "schedulable"],
-        [[r.m, r.samples, f"{r.mean_seconds:.4f}", f"{r.max_seconds:.4f}",
-          r.positive_answers] for r in rows],
-        title="LP-ILP analysis runtime (paper: 0.45s / 4.75s / 43min on CPLEX)",
-    ))
+    try:
+        job = JobSpec(
+            workload=Workload(
+                kind="timing", core_counts=tuple(args.m),
+                n_tasksets=args.samples, seed=args.seed,
+            ),
+            execution=ExecutionPolicy(jobs=args.jobs),
+        )
+        rows = run_job(job)
+    except ReproError as exc:
+        print(f"timing: {exc}", file=sys.stderr)
+        return 1
+    print(timing_table(rows))
     return 0
 
 
@@ -622,9 +641,21 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.generator.taskset_gen import generate_taskset
     from repro.sim import simulate, synchronous_periodic_releases
 
-    rng = np.random.default_rng(args.seed)
-    profile = GROUP1 if args.group == 1 else GROUP2
-    taskset = generate_taskset(rng, args.utilization, profile)
+    try:
+        rng = np.random.default_rng(args.seed)
+        profile = GROUP1 if args.group == 1 else GROUP2
+        taskset = generate_taskset(rng, args.utilization, profile)
+        analyses = {}
+        for method in (AnalysisMethod.FP_IDEAL, AnalysisMethod.LP_ILP,
+                       AnalysisMethod.LP_MAX):
+            analyses[method.value] = analyze_taskset(taskset, args.m, method)
+        horizon = 4 * max(t.period for t in taskset)
+        sim = simulate(taskset, args.m,
+                       synchronous_periodic_releases(taskset, horizon))
+    except ReproError as exc:
+        print(f"demo: {exc}", file=sys.stderr)
+        return 1
+
     print(f"generated {len(taskset)} tasks, U = {taskset.total_utilization:.3f}\n")
     rows = []
     for task in taskset:
@@ -634,10 +665,6 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(format_table(["task", "|V|", "vol", "L", "T=D", "util"], rows))
     print()
 
-    analyses = {}
-    for method in (AnalysisMethod.FP_IDEAL, AnalysisMethod.LP_ILP,
-                   AnalysisMethod.LP_MAX):
-        analyses[method.value] = analyze_taskset(taskset, args.m, method)
     rows = []
     for task in taskset:
         row = [task.name]
@@ -651,9 +678,6 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                          for k, v in analyses.items())
     print(f"\n{verdicts}")
 
-    horizon = 4 * max(t.period for t in taskset)
-    sim = simulate(taskset, args.m,
-                   synchronous_periodic_releases(taskset, horizon))
     print(f"\nsimulation over {horizon:.0f} time units: "
           f"{len(sim.records)} jobs, {sim.deadline_misses} deadline misses")
     rows = []
@@ -720,35 +744,26 @@ def _cmd_splitsweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_merge(args: argparse.Namespace) -> int:
-    from repro.engine.shard import KIND_SPLITSWEEP, load_shard, merge_shards
-    from repro.experiments.reporting import (
-        split_sweep_table,
-        sweep_chart,
-        sweep_table,
-        write_split_sweep_csv,
-        write_sweep_csv,
-    )
-    from repro.experiments.splitsweep import merge_split_shards
+    from repro.engine.registry import spec_for_artifact
+    from repro.engine.shard import KIND_SWEEP, load_shard, merge_shards
+    from repro.experiments.reporting import sweep_chart, sweep_table, write_sweep_csv
 
     try:
         artifacts = [load_shard(path) for path in args.shards]
-        if artifacts[0].kind == KIND_SPLITSWEEP:
-            points = merge_split_shards(artifacts)
-            meta = artifacts[0].meta
-            print(split_sweep_table(
-                points,
-                title=(f"Merged preemption-point sweep "
-                       f"(m={meta['m']}, U={meta['utilization']}, "
-                       f"overhead={meta['overhead']:g}, "
-                       f"{meta['n_tasksets']} task-sets, "
-                       f"{len(artifacts)} shards)"),
-                method=str(meta.get("method", "LP-ILP")),
+        kind = artifacts[0].kind
+        if kind != KIND_SWEEP:
+            # Row-based artifacts (splitsweep, sensitivity, simulate,
+            # timing, ...): the registry owns merge + rendering.
+            spec = spec_for_artifact(kind)
+            result = spec.merge(artifacts)
+            print(spec.render_merged(
+                result, artifacts[0].meta, len(artifacts)
             ))
             if args.chart:
-                print("\n(--chart applies to figure2/group2 sweep shards; "
-                      "splitsweep artifacts have no chart form)")
+                print(f"\n(--chart applies to figure2/group2 sweep shards; "
+                      f"{kind} artifacts have no chart form)")
             if args.csv:
-                path = write_split_sweep_csv(points, args.csv)
+                path = spec.write_csv(result, args.csv)
                 print(f"series written to {path}")
             return 0
         result = merge_shards(artifacts)
@@ -875,23 +890,24 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
         write_sweep_csv,
     )
 
+    cache = _resolve_cache_mode(args)
     try:
         if args.experiment == "figure2":
             tasksets = args.tasksets if args.tasksets is not None else 300
             plan = plan_figure2(
                 m=args.m, n_tasksets=tasksets, seed=args.seed,
                 step=args.step, jobs=args.jobs_per_shard,
-                cache=args.cache, cache_dir=args.cache_dir,
+                cache=cache, cache_dir=args.cache_dir,
             )
         elif args.experiment == "group2":
             tasksets = args.tasksets if args.tasksets is not None else 300
             plan = plan_group2(
                 m=args.m, n_tasksets=tasksets, seed=args.seed,
                 step=args.step, jobs=args.jobs_per_shard,
-                cache=args.cache, cache_dir=args.cache_dir,
+                cache=cache, cache_dir=args.cache_dir,
             )
         else:
-            if args.cache != "off":
+            if cache != "off":
                 print(
                     "sweep-orchestrate: splitsweep does not support "
                     "--cache (the verdict cache keys full multi-method "
@@ -950,15 +966,9 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         save_job,
     )
     from repro.engine.orchestrator import plan_from_jobspec
+    from repro.engine.registry import kind_spec
     from repro.engine.session import run_job
-    from repro.experiments.group2 import summarize_group2
-    from repro.experiments.reporting import (
-        split_sweep_table,
-        sweep_chart,
-        sweep_table,
-        write_split_sweep_csv,
-        write_sweep_csv,
-    )
+    from repro.experiments.reporting import sweep_chart
 
     try:
         job = (
@@ -986,6 +996,15 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         }
         if flag_overrides:
             job = job.with_overrides(flag_overrides)
+        if (
+            args.cache is None
+            and args.cache_dir is not None
+            and job.execution.cache == "off"
+        ):
+            # --cache-dir without --cache used to be silently ignored
+            # (the cache stayed off); naming a directory is an intent
+            # to use it, so it now implies --cache readwrite.
+            job = job.with_overrides({"execution.cache": "readwrite"})
         if job.execution.shard is not None and job.execution.shard_out is None:
             # Same fallback as the legacy subcommands: a sharded run
             # always persists its artifact, or the slice's work could
@@ -1025,38 +1044,16 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         print(f"sweep-run: {exc}", file=sys.stderr)
         return 1
 
-    if workload.kind == "splitsweep":
-        print(split_sweep_table(
-            result,
-            title=(f"Preemption-point granularity sweep "
-                   f"(m={workload.m}, U={workload.utilization}, "
-                   f"overhead={workload.overhead:g}, "
-                   f"{workload.n_tasksets} task-sets)"),
-        ))
-        if args.csv:
-            path = write_split_sweep_csv(result, args.csv)
-            print(f"series written to {path}")
-    else:
-        titles = {"figure2": "Figure 2", "group2": "Group 2"}
-        shard = job.execution.shard
-        shard_note = f", shard {shard.label}" if shard else ""
-        print(sweep_table(
-            result,
-            title=(f"{titles[workload.kind]} (m={workload.m}, "
-                   f"{workload.n_tasksets} task-sets/point{shard_note})"),
-        ))
-        if workload.kind == "group2":
-            report = summarize_group2(result)
-            print(f"\nLP-max vs LP-ILP ratio gap: "
-                  f"max {100 * report.max_gap:.1f} pts, "
-                  f"mean {100 * report.mean_gap:.1f} pts "
-                  f"({'agree' if report.methods_agree else 'diverge'})")
-        if args.chart:
-            print()
-            print(sweep_chart(result))
-        if args.csv:
-            path = write_sweep_csv(result, args.csv)
-            print(f"series written to {path}")
+    spec = kind_spec(workload.kind)
+    shard = job.execution.shard
+    shard_note = f", shard {shard.label}" if shard else ""
+    print(spec.render(result, workload, shard_note))
+    if args.chart and spec.artifact_kind == "sweep":
+        print()
+        print(sweep_chart(result))
+    if args.csv:
+        path = spec.write_csv(result, args.csv)
+        print(f"series written to {path}")
     if orchestrated:
         _print_orchestration_summary(outcome, out_dir)
     elif job.execution.shard is not None and job.execution.shard_out:
@@ -1106,11 +1103,13 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
     ))
     print(f"\nprogress: {view.done_items}/{view.total_items} items "
           f"({100 * view.fraction_done:.0f}%)")
-    if view.cache_hits or view.cache_misses:
-        total = view.cache_hits + view.cache_misses
+    cache_total = view.cache_hits + view.cache_misses
+    if cache_total:
+        # cache_total == 0 (fresh orchestration, nothing analysed yet)
+        # must not divide: no traffic means no hit-rate line at all.
         print(f"verdict cache: {view.cache_hits} hits / "
               f"{view.cache_misses} misses "
-              f"({100 * view.cache_hits / total:.0f}% hit rate)")
+              f"({100 * view.cache_hits / cache_total:.0f}% hit rate)")
     if view.timings:
         chunker = seed_chunker_from_timings(AdaptiveChunker(), list(view.timings))
         print(f"observed cost: {chunker.per_item_seconds:.4f}s/item "

@@ -30,6 +30,9 @@ JSON checkpoints.
   shard workflow into a one-command cluster run;
 * :mod:`repro.engine.jobspec` — the declarative, serializable
   :class:`JobSpec` (workload + execution policy) every tier speaks;
+* :mod:`repro.engine.registry` — the workload-kind registry mapping
+  each :class:`JobSpec` kind to its builder, validator, runner and
+  merge/render hooks (the one place a new kind plugs in);
 * :mod:`repro.engine.session` — the :class:`Session` façade running,
   submitting and resuming jobs uniformly.
 """
@@ -82,6 +85,14 @@ from repro.engine.jobspec import (
     save_job,
 )
 from repro.engine.livemerge import ClusterView, LiveMerger, ShardProgress
+from repro.engine.registry import (
+    KindSpec,
+    kind_spec,
+    known_artifact_kinds,
+    merge_artifacts,
+    register_kind,
+    workload_kinds,
+)
 from repro.engine.orchestrator import (
     OrchestrationOutcome,
     OrchestrationPlan,
@@ -176,6 +187,12 @@ __all__ = [
     "read_status",
     "JOBSPEC_VERSION",
     "WORKLOAD_KINDS",
+    "KindSpec",
+    "kind_spec",
+    "known_artifact_kinds",
+    "merge_artifacts",
+    "register_kind",
+    "workload_kinds",
     "JobSpec",
     "Workload",
     "ExecutionPolicy",

@@ -154,7 +154,25 @@ def preload() -> None:
     import repro.experiments.figure2  # noqa: F401
     import repro.experiments.group2  # noqa: F401
     import repro.experiments.reporting  # noqa: F401
+    import repro.experiments.sensitivity  # noqa: F401
+    import repro.experiments.simulate  # noqa: F401
     import repro.experiments.splitsweep  # noqa: F401
+    import repro.experiments.timing  # noqa: F401
+
+
+def _check_socket_path(socket_path: str | Path) -> None:
+    """Reject an ``AF_UNIX`` path the kernel would truncate or refuse.
+
+    ``sun_path`` tops out around 107 bytes on Linux (less elsewhere);
+    past it, ``bind``/``connect`` surface a raw ``OSError`` long after
+    the path was chosen.  Checked on both ends — daemon *and* client —
+    so the mistake is caught where the path is configured.
+    """
+    if len(str(socket_path).encode()) >= 100:
+        raise DispatchError(
+            f"socket path {str(socket_path)!r} is too long for AF_UNIX "
+            "(~107 bytes); use a shorter path, e.g. under /tmp"
+        )
 
 
 class WorkerDaemon:
@@ -175,11 +193,7 @@ class WorkerDaemon:
     def __init__(self, socket_path: str | Path, capacity: int = 1) -> None:
         if capacity < 1:
             raise DispatchError(f"daemon capacity must be >= 1, got {capacity}")
-        if len(str(socket_path).encode()) >= 100:
-            raise DispatchError(
-                f"socket path {str(socket_path)!r} is too long for AF_UNIX "
-                "(~107 bytes); use a shorter path, e.g. under /tmp"
-            )
+        _check_socket_path(socket_path)
         self.socket_path = Path(socket_path)
         self.capacity = capacity
         self._listener: socket.socket | None = None
@@ -532,6 +546,7 @@ class DaemonClient:
     def __init__(
         self, socket_path: str | Path, request_timeout: float = 30.0
     ) -> None:
+        _check_socket_path(socket_path)
         self.socket_path = Path(socket_path)
         self.request_timeout = request_timeout
         self.capacity = 1

@@ -134,6 +134,7 @@ class MultiprocessExecutor(_ClosingMixin):
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self._pool: multiprocessing.pool.Pool | None = None
+        self._clean = True
 
     def _ensure_pool(self) -> "multiprocessing.pool.Pool":
         if self._pool is None:
@@ -147,14 +148,29 @@ class MultiprocessExecutor(_ClosingMixin):
         payloads = list(payloads)
         if not payloads:
             return
-        yield from self._ensure_pool().imap_unordered(fn, payloads)
+        pool = self._ensure_pool()
+        # Flag this wave as in-flight until the consumer drains it; an
+        # abandoned iterator (interrupt, failed shard) leaves the flag
+        # down permanently, switching close() to hard termination.
+        clean_before = self._clean
+        self._clean = False
+        yield from pool.imap_unordered(fn, payloads)
+        self._clean = clean_before
 
     def close(self) -> None:
         if self._pool is not None:
-            # terminate(), not close(): a consumer that abandoned its
-            # result iterator mid-sweep (interrupt, failed shard) must
-            # not block teardown on half-finished tasks.
-            self._pool.terminate()
+            if self._clean:
+                # Every wave was fully drained, so the workers are idle:
+                # let them exit via queue sentinels.  terminate() here
+                # can SIGTERM a worker while it holds the task-queue
+                # rlock, dead-locking sibling workers in SimpleQueue.get
+                # and this process in pool.join (reliably reproducible
+                # on single-CPU hosts).
+                self._pool.close()
+            else:
+                # A consumer abandoned its result iterator mid-sweep:
+                # don't block teardown on half-finished tasks.
+                self._pool.terminate()
             self._pool.join()
             self._pool = None
         super().close()

@@ -40,24 +40,21 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.exceptions import JobSpecError, ShardError
+from repro.engine.registry import kind_spec, workload_kinds
 from repro.engine.shard import ShardSpec, parse_items, parse_shard
 from repro.engine.vcache import CACHE_MODES
 
 #: Bump when the JobSpec JSON schema changes; older files are rejected.
 JOBSPEC_VERSION = 1
 
-#: Workload kinds a :class:`JobSpec` can describe.
-WORKLOAD_KINDS = ("figure2", "group2", "splitsweep")
+#: Workload kinds a :class:`JobSpec` can describe — everything
+#: registered with :mod:`repro.engine.registry` (importing this module
+#: triggers the built-in registrations).
+WORKLOAD_KINDS = workload_kinds()
 
 #: Executor kinds an :class:`ExecutionPolicy` may request
 #: (``jobs == 1`` always runs serially, whatever the kind).
 EXECUTOR_KINDS = ("process", "thread")
-
-#: Default task-sets per kind (figure2/group2 follow the paper's 300).
-_DEFAULT_TASKSETS = {"figure2": 300, "group2": 300, "splitsweep": 30}
-
-#: Default NPR-size thresholds of a splitsweep workload.
-_DEFAULT_THRESHOLDS = (1000.0, 100.0, 50.0, 25.0, 10.0, 5.0)
 
 
 def _parse_opt_float(text: str) -> float | None:
@@ -85,6 +82,13 @@ def _parse_floats(text: str) -> tuple[float, ...]:
     return tuple(float(p) for p in pieces)
 
 
+def _parse_ints(text: str) -> tuple[int, ...]:
+    pieces = [p for p in text.replace(",", " ").split() if p]
+    if not pieces:
+        raise ValueError("empty number list")
+    return tuple(int(p) for p in pieces)
+
+
 #: ``--set`` coercers, per section and field (strings → typed values).
 _WORKLOAD_PARSERS = {
     "kind": str,
@@ -97,6 +101,10 @@ _WORKLOAD_PARSERS = {
     "utilization": float,
     "thresholds": _parse_floats,
     "overhead": float,
+    "core_counts": _parse_ints,
+    "max_scale": float,
+    "horizon_factor": float,
+    "utilization_factor": float,
 }
 
 _EXECUTION_PARSERS = {
@@ -112,19 +120,64 @@ _EXECUTION_PARSERS = {
     "cache_dir": _parse_opt_str,
 }
 
-#: JSON keys each workload kind accepts (strictness: anything else is
-#: rejected, including known fields that do not apply to the kind).
-_KIND_KEYS = {
-    "figure2": ("kind", "m", "n_tasksets", "seed", "step",
-                "mu_method", "rho_solver"),
-    "group2": ("kind", "m", "n_tasksets", "seed", "step"),
-    "splitsweep": ("kind", "m", "n_tasksets", "seed",
-                   "utilization", "thresholds", "overhead"),
+def _coerce_float_list(name: str):
+    def coerce(value: object) -> tuple[float, ...]:
+        if not isinstance(value, Sequence) or isinstance(value, str):
+            raise JobSpecError(f"'{name}' must be a list of numbers")
+        return tuple(float(v) for v in value)
+
+    return coerce
+
+
+def _coerce_int_list(name: str):
+    def coerce(value: object) -> tuple[int, ...]:
+        if not isinstance(value, Sequence) or isinstance(value, str):
+            raise JobSpecError(f"'{name}' must be a list of integers")
+        return tuple(int(v) for v in value)
+
+    return coerce
+
+
+#: JSON value coercers per workload key.  Which keys a payload may use
+#: at all comes from the kind's registry entry (strictness: anything
+#: else is rejected, including known fields that do not apply).
+_KEY_CODERS = {
+    "m": int,
+    "n_tasksets": int,
+    "seed": int,
+    "step": lambda value: None if value is None else float(value),
+    "mu_method": str,
+    "rho_solver": str,
+    "utilization": float,
+    "overhead": float,
+    "thresholds": _coerce_float_list("thresholds"),
+    "core_counts": _coerce_int_list("core_counts"),
+    "max_scale": float,
+    "horizon_factor": float,
+    "utilization_factor": float,
 }
 
 _EXECUTION_KEYS = ("executor", "jobs", "chunk_size", "checkpoint",
                    "stream", "shard_out", "shard", "items",
                    "cache", "cache_dir")
+
+#: Workload field defaults, for the registry-driven strictness check
+#: (fields outside a kind's key set must hold exactly these values).
+_FIELD_DEFAULTS = {
+    "m": 4,
+    "n_tasksets": None,
+    "seed": 2016,
+    "step": None,
+    "mu_method": "search",
+    "rho_solver": "assignment",
+    "utilization": None,
+    "thresholds": None,
+    "overhead": 0.0,
+    "core_counts": None,
+    "max_scale": None,
+    "horizon_factor": None,
+    "utilization_factor": None,
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,12 +193,15 @@ class Workload:
     Attributes
     ----------
     kind:
-        ``"figure2"``, ``"group2"`` or ``"splitsweep"``.
+        A kind registered with :mod:`repro.engine.registry`
+        (``figure2``, ``group2``, ``splitsweep``, ``sensitivity``,
+        ``simulate``, ``timing``).
     m:
-        Core count.
+        Core count (every kind except ``timing``, which sweeps it).
     n_tasksets:
-        Task-sets per utilisation point (figure2/group2) or corpus size
-        (splitsweep); ``None`` resolves to the kind's paper default.
+        Task-sets per utilisation point (figure2/group2), corpus size
+        (splitsweep/sensitivity/simulate) or samples per core count
+        (timing); ``None`` resolves to the kind's default.
     seed:
         Root seed; every work item derives its own RNG from it.
     step:
@@ -153,11 +209,22 @@ class Workload:
     mu_method / rho_solver:
         LP-ILP solver selection (figure2 only).
     utilization:
-        Corpus utilisation (splitsweep; ``None`` resolves to 1.75).
+        Corpus utilisation (splitsweep: default 1.75; sensitivity: 1.0;
+        simulate: 2.0).
     thresholds:
         NPR-size caps, normalised to descending order (splitsweep).
     overhead:
         Per-preemption-point WCET inflation (splitsweep).
+    core_counts:
+        Core-count grid (timing; default ``(4, 8, 16)``).
+    max_scale:
+        Breakdown-search upper bound (sensitivity; default 8.0).
+    horizon_factor:
+        Simulated horizon as a multiple of the largest period
+        (simulate; default 4.0).
+    utilization_factor:
+        Corpus utilisation as a fraction of each core count (timing;
+        default 0.5).
     """
 
     kind: str
@@ -170,6 +237,10 @@ class Workload:
     utilization: float | None = None
     thresholds: tuple[float, ...] | None = None
     overhead: float = 0.0
+    core_counts: tuple[int, ...] | None = None
+    max_scale: float | None = None
+    horizon_factor: float | None = None
+    utilization_factor: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in WORKLOAD_KINDS:
@@ -177,150 +248,78 @@ class Workload:
                 f"unknown workload kind {self.kind!r}; "
                 f"expected one of {WORKLOAD_KINDS}"
             )
-        if self.m < 1:
+        spec = kind_spec(self.kind)
+        # Strictness: every field the kind's registration does not list
+        # must stay at its dataclass default — a workload can never
+        # *look* like it configures a knob its kind ignores.
+        for name, default in _FIELD_DEFAULTS.items():
+            if name in spec.keys:
+                continue
+            if getattr(self, name) != default:
+                hint = spec.reject_hints.get(name, "")
+                raise JobSpecError(
+                    f"{self.kind} workloads take no {name!r}"
+                    + (f" ({hint})" if hint else "")
+                )
+        if "m" in spec.keys and self.m < 1:
             raise JobSpecError(f"core count m must be >= 1, got {self.m}")
         if self.n_tasksets is None:
-            object.__setattr__(
-                self, "n_tasksets", _DEFAULT_TASKSETS[self.kind]
-            )
+            object.__setattr__(self, "n_tasksets", spec.default_tasksets)
         if self.n_tasksets < 1:
             raise JobSpecError(
                 f"n_tasksets must be >= 1, got {self.n_tasksets}"
             )
-        if self.kind == "splitsweep":
-            if self.step is not None:
-                raise JobSpecError("splitsweep workloads take no 'step'")
-            if self.mu_method != "search" or self.rho_solver != "assignment":
-                raise JobSpecError(
-                    "splitsweep workloads take no mu_method/rho_solver "
-                    "(the split sweep fixes its LP-ILP solver)"
-                )
-            if self.thresholds is None:
-                object.__setattr__(self, "thresholds", _DEFAULT_THRESHOLDS)
-            thresholds = tuple(
-                sorted((float(t) for t in self.thresholds), reverse=True)
-            )
-            if not thresholds:
-                raise JobSpecError("splitsweep needs at least one threshold")
-            object.__setattr__(self, "thresholds", thresholds)
-            if self.overhead < 0:
-                raise JobSpecError(
-                    f"overhead must be >= 0, got {self.overhead}"
-                )
-            if self.utilization is None:
-                object.__setattr__(self, "utilization", 1.75)
-            if not self.utilization > 0:
-                raise JobSpecError(
-                    f"utilization must be > 0, got {self.utilization}"
-                )
-        else:
-            if self.utilization is not None:
-                raise JobSpecError(
-                    f"{self.kind} workloads take no 'utilization'"
-                )
-            if self.thresholds is not None:
-                raise JobSpecError(
-                    f"{self.kind} workloads take no 'thresholds'"
-                )
-            if self.overhead != 0.0:
-                raise JobSpecError(f"{self.kind} workloads take no 'overhead'")
-            if self.step is not None and self.step <= 0:
-                raise JobSpecError(f"step must be > 0, got {self.step}")
-        if self.kind == "group2" and (
-            self.mu_method != "search" or self.rho_solver != "assignment"
-        ):
-            raise JobSpecError(
-                "group2 workloads fix mu_method/rho_solver at their "
-                "defaults (the group-2 spec does not parameterise them)"
-            )
-        if self.kind == "figure2":
-            if self.mu_method not in ("search", "ilp", "ilp-paper"):
-                raise JobSpecError(
-                    f"unknown mu_method {self.mu_method!r}; expected "
-                    "search, ilp or ilp-paper"
-                )
-            if self.rho_solver not in ("assignment", "ilp"):
-                raise JobSpecError(
-                    f"unknown rho_solver {self.rho_solver!r}; expected "
-                    "assignment or ilp"
-                )
+        spec.validate(self)
 
     # ------------------------------------------------------------------
     def sweep_spec(self):
         """The exact engine :class:`~repro.engine.sweep.SweepSpec` this
-        workload denotes (figure2/group2 kinds only).
+        workload denotes (utilisation-grid kinds only).
 
         Delegates to the experiments' own spec builders so a job's
         fingerprint is *identical* to the legacy subcommand's — the
         property the conformance suite pins.
         """
-        if self.kind == "figure2":
-            from repro.experiments.figure2 import figure2_spec
-
-            return figure2_spec(
-                m=self.m, n_tasksets=self.n_tasksets, seed=self.seed,
-                step=self.step, mu_method=self.mu_method,
-                rho_solver=self.rho_solver,
+        spec = kind_spec(self.kind)
+        if spec.sweep_spec is None:
+            raise JobSpecError(
+                f"{self.kind} workloads have no SweepSpec; run them "
+                "through Session.run() / sweep-run"
             )
-        if self.kind == "group2":
-            from repro.experiments.group2 import group2_spec
-
-            return group2_spec(
-                m=self.m, n_tasksets=self.n_tasksets, seed=self.seed,
-                step=self.step,
-            )
-        raise JobSpecError(
-            "splitsweep workloads have no SweepSpec; run them through "
-            "Session.run() / sweep-run"
-        )
+        return spec.sweep_spec(self)
 
     def fingerprint(self) -> str:
         """The workload's sweep fingerprint (execution-independent)."""
-        if self.kind == "splitsweep":
-            from repro.core.analyzer import AnalysisMethod
-            from repro.experiments.splitsweep import split_sweep_fingerprint
-            from repro.generator.profiles import GROUP1
-
-            return split_sweep_fingerprint(
-                self.m, self.utilization, self.thresholds, self.n_tasksets,
-                self.seed, GROUP1, AnalysisMethod.LP_ILP, self.overhead,
-            )
-        return self.sweep_spec().fingerprint()
+        return kind_spec(self.kind).fingerprint(self)
 
     @property
     def total_items(self) -> int:
         """The full (unsharded) work-item count."""
-        if self.kind == "splitsweep":
-            return self.n_tasksets
-        return self.sweep_spec().total_items
+        return kind_spec(self.kind).total_items(self)
 
     @property
     def supports_checkpoint(self) -> bool:
         """Whether invocations of this kind can resume from checkpoints."""
-        return self.kind != "splitsweep"
+        return kind_spec(self.kind).supports_checkpoint
+
+    @property
+    def supports_cache(self) -> bool:
+        """Whether the verdict cache applies to this kind."""
+        return kind_spec(self.kind).supports_cache
 
     @property
     def merge_kind(self) -> str:
         """The shard-artifact ``kind`` tag this workload produces."""
-        from repro.engine.shard import KIND_SPLITSWEEP, KIND_SWEEP
-
-        return KIND_SPLITSWEEP if self.kind == "splitsweep" else KIND_SWEEP
+        return kind_spec(self.kind).artifact_kind
 
     # ------------------------------------------------------------------
     def to_json_dict(self) -> dict:
         """Only the keys applicable to the kind are emitted (and later
         accepted back), so a job file documents exactly its knobs."""
-        payload: dict = {"kind": self.kind, "m": self.m,
-                         "n_tasksets": self.n_tasksets, "seed": self.seed}
-        if self.kind in ("figure2", "group2"):
-            payload["step"] = self.step
-        if self.kind == "figure2":
-            payload["mu_method"] = self.mu_method
-            payload["rho_solver"] = self.rho_solver
-        if self.kind == "splitsweep":
-            payload["utilization"] = self.utilization
-            payload["thresholds"] = list(self.thresholds)
-            payload["overhead"] = self.overhead
+        payload: dict = {}
+        for key in kind_spec(self.kind).keys:
+            value = getattr(self, key)
+            payload[key] = list(value) if isinstance(value, tuple) else value
         return payload
 
     @classmethod
@@ -333,7 +332,7 @@ class Workload:
                 f"unknown workload kind {kind!r}; expected one of "
                 f"{WORKLOAD_KINDS}"
             )
-        allowed = _KIND_KEYS[kind]
+        allowed = kind_spec(kind).keys
         unknown = sorted(set(payload) - set(allowed))
         if unknown:
             raise JobSpecError(
@@ -345,23 +344,7 @@ class Workload:
             for key in allowed:
                 if key == "kind" or key not in payload:
                     continue
-                value = payload[key]
-                if key in ("m", "n_tasksets", "seed"):
-                    kwargs[key] = int(value)
-                elif key == "step":
-                    kwargs[key] = None if value is None else float(value)
-                elif key in ("mu_method", "rho_solver"):
-                    kwargs[key] = str(value)
-                elif key == "utilization":
-                    kwargs[key] = float(value)
-                elif key == "overhead":
-                    kwargs[key] = float(value)
-                elif key == "thresholds":
-                    if not isinstance(value, Sequence) or isinstance(value, str):
-                        raise JobSpecError(
-                            "'thresholds' must be a list of numbers"
-                        )
-                    kwargs[key] = tuple(float(t) for t in value)
+                kwargs[key] = _KEY_CODERS[key](payload[key])
         except JobSpecError:
             raise
         except (TypeError, ValueError) as exc:
@@ -518,13 +501,13 @@ class JobSpec:
                         f"{self.workload.kind} workloads do not support "
                         f"execution.{name}"
                     )
-            if self.execution.cache != "off":
-                raise JobSpecError(
-                    f"{self.workload.kind} workloads do not support "
-                    "execution.cache (the verdict cache keys full "
-                    "multi-method analyses; the split sweep re-analyses "
-                    "transformed task-sets per threshold)"
-                )
+        if self.execution.cache != "off" and not self.workload.supports_cache:
+            raise JobSpecError(
+                f"{self.workload.kind} workloads do not support "
+                "execution.cache (the verdict cache keys the grid sweeps' "
+                "full multi-method analyses; this kind's items do not go "
+                "through it)"
+            )
 
     # Convenience passthroughs ----------------------------------------
     @property

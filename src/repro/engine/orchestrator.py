@@ -66,7 +66,7 @@ from repro.engine.checkpoint import (
 )
 from repro.engine.chunking import AdaptiveChunker, seed_chunker_from_timings
 from repro.engine.livemerge import ClusterView, LiveMerger
-from repro.engine.shard import KIND_SPLITSWEEP, ShardSpec, load_shard
+from repro.engine.shard import ShardSpec, load_shard
 
 #: Manifest file name inside every orchestration output directory.
 MANIFEST_NAME = "orchestration.json"
@@ -82,8 +82,9 @@ class OrchestrationPlan:
         Human name of the experiment (``"figure2"``, ``"group2"``,
         ``"splitsweep"``) — also the sub-command dispatched to workers.
     kind:
-        Artifact kind the shards will write (:data:`KIND_SWEEP` or
-        :data:`KIND_SPLITSWEEP`); selects the merge path.
+        Artifact kind the shards will write (``"sweep"`` for the
+        chunked grid sweeps, a row-based kind's own tag otherwise);
+        selects the registry merge path.
     fingerprint:
         The unsharded spec fingerprint every shard artifact and stream
         header must match.
@@ -761,13 +762,9 @@ class Orchestrator:
 
     def _merge(self, jobs: Sequence[_ShardJob]):
         paths = [job.artifact for job in jobs if job.state != "split"]
-        if self.plan.kind == KIND_SPLITSWEEP:
-            from repro.experiments.splitsweep import merge_split_shards
+        from repro.engine.registry import merge_artifacts
 
-            return merge_split_shards(paths)
-        from repro.engine.shard import merge_shards
-
-        return merge_shards(paths)
+        return merge_artifacts(self.plan.kind, paths)
 
     def _write_manifest(self, jobs: Sequence[_ShardJob], state: str) -> None:
         payload = {

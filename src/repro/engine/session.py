@@ -36,10 +36,9 @@ from pathlib import Path
 
 from repro.exceptions import DispatchError, JobSpecError
 from repro.engine.backends import DispatchBackend, LocalBackend, worker_env
-from repro.engine.executors import make_executor
 from repro.engine.jobspec import JobSpec, save_job
 from repro.engine.shard import load_shard
-from repro.engine.sweep import EngineProgress, SweepEngine
+from repro.engine.sweep import EngineProgress
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,33 +104,13 @@ class Session:
         Returns the workload's natural result: a
         :class:`~repro.engine.results.SweepResult` for figure2/group2,
         the :class:`~repro.experiments.splitsweep.SplitSweepPoint` list
-        for splitsweep.
+        for splitsweep, and so on per registered kind — dispatch goes
+        through the workload-kind registry, so any registered kind runs
+        here without Session changes.
         """
-        policy = job.execution
-        if job.kind == "splitsweep":
-            from repro.core.analyzer import AnalysisMethod
-            from repro.experiments.splitsweep import _run_split_sweep
-            from repro.generator.profiles import GROUP1
+        from repro.engine.registry import kind_spec
 
-            workload = job.workload
-            return _run_split_sweep(
-                m=workload.m,
-                utilization=workload.utilization,
-                thresholds=list(workload.thresholds),
-                n_tasksets=workload.n_tasksets,
-                seed=workload.seed,
-                profile=GROUP1,
-                method=AnalysisMethod.LP_ILP,
-                overhead=workload.overhead,
-                jobs=policy.jobs,
-                executor_kind=policy.executor,
-                shard=policy.shard,
-                shard_out=policy.shard_out,
-                stream=policy.stream,
-            )
-        with make_executor(policy.jobs, kind=policy.executor) as executor:
-            engine = SweepEngine(executor=executor, progress=self.progress)
-            return engine.run(job)
+        return kind_spec(job.kind).run(job, self.progress)
 
     def resume(self, path: str | Path):
         """Re-run the job stored at ``path`` (checkpoints resume free)."""
@@ -231,13 +210,9 @@ class Session:
         artifact = load_shard(handle.artifact)
         if artifact.covered_items() != set(range(artifact.total_items)):
             return artifact
-        if handle.job.kind == "splitsweep":
-            from repro.experiments.splitsweep import merge_split_shards
+        from repro.engine.registry import merge_artifacts
 
-            return merge_split_shards([artifact])
-        from repro.engine.shard import merge_shards
-
-        return merge_shards([artifact])
+        return merge_artifacts(artifact.kind, [artifact])
 
     # ------------------------------------------------------------------
     def _ensure_backend(self) -> DispatchBackend:

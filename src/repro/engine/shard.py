@@ -55,7 +55,10 @@ from repro.engine.results import SweepPoint, SweepResult
 #: Artifact kinds understood by :func:`load_shard`.
 KIND_SWEEP = "sweep"
 KIND_SPLITSWEEP = "splitsweep"
-KNOWN_KINDS = (KIND_SWEEP, KIND_SPLITSWEEP)
+# The full set of artifact kinds lives in the workload-kind registry
+# (repro.engine.registry.known_artifact_kinds); these two constants
+# stay because the chunked "sweep" format is special-cased here and
+# splitsweep predates the registry.
 
 
 @dataclass(frozen=True, slots=True)
@@ -233,15 +236,25 @@ def load_shard(path: str | Path) -> ShardArtifact:
                 f"{payload.get('version')!r}, expected {FORMAT_VERSION}"
             )
         kind = str(payload["kind"])
-        if kind not in KNOWN_KINDS:
+        # The workload-kind registry owns the set of artifact kinds and
+        # each row-based kind's row schema; chunked "sweep" artifacts
+        # keep their record codec here.
+        from repro.engine.registry import known_artifact_kinds, row_codec_for
+
+        try:
+            row_codec = row_codec_for(kind)
+        except ShardError:
             raise ShardError(
                 f"shard artifact {path} has unknown kind {kind!r}; "
-                f"expected one of {KNOWN_KINDS}"
-            )
-        if kind == KIND_SWEEP:
+                f"expected one of {known_artifact_kinds()}"
+            ) from None
+        if row_codec is None:
             records = [record_from_json(entry) for entry in payload["records"]]
         else:
-            records = [_split_record_from_json(entry) for entry in payload["records"]]
+            records = [
+                _row_record_from_json(entry, row_codec)
+                for entry in payload["records"]
+            ]
         return ShardArtifact(
             kind=kind,
             fingerprint=str(payload["fingerprint"]),
@@ -259,18 +272,17 @@ def load_shard(path: str | Path) -> ShardArtifact:
         raise ShardError(f"shard artifact {path} is unreadable ({exc})") from exc
 
 
-def _split_record_from_json(entry: dict) -> dict:
-    """Validate and normalise one splitsweep per-item record.
+def _row_record_from_json(entry: dict, row_codec) -> dict:
+    """Validate and normalise one row-based per-item record.
 
-    Raises on a missing ``item``, non-list ``rows`` or a row that is
-    not the 4-tuple ``(Σq, task count, utilisation, schedulable)`` —
-    the caller maps the failure to a :class:`ShardError` so corrupt
-    artifacts surface as the CLI's one-line error, not a traceback.
+    ``row_codec`` is the kind's registered row decoder (splitsweep's
+    ``(Σq, task count, utilisation, schedulable)`` 4-tuple, a
+    sensitivity row's 4 floats, ...).  Raises on a missing ``item``,
+    non-list ``rows`` or a row the codec rejects — the caller maps the
+    failure to a :class:`ShardError` so corrupt artifacts surface as
+    the CLI's one-line error, not a traceback.
     """
-    rows = []
-    for row in entry["rows"]:
-        q, tasks, u, schedulable = row
-        rows.append((int(q), int(tasks), float(u), bool(schedulable)))
+    rows = [row_codec(row) for row in entry["rows"]]
     return {"item": int(entry["item"]), "rows": rows}
 
 

@@ -263,6 +263,18 @@ class StreamTail:
             return []
         if size < self._offset:
             self._restart()
+        elif size == self._offset and self._offset > 0 and self._last_line:
+            # Equal size is not proof of "no new data": a truncate-and-
+            # rewrite can regrow the file to *exactly* the consumed
+            # offset, which the size checks alone would report as a
+            # clean, fully-consumed tail.  Run the witness comparison
+            # here too; a mismatch is a restart whose content must be
+            # re-read from byte 0 below.
+            with self.path.open("rb") as handle:
+                handle.seek(self._offset - len(self._last_line))
+                witness = handle.read(len(self._last_line))
+            if witness != self._last_line:
+                self._restart()
         if size == self._offset:
             return []
         with self.path.open("rb") as handle:

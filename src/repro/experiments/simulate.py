@@ -1,0 +1,273 @@
+"""Analysis-vs-simulation validation sweeps (registry kind ``simulate``).
+
+The response-time analysis is *sound* if no execution it admits ever
+misses a deadline and every observed response time stays under the
+analytic bound.  This experiment checks that claim corpus-wide: each
+generated task-set is analysed with LP-ILP and then run through the
+discrete-event simulator (:mod:`repro.sim`) under the synchronous
+periodic arrival pattern (the classic worst-case candidate) for
+``horizon_factor`` times its largest period.
+
+Per task-set the row records: the analysis verdict, the observed
+deadline misses, the worst observed-response / analytic-bound ratio
+over the tasks the analysis bounded, and a soundness flag — ``True``
+when an *analytically schedulable* task-set missed a deadline or
+overran a bound (which would falsify the analysis).  The merged result
+counts verdicts and violations; ``violations == 0`` is the validation.
+
+Execution shape: row-per-item on :mod:`repro.engine.rowsweep` (corpus
+regenerated from the seed, one item per task-set, corpus-order
+reduction), registered as a first-class JobSpec kind by
+:mod:`repro.engine.registry` — shardable, orchestratable,
+daemon-dispatchable, bit-identical across all of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.analyzer import AnalysisMethod, analyze_taskset
+from repro.engine.rowsweep import collect_rows, run_row_sweep
+from repro.generator.profiles import GROUP1, TasksetProfile
+from repro.generator.taskset_gen import generate_taskset
+from repro.model.taskset import TaskSet
+from repro.sim import simulate, synchronous_periodic_releases
+
+__all__ = [
+    "SimulationValidation",
+    "simulation_fingerprint",
+    "run_simulate_job",
+    "merge_simulation_shards",
+    "simulation_table",
+    "write_simulation_csv",
+]
+
+#: Shard-artifact kind tag of simulation-validation sweeps.
+KIND_SIMULATE = "simulate"
+
+#: The analysis method being validated.
+SIMULATE_METHOD = AnalysisMethod.LP_ILP
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationValidation:
+    """Corpus-level analysis-vs-simulation comparison."""
+
+    m: int
+    utilization: float
+    horizon_factor: float
+    n_tasksets: int
+    #: Task-sets LP-ILP deems schedulable.
+    analyzed_schedulable: int
+    #: Task-sets with >= 1 observed deadline miss (any verdict).
+    missed_tasksets: int
+    #: Analytically-schedulable task-sets that missed a deadline or
+    #: overran an analytic bound — non-zero falsifies the analysis.
+    violations: int
+    #: Worst observed-response / analytic-bound ratio over schedulable
+    #: task-sets (soundness implies <= 1.0).
+    max_response_ratio: float
+
+
+def simulation_fingerprint(
+    m: int,
+    utilization: float,
+    horizon_factor: float,
+    n_tasksets: int,
+    seed: int,
+    profile: TasksetProfile,
+    method: AnalysisMethod = SIMULATE_METHOD,
+) -> str:
+    """Content fingerprint tying shards to one exact validation sweep."""
+    key = (
+        "repro.experiments.simulate/v1",
+        m,
+        utilization,
+        horizon_factor,
+        n_tasksets,
+        seed,
+        repr(profile),
+        method.value,
+    )
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+def _evaluate_simulate_item(
+    payload: tuple[int, TaskSet, int, float],
+) -> tuple[int, list[list]]:
+    """One work item: analyse + simulate one task-set (in a worker)."""
+    index, taskset, m, horizon_factor = payload
+    verdict = analyze_taskset(taskset, m, SIMULATE_METHOD)
+    horizon = horizon_factor * max(task.period for task in taskset)
+    sim = simulate(taskset, m, synchronous_periodic_releases(taskset, horizon))
+    misses = int(sim.deadline_misses)
+    max_ratio = 0.0
+    violation = False
+    if verdict.schedulable:
+        if misses:
+            violation = True
+        for name, stats in sorted(sim.task_stats().items()):
+            bound = verdict.task(name)
+            if bound.bounded and bound.response > 0:
+                max_ratio = max(max_ratio, stats.max_response / bound.response)
+                if stats.max_response > bound.response:
+                    violation = True
+    row = [bool(verdict.schedulable), misses, float(max_ratio), violation]
+    return index, [row]
+
+
+def _reduce_simulation_rows(
+    rows_in_order: list[list[tuple]],
+    n_evaluated: int,
+    *,
+    m: int,
+    utilization: float,
+    horizon_factor: float,
+) -> SimulationValidation:
+    """Corpus-order reduction shared by direct runs and shard merges."""
+    schedulable = 0
+    missed = 0
+    violations = 0
+    max_ratio = 0.0
+    for rows in rows_in_order:
+        verdict, misses, ratio, violation = rows[0]
+        schedulable += bool(verdict)
+        missed += bool(misses)
+        violations += bool(violation)
+        max_ratio = max(max_ratio, ratio)
+    return SimulationValidation(
+        m=m,
+        utilization=utilization,
+        horizon_factor=horizon_factor,
+        n_tasksets=n_evaluated,
+        analyzed_schedulable=schedulable,
+        missed_tasksets=missed,
+        violations=violations,
+        max_response_ratio=max_ratio,
+    )
+
+
+def run_simulate_job(job) -> SimulationValidation:
+    """Execute a ``kind="simulate"`` :class:`JobSpec` placement."""
+    workload, policy = job.workload, job.execution
+    return _run_simulation_sweep(
+        m=workload.m,
+        utilization=workload.utilization,
+        horizon_factor=workload.horizon_factor,
+        n_tasksets=workload.n_tasksets,
+        seed=workload.seed,
+        jobs=policy.jobs,
+        executor_kind=policy.executor,
+        shard=policy.shard,
+        shard_out=policy.shard_out,
+        stream=policy.stream,
+    )
+
+
+def _run_simulation_sweep(
+    m: int,
+    utilization: float,
+    horizon_factor: float,
+    n_tasksets: int = 20,
+    seed: int = 2016,
+    profile: TasksetProfile = GROUP1,
+    jobs: int = 1,
+    executor_kind: str = "process",
+    shard=None,
+    shard_out: str | Path | None = None,
+    stream: str | Path | None = None,
+) -> SimulationValidation:
+    rng = np.random.default_rng(seed)
+    corpus = [
+        generate_taskset(rng, utilization, profile) for _ in range(n_tasksets)
+    ]
+    fingerprint = simulation_fingerprint(
+        m, utilization, horizon_factor, n_tasksets, seed, profile
+    )
+    meta = {
+        "m": m,
+        "utilization": utilization,
+        "horizon_factor": horizon_factor,
+        "n_tasksets": n_tasksets,
+        "seed": seed,
+        "method": SIMULATE_METHOD.value,
+    }
+    indexes, rows_in_order = run_row_sweep(
+        kind=KIND_SIMULATE,
+        fingerprint=fingerprint,
+        total_items=n_tasksets,
+        meta=meta,
+        evaluate=_evaluate_simulate_item,
+        payload_for=lambda index: (index, corpus[index], m, horizon_factor),
+        jobs=jobs,
+        executor_kind=executor_kind,
+        shard=shard,
+        shard_out=shard_out,
+        stream=stream,
+    )
+    return _reduce_simulation_rows(
+        rows_in_order, len(indexes),
+        m=m, utilization=utilization, horizon_factor=horizon_factor,
+    )
+
+
+def merge_simulation_shards(shards) -> SimulationValidation:
+    """Recombine simulate shard artifacts, bit-identical to serial."""
+    from repro.engine.registry import row_codec_for
+
+    first, rows_in_order = collect_rows(
+        shards,
+        kind=KIND_SIMULATE,
+        row_codec=row_codec_for(KIND_SIMULATE),
+        rows_per_item=1,
+    )
+    return _reduce_simulation_rows(
+        rows_in_order,
+        first.total_items,
+        m=int(first.meta["m"]),
+        utilization=float(first.meta["utilization"]),
+        horizon_factor=float(first.meta["horizon_factor"]),
+    )
+
+
+def simulation_table(result: SimulationValidation, shard_note: str = "") -> str:
+    """ASCII rendering for the CLI."""
+    from repro.experiments.reporting import format_table
+
+    table = format_table(
+        ["task-sets", "LP-ILP schedulable", "with misses",
+         "violations", "max observed/bound"],
+        [[result.n_tasksets, result.analyzed_schedulable,
+          result.missed_tasksets, result.violations,
+          f"{result.max_response_ratio:.3f}"]],
+        title=(f"Analysis-vs-simulation validation "
+               f"(m={result.m}, U={result.utilization:g}, "
+               f"horizon={result.horizon_factor:g}x max period"
+               f"{shard_note})"),
+    )
+    verdict = (
+        "analysis sound on this corpus: no admitted task-set missed a "
+        "deadline or overran its bound"
+        if result.violations == 0
+        else f"ANALYSIS FALSIFIED: {result.violations} admitted task-set(s) "
+        "missed a deadline or overran a bound"
+    )
+    return table + "\n\n" + verdict
+
+
+def write_simulation_csv(result: SimulationValidation, path) -> Path:
+    """Single-row CSV (deterministic formatting)."""
+    from repro.experiments.reporting import write_csv
+
+    return write_csv(
+        path,
+        ["n_tasksets", "analyzed_schedulable", "missed_tasksets",
+         "violations", "max_response_ratio"],
+        [[result.n_tasksets, result.analyzed_schedulable,
+          result.missed_tasksets, result.violations,
+          repr(result.max_response_ratio)]],
+    )

@@ -17,8 +17,10 @@ per-sample times; ``jobs > 1`` is for quick trend checks only.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -27,9 +29,13 @@ from repro.core.analyzer import AnalysisMethod, analyze_taskset
 from repro.core.blocking import RhoSolver
 from repro.core.workload import MuMethod
 from repro.engine.executors import make_executor, map_ordered
+from repro.engine.rowsweep import collect_rows, run_row_sweep
 from repro.generator.profiles import GROUP1, TasksetProfile
 from repro.generator.taskset_gen import generate_taskset
 from repro.model.taskset import TaskSet
+
+#: Shard-artifact kind tag of registry-backed timing sweeps.
+KIND_TIMING = "timing"
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,3 +125,193 @@ def run_timing(
                 )
             )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Registry-backed timing sweeps (JobSpec kind "timing").
+#
+# run_timing() above is the original sequential harness: each core
+# count draws its corpus from one spawned RNG stream, so its item
+# space cannot be sliced without replaying the whole stream.  The
+# registry kind instead derives every sample's RNG independently from
+# (seed, core_index, sample_index) — the same per-item derivation the
+# grid sweeps use — which is what makes the item space shardable and
+# daemon-dispatchable.  The two corpora therefore differ at equal
+# seeds; the registry kind is the engine-facing surface, run_timing()
+# stays for direct API use and the timing-vs-paper table.
+#
+# Wall-clock durations are measured inside workers and are inherently
+# non-deterministic; the conformance suite compares only the
+# deterministic projection (schedulable counts per core count).
+
+def timing_fingerprint(
+    core_counts: tuple[int, ...],
+    samples: int,
+    seed: int,
+    utilization_factor: float,
+    profile: TasksetProfile,
+    method: AnalysisMethod = AnalysisMethod.LP_ILP,
+) -> str:
+    """Content fingerprint tying shards to one exact timing sweep."""
+    key = (
+        "repro.experiments.timing/v1",
+        tuple(int(c) for c in core_counts),
+        samples,
+        seed,
+        utilization_factor,
+        repr(profile),
+        method.value,
+    )
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+def _evaluate_timing_item(
+    payload: tuple[int, int, int, int, int, float],
+) -> tuple[int, list[list]]:
+    """One work item: generate + time one sample (in a worker).
+
+    The task-set is regenerated in the worker from the item's own
+    ``SeedSequence(seed, spawn_key=(core_index, sample_index))`` —
+    payloads stay tiny and every shard sees the identical corpus.
+    """
+    index, m, seed, core_index, sample_index, utilization_factor = payload
+    rng = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(core_index, sample_index))
+    )
+    taskset = generate_taskset(rng, utilization_factor * m, GROUP1)
+    start = time.perf_counter()
+    result = analyze_taskset(taskset, m, AnalysisMethod.LP_ILP)
+    seconds = time.perf_counter() - start
+    return index, [[float(seconds), bool(result.schedulable)]]
+
+
+def _reduce_timing_rows(
+    core_counts: tuple[int, ...],
+    samples: int,
+    indexes: list[int],
+    rows_in_order: list[list[tuple[float, bool]]],
+) -> list[TimingRow]:
+    """Per-core-count aggregation over whichever items were evaluated."""
+    by_core: dict[int, list[tuple[float, bool]]] = {
+        core_index: [] for core_index in range(len(core_counts))
+    }
+    for index, rows in zip(indexes, rows_in_order):
+        by_core[index // samples].append(rows[0])
+    out: list[TimingRow] = []
+    for core_index, m in enumerate(core_counts):
+        timed = by_core[core_index]
+        if not timed:
+            continue  # a shard's slice can skip a core count entirely
+        durations = [seconds for seconds, _ in timed]
+        out.append(TimingRow(
+            m=m,
+            samples=len(timed),
+            mean_seconds=sum(durations) / len(durations),
+            max_seconds=max(durations),
+            positive_answers=sum(bool(s) for _, s in timed),
+        ))
+    return out
+
+
+def run_timing_job(job) -> list[TimingRow]:
+    """Execute a ``kind="timing"`` :class:`JobSpec` placement."""
+    workload, policy = job.workload, job.execution
+    return _run_timing_sweep(
+        core_counts=workload.core_counts,
+        samples=workload.n_tasksets,
+        seed=workload.seed,
+        utilization_factor=workload.utilization_factor,
+        jobs=policy.jobs,
+        executor_kind=policy.executor,
+        shard=policy.shard,
+        shard_out=policy.shard_out,
+        stream=policy.stream,
+    )
+
+
+def _run_timing_sweep(
+    core_counts: tuple[int, ...] = (4, 8, 16),
+    samples: int = 20,
+    seed: int = 2016,
+    utilization_factor: float = 0.5,
+    jobs: int = 1,
+    executor_kind: str = "process",
+    shard=None,
+    shard_out: str | Path | None = None,
+    stream: str | Path | None = None,
+) -> list[TimingRow]:
+    core_counts = tuple(int(c) for c in core_counts)
+    fingerprint = timing_fingerprint(
+        core_counts, samples, seed, utilization_factor, GROUP1
+    )
+    meta = {
+        "core_counts": list(core_counts),
+        "n_tasksets": samples,
+        "seed": seed,
+        "utilization_factor": utilization_factor,
+        "method": AnalysisMethod.LP_ILP.value,
+    }
+    indexes, rows_in_order = run_row_sweep(
+        kind=KIND_TIMING,
+        fingerprint=fingerprint,
+        total_items=len(core_counts) * samples,
+        meta=meta,
+        evaluate=_evaluate_timing_item,
+        payload_for=lambda index: (
+            index,
+            core_counts[index // samples],
+            seed,
+            index // samples,
+            index % samples,
+            utilization_factor,
+        ),
+        jobs=jobs,
+        executor_kind=executor_kind,
+        shard=shard,
+        shard_out=shard_out,
+        stream=stream,
+    )
+    return _reduce_timing_rows(core_counts, samples, indexes, rows_in_order)
+
+
+def merge_timing_shards(shards) -> list[TimingRow]:
+    """Recombine timing shard artifacts (full item coverage)."""
+    from repro.engine.registry import row_codec_for
+
+    first, rows_in_order = collect_rows(
+        shards,
+        kind=KIND_TIMING,
+        row_codec=row_codec_for(KIND_TIMING),
+        rows_per_item=1,
+    )
+    core_counts = tuple(int(c) for c in first.meta["core_counts"])
+    samples = int(first.meta["n_tasksets"])
+    return _reduce_timing_rows(
+        core_counts, samples, list(range(first.total_items)), rows_in_order
+    )
+
+
+def timing_table(rows: list[TimingRow], shard_note: str = "") -> str:
+    """ASCII rendering for the CLI (same shape as the legacy table)."""
+    from repro.experiments.reporting import format_table
+
+    return format_table(
+        ["m", "samples", "mean (s)", "max (s)", "schedulable"],
+        [[r.m, r.samples, f"{r.mean_seconds:.4f}", f"{r.max_seconds:.4f}",
+          r.positive_answers] for r in rows],
+        title=("LP-ILP analysis runtime "
+               f"(paper: 0.45s / 4.75s / 43min on CPLEX{shard_note})"),
+    )
+
+
+def write_timing_csv(rows: list[TimingRow], path) -> Path:
+    """One CSV row per core count (durations are wall-clock, not
+    deterministic — diff the schedulable column, not the seconds)."""
+    from repro.experiments.reporting import write_csv
+
+    return write_csv(
+        path,
+        ["m", "samples", "mean_seconds", "max_seconds", "positive_answers"],
+        [[r.m, r.samples, repr(r.mean_seconds), repr(r.max_seconds),
+          r.positive_answers] for r in rows],
+    )

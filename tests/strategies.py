@@ -101,16 +101,20 @@ def job_specs(draw):
     from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
     from repro.engine.shard import ShardSpec
 
-    kind = draw(st.sampled_from(("figure2", "group2", "splitsweep")))
+    kind = draw(st.sampled_from((
+        "figure2", "group2", "splitsweep", "sensitivity", "simulate",
+        "timing",
+    )))
     finite = st.floats(
         min_value=0.1, max_value=64.0, allow_nan=False, allow_infinity=False
     )
     workload_kwargs: dict = {
         "kind": kind,
-        "m": draw(st.integers(1, 64)),
         "n_tasksets": draw(st.one_of(st.none(), st.integers(1, 1000))),
         "seed": draw(st.integers(0, 2**32)),
     }
+    if kind != "timing":  # timing sweeps m itself (via core_counts)
+        workload_kwargs["m"] = draw(st.integers(1, 64))
     if kind in ("figure2", "group2"):
         workload_kwargs["step"] = draw(st.one_of(st.none(), finite))
     if kind == "figure2":
@@ -128,6 +132,24 @@ def job_specs(draw):
         workload_kwargs["overhead"] = draw(
             st.floats(0.0, 10.0, allow_nan=False)
         )
+    if kind == "sensitivity":
+        workload_kwargs["utilization"] = draw(st.one_of(st.none(), finite))
+        workload_kwargs["max_scale"] = draw(st.one_of(st.none(), finite))
+    if kind == "simulate":
+        workload_kwargs["utilization"] = draw(st.one_of(st.none(), finite))
+        workload_kwargs["horizon_factor"] = draw(
+            st.one_of(st.none(), finite)
+        )
+    if kind == "timing":
+        workload_kwargs["core_counts"] = draw(st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(1, 64), min_size=1, max_size=4, unique=True,
+            ).map(tuple),
+        ))
+        workload_kwargs["utilization_factor"] = draw(
+            st.one_of(st.none(), finite)
+        )
     workload = Workload(**workload_kwargs)
 
     execution_kwargs: dict = {
@@ -136,7 +158,7 @@ def job_specs(draw):
         "stream": draw(st.one_of(st.none(), st.just("out/stream.jsonl"))),
         "shard_out": draw(st.one_of(st.none(), st.just("out/shard.json"))),
     }
-    if kind != "splitsweep":  # split sweeps reject the verdict cache
+    if workload.supports_cache:  # row-based kinds reject the verdict cache
         execution_kwargs["cache"] = draw(
             st.sampled_from(("off", "read", "readwrite"))
         )

@@ -44,6 +44,26 @@ class TestTiming:
         assert main(["timing", "--m", "2", "--samples", "2"]) == 0
         out = capsys.readouterr().out
         assert "runtime" in out
+        assert "schedulable" in out
+
+    def test_multiple_core_counts_one_row_each(self, capsys):
+        assert main(["timing", "--m", "1", "2", "--samples", "1"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines()
+                if line.strip() and line.lstrip()[0].isdigit()]
+        assert len(rows) == 2
+
+    def test_rejects_zero_samples(self, capsys):
+        assert main(["timing", "--m", "2", "--samples", "0"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("timing:")
+        assert "n_tasksets" in err
+
+    def test_rejects_bad_core_count(self, capsys):
+        assert main(["timing", "--m", "0", "--samples", "1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("timing:")
+        assert "core count" in err
 
 
 class TestDemo:
@@ -53,6 +73,25 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "response-time bounds" in out
         assert "simulation over" in out
+
+    def test_demo_group2_profile(self, capsys):
+        assert main(["demo", "--m", "2", "--utilization", "1.0",
+                     "--seed", "4", "--group", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "LP-ILP bound" in out
+
+    def test_rejects_nonpositive_utilization(self, capsys):
+        assert main(["demo", "--m", "2", "--utilization", "-1.0"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("demo:")
+        assert "utilization" in captured.err
+        assert captured.out == ""  # nothing half-printed before the error
+
+    def test_rejects_zero_cores(self, capsys):
+        assert main(["demo", "--m", "0", "--utilization", "1.0"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("demo:")
+        assert "core count" in err
 
 
 class TestBreakdown:
@@ -273,6 +312,31 @@ class TestSweepOrchestrate:
         assert main(["sweep-status", str(tmp_path / "nope")]) == 1
         err = capsys.readouterr().err
         assert "sweep-status:" in err
+
+    def test_status_zero_cache_traffic_omits_hit_rate(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        # A fresh orchestration has no cache traffic yet; the hit-rate
+        # line must be absent, not a ZeroDivisionError or "nan%".
+        from types import SimpleNamespace
+
+        import repro.engine.orchestrator as orchestrator
+        from repro.engine.livemerge import ClusterView
+
+        status = SimpleNamespace(
+            manifest={"shards": [], "shard_count": 2, "experiment": "figure2"},
+            view=ClusterView(total_items=10, done_items=0, counts={},
+                             shards=(), timings=()),
+            artifacts_done=[],
+            state="running",
+            complete=False,
+        )
+        monkeypatch.setattr(orchestrator, "read_status", lambda _out: status)
+        assert main(["sweep-status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict cache" not in out
+        assert "nan" not in out
+        assert "0/10 items (0%)" in out
 
     def test_template_without_placeholder_is_clean_error(self, capsys, tmp_path):
         code = main(self.ARGS + [

@@ -128,6 +128,32 @@ class TestExecutorLifecycle:
         with pytest.raises(AnalysisError):
             executor.__enter__()
 
+    def test_drained_pool_closes_gracefully(self):
+        # When every wave was fully drained the workers sit idle in
+        # SimpleQueue.get holding the task-queue rlock; terminate()
+        # would SIGTERM the holder and wedge its siblings (and then
+        # pool.join) forever on single-CPU hosts.  Fully-drained
+        # executors must therefore take the sentinel-based close()
+        # path, and only an abandoned iterator may flip teardown to
+        # terminate().
+        executor = MultiprocessExecutor(2)
+        assert sorted(executor.map_unordered(abs, [-3, 4])) == [3, 4]
+        assert executor._clean
+        executor.close()
+
+    def test_abandoned_iterator_marks_pool_for_termination(self):
+        executor = MultiprocessExecutor(2)
+        iterator = executor.map_unordered(abs, [-1, -2, -3])
+        next(iterator)
+        iterator.close()
+        assert not executor._clean
+        # A later fully-drained wave must not launder the abandonment:
+        # half-finished tasks may still be queued, so close() has to
+        # keep terminating.
+        assert sorted(executor.map_unordered(abs, [-5])) == [5]
+        assert not executor._clean
+        executor.close()
+
 
 class TestSweepSpec:
     def test_validation(self):

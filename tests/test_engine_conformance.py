@@ -684,3 +684,149 @@ class TestCacheConformance:
         assert _strip(outcome.result) == reference
         assert outcome.view.cache_hits > 0
         assert outcome.view.cache_misses == 0  # every verdict pre-warmed
+
+
+#: Small workloads of the registry-promoted kinds (PR 7), one per kind.
+_SENSITIVITY_KWARGS = dict(
+    kind="sensitivity", m=2, n_tasksets=4, seed=7, utilization=1.0,
+    max_scale=4.0,
+)
+_SIMULATE_KWARGS = dict(
+    kind="simulate", m=2, n_tasksets=4, seed=7, utilization=1.5,
+    horizon_factor=2.0,
+)
+_TIMING_KWARGS = dict(kind="timing", core_counts=(1, 2), n_tasksets=2, seed=7)
+
+_REGISTRY_KINDS = pytest.mark.parametrize(
+    "workload_kwargs",
+    [_SENSITIVITY_KWARGS, _SIMULATE_KWARGS, _TIMING_KWARGS],
+    ids=["sensitivity", "simulate", "timing"],
+)
+
+
+def _registry_job(workload_kwargs, **execution_kwargs):
+    from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
+
+    return JobSpec(
+        workload=Workload(**workload_kwargs),
+        execution=ExecutionPolicy(**execution_kwargs),
+    )
+
+
+def _registry_project(kind: str, result):
+    """The comparable view of a kind's result.
+
+    Timing rows carry wall-clock seconds, which no two runs reproduce;
+    the conformance contract for that kind covers the deterministic
+    projection (corpus shape + schedulability verdicts) only.
+    """
+    if kind == "timing":
+        return [(r.m, r.samples, r.positive_answers) for r in result]
+    return result
+
+
+class TestRegistryKindConformance:
+    """The standing invariant, for the registry-promoted kinds.
+
+    sensitivity / simulate / timing run through the same JobSpec
+    surface as the grid sweeps, so they inherit the same sentence:
+    serial == parallel == sharded == orchestrated == daemon-dispatched
+    (timing compared on its deterministic projection).
+    """
+
+    def _serial(self, workload_kwargs):
+        from repro.engine.session import run_job
+
+        return _registry_project(
+            workload_kwargs["kind"],
+            run_job(_registry_job(workload_kwargs)),
+        )
+
+    @_REGISTRY_KINDS
+    def test_parallel_executors_identical(self, workload_kwargs):
+        from repro.engine.session import run_job
+
+        reference = self._serial(workload_kwargs)
+        kind = workload_kwargs["kind"]
+        for executor, jobs in (("thread", 2), ("process", 2)):
+            result = run_job(
+                _registry_job(workload_kwargs, executor=executor, jobs=jobs)
+            )
+            assert _registry_project(kind, result) == reference, executor
+
+    @_REGISTRY_KINDS
+    @pytest.mark.parametrize("shard_count", [1, 2, 3])
+    def test_sharded_merge_identical(
+        self, workload_kwargs, shard_count, tmp_path
+    ):
+        from repro.engine.registry import merge_artifacts
+        from repro.engine.session import run_job
+        from repro.engine.shard import load_shard
+
+        reference = self._serial(workload_kwargs)
+        kind = workload_kwargs["kind"]
+        artifacts = []
+        for index in range(shard_count):
+            path = tmp_path / f"shard{index}.json"
+            run_job(_registry_job(
+                workload_kwargs,
+                shard=ShardSpec(index, shard_count), shard_out=str(path),
+            ))
+            artifacts.append(load_shard(path))
+        merged = merge_artifacts(kind, artifacts)
+        assert _registry_project(kind, merged) == reference
+
+    @_REGISTRY_KINDS
+    def test_orchestrated_identical(self, workload_kwargs, tmp_path):
+        from repro.engine.orchestrator import Orchestrator, plan_from_jobspec
+
+        reference = self._serial(workload_kwargs)
+        kind = workload_kwargs["kind"]
+        plan = plan_from_jobspec(_registry_job(workload_kwargs))
+        outcome = Orchestrator(
+            plan, tmp_path / "orch", workers=2, poll_interval=0.05
+        ).run()
+        assert _registry_project(kind, outcome.result) == reference
+        assert outcome.view.done_items == plan.total_items
+
+    @_REGISTRY_KINDS
+    def test_daemon_dispatched_identical(self, workload_kwargs, tmp_path):
+        import tempfile as tf
+
+        from repro.engine.backends import DaemonBackend
+        from repro.engine.daemon import WorkerDaemon
+        from repro.engine.orchestrator import Orchestrator, plan_from_jobspec
+
+        reference = self._serial(workload_kwargs)
+        kind = workload_kwargs["kind"]
+        plan = plan_from_jobspec(_registry_job(workload_kwargs))
+        with tf.TemporaryDirectory(prefix="reprod-", dir="/tmp") as tmp:
+            daemons = []
+            for index in range(2):
+                daemon = WorkerDaemon(Path(tmp) / f"w{index}.sock")
+                daemon.serve_in_thread()
+                daemons.append(daemon)
+            try:
+                with DaemonBackend(
+                    [d.socket_path for d in daemons]
+                ) as backend:
+                    outcome = Orchestrator(
+                        plan, tmp_path / "orch", backend=backend,
+                        poll_interval=0.05,
+                    ).run()
+            finally:
+                for daemon in daemons:
+                    daemon.stop()
+        assert _registry_project(kind, outcome.result) == reference
+        assert outcome.retries == 0
+
+    @_REGISTRY_KINDS
+    def test_elastic_requires_checkpoint_support(
+        self, workload_kwargs, tmp_path
+    ):
+        from repro.engine.orchestrator import Orchestrator, plan_from_jobspec
+        from repro.exceptions import OrchestrationError
+
+        plan = plan_from_jobspec(_registry_job(workload_kwargs))
+        with pytest.raises(OrchestrationError, match="checkpoint"):
+            Orchestrator(plan, tmp_path / "orch", workers=2, elastic=True)

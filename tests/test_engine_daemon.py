@@ -264,6 +264,19 @@ class TestProtocol:
         assert repro_argv_tail(["sleep", "60"]) is None
         assert repro_argv_tail([sys.executable, "-c", "pass"]) is None
 
+    def test_daemon_rejects_overlong_socket_path(self):
+        with pytest.raises(DispatchError, match="too long for AF_UNIX"):
+            WorkerDaemon(Path("/tmp") / ("x" * 200 + ".sock"))
+
+    def test_client_rejects_overlong_socket_path(self):
+        # Satellite regression: the client used to defer to connect(),
+        # which surfaces a raw OSError from deep inside the backend
+        # instead of the actionable DispatchError the daemon side gives.
+        from repro.engine.daemon import DaemonClient
+
+        with pytest.raises(DispatchError, match="too long for AF_UNIX"):
+            DaemonClient(Path("/tmp") / ("x" * 200 + ".sock"))
+
 
 class TestDaemonBackend:
     def test_launch_poll_and_log(self, sock_dir):

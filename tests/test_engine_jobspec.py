@@ -45,6 +45,9 @@ class TestGoldenFixtures:
         ("figure2-small.json", "figure2"),
         ("group2-small.json", "group2"),
         ("splitsweep-small.json", "splitsweep"),
+        ("sensitivity-small.json", "sensitivity"),
+        ("simulate-small.json", "simulate"),
+        ("timing-small.json", "timing"),
     ])
     def test_fixture_loads_and_round_trips(self, name, kind):
         job = load_job(EXAMPLES / name)

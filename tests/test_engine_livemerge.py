@@ -137,6 +137,33 @@ class TestStreamTail:
         assert [l["type"] for l in lines] == ["header", "chunk", "chunk"]
         assert lines[1]["counts"] == {"0": {"LP-ILP": 99}}
 
+    def test_truncate_and_regrow_to_exact_offset_is_restart(self, tmp_path):
+        # Satellite regression: the rewrite regrows the file to
+        # *exactly* the consumed offset.  ``size == offset`` used to
+        # short-circuit as "clean, fully-consumed tail" before the
+        # witness-byte comparison ran, so the restart went unreported
+        # and the replacement stream's lines were silently swallowed.
+        path = tmp_path / "s.jsonl"
+        tail = StreamTail(path)
+        consumed = json.dumps(HEADER) + "\n" + _chunk_line(0, 5)
+        _append(path, consumed)
+        assert len(tail.poll()) == 2
+        # Same byte count, different final line (so the witness bytes
+        # at the consumed offset differ): swap the chunk boundaries.
+        rewritten = json.dumps(HEADER) + "\n" + _chunk_line(5, 0)
+        assert len(rewritten) == len(consumed)
+        assert rewritten != consumed
+        path.write_text(rewritten)
+        lines = tail.poll()
+        assert tail.truncations == 1
+        assert [l["type"] for l in lines] == ["header", "chunk"]
+        assert lines[1]["start"] == 5
+        # And a rewrite whose bytes happen to be identical is, by
+        # definition, indistinguishable and must NOT count as restart.
+        path.write_text(rewritten)
+        assert tail.poll() == []
+        assert tail.truncations == 1
+
     def test_concurrently_appending_writer(self, tmp_path):
         """A writer thread appends while the tail polls: every line
         arrives exactly once, whole, in order."""

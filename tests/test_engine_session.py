@@ -11,6 +11,7 @@ bit-for-bit (fingerprints included).
 import dataclasses
 import json
 import warnings
+from pathlib import Path
 
 import pytest
 
@@ -150,6 +151,29 @@ class TestSessionSubmit:
             with pytest.raises(DispatchError, match="failed"):
                 session.result(handle)
 
+    def test_submit_registry_kind_rebuilds_result(self, tmp_path):
+        # A registry-promoted kind goes through the same submit path:
+        # the work order is a sweep-run --job-json command line, and
+        # result() rebuilds the typed result from the shard artifact.
+        job = JobSpec(workload=Workload(
+            kind="sensitivity", m=2, n_tasksets=3, seed=5,
+            utilization=1.0, max_scale=4.0,
+        ))
+        inline = run_job(job)
+        with Session(out_dir=tmp_path) as session:
+            handle = session.submit(job)
+            assert session.wait(handle, timeout=120.0).state == "done"
+            assert session.result(handle) == inline
+
+    def test_resume_registry_kind_job_file(self, tmp_path):
+        job = JobSpec(workload=Workload(
+            kind="simulate", m=2, n_tasksets=3, seed=5,
+            utilization=1.5, horizon_factor=2.0,
+        ))
+        job_file = save_job(tmp_path / "job.json", job)
+        with Session() as session:
+            assert session.resume(job_file) == run_job(job)
+
 
 class TestSweepRunCli:
     FIG2 = ["figure2", "--m", "2", "--tasksets", "4", "--seed", "3",
@@ -260,6 +284,99 @@ class TestSweepRunCli:
         save_job(path, job)
         assert main(["sweep-run", "--job", str(path)]) == 0
         assert "granularity sweep" in capsys.readouterr().out
+
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "jobs"
+
+
+class TestRegistryKindCli:
+    """The three registry kinds through ``sweep-run``, end to end.
+
+    Each checked-in example job under ``examples/jobs/`` must load,
+    run inline, shard + merge to the same CSV, and render its table.
+    """
+
+    SHRINK = ["--set", "workload.n_tasksets=3"]
+
+    def test_sensitivity_inline_run(self, tmp_path, capsys):
+        csv_path = tmp_path / "sens.csv"
+        assert main(["sweep-run", "--job",
+                     str(EXAMPLES / "sensitivity-small.json"),
+                     *self.SHRINK, "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Breakdown-utilisation sensitivity" in out
+        assert "blocking slack" in out
+        assert csv_path.read_text().startswith("method,")
+
+    def test_simulate_inline_run(self, capsys):
+        assert main(["sweep-run", "--job",
+                     str(EXAMPLES / "simulate-small.json"),
+                     *self.SHRINK]) == 0
+        out = capsys.readouterr().out
+        assert "Analysis-vs-simulation validation" in out
+        assert "analysis sound on this corpus" in out
+
+    def test_timing_inline_run(self, capsys):
+        assert main(["sweep-run", "--job",
+                     str(EXAMPLES / "timing-small.json"),
+                     "--set", "workload.n_tasksets=2"]) == 0
+        assert "LP-ILP analysis runtime" in capsys.readouterr().out
+
+    def test_sensitivity_sharded_merge_matches_inline(self, tmp_path, capsys):
+        inline_csv = tmp_path / "inline.csv"
+        base = ["sweep-run", "--job",
+                str(EXAMPLES / "sensitivity-small.json"), *self.SHRINK]
+        assert main(base + ["--csv", str(inline_csv)]) == 0
+        shards = []
+        for index in (1, 2):
+            shard_path = tmp_path / f"sens{index}.json"
+            assert main(base + ["--shard", f"{index}/2",
+                                "--shard-out", str(shard_path)]) == 0
+            shards.append(str(shard_path))
+        merged_csv = tmp_path / "merged.csv"
+        capsys.readouterr()
+        assert main(["sweep-merge", *shards, "--csv", str(merged_csv)]) == 0
+        assert "2 shards" in capsys.readouterr().out
+        assert merged_csv.read_bytes() == inline_csv.read_bytes()
+
+    def test_timing_shard_rejects_chart(self, tmp_path, capsys):
+        shard_path = tmp_path / "t1.json"
+        assert main(["sweep-run", "--job",
+                     str(EXAMPLES / "timing-small.json"),
+                     "--set", "workload.n_tasksets=2",
+                     "--shard", "1/1", "--shard-out", str(shard_path)]) == 0
+        capsys.readouterr()
+        assert main(["sweep-merge", str(shard_path), "--chart"]) == 0
+        assert "no chart form" in capsys.readouterr().out
+
+
+class TestCacheDirImpliesReadwrite:
+    """``--cache-dir`` alone must imply ``--cache readwrite`` (satellite)."""
+
+    def test_sweep_run_cache_dir_implies_readwrite(self, tmp_path, capsys):
+        job = tmp_path / "job.json"
+        save_job(job, _figure2_job())
+        assert main(["sweep-run", "--job", str(job),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--dry-run"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["execution"]["cache"] == "readwrite"
+
+    def test_explicit_cache_off_wins(self, tmp_path, capsys):
+        job = tmp_path / "job.json"
+        save_job(job, _figure2_job())
+        assert main(["sweep-run", "--job", str(job), "--cache", "off",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--dry-run"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["execution"]["cache"] == "off"
+
+    def test_legacy_subcommand_cache_dir_populates(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["figure2", "--m", "2", "--tasksets", "2", "--seed", "3",
+                     "--step", "1.0", "--cache-dir", str(cache_dir)]) == 0
+        assert cache_dir.is_dir()
+        assert list(cache_dir.glob("*.jsonl"))  # verdicts actually written
 
 
 class TestDeprecatedShims:
