@@ -36,9 +36,28 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_FILE = REPO_ROOT / "BENCH_kernel.json"
 
 
-def _record(section: str, payload: dict) -> None:
-    """Merge one benchmark's numbers into the checked-in trajectory."""
-    data: dict = {}
+def _record(section: str, payload: dict, check: bool = False) -> None:
+    """Merge one benchmark's numbers into the checked-in trajectory.
+
+    Under ``--check`` (``check=True``) nothing is rewritten: the
+    section must already exist in ``BENCH_kernel.json`` and carry the
+    same floor this test enforces — CI compares against the committed
+    trajectory instead of silently re-baselining it.
+    """
+    if check:
+        data = json.loads(BENCH_FILE.read_text())
+        recorded = data.get(section)
+        assert recorded is not None, (
+            f"--check: no {section!r} section in {BENCH_FILE.name}; run "
+            "the benchmarks once without --check to record it"
+        )
+        assert recorded.get("floor") == payload["floor"], (
+            f"--check: {section!r} floor in {BENCH_FILE.name} is "
+            f"{recorded.get('floor')} but the test enforces "
+            f"{payload['floor']}; re-record the trajectory"
+        )
+        return
+    data = {}
     if BENCH_FILE.exists():
         try:
             data = json.loads(BENCH_FILE.read_text())
@@ -63,7 +82,9 @@ def _best_of(fn, rounds=3) -> float:
     return best
 
 
-def test_warm_verdict_cache_replays_5x_faster(tmp_path, bench_tasksets):
+def test_warm_verdict_cache_replays_5x_faster(
+    tmp_path, bench_tasksets, bench_check
+):
     # Serial engine, one process: the warm run measures the cache read
     # path alone, with no pool fork/teardown noise in either leg.  The
     # shape is the cache's raison d'etre — the exact ILP solver stack
@@ -107,6 +128,7 @@ def test_warm_verdict_cache_replays_5x_faster(tmp_path, bench_tasksets):
             "speedup": round(speedup, 2),
             "floor": 5.0,
         },
+        check=bench_check,
     )
     assert speedup >= 5.0, (
         f"warm verdict-cache replay is only {speedup:.1f}x faster than the "
@@ -136,7 +158,7 @@ def _fixpoint_queries(taskset, m):
     return
 
 
-def test_interference_memo_beats_seed_kernel(bench_tasksets):
+def test_interference_memo_beats_seed_kernel(bench_tasksets, bench_check):
     # Group-2 shape: parallel-only DAG tasks, wide enough that the
     # memo's numpy batch path engages on the low-priority ranks.
     m = 8
@@ -189,9 +211,139 @@ def test_interference_memo_beats_seed_kernel(bench_tasksets):
             "speedup": round(speedup, 2),
             "floor": 1.5,
         },
+        check=bench_check,
     )
     assert speedup >= 1.5, (
         f"InterferenceMemo is only {speedup:.2f}x faster than the seed "
         f"kernel ({memo_seconds:.4f}s vs {seed_seconds:.4f}s) on the "
         "group-2 shape; the memoised/vectorised hot path has regressed"
+    )
+
+
+def test_batched_rta_beats_per_item_loop(bench_tasksets, bench_check):
+    # The cross-lane kernel: analysing the corpus through
+    # analyze_taskset_multi_batch must beat the per-item loop it is
+    # semantically equal to.  The shape is a *wide* group-2 variant
+    # (small per-task utilisations, so u = 6 packs ~35 tasks per set):
+    # every fixpoint step sums a long hp prefix, which is where one
+    # cross-lane 2-D kernel amortises the numpy dispatch the per-item
+    # path pays per taskset per iteration.  Narrow corpora stay
+    # bookkeeping-bound and neither path can beat the other.
+    from repro.core.analyzer import (
+        analyze_taskset_multi,
+        analyze_taskset_multi_batch,
+    )
+
+    m = 8
+    wide = dataclasses.replace(
+        GROUP2, beta=0.1, u_task_max=0.25, utilization_mode="uniform"
+    )
+    tasksets = [
+        generate_taskset(np.random.default_rng(SEED + i), 6.0, wide)
+        for i in range(max(24, 2 * bench_tasksets))
+    ]
+
+    def run_serial():
+        return [analyze_taskset_multi(taskset, m) for taskset in tasksets]
+
+    def run_batch():
+        return analyze_taskset_multi_batch(tasksets, m)
+
+    assert run_batch() == run_serial()  # bit-identical verdicts, always
+
+    serial_seconds = _best_of(run_serial)
+    batch_seconds = _best_of(run_batch)
+    speedup = serial_seconds / batch_seconds
+    _record(
+        "batched_rta",
+        {
+            "tasksets": len(tasksets),
+            "tasks_per_set": round(
+                sum(len(ts.tasks) for ts in tasksets) / len(tasksets), 1
+            ),
+            "m": m,
+            "serial_seconds": round(serial_seconds, 4),
+            "batch_seconds": round(batch_seconds, 4),
+            "speedup": round(speedup, 2),
+            "floor": 1.3,
+        },
+        check=bench_check,
+    )
+    assert speedup >= 1.3, (
+        f"batched RTA is only {speedup:.2f}x faster than the per-item "
+        f"loop ({batch_seconds:.4f}s vs {serial_seconds:.4f}s) on the "
+        "group-2 shape; the cross-lane fixpoint kernel has regressed"
+    )
+
+
+def test_cache_aware_routing_cuts_cold_analyses(tmp_path, bench_check):
+    # Duplicate-heavy corpus, one private verdict cache per dispatch
+    # group (the cluster worst case: no shared filesystem).  Strided
+    # placement scatters each duplicate cluster across groups, so every
+    # group pays its own cold analysis; fingerprint clustering routes
+    # whole clusters to one group and pays exactly one cold analysis
+    # per distinct task-set.  Counted with the real cache and analyzer,
+    # not modelled.
+    from repro.core.analyzer import AnalysisMethod, analyze_taskset_multi
+    from repro.core.fingerprint import taskset_fingerprint
+    from repro.engine.shard import ShardSpec, cluster_items_by_fingerprint
+    from repro.engine.sweep import _CacheSession
+    from repro.engine.vcache import VerdictCache
+
+    m = 2
+    groups = 4
+    distinct = [
+        generate_taskset(np.random.default_rng(SEED + i), 1.2, GROUP2)
+        for i in range(6)
+    ]
+    rng = np.random.default_rng(SEED)
+    assignment = [int(rng.integers(len(distinct))) for _ in range(48)]
+    tasksets = [distinct[i] for i in assignment]
+    fingerprints = [taskset_fingerprint(taskset) for taskset in tasksets]
+
+    def cold_analyses(grouping, root):
+        cold = 0
+        results = {}
+        for index, items in enumerate(grouping):
+            with VerdictCache(root / f"g{index}", mode="readwrite") as cache:
+                session = _CacheSession(cache)
+                for item in items:
+                    results[item] = analyze_taskset_multi(
+                        tasksets[item], m,
+                        methods=[AnalysisMethod.FP_IDEAL],
+                        cache=session,
+                    )
+                cold += session.misses
+        return cold, results
+
+    strided = [
+        list(ShardSpec(index, groups).items(len(tasksets)))
+        for index in range(groups)
+    ]
+    clustered = cluster_items_by_fingerprint(fingerprints, groups)
+    strided_cold, strided_results = cold_analyses(strided, tmp_path / "s")
+    clustered_cold, clustered_results = cold_analyses(
+        clustered, tmp_path / "c"
+    )
+
+    assert clustered_results == strided_results  # routing changes nothing
+    assert clustered_cold == len(distinct)  # one cold per distinct set
+    ratio = strided_cold / clustered_cold
+    _record(
+        "cache_routing",
+        {
+            "items": len(tasksets),
+            "distinct": len(distinct),
+            "groups": groups,
+            "strided_cold": strided_cold,
+            "clustered_cold": clustered_cold,
+            "ratio": round(ratio, 2),
+            "floor": 2.0,
+        },
+        check=bench_check,
+    )
+    assert ratio >= 2.0, (
+        f"cache-aware routing saves only {ratio:.2f}x cold analyses "
+        f"({clustered_cold} vs {strided_cold} over {len(tasksets)} "
+        "items); fingerprint clustering has regressed"
     )

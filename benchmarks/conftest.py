@@ -20,6 +20,24 @@ import os
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check",
+        action="store_true",
+        default=False,
+        help="assert measured speedups against the floors already "
+             "checked in to BENCH_kernel.json without rewriting the "
+             "trajectory (CI mode: a regression fails, a faster "
+             "machine does not dirty the tree)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_check(request) -> bool:
+    """True under ``--check``: compare against floors, record nothing."""
+    return bool(request.config.getoption("--check"))
+
+
 def _env_int(name: str, default: int) -> int:
     try:
         return max(1, int(os.environ.get(name, default)))

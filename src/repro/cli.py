@@ -27,7 +27,12 @@ Sub-commands map one-to-one onto the paper's artefacts:
   key=value`` and the engine flags layer overrides on top, and the
   orchestration flags (``--workers`` / ``--backend`` / ``--elastic``
   ...) run the same job as a whole sharded orchestration instead of a
-  single inline invocation.
+  single inline invocation;
+* ``sweep-cache`` — verdict-cache lifecycle: ``stats`` (file/entry/byte
+  summary), ``compact`` (fold every committed verdict into one
+  consolidated shard) and ``gc`` (age/size-bounded cleanup); all three
+  are safe to run while sweeps are actively reading and writing the
+  same directory.
 
 The sweep sub-commands share the engine flags: ``--jobs`` (worker
 processes), ``--shard I/N`` + ``--shard-out`` (run one slice of the
@@ -247,6 +252,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p9.add_argument("--overhead", type=float, default=0.0,
                     help="per-preemption-point WCET inflation (splitsweep)")
     _add_cache_args(p9, default=None)
+    p9.add_argument(
+        "--placement", choices=("strided", "cache-aware"), default="strided",
+        help="shard placement: 'strided' round-robins items; "
+             "'cache-aware' clusters items with equal task-set "
+             "fingerprints onto one shard so duplicates hit that "
+             "shard's warm verdict cache (figure2/group2; results are "
+             "bit-identical either way)",
+    )
     p9.add_argument("--csv", type=str, default=None, help="write series to CSV")
     p9.add_argument("--chart", action="store_true", help="print an ASCII chart")
     p9.add_argument("--quiet", action="store_true",
@@ -327,6 +340,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p12.add_argument("--shard-items", type=_items_arg, default=None,
                      metavar="I,J,...", help="override execution.items")
     _add_cache_args(p12, default=None)
+    p12.add_argument(
+        "--placement", choices=("strided", "cache-aware"), default=None,
+        help="override execution.placement (orchestrated runs only; "
+             "'cache-aware' clusters duplicate task-sets onto one shard)",
+    )
     # Orchestration flags: any of them switches from one inline
     # invocation to a whole sharded orchestration of the same job.
     p12.add_argument(
@@ -380,6 +398,37 @@ def _build_parser() -> argparse.ArgumentParser:
     p12.add_argument("--chart", action="store_true",
                      help="print an ASCII chart (sweep kinds)")
     p12.set_defaults(handler=_cmd_sweep_run)
+
+    p13 = sub.add_parser(
+        "sweep-cache",
+        help="inspect, compact or garbage-collect a verdict-cache "
+             "directory (safe concurrent with active sweeps)",
+    )
+    p13.add_argument(
+        "action", choices=("stats", "compact", "gc"),
+        help="stats: file/entry/byte summary; compact: fold every "
+             "committed verdict into one consolidated shard and drop "
+             "quiescent source files; gc: delete quiescent shard files "
+             "by age and/or size budget",
+    )
+    p13.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="cache directory (default: results/cache)",
+    )
+    p13.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="gc: shrink the directory to at most N bytes of shards "
+             "(oldest quiescent files first)",
+    )
+    p13.add_argument(
+        "--max-age-days", type=float, default=None, metavar="D",
+        help="gc: delete quiescent shard files older than D days",
+    )
+    p13.add_argument(
+        "--json", action="store_true",
+        help="print the summary as JSON (machine-readable)",
+    )
+    p13.set_defaults(handler=_cmd_sweep_cache)
 
     return parser
 
@@ -872,8 +921,12 @@ def _print_orchestration_summary(outcome, out_dir) -> None:
           f"artifacts + manifest in {out_dir}")
     view = outcome.view
     if view.cache_hits or view.cache_misses:
+        health = ""
+        if view.cache_swept or view.cache_stale:
+            health = (f" ({view.cache_swept} swept, "
+                      f"{view.cache_stale} stale)")
         print(f"verdict cache: {view.cache_hits} hits / "
-              f"{view.cache_misses} misses")
+              f"{view.cache_misses} misses{health}")
 
 
 def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
@@ -898,6 +951,7 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
                 m=args.m, n_tasksets=tasksets, seed=args.seed,
                 step=args.step, jobs=args.jobs_per_shard,
                 cache=cache, cache_dir=args.cache_dir,
+                placement=args.placement,
             )
         elif args.experiment == "group2":
             tasksets = args.tasksets if args.tasksets is not None else 300
@@ -905,8 +959,18 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
                 m=args.m, n_tasksets=tasksets, seed=args.seed,
                 step=args.step, jobs=args.jobs_per_shard,
                 cache=cache, cache_dir=args.cache_dir,
+                placement=args.placement,
             )
         else:
+            if args.placement != "strided":
+                print(
+                    "sweep-orchestrate: splitsweep does not support "
+                    "--placement (cache-aware routing clusters items by "
+                    "task-set fingerprint, which only the cache-backed "
+                    "grid sweeps define)",
+                    file=sys.stderr,
+                )
+                return 1
             if cache != "off":
                 print(
                     "sweep-orchestrate: splitsweep does not support "
@@ -991,6 +1055,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
                 ("shard_items", "execution.items"),
                 ("cache", "execution.cache"),
                 ("cache_dir", "execution.cache_dir"),
+                ("placement", "execution.placement"),
             )
             if getattr(args, attr) is not None
         }
@@ -1107,9 +1172,14 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
     if cache_total:
         # cache_total == 0 (fresh orchestration, nothing analysed yet)
         # must not divide: no traffic means no hit-rate line at all.
+        health = ""
+        if view.cache_swept or view.cache_stale:
+            health = (f"; {view.cache_swept} swept, "
+                      f"{view.cache_stale} stale")
         print(f"verdict cache: {view.cache_hits} hits / "
               f"{view.cache_misses} misses "
-              f"({100 * view.cache_hits / cache_total:.0f}% hit rate)")
+              f"({100 * view.cache_hits / cache_total:.0f}% hit rate"
+              f"{health})")
     if view.timings:
         chunker = seed_chunker_from_timings(AdaptiveChunker(), list(view.timings))
         print(f"observed cost: {chunker.per_item_seconds:.4f}s/item "
@@ -1118,6 +1188,41 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
         print(f"all {len(view.shards)} shard artifacts complete; merged "
               f"result via: python -m repro sweep-merge "
               f"{args.out_dir}/shard-*.artifact.json")
+    return 0
+
+
+def _cmd_sweep_cache(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.engine.vcache import (
+        DEFAULT_CACHE_DIR,
+        cache_stats,
+        compact_cache,
+        gc_cache,
+    )
+
+    directory = args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
+    try:
+        if args.action == "stats":
+            summary = cache_stats(directory)
+        elif args.action == "compact":
+            summary = compact_cache(directory)
+        else:
+            summary = gc_cache(
+                directory,
+                max_bytes=args.max_bytes,
+                max_age_days=args.max_age_days,
+            )
+    except ReproError as exc:
+        print(f"sweep-cache: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"verdict cache {summary['directory']} ({args.action}):")
+    for key, value in summary.items():
+        if key != "directory":
+            print(f"  {key}: {value}")
     return 0
 
 

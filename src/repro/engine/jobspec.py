@@ -56,6 +56,13 @@ WORKLOAD_KINDS = workload_kinds()
 #: (``jobs == 1`` always runs serially, whatever the kind).
 EXECUTOR_KINDS = ("process", "thread")
 
+#: Orchestration placement policies: how the orchestrator partitions
+#: the item space across shards.  ``strided`` is the classic
+#: round-robin slicing; ``cache-aware`` clusters work items with equal
+#: task-set fingerprints onto the same shard so one cold analysis
+#: warms every duplicate (identical merged results either way).
+PLACEMENT_KINDS = ("strided", "cache-aware")
+
 
 def _parse_opt_float(text: str) -> float | None:
     if text.strip().lower() in ("", "none", "null"):
@@ -118,6 +125,7 @@ _EXECUTION_PARSERS = {
     "items": lambda text: parse_items(text) if text.strip().lower() not in ("", "none", "null") else None,
     "cache": str,
     "cache_dir": _parse_opt_str,
+    "placement": str,
 }
 
 def _coerce_float_list(name: str):
@@ -159,7 +167,7 @@ _KEY_CODERS = {
 
 _EXECUTION_KEYS = ("executor", "jobs", "chunk_size", "checkpoint",
                    "stream", "shard_out", "shard", "items",
-                   "cache", "cache_dir")
+                   "cache", "cache_dir", "placement")
 
 #: Workload field defaults, for the registry-driven strictness check
 #: (fields outside a kind's key set must hold exactly these values).
@@ -386,6 +394,14 @@ class ExecutionPolicy:
     cache_dir:
         Verdict-cache directory; ``None`` means the default
         (``results/cache``) when the cache is on.
+    placement:
+        Orchestration placement policy: ``"strided"`` (default) or
+        ``"cache-aware"`` (cluster items with equal task-set
+        fingerprints onto one shard, so duplicate-heavy sweeps pay one
+        cold analysis per distinct task-set).  Like the cache itself
+        this is pure policy — the merged result is bit-identical either
+        way — and it only takes effect when the orchestrator partitions
+        the job; inline runs ignore it.
     """
 
     executor: str = "process"
@@ -398,6 +414,7 @@ class ExecutionPolicy:
     items: tuple[int, ...] | None = None
     cache: str = "off"
     cache_dir: str | None = None
+    placement: str = "strided"
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -415,6 +432,11 @@ class ExecutionPolicy:
             raise JobSpecError(
                 f"unknown cache mode {self.cache!r}; "
                 f"expected one of {CACHE_MODES}"
+            )
+        if self.placement not in PLACEMENT_KINDS:
+            raise JobSpecError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {PLACEMENT_KINDS}"
             )
         for name in ("checkpoint", "stream", "shard_out", "cache_dir"):
             value = getattr(self, name)
@@ -443,6 +465,7 @@ class ExecutionPolicy:
             "items": list(self.items) if self.items is not None else None,
             "cache": self.cache,
             "cache_dir": self.cache_dir,
+            "placement": self.placement,
         }
 
     @classmethod
@@ -466,10 +489,12 @@ class ExecutionPolicy:
             for key in ("checkpoint", "stream", "shard_out", "cache_dir"):
                 if key in payload and payload[key] is not None:
                     kwargs[key] = str(payload[key])
-            # Additive field: absent in pre-cache job files, which stay
+            # Additive fields: absent in older job files, which stay
             # valid at the same JOBSPEC_VERSION.
             if "cache" in payload and payload["cache"] is not None:
                 kwargs["cache"] = str(payload["cache"])
+            if "placement" in payload and payload["placement"] is not None:
+                kwargs["placement"] = str(payload["placement"])
             if "shard" in payload and payload["shard"] is not None:
                 kwargs["shard"] = parse_shard(str(payload["shard"]))
             if "items" in payload and payload["items"] is not None:
@@ -507,6 +532,16 @@ class JobSpec:
                 "execution.cache (the verdict cache keys the grid sweeps' "
                 "full multi-method analyses; this kind's items do not go "
                 "through it)"
+            )
+        if (
+            self.execution.placement != "strided"
+            and not self.workload.supports_cache
+        ):
+            raise JobSpecError(
+                f"{self.workload.kind} workloads do not support "
+                "execution.placement (cache-aware routing clusters items "
+                "by task-set fingerprint, which only the cache-backed "
+                "grid sweeps define)"
             )
 
     # Convenience passthroughs ----------------------------------------
@@ -638,7 +673,7 @@ class JobSpec:
             execution=replace(
                 self.execution,
                 checkpoint=None, stream=None, shard_out=None,
-                shard=None, items=None,
+                shard=None, items=None, placement="strided",
             ),
         )
 

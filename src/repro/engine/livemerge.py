@@ -46,6 +46,10 @@ class ShardProgress:
     #: (0 when the shard ran with the cache off).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Cache-health telemetry: torn entries swept on open and index
+    #: entries found stale, summed over this shard's chunk lines.
+    cache_swept: int = 0
+    cache_stale: int = 0
     #: Stream restarts observed (shard was retried).
     restarts: int = 0
 
@@ -56,6 +60,8 @@ class ShardProgress:
         self.timings = []
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_swept = 0
+        self.cache_stale = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,6 +78,10 @@ class ClusterView:
     #: Verdict-cache hits/misses pooled across all shards.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Cache-health telemetry pooled across all shards (torn entries
+    #: swept on open, index entries found stale).
+    cache_swept: int = 0
+    cache_stale: int = 0
 
     @property
     def fraction_done(self) -> float:
@@ -163,11 +173,15 @@ class LiveMerger:
         done = 0
         cache_hits = 0
         cache_misses = 0
+        cache_swept = 0
+        cache_stale = 0
         for shard in self._shards.values():
             done += shard.done_items
             timings.extend(shard.timings)
             cache_hits += shard.cache_hits
             cache_misses += shard.cache_misses
+            cache_swept += shard.cache_swept
+            cache_stale += shard.cache_stale
             for point, methods in shard.counts.items():
                 target = counts.setdefault(point, {})
                 for name, value in methods.items():
@@ -182,6 +196,8 @@ class LiveMerger:
             timings=tuple(timings),
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            cache_swept=cache_swept,
+            cache_stale=cache_stale,
         )
 
     # ------------------------------------------------------------------
@@ -214,6 +230,8 @@ class LiveMerger:
             if isinstance(cache, dict):
                 shard.cache_hits += int(cache.get("hits", 0))
                 shard.cache_misses += int(cache.get("misses", 0))
+                shard.cache_swept += int(cache.get("swept", 0))
+                shard.cache_stale += int(cache.get("stale", 0))
         elif kind == "item":
             # Per-item experiment payloads (split sweep): progress only.
             shard.done_items += 1

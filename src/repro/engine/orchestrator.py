@@ -100,6 +100,15 @@ class OrchestrationPlan:
     supports_chunk_size:
         Whether the experiment accepts ``--chunk-size`` (relaunches are
         then seeded from observed telemetry).
+    placement:
+        How the item space partitions across shards: ``"strided"``
+        (round-robin slices) or ``"cache-aware"`` (items clustered by
+        task-set fingerprint so duplicates share one shard's warm
+        verdict cache).  Pure policy: the merged result is
+        bit-identical either way.
+    item_fingerprints:
+        Per-item task-set fingerprints, in item order (required by —
+        and only computed for — cache-aware placement).
     """
 
     experiment: str
@@ -109,6 +118,8 @@ class OrchestrationPlan:
     argv: tuple[str, ...]
     supports_checkpoint: bool = True
     supports_chunk_size: bool = True
+    placement: str = "strided"
+    item_fingerprints: tuple[str, ...] | None = None
 
 
 @dataclass(slots=True)
@@ -249,6 +260,32 @@ class Orchestrator:
             raise OrchestrationError(
                 f"elastic re-partitioning needs checkpoint support, which "
                 f"the {plan.experiment!r} plan does not have"
+            )
+        if plan.placement == "cache-aware":
+            if plan.item_fingerprints is None:
+                raise OrchestrationError(
+                    "cache-aware placement needs the plan's per-item "
+                    "fingerprints (build the plan from a job spec with "
+                    "execution.placement = 'cache-aware')"
+                )
+            if len(plan.item_fingerprints) != plan.total_items:
+                raise OrchestrationError(
+                    f"plan carries {len(plan.item_fingerprints)} item "
+                    f"fingerprints for {plan.total_items} items"
+                )
+            if elastic:
+                # Splitting a straggler would scatter its duplicate
+                # clusters across slots — exactly what this placement
+                # exists to prevent.
+                raise OrchestrationError(
+                    "elastic re-partitioning and cache-aware placement "
+                    "are mutually exclusive (splitting a shard breaks "
+                    "its fingerprint clusters)"
+                )
+        elif plan.placement != "strided":
+            raise OrchestrationError(
+                f"unknown placement {plan.placement!r}; expected "
+                "'strided' or 'cache-aware'"
             )
         if elastic_after < 0:
             raise OrchestrationError(
@@ -411,9 +448,19 @@ class Orchestrator:
                 f"{manifest['shard_count']} shards; rerun with "
                 f"--shards {manifest['shard_count']} or use a fresh directory"
             )
+        if manifest is not None and (
+            str(manifest.get("placement", "strided")) != self.plan.placement
+        ):
+            raise OrchestrationError(
+                f"{self.out_dir} was partitioned with "
+                f"{manifest.get('placement', 'strided')!r} placement; "
+                f"rerun with the same placement or use a fresh directory"
+            )
         # Atomic-write temps orphaned by killed shard processes would
         # otherwise pile up across resumes.
         clean_stale_tmps(self.out_dir)
+        if self.plan.placement == "cache-aware":
+            return self._prepare_placed_jobs()
         # Elastic sub-shards of later splits must never reuse a file
         # stem a previous (interrupted, now partially reused) run
         # already claimed.
@@ -537,6 +584,44 @@ class Orchestrator:
                     )
                 )
                 self._next_key += 1
+        return jobs
+
+    def _prepare_placed_jobs(self) -> list[_ShardJob]:
+        """Partition by fingerprint cluster instead of striding.
+
+        Every group is dispatched as shard ``1/1`` restricted to an
+        explicit item subset — the proven sub-shard invocation shape —
+        so the groups' artifacts (same coordinates, disjoint covering
+        item sets) reassemble through the ordinary multi-artifact
+        merge.  The clustering is deterministic in the plan's
+        fingerprints, so a resumed orchestration recomputes the exact
+        same groups and reuses any finished group artifact.
+        """
+        from repro.engine.shard import cluster_items_by_fingerprint
+
+        groups = cluster_items_by_fingerprint(
+            list(self.plan.item_fingerprints), self.shard_count
+        )
+        jobs: list[_ShardJob] = []
+        for index, group in enumerate(groups):
+            stem = f"shard-{index + 1}of{len(groups)}"
+            job = _ShardJob(
+                shard=ShardSpec(0, 1),
+                artifact=self.out_dir / f"{stem}.artifact.json",
+                stream=self.out_dir / f"{stem}.jsonl",
+                checkpoint=(
+                    self.out_dir / f"{stem}.checkpoint.json"
+                    if self.plan.supports_checkpoint
+                    else None
+                ),
+                log=self.out_dir / f"{stem}.log",
+                merge_key=index,
+                label=f"{index + 1}/{len(groups)}",
+                items=list(group),
+            )
+            if self._artifact_ok(job):
+                job.state = "done"
+            jobs.append(job)
         return jobs
 
     def _reusable_partials(
@@ -774,6 +859,7 @@ class Orchestrator:
             "fingerprint": self.plan.fingerprint,
             "total_items": self.plan.total_items,
             "shard_count": self.shard_count,
+            "placement": self.plan.placement,
             "argv": list(self.plan.argv),
             "state": state,
             "shards": [
@@ -835,6 +921,16 @@ def plan_from_jobspec(job) -> OrchestrationPlan:
         sys.executable, "-m", "repro", "sweep-run",
         "--job-json", worker.to_json(indent=None),
     )
+    item_fingerprints: tuple[str, ...] | None = None
+    if job.execution.placement == "cache-aware":
+        # The whole corpus is generated (not analysed) once, up front:
+        # clustering needs every item's content hash before any shard
+        # is dispatched.  Generation is a small fraction of analysis
+        # cost, and the fingerprints make the partition deterministic
+        # across resumes.
+        from repro.engine.sweep import item_fingerprints as sweep_fingerprints
+
+        item_fingerprints = sweep_fingerprints(job.workload.sweep_spec())
     return OrchestrationPlan(
         experiment=job.kind,
         kind=job.workload.merge_kind,
@@ -843,6 +939,8 @@ def plan_from_jobspec(job) -> OrchestrationPlan:
         argv=argv,
         supports_checkpoint=job.workload.supports_checkpoint,
         supports_chunk_size=job.workload.supports_checkpoint,
+        placement=job.execution.placement,
+        item_fingerprints=item_fingerprints,
     )
 
 
@@ -854,6 +952,7 @@ def plan_figure2(
     jobs: int = 1,
     cache: str = "off",
     cache_dir: str | None = None,
+    placement: str = "strided",
 ) -> OrchestrationPlan:
     """Plan a Figure-2 sweep (same parameters as ``run_figure2``)."""
     from repro.engine.jobspec import ExecutionPolicy
@@ -861,7 +960,8 @@ def plan_figure2(
 
     return plan_from_jobspec(figure2_job(
         m=m, n_tasksets=n_tasksets, seed=seed, step=step,
-        execution=ExecutionPolicy(jobs=jobs, cache=cache, cache_dir=cache_dir),
+        execution=ExecutionPolicy(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                                  placement=placement),
     ))
 
 
@@ -873,6 +973,7 @@ def plan_group2(
     jobs: int = 1,
     cache: str = "off",
     cache_dir: str | None = None,
+    placement: str = "strided",
 ) -> OrchestrationPlan:
     """Plan a group-2 sweep (same parameters as ``run_group2``)."""
     from repro.engine.jobspec import ExecutionPolicy
@@ -880,7 +981,8 @@ def plan_group2(
 
     return plan_from_jobspec(group2_job(
         m=m, n_tasksets=n_tasksets, seed=seed, step=step,
-        execution=ExecutionPolicy(jobs=jobs, cache=cache, cache_dir=cache_dir),
+        execution=ExecutionPolicy(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                                  placement=placement),
     ))
 
 

@@ -48,7 +48,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.exceptions import AnalysisError, CacheError
-from repro.core.analyzer import AnalysisMethod, analyze_taskset_multi
+from repro.core.analyzer import AnalysisMethod, analyze_taskset_multi_batch
 from repro.core.blocking import RhoSolver
 from repro.core.workload import MuMethod
 from repro.engine.checkpoint import (
@@ -150,6 +150,30 @@ class SweepSpec:
         return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def item_fingerprints(spec: SweepSpec) -> tuple[str, ...]:
+    """Per-item task-set fingerprints of the sweep's corpus, in item order.
+
+    Generates each work item's task-set (cheap next to analysing it)
+    and hashes it with
+    :func:`~repro.core.fingerprint.taskset_fingerprint` — the same
+    content hash the verdict cache keys on.  Items with equal
+    fingerprints are analysis *duplicates*: the orchestrator's
+    cache-aware placement clusters them onto one shard so every repeat
+    after the first is a warm cache hit.
+    """
+    from repro.core.fingerprint import taskset_fingerprint
+
+    fingerprints: list[str] = []
+    for item in range(spec.total_items):
+        point_index, taskset_index = divmod(item, spec.n_tasksets)
+        rng = spec.taskset_rng(point_index, taskset_index)
+        taskset = generate_taskset(
+            rng, spec.utilizations[point_index], spec.profile
+        )
+        fingerprints.append(taskset_fingerprint(taskset))
+    return tuple(fingerprints)
+
+
 #: ``(mode, directory)`` describing the verdict cache of one run;
 #: ``None`` = cache off.  Travels inside executor payloads, so it must
 #: stay a plain picklable value.
@@ -184,20 +208,33 @@ class _CacheSession:
     attribute concurrent runs' lookups to each other.  Each run instead
     wraps the handle in one of these: same lookups, but the counters
     belong to this run alone.
+
+    Besides hits and misses the session also attributes the cache's
+    *health* counters — ``swept`` (torn lines discarded while opening
+    shards) and ``stale`` (index entries that no longer matched their
+    shard bytes) — by diffing the handle's globals around each lookup.
+    The diff window is one ``get`` call, so attribution is exact under
+    process executors and merely best-effort (telemetry, never results)
+    when threads interleave inside a call.
     """
 
-    __slots__ = ("_cache", "hits", "misses")
+    __slots__ = ("_cache", "hits", "misses", "swept", "stale")
 
     def __init__(self, cache: VerdictCache) -> None:
         self._cache = cache
         self.hits = 0
         self.misses = 0
+        self.swept = 0
+        self.stale = 0
 
     def key_for(self, *args, **kwargs) -> str:
         return self._cache.key_for(*args, **kwargs)
 
     def get(self, key: str):
+        swept, stale = self._cache.swept, self._cache.stale
         verdict = self._cache.get(key)
+        self.swept += self._cache.swept - swept
+        self.stale += self._cache.stale - stale
         if verdict is None:
             self.misses += 1
         else:
@@ -208,7 +245,12 @@ class _CacheSession:
         self._cache.put(key, verdict)
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "swept": self.swept,
+            "stale": self.stale,
+        }
 
 
 def _run_chunk(payload, cache=None) -> ChunkRecord:
@@ -223,20 +265,28 @@ def _run_chunk(payload, cache=None) -> ChunkRecord:
     if cache is None and len(payload) > 3:
         cache = _cache_for(payload[3])
     counts: dict[int, dict[str, int]] = {}
+    point_indices: list[int] = []
+    tasksets = []
     for item in range(start, stop):
         point_index, taskset_index = divmod(item, spec.n_tasksets)
         rng = spec.taskset_rng(point_index, taskset_index)
-        taskset = generate_taskset(
-            rng, spec.utilizations[point_index], spec.profile
+        point_indices.append(point_index)
+        tasksets.append(
+            generate_taskset(rng, spec.utilizations[point_index], spec.profile)
         )
-        multi = analyze_taskset_multi(
-            taskset,
-            spec.m,
-            spec.methods,
-            mu_method=spec.mu_method,
-            rho_solver=spec.rho_solver,
-            cache=cache,
-        )
+    # The whole chunk analyses as one batch: every fixpoint step's
+    # interference terms across the chunk's task-sets are evaluated by
+    # a single cross-lane numpy kernel, bit-identical to the per-item
+    # analyzer (and counter-identical on the verdict cache).
+    multis = analyze_taskset_multi_batch(
+        tasksets,
+        spec.m,
+        spec.methods,
+        mu_method=spec.mu_method,
+        rho_solver=spec.rho_solver,
+        cache=cache,
+    )
+    for point_index, multi in zip(point_indices, multis):
         point = counts.setdefault(
             point_index, {method.value: 0 for method in spec.methods}
         )

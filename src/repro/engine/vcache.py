@@ -8,10 +8,25 @@ Layout: a cache directory (default ``results/cache/``) holding
   entry is one complete JSON line ``{"version", "key", "verdict"}``,
   written with a single buffered write and flushed immediately, so an
   entry becomes visible atomically at line granularity the moment it is
-  durable.  Readers merge all ``*.jsonl`` shards with no cross-process
-  locking; a torn final line (a writer killed mid-append) and any
-  corrupt or version-skewed entry are *swept* — skipped, counted, and
-  the verdict recomputed — never silently trusted.
+  durable;
+* ``shard-<pid>.idx`` — the shard's sidecar index: one JSON line
+  ``{"v", "key", "off", "len"}`` per entry, appended *after* the entry
+  itself.  Opening a cache reads only the (tiny) index files and the
+  un-indexed byte tails of their shards, so open cost scales with the
+  index, not with the cached payloads; verdict payloads are fetched
+  lazily, one ``seek`` + ``read`` per first lookup of a key;
+* ``compact-<n>.jsonl`` (+ ``.idx``) — consolidated shards written by
+  :func:`compact_cache`.
+
+Readers merge all ``*.jsonl`` shards with no cross-process locking.  A
+shard without an index (a legacy cache, or a foreign writer) and any
+bytes past a shard's indexed extent are scanned line by line; a torn
+final line (a writer killed mid-append) and any corrupt or
+version-skewed entry are *swept* — skipped, counted, and the verdict
+recomputed — never silently trusted.  An index whose extent exceeds its
+shard (the shard was truncated underneath it) is distrusted wholesale
+and the shard is scanned instead.  An indexed payload that no longer
+parses at fetch time is counted *stale* and treated as a miss.
 
 Keys are SHA-256 over the canonical task-set fingerprint
 (:mod:`repro.core.fingerprint`) plus every analysis knob that can change
@@ -23,13 +38,24 @@ entry without touching the files.
 Daemon safety: write shards are keyed by pid and lazily reopened after
 a fork, so any number of worker processes (including daemon-spawned
 ones) can append concurrently; each sees its own writes immediately via
-the in-memory index and everyone else's on the next cache open.
+the in-memory store and everyone else's on the next cache open.
+
+Lifecycle: :func:`cache_stats`, :func:`compact_cache` and
+:func:`gc_cache` (the ``sweep-cache`` CLI) bound a long-lived cache
+directory's size and file count.  Compaction folds every committed
+entry into one consolidated shard and only ever deletes a source file
+whose owning pid is no longer alive *and* whose size did not change
+since it was scanned, so it is safe to run concurrently with active
+readwrite sweeps: live writers keep their shards (their entries are
+copied; the duplicates are identical payloads deduplicated by key), and
+the torn-tail guards above cover everything else.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.exceptions import CacheError
@@ -41,6 +67,9 @@ from repro.model.taskset import TaskSet
 #: Version of the cache entry schema *and* of the analysis semantics the
 #: entries were computed under; part of every key.
 CACHE_VERSION = 1
+
+#: Version of the sidecar index line schema.
+INDEX_VERSION = 1
 
 #: Cache modes accepted by the execution policy and the CLI.
 CACHE_MODES = ("off", "read", "readwrite")
@@ -128,6 +157,12 @@ def _verdict_from_json(payload: dict) -> MultiAnalysis:
 
 def _parse_entry(line: str) -> tuple[str, MultiAnalysis]:
     """One JSONL line → ``(key, verdict)``; :class:`CacheError` if bad."""
+    key, verdict = _parse_envelope(line)
+    return key, _verdict_from_json(verdict)
+
+
+def _parse_envelope(line: str) -> tuple[str, dict]:
+    """One JSONL line → ``(key, verdict json)`` without decoding the verdict."""
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -144,7 +179,52 @@ def _parse_entry(line: str) -> tuple[str, MultiAnalysis]:
     verdict = payload.get("verdict")
     if not isinstance(verdict, dict):
         raise CacheError("cache entry has no verdict object")
-    return key, _verdict_from_json(verdict)
+    return key, verdict
+
+
+def _index_path(shard: Path) -> Path:
+    """The sidecar index of a data shard (``shard-1.jsonl`` → ``shard-1.idx``)."""
+    return shard.with_suffix(".idx")
+
+
+def _data_shards(directory: Path) -> list[Path]:
+    """Every data shard of a cache directory, in deterministic order."""
+    return sorted(directory.glob("*.jsonl"))
+
+
+def _read_index(idx_path: Path) -> list[tuple[str, int, int]]:
+    """Parse a sidecar index into ``(key, off, len)`` records.
+
+    Malformed lines (a torn tail from a killed writer) are skipped;
+    every intact line is kept, so a torn line in the middle costs at
+    most the entries whose index lines were lost — their bytes are
+    still covered by the shard's tail scan or a later compaction, and
+    a missed entry is only ever a recompute, never corruption.
+    """
+    records: list[tuple[str, int, int]] = []
+    try:
+        text = idx_path.read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(payload, dict) or payload.get("v") != INDEX_VERSION:
+            continue
+        key = payload.get("key")
+        off = payload.get("off")
+        length = payload.get("len")
+        if (
+            isinstance(key, str) and key
+            and isinstance(off, int) and off >= 0
+            and isinstance(length, int) and length > 0
+        ):
+            records.append((key, off, length))
+    return records
 
 
 class VerdictCache:
@@ -165,7 +245,10 @@ class VerdictCache:
         Lookup counters since this handle was opened.
     swept:
         Corrupt, truncated or version-skewed entries skipped while
-        loading shards (each one is recomputed on demand, never used).
+        scanning shards (each one is recomputed on demand, never used).
+    stale:
+        Indexed entries whose payload failed to parse when fetched
+        (the shard changed under the index); each is a recorded miss.
     """
 
     def __init__(self, directory: str | os.PathLike, mode: str) -> None:
@@ -178,8 +261,16 @@ class VerdictCache:
         self.hits = 0
         self.misses = 0
         self.swept = 0
-        self._entries: dict[str, MultiAnalysis] | None = None
+        self.stale = 0
+        #: Verdicts held in memory: this handle's inserts plus payloads
+        #: already fetched (or scanned) from disk.
+        self._store: dict[str, MultiAnalysis] = {}
+        #: key → ``(shard path, offset, length)`` of not-yet-fetched
+        #: on-disk entries, built lazily from the sidecar indexes.
+        self._locations: dict[str, tuple[Path, int, int]] = {}
+        self._indexed = False
         self._handle = None
+        self._idx_handle = None
         self._writer_pid: int | None = None
         if mode == "readwrite":
             try:
@@ -205,26 +296,73 @@ class VerdictCache:
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
-    def _load(self) -> dict[str, MultiAnalysis]:
-        if self._entries is None:
-            entries: dict[str, MultiAnalysis] = {}
-            if self.directory.is_dir():
-                for shard in sorted(self.directory.glob("*.jsonl")):
-                    try:
-                        text = shard.read_text(encoding="utf-8")
-                    except OSError:
-                        continue
-                    for line in text.splitlines():
-                        if not line.strip():
-                            continue
-                        try:
-                            key, verdict = _parse_entry(line)
-                        except CacheError:
-                            self.swept += 1
-                            continue
-                        entries[key] = verdict
-            self._entries = entries
-        return self._entries
+    def _ensure_index(self) -> None:
+        """Build the lazy key → location map (index files + shard tails).
+
+        Reads only sidecar indexes and the un-indexed tail bytes of
+        each shard — open cost is proportional to the index, not to
+        the cached verdicts.  Shards without an index (legacy caches,
+        foreign writers) are scanned in full, exactly like the eager
+        loader this replaces.
+        """
+        if self._indexed:
+            return
+        if self.directory.is_dir():
+            for shard in _data_shards(self.directory):
+                self._index_shard(shard)
+        self._indexed = True
+
+    def _index_shard(self, shard: Path) -> None:
+        try:
+            size = shard.stat().st_size
+        except OSError:
+            return
+        records = _read_index(_index_path(shard))
+        extent = 0
+        trusted = True
+        for _, off, length in records:
+            if off + length > size:
+                # The shard was truncated under its index (a killed
+                # writer, an external rewrite): no location derived
+                # from this index can be trusted.  Fall back to a full
+                # scan of what the shard actually holds.
+                trusted = False
+                break
+            extent = max(extent, off + length)
+        if not trusted:
+            records = []
+            extent = 0
+        for key, off, length in records:
+            self._locations[key] = (shard, off, length)
+        if extent < size:
+            self._scan_tail(shard, extent, size)
+
+    def _scan_tail(self, shard: Path, start: int, size: int) -> None:
+        """Parse shard bytes ``start .. size`` that no index line covers.
+
+        Entries whose index line was lost (a writer killed between the
+        entry flush and the index flush) and whole legacy shards land
+        here.  Parsed verdicts are kept — the parse is already paid.
+        """
+        try:
+            with shard.open("rb") as handle:
+                handle.seek(start)
+                data = handle.read(size - start)
+        except OSError:
+            return
+        offset = start
+        for raw in data.splitlines(keepends=True):
+            line = raw.decode("utf-8", errors="replace").strip()
+            advance = len(raw)
+            if line:
+                try:
+                    key, verdict = _parse_entry(line)
+                except CacheError:
+                    self.swept += 1
+                else:
+                    self._store[key] = verdict
+                    self._locations[key] = (shard, offset, advance)
+            offset += advance
 
     def key_for(
         self,
@@ -240,11 +378,47 @@ class VerdictCache:
 
     def get(self, key: str) -> MultiAnalysis | None:
         """Look a verdict up; counts a hit or a miss."""
-        verdict = self._load().get(key)
+        verdict = self._store.get(key)
+        if verdict is None:
+            self._ensure_index()
+            verdict = self._store.get(key)
+        if verdict is None:
+            location = self._locations.get(key)
+            if location is not None:
+                verdict = self._fetch(key, location)
         if verdict is None:
             self.misses += 1
             return None
         self.hits += 1
+        return verdict
+
+    def _fetch(self, key: str, location: tuple[Path, int, int]) -> MultiAnalysis | None:
+        """Read and decode one indexed payload; stale entries miss."""
+        shard, off, length = location
+        line: str | None = None
+        try:
+            with shard.open("rb") as handle:
+                handle.seek(off)
+                raw = handle.read(length)
+            line = raw.decode("utf-8").strip()
+        except (OSError, UnicodeDecodeError):
+            line = None
+        verdict: MultiAnalysis | None = None
+        if line:
+            try:
+                parsed_key, verdict = _parse_entry(line)
+                if parsed_key != key:
+                    raise CacheError("index key does not match its payload")
+            except CacheError:
+                verdict = None
+        if verdict is None:
+            # The shard changed under the index (compaction removed it,
+            # or a writer truncated it): drop the location so the miss
+            # is recorded once and the verdict recomputed.
+            self.stale += 1
+            del self._locations[key]
+            return None
+        self._store[key] = verdict
         return verdict
 
     # ------------------------------------------------------------------
@@ -258,58 +432,88 @@ class VerdictCache:
         """Insert a verdict (no-op in ``read`` mode).
 
         The entry is appended to this process's shard as one complete
-        line and flushed, and recorded in the in-memory index.
+        line and flushed, then its location is appended to the shard's
+        sidecar index; the in-memory store sees it immediately.
         """
         if self.mode != "readwrite":
             return
-        entries = self._load()
-        if key in entries:
+        self._ensure_index()
+        if key in self._store or key in self._locations:
             return
-        entries[key] = verdict
-        line = json.dumps(
-            {"version": CACHE_VERSION, "key": key, "verdict": _verdict_to_json(verdict)},
-            separators=(",", ":"),
-        )
+        self._store[key] = verdict
+        data = (
+            json.dumps(
+                {"version": CACHE_VERSION, "key": key, "verdict": _verdict_to_json(verdict)},
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
         pid = os.getpid()
         if self._handle is None or self._writer_pid != pid:
-            # First write, or this handle crossed a fork: (re)open the
-            # pid-keyed shard so concurrent processes never share a file.
-            if self._handle is not None:
-                try:
-                    self._handle.close()
-                except OSError:  # pragma: no cover - best effort
-                    pass
-            path = self.directory / f"shard-{pid}.jsonl"
-            # A previous incarnation of this pid may have died mid-write
-            # and left a torn final line; terminate it so the appended
-            # entry stays parseable (the fragment is swept on read).
-            torn_tail = False
-            try:
-                if path.exists() and path.stat().st_size > 0:
-                    with path.open("rb") as probe:
-                        probe.seek(-1, os.SEEK_END)
-                        torn_tail = probe.read(1) != b"\n"
-            except OSError:  # pragma: no cover - best effort
-                pass
-            try:
-                self._handle = path.open("a", encoding="utf-8")
-            except OSError as exc:
-                raise CacheError(f"cannot open cache shard for writing: {exc}") from exc
-            if torn_tail:
-                self._handle.write("\n")
-            self._writer_pid = pid
-        self._handle.write(line + "\n")
+            self._open_writer(pid)
+        self._handle.seek(0, os.SEEK_END)
+        off = self._handle.tell()
+        self._handle.write(data)
         self._handle.flush()
+        index_line = (
+            json.dumps(
+                {"v": INDEX_VERSION, "key": key, "off": off, "len": len(data)},
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
+        self._idx_handle.write(index_line)
+        self._idx_handle.flush()
 
-    def close(self) -> None:
-        """Close the write shard (idempotent)."""
+    def _open_writer(self, pid: int) -> None:
+        """(Re)open the pid-keyed shard + index for appending.
+
+        Called on the first write and after a fork, so concurrent
+        processes never share a file.  A previous incarnation of this
+        pid may have died mid-write and left a torn final line in the
+        shard or its index; each is terminated with a newline so
+        appended entries stay parseable (the fragment is swept on
+        read, a fragment-merged index line is skipped).
+        """
         if self._handle is not None:
             try:
                 self._handle.close()
             except OSError:  # pragma: no cover - best effort
                 pass
-            self._handle = None
-            self._writer_pid = None
+        if self._idx_handle is not None:
+            try:
+                self._idx_handle.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        path = self.directory / f"shard-{pid}.jsonl"
+        try:
+            self._handle = path.open("ab")
+            self._idx_handle = _index_path(path).open("ab")
+        except OSError as exc:
+            raise CacheError(f"cannot open cache shard for writing: {exc}") from exc
+        for handle in (self._handle, self._idx_handle):
+            try:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                        handle.flush()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        self._writer_pid = pid
+
+    def close(self) -> None:
+        """Close the write shard and its index (idempotent)."""
+        for attr in ("_handle", "_idx_handle"):
+            handle = getattr(self, attr)
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+                setattr(self, attr, None)
+        self._writer_pid = None
 
     def stats(self) -> dict[str, int]:
         """Telemetry snapshot: ``{"hits": ..., "misses": ...}``."""
@@ -328,5 +532,252 @@ class VerdictCache:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"VerdictCache({str(self.directory)!r}, mode={self.mode!r}, "
-            f"hits={self.hits}, misses={self.misses}, swept={self.swept})"
+            f"hits={self.hits}, misses={self.misses}, swept={self.swept}, "
+            f"stale={self.stale})"
         )
+
+
+# ----------------------------------------------------------------------
+# lifecycle: stats / compaction / garbage collection (sweep-cache CLI)
+# ----------------------------------------------------------------------
+def _shard_pid(shard: Path) -> int | None:
+    """The owning pid of a ``shard-<pid>.jsonl`` file, if so named."""
+    stem = shard.stem
+    if stem.startswith("shard-"):
+        suffix = stem[len("shard-"):]
+        if suffix.isdigit():
+            return int(suffix)
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` currently names a live process."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign uid, still alive
+        return True
+    except OSError:  # pragma: no cover - conservative default
+        return True
+    return True
+
+
+def _require_cache_dir(directory: str | os.PathLike) -> Path:
+    path = Path(directory)
+    if not path.is_dir():
+        raise CacheError(f"cache directory {path} does not exist")
+    return path
+
+
+def cache_stats(directory: str | os.PathLike) -> dict:
+    """Summarise a cache directory without decoding any verdict payload.
+
+    Returns file/entry/byte counts plus the swept-line count observed
+    while indexing (torn tails, corrupt or version-skewed entries).
+    """
+    path = _require_cache_dir(directory)
+    probe = VerdictCache(path, mode="read")
+    probe._ensure_index()
+    shards = _data_shards(path)
+    data_bytes = 0
+    index_bytes = 0
+    live_writers = 0
+    for shard in shards:
+        try:
+            data_bytes += shard.stat().st_size
+        except OSError:
+            continue
+        idx = _index_path(shard)
+        if idx.exists():
+            try:
+                index_bytes += idx.stat().st_size
+            except OSError:
+                pass
+        pid = _shard_pid(shard)
+        if pid is not None and _pid_alive(pid):
+            live_writers += 1
+    entries = set(probe._locations) | set(probe._store)
+    return {
+        "directory": str(path),
+        "files": len(shards),
+        "live_writers": live_writers,
+        "entries": len(entries),
+        "data_bytes": data_bytes,
+        "index_bytes": index_bytes,
+        "swept": probe.swept,
+    }
+
+
+def compact_cache(directory: str | os.PathLike) -> dict:
+    """Fold every committed verdict into one consolidated shard.
+
+    Scans all data shards (sweeping torn/corrupt lines), writes the
+    deduplicated entries to a new ``compact-<n>.jsonl`` with a full
+    sidecar index (complete-then-rename, so readers only ever see a
+    finished file), then deletes each source shard that is provably
+    quiescent: its owning pid (if pid-named) is not alive *and* its
+    size did not change since it was scanned.  Live writers keep their
+    shards — their entries were copied, and the remaining duplicates
+    are identical payloads deduplicated by key on read — so compaction
+    is safe concurrent with active readwrite sweeps: no committed
+    verdict is lost and no torn line is ever written.
+    """
+    path = _require_cache_dir(directory)
+    entries: dict[str, str] = {}
+    swept = 0
+    scanned: list[tuple[Path, int]] = []
+    bytes_before = 0
+    for shard in _data_shards(path):
+        try:
+            text = shard.read_text(encoding="utf-8")
+            size = shard.stat().st_size
+        except OSError:
+            continue
+        scanned.append((shard, size))
+        bytes_before += size
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                key, _ = _parse_envelope(line)
+            except CacheError:
+                swept += 1
+                continue
+            # Keep the raw line: payload bytes travel verbatim into the
+            # compacted shard, so round-trips stay bit-exact.
+            entries[key] = line
+
+    generation = 0
+    for shard, _ in scanned:
+        stem = shard.stem
+        if stem.startswith("compact-") and stem[len("compact-"):].isdigit():
+            generation = max(generation, int(stem[len("compact-"):]) + 1)
+    output = path / f"compact-{generation}.jsonl"
+    tmp = output.with_name(output.name + ".tmp")
+    idx_tmp = _index_path(output).with_name(_index_path(output).name + ".tmp")
+    offset = 0
+    with tmp.open("wb") as data_handle, idx_tmp.open("wb") as idx_handle:
+        for key, line in entries.items():
+            data = (line + "\n").encode("utf-8")
+            data_handle.write(data)
+            idx_handle.write(
+                (
+                    json.dumps(
+                        {"v": INDEX_VERSION, "key": key, "off": offset, "len": len(data)},
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                ).encode("utf-8")
+            )
+            offset += len(data)
+    # Data first, then index: a crash in between leaves a compacted
+    # shard without an index, which readers simply scan in full.
+    os.replace(tmp, output)
+    os.replace(idx_tmp, _index_path(output))
+
+    removed = 0
+    kept = 0
+    for shard, size_at_scan in scanned:
+        pid = _shard_pid(shard)
+        if pid is not None and _pid_alive(pid):
+            kept += 1  # an active writer may append at any moment
+            continue
+        try:
+            if shard.stat().st_size != size_at_scan:
+                kept += 1  # grew since the scan: entries we did not copy
+                continue
+            shard.unlink()
+        except OSError:
+            kept += 1
+            continue
+        idx = _index_path(shard)
+        try:
+            idx.unlink()
+        except OSError:
+            pass
+        removed += 1
+    bytes_after = sum(
+        shard.stat().st_size for shard in _data_shards(path) if shard.exists()
+    )
+    return {
+        "directory": str(path),
+        "output": output.name,
+        "entries": len(entries),
+        "swept": swept,
+        "files_removed": removed,
+        "files_kept": kept,
+        "bytes_before": bytes_before,
+        "bytes_after": bytes_after,
+    }
+
+
+def gc_cache(
+    directory: str | os.PathLike,
+    max_bytes: int | None = None,
+    max_age_days: float | None = None,
+) -> dict:
+    """Delete quiescent shard files by age and/or total-size budget.
+
+    File-granular (whole shards, never individual entries): first every
+    quiescent shard older than ``max_age_days`` goes, then — if the
+    directory still exceeds ``max_bytes`` — the oldest quiescent shards
+    go until it fits.  Shards of live pids are never touched.
+    """
+    path = _require_cache_dir(directory)
+    if max_bytes is None and max_age_days is None:
+        raise CacheError("gc needs --max-bytes and/or --max-age-days")
+    now = time.time()
+    shards: list[tuple[float, Path, int]] = []
+    total = 0
+    for shard in _data_shards(path):
+        try:
+            stat = shard.stat()
+        except OSError:
+            continue
+        total += stat.st_size
+        pid = _shard_pid(shard)
+        if pid is not None and _pid_alive(pid):
+            continue  # never collect a live writer's shard
+        shards.append((stat.st_mtime, shard, stat.st_size))
+    shards.sort()
+
+    removed = 0
+    bytes_removed = 0
+
+    def unlink(shard: Path, size: int) -> None:
+        nonlocal removed, bytes_removed, total
+        try:
+            shard.unlink()
+        except OSError:
+            return
+        try:
+            _index_path(shard).unlink()
+        except OSError:
+            pass
+        removed += 1
+        bytes_removed += size
+        total -= size
+
+    remaining: list[tuple[float, Path, int]] = []
+    if max_age_days is not None:
+        cutoff = now - max_age_days * 86400.0
+        for mtime, shard, size in shards:
+            if mtime < cutoff:
+                unlink(shard, size)
+            else:
+                remaining.append((mtime, shard, size))
+    else:
+        remaining = shards
+    if max_bytes is not None:
+        for _, shard, size in remaining:
+            if total <= max_bytes:
+                break
+            unlink(shard, size)
+    return {
+        "directory": str(path),
+        "files_removed": removed,
+        "bytes_removed": bytes_removed,
+        "bytes_after": total,
+        "files_after": len(_data_shards(path)),
+    }

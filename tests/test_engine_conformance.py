@@ -393,6 +393,20 @@ class TestOrchestratorConformance:
         ).run()
         assert outcome.result == reference
 
+    @pytest.mark.parametrize("cache", ["off", "readwrite"])
+    def test_cache_aware_placement_bit_identical(self, cache, tmp_path):
+        from repro.engine.orchestrator import Orchestrator, plan_figure2
+
+        kwargs = dict(self.KWARGS, placement="cache-aware", cache=cache)
+        if cache != "off":
+            kwargs["cache_dir"] = str(tmp_path / "vc")
+        outcome = Orchestrator(
+            plan_figure2(**kwargs), tmp_path / "orch", workers=3,
+            poll_interval=0.05,
+        ).run()
+        assert _strip(outcome.result) == self._reference()
+        assert outcome.view.done_items == plan_figure2(**kwargs).total_items
+
 
 class TestElasticConformance:
     """Elastic re-partitioning keeps the bit-identical contract.

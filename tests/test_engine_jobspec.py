@@ -302,3 +302,35 @@ class TestWorkloadSemantics:
         assert worker.execution.shard_out is None
         assert worker.execution.shard is None
         assert worker.execution.items is None
+
+
+class TestPlacement:
+    """Cache-aware routing is a pure dispatch policy on the JobSpec."""
+
+    def test_round_trips(self):
+        job = _figure2_job(placement="cache-aware")
+        assert JobSpec.from_json(job.to_json()) == job
+        assert job.to_json_dict()["execution"]["placement"] == "cache-aware"
+
+    def test_absent_placement_defaults_to_strided(self):
+        payload = _figure2_job().to_json_dict()
+        del payload["execution"]["placement"]
+        assert JobSpec.from_json_dict(payload).execution.placement == "strided"
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(JobSpecError, match="placement"):
+            _figure2_job(placement="affine")
+
+    def test_cache_aware_needs_a_cache_backed_kind(self):
+        workload = Workload(kind="splitsweep", m=2, n_tasksets=3)
+        with pytest.raises(JobSpecError, match="cache-aware"):
+            JobSpec(workload=workload,
+                    execution=ExecutionPolicy(placement="cache-aware"))
+
+    def test_for_worker_resets_placement(self):
+        job = _figure2_job(placement="cache-aware")
+        assert job.for_worker().execution.placement == "strided"
+
+    def test_fingerprint_ignores_placement(self):
+        assert (_figure2_job(placement="cache-aware").fingerprint()
+                == _figure2_job().fingerprint())

@@ -367,6 +367,33 @@ class TestLiveMerger:
         with pytest.raises(ShardError):
             merger.poll()
 
+    def test_cache_counters_pool_across_shards(self, tmp_path):
+        merger = LiveMerger(total_items=8)
+        s0, s1 = tmp_path / "s0.jsonl", tmp_path / "s1.jsonl"
+        merger.attach(0, s0)
+        merger.attach(1, s1)
+        with s0.open("w") as handle:
+            handle.write(json.dumps(HEADER) + "\n")
+            handle.write(_chunk_line(
+                0, 2, cache={"hits": 1, "misses": 1, "swept": 2, "stale": 0}
+            ))
+        with s1.open("w") as handle:
+            handle.write(json.dumps(HEADER) + "\n")
+            # Old streams without the health keys still fold cleanly.
+            handle.write(_chunk_line(2, 4, cache={"hits": 0, "misses": 2}))
+            handle.write(_chunk_line(
+                4, 5, cache={"hits": 1, "misses": 0, "swept": 1, "stale": 3}
+            ))
+        view = merger.poll()
+        assert (view.cache_hits, view.cache_misses) == (2, 3)
+        assert (view.cache_swept, view.cache_stale) == (3, 3)
+        assert view.shard(0).cache_swept == 2
+        assert view.shard(1).cache_stale == 3
+        # A retry discards the shard's folded telemetry with the rest.
+        merger.reset(0)
+        view = merger.view()
+        assert (view.cache_swept, view.cache_stale) == (1, 3)
+
     def test_item_lines_count_as_progress(self, tmp_path):
         # Split-sweep streams emit per-item lines, not chunk lines.
         merger = LiveMerger(total_items=4)

@@ -650,3 +650,74 @@ class TestOrchestratorIntegration:
         assert status.view.done_items == plan.total_items // 2
         assert status.view.shards[0].state == "finished"
         assert status.view.shards[1].state == "waiting"
+
+
+class TestCacheAwarePlacement:
+    """Fingerprint-clustered dispatch: validation and job shapes."""
+
+    def _plan(self, **kwargs):
+        return plan_figure2(
+            m=2, n_tasksets=4, seed=11, step=0.5,
+            placement="cache-aware", **kwargs,
+        )
+
+    def test_plan_carries_fingerprints(self):
+        plan = self._plan()
+        assert plan.placement == "cache-aware"
+        assert plan.item_fingerprints is not None
+        assert len(plan.item_fingerprints) == plan.total_items
+
+    def test_strided_plan_skips_fingerprints(self):
+        plan = plan_figure2(m=2, n_tasksets=4, seed=11, step=0.5)
+        assert plan.placement == "strided"
+        assert plan.item_fingerprints is None
+
+    def test_missing_fingerprints_rejected(self, tmp_path):
+        from dataclasses import replace
+
+        bare = replace(self._plan(), item_fingerprints=None)
+        with pytest.raises(OrchestrationError, match="fingerprints"):
+            Orchestrator(bare, tmp_path, workers=2)
+
+    def test_fingerprint_count_checked(self, tmp_path):
+        from dataclasses import replace
+
+        short = replace(self._plan(), item_fingerprints=("f",))
+        with pytest.raises(OrchestrationError):
+            Orchestrator(short, tmp_path, workers=2)
+
+    def test_elastic_is_mutually_exclusive(self, tmp_path):
+        with pytest.raises(OrchestrationError, match="elastic"):
+            Orchestrator(self._plan(), tmp_path, workers=2, elastic=True)
+
+    def test_resume_placement_mismatch_rejected(self, tmp_path):
+        plan = self._plan()
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({
+            "version": 1, "fingerprint": plan.fingerprint,
+            "shard_count": 2, "total_items": plan.total_items,
+            "placement": "strided", "shards": [],
+        }))
+        with pytest.raises(OrchestrationError, match="placement"):
+            Orchestrator(plan, tmp_path, workers=2)._prepare_jobs()
+
+    def test_placed_jobs_partition_all_items(self, tmp_path):
+        plan = self._plan()
+        jobs = Orchestrator(plan, tmp_path, workers=3)._prepare_jobs()
+        covered = sorted(i for job in jobs for i in job.items)
+        assert covered == list(range(plan.total_items))
+        for job in jobs:
+            assert job.shard.label == "1/1"
+        # Deterministic: a replan produces the same groups.
+        again = Orchestrator(
+            plan, tmp_path / "other", workers=3
+        )._prepare_jobs()
+        assert [j.items for j in again] == [j.items for j in jobs]
+
+    def test_manifest_records_placement(self, tmp_path):
+        plan = plan_figure2(m=2, n_tasksets=2, seed=11, step=1.0,
+                            placement="cache-aware")
+        Orchestrator(
+            plan, tmp_path, workers=2, poll_interval=0.05
+        ).run()
+        manifest = load_manifest(tmp_path)
+        assert manifest["placement"] == "cache-aware"

@@ -2,17 +2,23 @@
 
 import json
 import math
+import os
+import threading
 
 import numpy as np
 import pytest
 
 from repro.core.analyzer import AnalysisMethod, analyze_taskset_multi
 from repro.core.results import MultiAnalysis, TaskAnalysis, TasksetAnalysis
+import repro.engine.vcache as vcache_module
 from repro.engine.vcache import (
     CACHE_VERSION,
     VerdictCache,
     _verdict_from_json,
     _verdict_to_json,
+    cache_stats,
+    compact_cache,
+    gc_cache,
     verdict_key,
 )
 from repro.exceptions import CacheError
@@ -190,3 +196,231 @@ class TestStaleEntrySweeping:
         reader = VerdictCache(tmp_path / "c", mode="read")
         assert analyze_taskset_multi(ts, 2, ALL_METHODS, cache=reader) == verdict
         assert reader.stats() == {"hits": 1, "misses": 0}
+
+
+def _tiny_verdict(response=1.0, m=2):
+    return MultiAnalysis(
+        m=m,
+        analyses=(
+            TasksetAnalysis(
+                method="fp-ideal",
+                m=m,
+                tasks=(
+                    TaskAnalysis(
+                        name="t", schedulable=True,
+                        response=response, iterations=1,
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestLazyOpen:
+    """Satellite regression: open cost is pinned to the index, not the
+    payloads — opening a cache and looking up one key decodes exactly
+    one verdict, however many entries the directory holds."""
+
+    N = 8
+
+    def _populate(self, directory):
+        with VerdictCache(directory, mode="readwrite") as writer:
+            for i in range(self.N):
+                writer.put(f"k{i}", _tiny_verdict(response=float(i + 1)))
+
+    def test_one_lookup_decodes_one_payload(self, tmp_path, monkeypatch):
+        self._populate(tmp_path / "c")
+        decodes = []
+        real = vcache_module._verdict_from_json
+        monkeypatch.setattr(
+            vcache_module, "_verdict_from_json",
+            lambda payload: decodes.append(1) or real(payload),
+        )
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        assert reader.get("k3") == _tiny_verdict(response=4.0)
+        assert len(decodes) == 1  # not N: the other payloads stay on disk
+        assert reader.swept == 0  # the index covered the whole shard
+        for i in range(self.N):
+            reader.get(f"k{i}")
+        assert len(decodes) == self.N  # k3 re-served from memory
+        assert reader.stats() == {"hits": self.N + 1, "misses": 0}
+
+    def test_corrupt_neighbour_does_not_poison_other_entries(self, tmp_path):
+        self._populate(tmp_path / "c")
+        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        raw = shard.read_bytes()
+        lines = raw.split(b"\n")
+        for i, line in enumerate(lines):
+            if b'"key":"k5"' in line:
+                # Garble the payload in place (same length: every other
+                # entry's indexed offset stays valid).
+                lines[i] = line[:-10] + b"x" * 10
+        shard.write_bytes(b"\n".join(lines))
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        assert reader.get("k3") == _tiny_verdict(response=4.0)
+        assert reader.get("k5") is None  # stale payload → recorded miss
+        assert reader.stale == 1
+        assert reader.get("k6") == _tiny_verdict(response=7.0)
+        assert reader.stats() == {"hits": 2, "misses": 1}
+
+    def test_missing_index_falls_back_to_full_scan(self, tmp_path):
+        self._populate(tmp_path / "c")
+        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        shard.with_suffix(".idx").unlink()  # legacy / foreign-writer shard
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        for i in range(self.N):
+            assert reader.get(f"k{i}") == _tiny_verdict(response=float(i + 1))
+        assert reader.stats() == {"hits": self.N, "misses": 0}
+        assert reader.swept == 0
+
+    def test_cache_session_attributes_health_counters(self, tmp_path):
+        from repro.engine.sweep import _CacheSession
+
+        self._populate(tmp_path / "c")
+        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        raw = shard.read_bytes()
+        lines = raw.split(b"\n")
+        for i, line in enumerate(lines):
+            if b'"key":"k5"' in line:
+                lines[i] = line[:-10] + b"x" * 10
+        shard.write_bytes(b"\n".join(lines))
+        session = _CacheSession(VerdictCache(tmp_path / "c", mode="read"))
+        assert session.get("k3") is not None
+        assert session.get("k5") is None
+        assert session.stats() == {
+            "hits": 1, "misses": 1, "swept": 0, "stale": 1,
+        }
+
+
+class TestCacheLifecycle:
+    def test_stats_summarises_without_decoding(self, tmp_path, monkeypatch):
+        with VerdictCache(tmp_path / "c", mode="readwrite") as writer:
+            for i in range(4):
+                writer.put(f"k{i}", _tiny_verdict(response=float(i)))
+        decodes = []
+        real = vcache_module._verdict_from_json
+        monkeypatch.setattr(
+            vcache_module, "_verdict_from_json",
+            lambda payload: decodes.append(1) or real(payload),
+        )
+        summary = cache_stats(tmp_path / "c")
+        assert summary["entries"] == 4
+        assert summary["files"] == 1
+        assert summary["live_writers"] == 1  # our own pid-named shard
+        assert summary["swept"] == 0
+        assert summary["data_bytes"] > 0 and summary["index_bytes"] > 0
+        assert decodes == []  # stats never touches verdict payloads
+
+    def test_stats_requires_an_existing_directory(self, tmp_path):
+        with pytest.raises(CacheError):
+            cache_stats(tmp_path / "nope")
+
+    def test_compact_folds_quiescent_shards_bit_identically(self, tmp_path):
+        ts = _taskset()
+        with VerdictCache(tmp_path / "c", mode="readwrite") as writer:
+            on_two = analyze_taskset_multi(ts, 2, ALL_METHODS, cache=writer)
+            on_four = analyze_taskset_multi(ts, 4, ALL_METHODS, cache=writer)
+        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        # Quiescent source: not named after a live pid.
+        shard.rename(tmp_path / "c" / "legacy.jsonl")
+        shard.with_suffix(".idx").rename(tmp_path / "c" / "legacy.idx")
+        summary = compact_cache(tmp_path / "c")
+        assert summary["entries"] == 2
+        assert summary["files_removed"] == 1
+        assert summary["swept"] == 0
+        assert [p.name for p in sorted((tmp_path / "c").glob("*.jsonl"))] == [
+            "compact-0.jsonl"
+        ]
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        assert analyze_taskset_multi(ts, 2, ALL_METHODS, cache=reader) == on_two
+        assert analyze_taskset_multi(ts, 4, ALL_METHODS, cache=reader) == on_four
+        assert reader.stats() == {"hits": 2, "misses": 0}
+
+    def test_compact_sweeps_torn_lines_and_dedupes(self, tmp_path):
+        (tmp_path / "c").mkdir()
+        line = json.dumps(
+            {"version": CACHE_VERSION, "key": "dup",
+             "verdict": _verdict_to_json(_tiny_verdict())},
+            separators=(",", ":"),
+        )
+        (tmp_path / "c" / "a.jsonl").write_text(line + "\n" + line[: 20])
+        (tmp_path / "c" / "b.jsonl").write_text(line + "\n")
+        summary = compact_cache(tmp_path / "c")
+        assert summary["entries"] == 1  # duplicates fold to one line
+        assert summary["swept"] == 1  # the torn tail never travels
+        compacted = tmp_path / "c" / summary["output"]
+        assert compacted.read_text() == line + "\n"
+
+    def test_compact_keeps_live_writer_shards(self, tmp_path):
+        writer = VerdictCache(tmp_path / "c", mode="readwrite")
+        writer.put("before", _tiny_verdict(response=1.0))
+        summary = compact_cache(tmp_path / "c")
+        assert summary["files_kept"] == 1
+        assert summary["files_removed"] == 0
+        shard = tmp_path / "c" / f"shard-{os.getpid()}.jsonl"
+        assert shard.exists()  # an active writer may append at any moment
+        writer.put("after", _tiny_verdict(response=2.0))
+        writer.close()
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        assert reader.get("before") == _tiny_verdict(response=1.0)
+        assert reader.get("after") == _tiny_verdict(response=2.0)
+        assert reader.swept == 0
+
+    def test_compaction_racing_active_writer_loses_nothing(self, tmp_path):
+        # Satellite regression: compaction concurrent with a live
+        # writer must lose no committed verdict and write no torn line.
+        total = 60
+        writer = VerdictCache(tmp_path / "c", mode="readwrite")
+        errors = []
+
+        def write_all():
+            try:
+                for i in range(total):
+                    writer.put(f"k{i}", _tiny_verdict(response=float(i)))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        thread = threading.Thread(target=write_all)
+        thread.start()
+        summaries = [compact_cache(tmp_path / "c") for _ in range(5)]
+        thread.join()
+        writer.close()
+        assert errors == []
+        # Every pass saw only complete lines (entry writes are atomic
+        # at line granularity) and kept the live writer's shard.
+        assert all(s["swept"] == 0 for s in summaries)
+        final = compact_cache(tmp_path / "c")
+        assert final["entries"] == total
+        reader = VerdictCache(tmp_path / "c", mode="read")
+        for i in range(total):
+            assert reader.get(f"k{i}") == _tiny_verdict(response=float(i))
+        assert reader.stats() == {"hits": total, "misses": 0}
+        assert reader.swept == 0 and reader.stale == 0
+
+    def test_gc_by_age_and_by_size(self, tmp_path):
+        (tmp_path / "c").mkdir()
+        line = json.dumps(
+            {"version": CACHE_VERSION, "key": "old",
+             "verdict": _verdict_to_json(_tiny_verdict())},
+            separators=(",", ":"),
+        ) + "\n"
+        old = tmp_path / "c" / "old.jsonl"
+        old.write_text(line)
+        two_days_ago = os.path.getmtime(old) - 2 * 86400
+        os.utime(old, (two_days_ago, two_days_ago))
+        new = tmp_path / "c" / "new.jsonl"
+        new.write_text(line)
+        live = tmp_path / "c" / f"shard-{os.getpid()}.jsonl"
+        live.write_text(line)
+        by_age = gc_cache(tmp_path / "c", max_age_days=1.0)
+        assert by_age["files_removed"] == 1
+        assert not old.exists() and new.exists() and live.exists()
+        by_size = gc_cache(tmp_path / "c", max_bytes=0)
+        assert by_size["files_removed"] == 1
+        assert not new.exists()
+        assert live.exists()  # a live pid's shard is never collected
+
+    def test_gc_requires_a_criterion(self, tmp_path):
+        (tmp_path / "c").mkdir()
+        with pytest.raises(CacheError):
+            gc_cache(tmp_path / "c")
