@@ -84,6 +84,9 @@ class TasksetAnalysis:
         for t in self.tasks:
             if t.name == name:
                 return t
+        # Mapping-protocol lookup: mirrors dict[name] semantics on
+        # purpose, not an analysis failure.
+        # repro-lint: disable=ERR001
         raise KeyError(name)
 
     def first_failure(self) -> TaskAnalysis | None:

@@ -14,7 +14,7 @@ schedulability test:
 
 from __future__ import annotations
 
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, ModelError
 from repro.core.analyzer import AnalysisMethod, analyze_taskset
 from repro.core.rta import response_time_bounds
 from repro.model.transforms import scale_periods
@@ -65,8 +65,10 @@ def breakdown_utilization(
     def schedulable_at(alpha: float) -> bool:
         try:
             scaled = scale_periods(taskset, 1.0 / alpha)
-        except Exception:
+        except ModelError:
             # Period below the critical-path length: trivially infeasible.
+            # Only the model's own rejection means that; anything else
+            # (repro-lint ERR002) must propagate.
             return False
         return analyze_taskset(scaled, m, method, **analyzer_kwargs).schedulable
 

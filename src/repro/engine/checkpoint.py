@@ -196,10 +196,13 @@ def clean_stale_tmps(target: str | Path) -> list[Path]:
     writer's in-flight temp would be yanked from under its rename.
     """
     target = Path(target)
+    # Sorted so the sweep (and its returned list) is independent of
+    # filesystem directory order — resume behaviour must not vary by
+    # host (repro-lint DET001).
     if target.is_dir():
-        candidates = target.glob("*.tmp")
+        candidates = sorted(target.glob("*.tmp"))
     else:
-        candidates = target.parent.glob(f"{target.name}.*.tmp")
+        candidates = sorted(target.parent.glob(f"{target.name}.*.tmp"))
     removed: list[Path] = []
     for tmp in candidates:
         try:

@@ -241,6 +241,10 @@ class WorkerDaemon:
         def serve() -> None:
             try:
                 self.serve_forever(ready)
+            # Thread boundary: the exception is relayed verbatim to the
+            # starting thread (raised from the wait loop below), so
+            # nothing is swallowed.
+            # repro-lint: disable=ERR002
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 failure.append(exc)
 
@@ -454,6 +458,11 @@ class WorkerDaemon:
             code = int(repro.cli.main(tail) or 0)
         except SystemExit as exc:  # argparse and friends
             code = int(exc.code or 0) if not isinstance(exc.code, str) else 2
+        # Forked-worker process boundary: every failure must become a
+        # printed traceback + nonzero exit code (the orchestrator's
+        # retry healing consumes the code); letting anything propagate
+        # past os._exit would be lost.
+        # repro-lint: disable=ERR002
         except BaseException:
             traceback.print_exc()
             code = 97

@@ -178,6 +178,10 @@ class MultiprocessExecutor(_ClosingMixin):
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
+        # Finaliser boundary: raising from __del__ only produces an
+        # "exception ignored" warning at arbitrary GC time; close()
+        # already happened on every non-leaked path.
+        # repro-lint: disable=ERR002
         except Exception:
             pass
 

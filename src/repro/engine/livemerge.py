@@ -103,6 +103,9 @@ class ClusterView:
         for progress in self.shards:
             if progress.index == key:
                 return progress
+        # Mapping-protocol lookup: deliberately mirrors dict semantics
+        # (callers probe with try/except KeyError), not an engine failure.
+        # repro-lint: disable=ERR001
         raise KeyError(f"no shard stream attached under key {key}")
 
 

@@ -464,7 +464,7 @@ class Orchestrator:
         # Elastic sub-shards of later splits must never reuse a file
         # stem a previous (interrupted, now partially reused) run
         # already claimed.
-        for existing in self.out_dir.glob("shard-*.sub*"):
+        for existing in sorted(self.out_dir.glob("shard-*.sub*")):
             match = re.search(r"\.sub(\d+)", existing.name)
             if match is not None:
                 self._split_seq = max(self._split_seq, int(match.group(1)))
@@ -509,9 +509,9 @@ class Orchestrator:
                 # Nothing reusable: stale partial files (invalid
                 # artifacts, streams, seed checkpoints) from the dead
                 # run would otherwise shadow this shard's fresh attempt.
-                for stale in self.out_dir.glob(f"{stem}.sub*"):
+                for stale in sorted(self.out_dir.glob(f"{stem}.sub*")):
                     stale.unlink(missing_ok=True)
-                for stale in self.out_dir.glob(f"{stem}.resume*"):
+                for stale in sorted(self.out_dir.glob(f"{stem}.resume*")):
                     stale.unlink(missing_ok=True)
                 jobs.append(job)
                 continue
@@ -521,7 +521,7 @@ class Orchestrator:
             # `shard-*.artifact.json`, and a stale foreign artifact
             # would break that merge.
             reused_artifacts = {path for path, _ in partials}
-            for stale in self.out_dir.glob(f"{stem}.*.artifact.json"):
+            for stale in sorted(self.out_dir.glob(f"{stem}.*.artifact.json")):
                 if stale not in reused_artifacts:
                     stale.unlink(missing_ok=True)
                     stale.with_name(

@@ -67,6 +67,12 @@ class StreamWriter:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Truncate-by-design, not tmp+rename: a stream is a *growing*
+        # JSONL whose readers (read_stream/StreamTail) tolerate torn
+        # tails by contract, and truncate-at-open IS the resume
+        # protocol — a fresh stream replays checkpoint-restored chunks
+        # first, so the file is always self-contained.
+        # repro-lint: disable=IO001
         self._handle = self.path.open("w")
 
     def __enter__(self) -> "StreamWriter":

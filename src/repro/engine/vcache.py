@@ -727,7 +727,15 @@ def gc_cache(
     path = _require_cache_dir(directory)
     if max_bytes is None and max_age_days is None:
         raise CacheError("gc needs --max-bytes and/or --max-age-days")
-    now = time.time()
+    # Telemetry-exempt wall-clock (repro-lint DET004): GC compares shard
+    # file mtimes against "now" to pick collection victims.  The value
+    # influences only *which files get deleted* — cache entries are
+    # content-addressed, so collecting any subset never changes a
+    # verdict, and `now` is never written into fingerprints, artifacts
+    # or RNG seeds.  mtime-vs-wall-clock is also the only correct age
+    # source here: time.monotonic() doesn't survive the process
+    # boundary between the writer that stamped the file and this GC.
+    now = time.time()  # repro-lint: disable=DET004
     shards: list[tuple[float, Path, int]] = []
     total = 0
     for shard in _data_shards(path):

@@ -17,6 +17,8 @@ rejected the input:
   (unknown keys, version skew, kind/policy mismatches);
 * :class:`DispatchError` / :class:`OrchestrationError` — distributed
   orchestration failures (backend launches, exhausted shard retries);
+* :class:`LintError` — repro-lint cannot run (bad config, unparseable
+  input, malformed baseline);
 * :class:`IlpError` / :class:`IlpInfeasibleError` — ILP substrate
   failures;
 * :class:`GenerationError` — task-set generator parameter problems;
@@ -81,6 +83,12 @@ class OrchestrationError(AnalysisError):
     """A distributed sweep cannot complete: exhausted retries, a corrupt
     orchestration manifest, or an output directory owned by a different
     sweep."""
+
+
+class LintError(ReproError):
+    """repro-lint cannot run: bad configuration, an unparseable input
+    file, a malformed baseline, or an unknown rule code.  (Rule
+    *findings* are results, not errors — they never raise.)"""
 
 
 class IlpError(ReproError):

@@ -8,6 +8,7 @@ chart, and every experiment can dump a CSV for external plotting.
 from __future__ import annotations
 
 import csv
+import os
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -118,13 +119,23 @@ def write_csv(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
 ) -> Path:
-    """Write rows to ``path`` (parent directories created)."""
+    """Write rows to ``path`` (parent directories created).
+
+    Atomic (pid-unique tmp + rename, like every artifact writer in the
+    stack): a CSV is often the final published result of a long sweep,
+    and a crash mid-write must not leave a torn file at the real name.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(headers)
-        writer.writerows(rows)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    try:
+        with tmp.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(headers)
+            writer.writerows(rows)
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
     return target
 
 

@@ -1,0 +1,53 @@
+"""repro-lint — AST-based determinism & contract analyzer for the repro stack.
+
+Every tier of this reproduction is held to a bit-identical conformance
+invariant plus standing contracts on typed errors, atomic writes and
+schema versioning (ROADMAP "Standing constraints").  The conformance
+suite enforces those *dynamically*; this package makes them checkable
+statically, on every diff, before any test runs.
+
+Three rule families, each encoding an invariant the repo states in
+prose:
+
+* **determinism** (``DET001``–``DET004``) — filesystem-order directory
+  iteration, unseeded RNG, unordered-set reduction in merge paths, and
+  wall-clock reads outside telemetry;
+* **typed-error discipline** (``ERR001``–``ERR002``) — non-
+  :class:`~repro.exceptions.AnalysisError` raises on public
+  engine/core paths, and overbroad handlers that would swallow the
+  :class:`~repro.exceptions.CheckpointError` family;
+* **I/O contracts** (``IO001``–``IO003``) — non-atomic artifact
+  writes, versioned-format writers that ignore the schema constants,
+  and unmanaged executor/pool/socket lifetimes.
+
+Run it with ``python -m repro.lint`` (console entry ``repro-lint``).
+Findings are suppressed inline with ``# repro-lint: disable=RULE``
+(same line or the line above; ``disable-file=RULE`` for a whole
+module) and grandfathered via a checked-in baseline file.  The
+analyzer only ever *reads* the tree — it imports nothing it analyses.
+"""
+
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.classify import ImportGraph, ModuleClassifier, module_name_for
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintEngine, lint_paths
+from repro.lint.rules import RULES, get_rule, iter_rules
+from repro.lint.rules.base import Finding, Rule
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ImportGraph",
+    "LintConfig",
+    "LintEngine",
+    "ModuleClassifier",
+    "RULES",
+    "Rule",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "load_baseline",
+    "load_config",
+    "module_name_for",
+    "write_baseline",
+]

@@ -1,0 +1,98 @@
+"""Baseline file: grandfathered findings that gate "zero new findings".
+
+The baseline is a checked-in JSON file.  Entries key on
+``(rule, path, stripped source line)`` — not line numbers — so edits
+elsewhere in a file don't churn it; the count per key tolerates
+repeated identical lines.  CI runs with the baseline and fails on any
+finding not covered by it; fixing a finding makes the stale entry
+*unused*, which ``--write-baseline`` prunes (regenerating from the
+current findings is always safe: it can only shrink the debt).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+from repro.exceptions import LintError
+from repro.lint.rules.base import Finding
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Multiset of grandfathered findings."""
+
+    def __init__(self, entries: Counter[tuple[str, str, str]] | None = None):
+        self.entries: Counter[tuple[str, str, str]] = entries or Counter()
+
+    @staticmethod
+    def key(finding: Finding) -> tuple[str, str, str]:
+        return (finding.rule, finding.path, finding.line_text)
+
+    def filter_new(self, findings: list[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline (the CI gate input)."""
+        budget = Counter(self.entries)
+        fresh: list[Finding] = []
+        for finding in findings:
+            key = self.key(finding)
+            if budget[key] > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    def covered_count(self, findings: list[Finding]) -> int:
+        return len(findings) - len(self.filter_new(findings))
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise LintError(f"baseline {path} is not a repro-lint baseline")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has version {version!r}; this repro-lint "
+            f"reads version {BASELINE_VERSION} — regenerate with "
+            "--write-baseline"
+        )
+    entries: Counter[tuple[str, str, str]] = Counter()
+    for item in data["findings"]:
+        try:
+            key = (str(item["rule"]), str(item["path"]), str(item["line_text"]))
+            entries[key] += int(item.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LintError(
+                f"baseline {path} has a malformed entry: {item!r}"
+            ) from exc
+    return Baseline(entries)
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Atomically (tmp + rename) write ``findings`` as the new baseline."""
+    path = Path(path)
+    entries: Counter[tuple[str, str, str]] = Counter(
+        Baseline.key(finding) for finding in findings
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": rel, "line_text": text, "count": count}
+            for (rule, rel, text), count in sorted(entries.items())
+        ],
+    }
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

@@ -1,0 +1,107 @@
+"""Module classification: dotted names, the import graph, and roles.
+
+Rules don't reason about file paths — they ask "does this module carry
+role X?".  Classification is driven by the config's role map
+(:mod:`repro.lint.config`): ``fnmatch`` globs match dotted module
+names directly, and ``imports:<module>`` patterns match through the
+**import graph** built from the analysed tree, so a role like
+"artifact-writers" can be declared once as "everything that imports
+the atomic-write helper" instead of a hand-maintained file list.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+
+def module_name_for(
+    path: Path, root: Path, source_roots: tuple[str, ...]
+) -> str:
+    """Dotted module name of ``path``.
+
+    A file under a configured source root gets its import name
+    (``src/repro/engine/shard.py`` → ``repro.engine.shard``); anything
+    else is named by its root-relative path (``tests/test_cli.py`` →
+    ``tests.test_cli``) so roles can still target it.
+    """
+    path = path.resolve()
+    try:
+        rel = path.relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = rel.with_suffix("").parts
+    for source_root in source_roots:
+        root_parts = Path(source_root).parts
+        if parts[: len(root_parts)] == root_parts:
+            parts = parts[len(root_parts):]
+            break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class ImportGraph:
+    """Directed module → imported-modules graph over the analysed tree."""
+
+    def __init__(self) -> None:
+        self._deps: dict[str, set[str]] = {}
+
+    def add_module(self, module: str, tree: ast.AST) -> None:
+        deps = self._deps.setdefault(module, set())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                deps.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(module, node)
+                if base:
+                    deps.add(base)
+                    deps.update(f"{base}.{a.name}" for a in node.names)
+
+    @staticmethod
+    def _resolve_from(module: str, node: ast.ImportFrom) -> str:
+        if not node.level:
+            return node.module or ""
+        # Relative import: climb ``level`` packages from ``module``.
+        parts = module.split(".")
+        if len(parts) < node.level:
+            return node.module or ""
+        base = parts[: len(parts) - node.level]
+        if node.module:
+            base.append(node.module)
+        return ".".join(base)
+
+    def imports(self, module: str) -> frozenset[str]:
+        return frozenset(self._deps.get(module, ()))
+
+    def imports_module(self, module: str, target: str) -> bool:
+        """Does ``module`` import ``target`` or anything inside it?"""
+        return any(
+            dep == target or dep.startswith(target + ".")
+            for dep in self._deps.get(module, ())
+        )
+
+
+class ModuleClassifier:
+    """Answer "which roles does module M carry?" from config + graph."""
+
+    def __init__(
+        self, roles: dict[str, tuple[str, ...]], graph: ImportGraph
+    ) -> None:
+        self._roles = roles
+        self._graph = graph
+
+    def roles_for(self, module: str) -> frozenset[str]:
+        carried: set[str] = set()
+        for role, patterns in self._roles.items():
+            for pattern in patterns:
+                if pattern.startswith("imports:"):
+                    target = pattern[len("imports:"):]
+                    if self._graph.imports_module(module, target):
+                        carried.add(role)
+                        break
+                elif fnmatchcase(module, pattern) or module == pattern:
+                    carried.add(role)
+                    break
+        return frozenset(carried)

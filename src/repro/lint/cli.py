@@ -1,0 +1,163 @@
+"""``repro-lint`` command line (also ``python -m repro.lint``).
+
+Exit codes: 0 clean (no new findings), 1 new findings, 2 usage/config
+error.  ``--format json`` and ``--report`` emit machine-readable
+output for the CI ``static-analysis`` job; ``--explain RULE`` prints a
+rule's full documentation; ``--write-baseline`` grandfathers the
+current findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from pathlib import Path
+
+from repro.exceptions import LintError
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.config import load_config
+from repro.lint.engine import LintEngine
+from repro.lint.rules import get_rule, iter_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & contract analyzer for the repro "
+            "stack: determinism (DET*), typed-error discipline (ERR*) "
+            "and I/O contracts (IO*)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the configured "
+        "source roots)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="FILE",
+        help="TOML config with a [tool.repro-lint] table "
+        "(default: ./pyproject.toml or ./repro-lint.toml)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="additionally write the JSON report to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of grandfathered findings "
+        "(default: the config's `baseline` key, if any)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print RULE's full documentation and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _explain(code: str) -> str:
+    rule = get_rule(code)
+    doc = inspect.cleandoc(rule.__doc__ or "")
+    return f"{rule.code} ({rule.name})\n\n{doc}"
+
+
+def _json_report(
+    findings: list, new: list, suppressed: int, baselined: int
+) -> dict:
+    return {
+        "tool": "repro-lint",
+        "findings": [finding.to_json() for finding in new],
+        "counts": {
+            "total": len(findings),
+            "new": len(new),
+            "baselined": baselined,
+            "suppressed": suppressed,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.explain:
+            print(_explain(args.explain))
+            return 0
+        if args.list_rules:
+            for rule in iter_rules():
+                summary = inspect.cleandoc(rule.__doc__ or "").splitlines()
+                first = summary[0] if summary else ""
+                print(f"{rule.code}  {rule.name:32s} {first}")
+            return 0
+        config = load_config(".", explicit=args.config)
+        paths = [Path(p) for p in args.paths] or [
+            Path(root) for root in config.source_roots
+        ]
+        findings, suppressed = LintEngine(config).run(paths)
+        baseline_path = args.baseline or config.baseline
+        if args.write_baseline:
+            if baseline_path is None:
+                raise LintError(
+                    "--write-baseline needs --baseline or a `baseline` "
+                    "config key"
+                )
+            write_baseline(baseline_path, findings)
+            print(
+                f"wrote {len(findings)} finding(s) to {baseline_path}",
+                file=sys.stderr,
+            )
+            return 0
+        baseline = Baseline()
+        if baseline_path is not None and not args.no_baseline:
+            baseline = load_baseline(baseline_path)
+        new = baseline.filter_new(findings)
+        baselined = len(findings) - len(new)
+        report = _json_report(findings, new, suppressed, baselined)
+        if args.report:
+            Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        if args.format == "json":
+            print(json.dumps(report, indent=2))
+        else:
+            for finding in new:
+                print(finding.render())
+            tail = (
+                f"{len(new)} new finding(s), {baselined} baselined, "
+                f"{suppressed} suppressed"
+            )
+            print(("" if not new else "\n") + tail, file=sys.stderr)
+        return 1 if new else 0
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Rule registry: importing this package registers every shipped rule.
+
+Rules self-register via the :func:`~repro.lint.rules.base.register`
+decorator at import time; a new rule module only needs to be imported
+here (and to ship its two fixtures + docstring — the meta-test in
+``tests/test_lint.py`` fails otherwise).
+"""
+
+from repro.lint.rules.base import RULES, Finding, Rule, get_rule, iter_rules
+
+# Importing for the registration side effect.
+from repro.lint.rules import determinism  # noqa: F401  (DET001-DET004)
+from repro.lint.rules import errors  # noqa: F401  (ERR001-ERR002)
+from repro.lint.rules import io  # noqa: F401  (IO001-IO003)
+
+__all__ = ["RULES", "Finding", "Rule", "get_rule", "iter_rules"]

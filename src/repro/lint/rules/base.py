@@ -1,0 +1,179 @@
+"""Rule protocol, finding record and the rule registry.
+
+A rule is a small, stateless AST visitor registered by decorating its
+class with :func:`register`.  Its docstring doubles as the ``--explain``
+text, so every rule documents the invariant it encodes, what it flags,
+and how to comply (or suppress with justification) — the meta-test in
+``tests/test_lint.py`` enforces that the docstring exists, alongside a
+flagged and a clean fixture per rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.exceptions import LintError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import FileContext
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line_text`` (the stripped source line) rather than the line
+    *number* is what baseline matching keys on, so unrelated edits above
+    a grandfathered finding don't churn the baseline.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=False)
+    message: str = field(compare=False)
+    line_text: str = field(compare=False, default="")
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class of every lint rule.
+
+    Subclasses set :attr:`code` / :attr:`name`, write a docstring and
+    implement :meth:`check`.  ``default_roles`` scopes a rule to
+    modules carrying one of those classification roles (empty = every
+    module); the config can override per rule with ``roles = [...]``.
+    """
+
+    code: str = ""
+    name: str = ""
+    default_roles: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        roles = tuple(ctx.rule_option(self.code, "roles", self.default_roles))
+        if not roles:
+            return True
+        return bool(set(roles) & ctx.roles)
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by concrete rules --------------------------------
+
+    def finding(
+        self, ctx: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=ctx.rel_path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+            line_text=ctx.line_text(line),
+        )
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    if not cls.code:
+        raise LintError(f"rule class {cls.__name__} has no code")
+    if cls.code in RULES:
+        raise LintError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls()
+    return cls
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return RULES[code]
+    except KeyError:
+        known = ", ".join(sorted(RULES))
+        raise LintError(f"unknown rule {code!r}; known rules: {known}") from None
+
+
+def iter_rules() -> Iterable[Rule]:
+    return [RULES[code] for code in sorted(RULES)]
+
+
+# -- AST utilities shared by the rule modules ---------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, else ``None``."""
+    return dotted_name(node.func)
+
+
+ORDER_INSENSITIVE_WRAPPERS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all"}
+)
+
+
+def enclosing_call_names(ctx: "FileContext", node: ast.AST) -> Iterator[str]:
+    """Dotted names of calls that ``node`` sits inside, innermost first."""
+    current = ctx.parent(node)
+    child = node
+    while current is not None:
+        if isinstance(current, ast.Call) and child in current.args:
+            name = call_name(current)
+            if name is not None:
+                yield name
+        child = current
+        current = ctx.parent(current)
+
+
+def is_order_insensitive_use(ctx: "FileContext", node: ast.AST) -> bool:
+    """True when ``node``'s value is consumed order-insensitively.
+
+    Recognised consumers: a direct wrap in one of
+    :data:`ORDER_INSENSITIVE_WRAPPERS` (``sorted(p.glob(..))``,
+    ``len(..)``, ``set(..)``, ``max(..)`` …).  Anything else —
+    iteration, ``list()``, returning the raw iterator — counts as
+    order-sensitive.
+    """
+    for name in enclosing_call_names(ctx, node):
+        base = name.rsplit(".", maxsplit=1)[-1]
+        if base in ORDER_INSENSITIVE_WRAPPERS:
+            return True
+        return False  # an intervening ordinary call consumes the value
+    return False
+
+
+def enclosing_function(
+    ctx: "FileContext", node: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    current = ctx.parent(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = ctx.parent(current)
+    return None

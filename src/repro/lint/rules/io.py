@@ -1,0 +1,341 @@
+"""I/O contract rules: atomic writes, schema stamps, resource lifetimes.
+
+ROADMAP standing constraints: writes stay atomic (tmp + rename, orphan
+sweep on resume) and checkpoint/shard/stream formats carry their schema
+version.  PR 3 additionally made every executor a context manager with
+a uniform ``close()``.  These rules keep all three statically true.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import (
+    Finding,
+    Rule,
+    call_name,
+    enclosing_function,
+    register,
+)
+
+#: Calling one of these inside a function marks it as using the atomic
+#: tmp+rename idiom (or delegating to a helper that does).
+DEFAULT_ATOMIC_HELPERS = (
+    "os.replace",
+    "os.rename",
+    "write_json_atomic",
+    "save_checkpoint",
+    "save_shard",
+)
+
+_WRITE_MODES = frozenset({"w", "wb", "wt", "x", "xb", "xt", "w+", "wb+"})
+
+
+def _write_mode_of(node: ast.Call) -> bool:
+    """``open``-style call whose mode argument truncates or creates."""
+    mode: ast.AST | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    elif len(node.args) == 1 and isinstance(node.func, ast.Attribute):
+        mode = node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value in _WRITE_MODES
+    return False
+
+
+def _mentions_tmp(node: ast.AST) -> bool:
+    """The write target is visibly a temp file (``tmp`` in its name)."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and "tmp" in inner.id.lower():
+            return True
+        if isinstance(inner, ast.Attribute) and "tmp" in inner.attr.lower():
+            return True
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, str):
+            if "tmp" in inner.value.lower():
+                return True
+    return False
+
+
+@register
+class NonAtomicArtifactWrite(Rule):
+    """IO001: an artifact write without the tmp+rename atomic idiom.
+
+    A process killed between ``open(path, "w")`` and the final flush
+    leaves a torn file at the *published* path; resumes then read a
+    half-written checkpoint or artifact.  The repo's contract is: write
+    to a pid-unique ``*.tmp`` sibling, then ``os.replace`` onto the
+    real name (see ``engine.checkpoint.write_json_atomic``), so readers
+    only ever see complete files.
+
+    Flags ``open(path, "w")`` / ``path.open("w")`` / ``write_text`` /
+    ``write_bytes`` in modules carrying the ``artifact-writers`` role,
+    unless the target is itself a temp file or the enclosing function
+    uses an atomic helper (``atomic-helpers`` option; ``os.replace``
+    and ``write_json_atomic`` by default).  Append-mode streams are
+    not flagged — append-only JSONL with torn-tail-tolerant readers is
+    the other sanctioned persistence shape.
+
+    **Comply** by routing through ``write_json_atomic`` (or the same
+    tmp+rename dance); truncate-by-design files need a suppression
+    explaining why torn content is safe.
+    """
+
+    code = "IO001"
+    name = "non-atomic-artifact-write"
+    default_roles = ("artifact-writers",)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        helpers = tuple(
+            ctx.rule_option(self.code, "atomic-helpers", DEFAULT_ATOMIC_HELPERS)
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            is_write = False
+            target: ast.AST = node
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                is_write = True
+                target = node.func.value
+            elif name == "open" and _write_mode_of(node):
+                is_write = True
+                target = node.args[0] if node.args else node
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "open"
+                and _write_mode_of(node)
+            ):
+                is_write = True
+                target = node.func.value
+            if not is_write:
+                continue
+            if _mentions_tmp(target):
+                continue
+            function = enclosing_function(ctx, node)
+            if function is not None and self._uses_helper(function, helpers):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "artifact write without the tmp+rename atomic idiom; "
+                "route through write_json_atomic or write to a *.tmp and "
+                "os.replace",
+            )
+
+    @staticmethod
+    def _uses_helper(function: ast.AST, helpers: tuple[str, ...]) -> bool:
+        leaves = {helper.rsplit(".", maxsplit=1)[-1] for helper in helpers}
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is not None and (
+                    name in helpers
+                    or name.rsplit(".", maxsplit=1)[-1] in leaves
+                ):
+                    return True
+        return False
+
+
+DEFAULT_VERSION_CONSTANTS = (
+    "FORMAT_VERSION",
+    "JOBSPEC_VERSION",
+    "CACHE_VERSION",
+)
+
+
+@register
+class UnversionedFormatWriter(Rule):
+    """IO002: a versioned-format writer never references its version.
+
+    Checkpoints, shard artifacts, streams, job specs and cache entries
+    all carry a schema version (``FORMAT_VERSION`` /
+    ``JOBSPEC_VERSION`` / ``CACHE_VERSION``) so that resume-across-
+    versions fails loudly instead of misparsing.  A module declared as
+    a versioned-format writer (``versioned-writers`` role) that never
+    references any version constant is either writing unstamped
+    payloads or duplicating the constant — both break the skew
+    detection contract.
+
+    **Comply** by importing the constant from its owning module and
+    stamping/checking it in the payload (``versions`` option lists the
+    recognised constants).
+    """
+
+    code = "IO002"
+    name = "unversioned-format-writer"
+    default_roles = ("versioned-writers",)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        versions = set(
+            ctx.rule_option(self.code, "versions", DEFAULT_VERSION_CONSTANTS)
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and node.id in versions:
+                return
+            if isinstance(node, ast.Attribute) and node.attr in versions:
+                return
+            if isinstance(node, ast.ImportFrom) and any(
+                alias.name in versions for alias in node.names
+            ):
+                return
+        yield Finding(
+            path=ctx.rel_path,
+            line=1,
+            col=1,
+            rule=self.code,
+            message=(
+                "versioned-format writer module never references a schema "
+                "version constant "
+                f"({', '.join(sorted(versions))}); stamp and check one"
+            ),
+            line_text=ctx.line_text(1),
+        )
+
+
+DEFAULT_MANAGED_CONSTRUCTORS = (
+    "multiprocessing.Pool",
+    "ThreadPool",
+    "ProcessPoolExecutor",
+    "ThreadPoolExecutor",
+    "socket.socket",
+    "subprocess.Popen",
+)
+
+_RELEASE_METHODS = frozenset(
+    {"close", "terminate", "shutdown", "kill", "join", "detach"}
+)
+
+
+@register
+class UnmanagedResource(Rule):
+    """IO003: an executor/pool/socket built outside a managed scope.
+
+    Pools, executors and sockets hold OS resources (processes, threads,
+    fds) that outlive exceptions unless something guarantees release —
+    a leaked multiprocessing pool is exactly the shape of the PR-7
+    single-CPU teardown hang.  PR 3's contract: every executor is a
+    context manager with a uniform ``close()``.
+
+    Flags constructions of the watched types (``constructors`` option)
+    whose result is neither (a) a ``with`` item, (b) stored on
+    ``self``/an attribute (class-managed lifetime), (c) returned or
+    passed onward (ownership transferred), nor (d) a local on which a
+    release method (``close`` / ``terminate`` / ``shutdown`` / ``kill``
+    / ``join`` / ``detach``) is called somewhere in the same function.
+
+    **Comply** with ``with make_executor(...) as ex:`` or a
+    ``try/finally: x.close()``.
+    """
+
+    code = "IO003"
+    name = "unmanaged-resource"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        constructors = tuple(
+            ctx.rule_option(
+                self.code, "constructors", DEFAULT_MANAGED_CONSTRUCTORS
+            )
+        )
+        leaves = {c.rsplit(".", maxsplit=1)[-1] for c in constructors}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", maxsplit=1)[-1]
+            if name not in constructors and leaf not in leaves:
+                continue
+            if self._is_managed(ctx, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{leaf}(...) outside a context manager or close()-"
+                "guaranteed scope; use `with`, store it on self, or "
+                "close it in a finally",
+            )
+
+    def _is_managed(self, ctx, node: ast.Call) -> bool:
+        parent = ctx.parent(node)
+        # with Pool(...) as p:  /  with closing(socket.socket(...)):
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, ast.Call):
+            name = call_name(parent)
+            if name is not None and name.rsplit(".", 1)[-1] == "closing":
+                return True
+            return True  # passed straight into another call: ownership moves
+        if isinstance(parent, ast.Return):
+            return True
+        if isinstance(parent, ast.Attribute):
+            return True  # e.g. Popen(...).wait() chains
+        if isinstance(parent, ast.Assign):
+            targets = parent.targets
+            if any(isinstance(t, ast.Attribute) for t in targets):
+                return True  # self._pool = Pool(...): class-managed
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            function = enclosing_function(ctx, node)
+            if function is None or not names:
+                return False
+            return self._released_or_escapes(function, set(names))
+        if isinstance(parent, ast.AnnAssign):
+            if isinstance(parent.target, ast.Attribute):
+                return True
+            if isinstance(parent.target, ast.Name):
+                function = enclosing_function(ctx, node)
+                if function is None:
+                    return False
+                return self._released_or_escapes(
+                    function, {parent.target.id}
+                )
+        return False
+
+    @staticmethod
+    def _released_or_escapes(function: ast.AST, names: set[str]) -> bool:
+        for node in ast.walk(function):
+            # x.close() / x.terminate() / ...
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RELEASE_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in names
+            ):
+                return True
+            # return x — ownership transferred to the caller
+            if (
+                isinstance(node, ast.Return)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in names
+            ):
+                return True
+            # self.attr = x — lifetime now class-managed
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Attribute) for t in node.targets
+            ):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in names
+                ):
+                    return True
+            # f(x) / self._procs.append(x) — ownership moves onward
+            if isinstance(node, ast.Call) and any(
+                isinstance(arg, ast.Name) and arg.id in names
+                for arg in node.args
+            ):
+                return True
+            # with x: — context-managed after construction
+            if isinstance(node, ast.withitem) and (
+                isinstance(node.context_expr, ast.Name)
+                and node.context_expr.id in names
+            ):
+                return True
+        return False

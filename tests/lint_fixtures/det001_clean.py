@@ -1,0 +1,21 @@
+"""DET001 clean fixture: every listing is sorted or order-insensitive."""
+
+import os
+from pathlib import Path
+
+
+def resume_order(out_dir: Path) -> list[str]:
+    stems = []
+    for artifact in sorted(out_dir.glob("shard-*.artifact.json")):
+        stems.append(artifact.stem)
+    return stems
+
+
+def sweep_children(out_dir: Path) -> list[Path]:
+    return sorted(out_dir.iterdir())
+
+
+def counts(root: str, out_dir: Path) -> tuple[int, bool]:
+    total = len(os.listdir(root))  # order-insensitive consumer
+    any_tmp = any(out_dir.glob("*.tmp"))  # order-insensitive consumer
+    return total, any_tmp

@@ -1,0 +1,22 @@
+"""DET001 flagged fixture: directory listings consumed in filesystem order."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def resume_order(out_dir: Path) -> list[str]:
+    stems = []
+    for artifact in out_dir.glob("shard-*.artifact.json"):  # DET001
+        stems.append(artifact.stem)
+    return stems
+
+
+def sweep_children(out_dir: Path) -> list[Path]:
+    return list(out_dir.iterdir())  # DET001
+
+
+def legacy_listing(root: str) -> list[str]:
+    names = os.listdir(root)  # DET001
+    patterns = glob.glob(root + "/*.json")  # DET001
+    return names + patterns

@@ -1,0 +1,25 @@
+"""DET002 flagged fixture: randomness that cannot be replayed."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # DET002: process-global stdlib RNG
+
+
+def global_seed(seed: int) -> None:
+    np.random.seed(seed)  # DET002: legacy numpy global state
+
+
+def draw(n: int):
+    return np.random.rand(n)  # DET002: legacy numpy global state
+
+
+def fresh_rng():
+    return np.random.default_rng()  # DET002: bare = OS entropy
+
+
+def fresh_seed_sequence():
+    return np.random.SeedSequence()  # DET002: bare = OS entropy

@@ -1,0 +1,21 @@
+"""DET003 clean fixture: set contents are sorted before consumption.
+
+Classified ``merge-paths`` by the fixture config (``det003_*``).
+"""
+
+
+def merge_rows(left: dict, right: dict) -> list:
+    merged = []
+    for key in sorted(set(left) | set(right)):
+        merged.append((key, left.get(key), right.get(key)))
+    return merged
+
+
+def fingerprint_parts(names):
+    unique = set(names)
+    return [part.encode() for part in sorted(unique)]
+
+
+def join_tags(names) -> str:
+    tags = set(names)
+    return ",".join(sorted(tags))

@@ -1,0 +1,21 @@
+"""DET003 flagged fixture: set iteration on a merge/fingerprint path.
+
+Classified ``merge-paths`` by the fixture config (``det003_*``).
+"""
+
+
+def merge_rows(left: dict, right: dict) -> list:
+    merged = []
+    for key in set(left) | set(right):  # DET003
+        merged.append((key, left.get(key), right.get(key)))
+    return merged
+
+
+def fingerprint_parts(names):
+    unique = set(names)
+    return [part.encode() for part in unique]  # DET003 (comprehension)
+
+
+def join_tags(names) -> str:
+    tags = set(names)
+    return ",".join(tags)  # DET003 (order-sensitive consumer)

@@ -1,0 +1,19 @@
+"""DET004 clean fixture: content-derived names; monotonic time for durations.
+
+Classified ``artifact-writers`` by the fixture config (``det004_*``).
+"""
+
+import hashlib
+import time
+from pathlib import Path
+
+
+def artifact_name(out_dir: Path, payload: bytes) -> Path:
+    digest = hashlib.sha256(payload).hexdigest()[:16]
+    return out_dir / f"results-{digest}.json"
+
+
+def timed_name(out_dir: Path, payload: bytes) -> tuple[Path, float]:
+    start = time.monotonic()  # durations are fine; never named into paths
+    target = artifact_name(out_dir, payload)
+    return target, time.monotonic() - start

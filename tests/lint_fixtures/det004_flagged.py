@@ -1,0 +1,18 @@
+"""DET004 flagged fixture: wall-clock leaking into artifact names.
+
+Classified ``artifact-writers`` by the fixture config (``det004_*``).
+"""
+
+import time
+from datetime import datetime
+from pathlib import Path
+
+
+def artifact_name(out_dir: Path) -> Path:
+    stamp = time.time()  # DET004
+    return out_dir / f"results-{stamp}.json"
+
+
+def report_name(out_dir: Path) -> Path:
+    stamp = datetime.now().isoformat()  # DET004
+    return out_dir / f"report-{stamp}.json"

@@ -1,0 +1,36 @@
+"""ERR001 clean fixture: typed raises, private helpers, and translation.
+
+Classified ``public-paths`` by the fixture config (``err001_*``).
+"""
+
+from repro.exceptions import AnalysisError, JobSpecError
+
+
+def analyse(taskset):
+    if not taskset:
+        raise AnalysisError("empty taskset")  # typed family raise
+    return [task.wcet for task in taskset]
+
+
+def load_spec(payload: dict):
+    try:
+        return payload["version"]
+    except KeyError:
+        # Caught locally and translated into the typed family.
+        raise JobSpecError("unversioned payload")
+
+
+def parse_budget(text: str) -> int:
+    try:
+        value = int(text)
+        if value < 0:
+            raise ValueError("negative budget")  # caught two lines down
+        return value
+    except ValueError:
+        raise JobSpecError(f"bad budget: {text!r}")
+
+
+def _sanity(value: int) -> int:
+    if value < 0:
+        raise ValueError("negative")  # private helper: out of scope
+    return value

@@ -1,0 +1,16 @@
+"""ERR001 flagged fixture: untyped raises from a public engine-style path.
+
+Classified ``public-paths`` by the fixture config (``err001_*``).
+"""
+
+
+def analyse(taskset):
+    if not taskset:
+        raise ValueError("empty taskset")  # ERR001
+    return [task.wcet for task in taskset]
+
+
+def load_spec(payload: dict):
+    if "version" not in payload:
+        raise RuntimeError("unversioned payload")  # ERR001
+    return payload["version"]

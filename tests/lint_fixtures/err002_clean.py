@@ -1,0 +1,24 @@
+"""ERR002 clean fixture: narrow handlers, or broad handlers that re-raise."""
+
+from repro.exceptions import AnalysisError, CheckpointError
+
+
+def tolerate_missing(path) -> str | None:
+    try:
+        return path.read_text()
+    except FileNotFoundError:  # narrow: names the expected failure
+        return None
+
+
+def translate(job):
+    try:
+        return job.run()
+    except Exception as exc:  # broad but re-raises into the typed family
+        raise AnalysisError(f"job failed: {exc}")
+
+
+def checkpoint_or_die(state, path):
+    try:
+        state.save(path)
+    except CheckpointError:  # typed family member, not a blanket catch
+        raise

@@ -1,0 +1,23 @@
+"""Shared helper the IO001 fixtures import.
+
+Importing this module is what gives those fixtures the
+``artifact-writers`` role (via the ``imports:fixture_contracts``
+pattern in ``repro-lint.toml``) — the fixture corpus' stand-in for
+"modules that import the atomic-write helper are writer paths".
+Never executed; only parsed by the lint engine.
+"""
+
+import json
+import os
+from pathlib import Path
+
+
+def write_json_atomic(path, payload):
+    """Minimal copy of the engine's tmp+rename idiom."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

@@ -1,0 +1,24 @@
+"""IO001 clean fixture: every artifact write goes through tmp + rename.
+
+Gains the ``artifact-writers`` role through the import graph
+(``imports:fixture_contracts``), same as the flagged twin.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from fixture_contracts import write_json_atomic
+
+
+def save_results(path: Path, payload: dict) -> None:
+    write_json_atomic(path, payload)  # delegated to the atomic helper
+
+
+def save_rows(path: Path, rows: list) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(rows))  # tmp target: invisible to readers
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

@@ -1,0 +1,28 @@
+"""IO001 flagged fixture: in-place artifact writes on a writer path.
+
+Gains the ``artifact-writers`` role through the import graph: it
+imports ``fixture_contracts`` and the fixture config maps
+``imports:fixture_contracts`` onto that role.
+"""
+
+import json
+from pathlib import Path
+
+from fixture_contracts import write_json_atomic
+
+
+def save_results(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))  # IO001: torn on crash
+
+
+def save_rows(path: Path, rows: list) -> None:
+    with open(path, "w") as handle:  # IO001: truncates before writing
+        json.dump(rows, handle)
+
+
+def save_blob(path: Path, blob: bytes) -> None:
+    path.write_bytes(blob)  # IO001
+
+
+def unused_helper_reference():
+    return write_json_atomic

@@ -1,0 +1,19 @@
+"""IO002 clean fixture: the writer stamps FORMAT_VERSION into its payload.
+
+Classified ``versioned-writers`` by the fixture config (``io002_*``).
+"""
+
+import json
+import os
+from pathlib import Path
+
+FORMAT_VERSION = 3
+
+
+def save_checkpoint_payload(path: Path, state: dict) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps({"version": FORMAT_VERSION, "state": state}))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

@@ -1,0 +1,19 @@
+"""IO002 flagged fixture: a versioned-format writer with no version stamp.
+
+Classified ``versioned-writers`` by the fixture config (``io002_*``);
+never references FORMAT_VERSION / JOBSPEC_VERSION / CACHE_VERSION, so
+readers cannot detect a schema change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+
+def save_checkpoint_payload(path: Path, state: dict) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps({"state": state}))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

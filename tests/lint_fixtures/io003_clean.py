@@ -1,0 +1,26 @@
+"""IO003 clean fixture: executors and sockets live inside a managed scope."""
+
+import socket
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_jobs(jobs):
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return [future.result() for future in map(pool.submit, jobs)]
+
+
+def ping(host: str, port: int) -> bool:
+    sock = socket.socket()
+    try:
+        return sock.connect_ex((host, port)) == 0
+    finally:
+        sock.close()  # released on every path
+
+
+class Engine:
+    def __init__(self, workers: int) -> None:
+        # Ownership transfers to the instance; shutdown() releases it.
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)

@@ -1,0 +1,14 @@
+"""IO003 flagged fixture: pools and sockets that leak on the error path."""
+
+import socket
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_jobs(jobs):
+    pool = ProcessPoolExecutor(max_workers=4)  # IO003: never shut down
+    return [pool.submit(job) for job in jobs]
+
+
+def ping(host: str, port: int) -> bool:
+    sock = socket.socket()  # IO003: leaks if connect_ex raises
+    return sock.connect_ex((host, port)) == 0

@@ -326,6 +326,33 @@ class TestCheckpoint:
         assert target.exists()
         assert clean_stale_tmps(tmp_path) == [unrelated]  # dir mode: all
 
+    def test_clean_stale_tmps_order_is_host_independent(
+        self, tmp_path, monkeypatch
+    ):
+        # DET001 regression: the sweep (and its returned list) must not
+        # depend on the order the filesystem yields directory entries —
+        # simulate a worst-case host whose globs come back reversed.
+        import pathlib
+
+        from repro.engine import clean_stale_tmps
+
+        orphans = [
+            tmp_path / f"cp.json.{pid}.tmp" for pid in (31, 7, 204, 99)
+        ]
+        for path in orphans:
+            path.write_text("half-written")
+
+        real_glob = pathlib.Path.glob
+
+        def reversed_glob(self, pattern):
+            return iter(sorted(real_glob(self, pattern), reverse=True))
+
+        monkeypatch.setattr(pathlib.Path, "glob", reversed_glob)
+        assert clean_stale_tmps(tmp_path) == sorted(orphans)
+        for path in orphans:
+            path.write_text("half-written")
+        assert clean_stale_tmps(tmp_path / "cp.json") == sorted(orphans)
+
     def test_engine_resume_cleans_orphaned_tmps(self, tmp_path):
         checkpoint = tmp_path / "cp.json"
         orphan = tmp_path / "cp.json.424242.tmp"
@@ -339,7 +366,7 @@ class TestCheckpoint:
         # survives a failed overwrite attempt (rename is all-or-nothing).
         path = tmp_path / "cp.json"
         save_checkpoint(path, SweepCheckpoint("abc", []))
-        leftovers = [p for p in tmp_path.iterdir() if p.name != "cp.json"]
+        leftovers = [p for p in sorted(tmp_path.iterdir()) if p.name != "cp.json"]
         assert leftovers == []
         assert load_checkpoint(path).fingerprint == "abc"
 

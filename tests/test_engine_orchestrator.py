@@ -353,6 +353,29 @@ class TestOrchestratorIntegration:
         # Both merges read the same artifacts, elapsed_seconds included.
         assert second.result == first.result
 
+    def test_resume_is_independent_of_directory_order(
+        self, tmp_path, monkeypatch
+    ):
+        # DET001 regression: sub-shard scanning, stale-file sweeps and
+        # artifact reuse all walk globs of the output directory; a host
+        # whose filesystem yields entries in a different order must
+        # still resume to the bit-identical result.
+        import pathlib
+
+        plan = plan_figure2(**self.KWARGS)
+        out = tmp_path / "orch"
+        first = Orchestrator(plan, out, workers=2).run()
+
+        real_glob = pathlib.Path.glob
+
+        def reversed_glob(self, pattern):
+            return iter(sorted(real_glob(self, pattern), reverse=True))
+
+        monkeypatch.setattr(pathlib.Path, "glob", reversed_glob)
+        second = Orchestrator(plan, out, workers=2).run()
+        assert second.attempts == {0: 0, 1: 0}
+        assert second.result == first.result
+
     def test_resume_over_stale_stream_recovers(self, tmp_path):
         # An interrupted orchestration leaves a partial stream behind;
         # the resumed first launch must discard it before tailing, or

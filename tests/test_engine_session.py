@@ -376,7 +376,7 @@ class TestCacheDirImpliesReadwrite:
         assert main(["figure2", "--m", "2", "--tasksets", "2", "--seed", "3",
                      "--step", "1.0", "--cache-dir", str(cache_dir)]) == 0
         assert cache_dir.is_dir()
-        assert list(cache_dir.glob("*.jsonl"))  # verdicts actually written
+        assert any(cache_dir.glob("*.jsonl"))  # verdicts actually written
 
 
 class TestDeprecatedShims:

@@ -114,7 +114,7 @@ class TestVerdictCache:
         (tmp_path / "c").mkdir()
         cache = VerdictCache(tmp_path / "c", mode="read")
         cache.put("k", analyze_taskset_multi(_taskset(), 2, ALL_METHODS))
-        assert list((tmp_path / "c").glob("*.jsonl")) == []
+        assert sorted((tmp_path / "c").glob("*.jsonl")) == []
 
     def test_cache_path_must_be_a_directory(self, tmp_path):
         bogus = tmp_path / "file"
@@ -149,7 +149,7 @@ class TestVerdictCache:
         with VerdictCache(tmp_path / "c", mode="readwrite") as cache:
             cache.put("k", multi)
             cache.put("k", multi)
-        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        shard = sorted((tmp_path / "c").glob("shard-*.jsonl"))[0]
         assert len(shard.read_text().splitlines()) == 1
 
 
@@ -158,7 +158,7 @@ class TestStaleEntrySweeping:
         ts = _taskset()
         with VerdictCache(directory, mode="readwrite") as cache:
             verdict = analyze_taskset_multi(ts, 2, ALL_METHODS, cache=cache)
-        shard = next(directory.glob("shard-*.jsonl"))
+        shard = sorted(directory.glob("shard-*.jsonl"))[0]
         return ts, verdict, shard
 
     def test_corrupt_and_skewed_lines_are_swept(self, tmp_path):
@@ -247,7 +247,7 @@ class TestLazyOpen:
 
     def test_corrupt_neighbour_does_not_poison_other_entries(self, tmp_path):
         self._populate(tmp_path / "c")
-        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        shard = sorted((tmp_path / "c").glob("shard-*.jsonl"))[0]
         raw = shard.read_bytes()
         lines = raw.split(b"\n")
         for i, line in enumerate(lines):
@@ -265,7 +265,7 @@ class TestLazyOpen:
 
     def test_missing_index_falls_back_to_full_scan(self, tmp_path):
         self._populate(tmp_path / "c")
-        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        shard = sorted((tmp_path / "c").glob("shard-*.jsonl"))[0]
         shard.with_suffix(".idx").unlink()  # legacy / foreign-writer shard
         reader = VerdictCache(tmp_path / "c", mode="read")
         for i in range(self.N):
@@ -277,7 +277,7 @@ class TestLazyOpen:
         from repro.engine.sweep import _CacheSession
 
         self._populate(tmp_path / "c")
-        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        shard = sorted((tmp_path / "c").glob("shard-*.jsonl"))[0]
         raw = shard.read_bytes()
         lines = raw.split(b"\n")
         for i, line in enumerate(lines):
@@ -320,7 +320,7 @@ class TestCacheLifecycle:
         with VerdictCache(tmp_path / "c", mode="readwrite") as writer:
             on_two = analyze_taskset_multi(ts, 2, ALL_METHODS, cache=writer)
             on_four = analyze_taskset_multi(ts, 4, ALL_METHODS, cache=writer)
-        shard = next((tmp_path / "c").glob("shard-*.jsonl"))
+        shard = sorted((tmp_path / "c").glob("shard-*.jsonl"))[0]
         # Quiescent source: not named after a live pid.
         shard.rename(tmp_path / "c" / "legacy.jsonl")
         shard.with_suffix(".idx").rename(tmp_path / "c" / "legacy.idx")
@@ -377,6 +377,9 @@ class TestCacheLifecycle:
             try:
                 for i in range(total):
                     writer.put(f"k{i}", _tiny_verdict(response=float(i)))
+            # Thread boundary: relayed to the main thread, which asserts
+            # errors == [] below — nothing is swallowed.
+            # repro-lint: disable=ERR002
             except Exception as exc:  # pragma: no cover - fail loudly
                 errors.append(exc)
 
