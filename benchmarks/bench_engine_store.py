@@ -1,0 +1,66 @@
+"""Durable result-store overhead: publish + export vs the raw sweep.
+
+Publishing canonicalises a finished artifact set into sqlite and an
+export rebuilds the experiment result from stored rows.  Both must be
+cheap next to the analysis itself — the store is bookkeeping, not a
+second analysis pass — and the exported CSV must equal the legacy
+writer's output byte for byte, which is the contract that makes the
+store a drop-in archive for every figure in the paper.
+
+Sizes via ``REPRO_BENCH_TASKSETS`` / ``REPRO_BENCH_POINTS``.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine.jobspec import ExecutionPolicy, JobSpec, Workload
+from repro.engine.registry import kind_spec
+from repro.engine.session import run_job
+from repro.engine.store import open_store, publish_artifacts
+from repro.engine.validation import validate_store
+
+M = 2
+SEED = 2016
+
+
+def _sweep_job(tasksets: int, shard_out: str) -> JobSpec:
+    return JobSpec(
+        workload=Workload(kind="figure2", m=M, n_tasksets=tasksets,
+                          seed=SEED, step=0.5),
+        execution=ExecutionPolicy(shard_out=shard_out),
+    )
+
+
+def test_publish_export_round_trip(benchmark, bench_tasksets):
+    """Store overhead stays a small fraction of the sweep itself."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        artifact = base / "sweep.artifact.json"
+
+        t0 = time.perf_counter()
+        result = run_job(_sweep_job(bench_tasksets, str(artifact)))
+        sweep_seconds = time.perf_counter() - t0
+
+        def round_trip():
+            report = publish_artifacts(base / "store", [artifact])
+            with open_store(base / "store") as store:
+                store.export_csv(report.run_id, base / "db.csv")
+                assert validate_store(store).ok
+            return report
+
+        report = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+
+        legacy = base / "legacy.csv"
+        kind_spec("figure2").write_csv(result, legacy)
+        assert (base / "db.csv").read_bytes() == legacy.read_bytes()
+        # Re-publishing in later rounds deduplicated against round one.
+        assert report.deduplicated
+
+        t0 = time.perf_counter()
+        publish_artifacts(base / "store", [artifact])
+        store_seconds = time.perf_counter() - t0
+        assert store_seconds < max(1.0, sweep_seconds), (
+            f"publishing ({store_seconds:.3f}s) should not rival the "
+            f"sweep it archives ({sweep_seconds:.3f}s)"
+        )

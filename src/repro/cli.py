@@ -32,7 +32,13 @@ Sub-commands map one-to-one onto the paper's artefacts:
   summary), ``compact`` (fold every committed verdict into one
   consolidated shard) and ``gc`` (age/size-bounded cleanup); all three
   are safe to run while sweeps are actively reading and writing the
-  same directory.
+  same directory;
+* ``sweep-db`` — the durable result store: ``publish`` a complete
+  shard-artifact set into the append-only sqlite database, list
+  ``runs``, ``query`` a run's canonical rows, ``validate``
+  (completeness + cross-run drift), and ``export-csv`` a published run
+  bit-identically to the legacy CSV writers.  The sweep commands
+  publish directly with ``--publish``/``--store-dir``.
 
 The sweep sub-commands share the engine flags: ``--jobs`` (worker
 processes), ``--shard I/N`` + ``--shard-out`` (run one slice of the
@@ -148,6 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes (results identical for any value)",
     )
     _add_shard_args(p7)
+    _add_store_args(p7)
     p7.set_defaults(handler=_cmd_splitsweep)
 
     p8 = sub.add_parser(
@@ -260,6 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "shard's warm verdict cache (figure2/group2; results are "
              "bit-identical either way)",
     )
+    _add_store_args(p9)
     p9.add_argument("--csv", type=str, default=None, help="write series to CSV")
     p9.add_argument("--chart", action="store_true", help="print an ASCII chart")
     p9.add_argument("--quiet", action="store_true",
@@ -345,6 +353,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override execution.placement (orchestrated runs only; "
              "'cache-aware' clusters duplicate task-sets onto one shard)",
     )
+    _add_store_args(p12)
     # Orchestration flags: any of them switches from one inline
     # invocation to a whole sharded orchestration of the same job.
     p12.add_argument(
@@ -430,6 +439,60 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p13.set_defaults(handler=_cmd_sweep_cache)
 
+    p14 = sub.add_parser(
+        "sweep-db",
+        help="durable result store: publish shard artifacts, list runs, "
+             "query rows, validate completeness + drift, export CSV",
+    )
+    p14.add_argument(
+        "action",
+        choices=("publish", "runs", "query", "validate", "export-csv"),
+        help="publish: canonicalise and append a complete artifact set "
+             "(idempotent); runs: list published runs; query: print one "
+             "run's canonical rows; validate: completeness + cross-run "
+             "drift report (exit 1 on findings); export-csv: write one "
+             "run as CSV, bit-identical to the legacy writer",
+    )
+    p14.add_argument(
+        "artifacts", nargs="*", metavar="SHARD.json",
+        help="shard artifacts to publish (publish action; every shard "
+             "of one sweep)",
+    )
+    p14.add_argument(
+        "--store-dir", type=str, default=None, metavar="DIR",
+        help="result-store directory (default: results)",
+    )
+    p14.add_argument(
+        "--job", type=str, default=None, metavar="FILE",
+        help="publish: record this JSON job file as the run's provenance",
+    )
+    p14.add_argument(
+        "--run", type=int, default=None, metavar="ID",
+        help="run id for query/export-csv (default: the latest "
+             "matching run)",
+    )
+    p14.add_argument(
+        "--fingerprint", type=str, default=None,
+        help="filter runs by workload fingerprint",
+    )
+    p14.add_argument(
+        "--kind", type=str, default=None,
+        help="filter runs by artifact kind (sweep, splitsweep, ...)",
+    )
+    p14.add_argument(
+        "--csv", type=str, default=None, metavar="PATH",
+        help="export-csv: output path (required)",
+    )
+    p14.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="query: print at most N rows",
+    )
+    p14.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable JSON instead of tables",
+    )
+    p14.set_defaults(handler=_cmd_sweep_db)
+
     return parser
 
 
@@ -492,6 +555,7 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "orchestrator's elastic sub-shard dispatch)",
     )
     _add_cache_args(parser, default=None)
+    _add_store_args(parser)
 
 
 def _add_cache_args(
@@ -510,6 +574,35 @@ def _add_cache_args(
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="verdict cache directory (default: results/cache)",
     )
+
+
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    """Result-store flags (``--publish`` default ``None`` so a job
+    file's value survives when the flag is not given)."""
+    parser.add_argument(
+        "--publish", action="store_true", default=None,
+        help="publish the merged result into the durable result store "
+             "(append-only sqlite; re-publishing an identical run is a "
+             "deduplicated no-op)",
+    )
+    parser.add_argument(
+        "--store-dir", type=str, default=None, metavar="DIR",
+        help="result-store directory (default: results; implies "
+             "--publish)",
+    )
+
+
+def _resolve_publish(args: argparse.Namespace) -> bool:
+    """The effective ``--publish`` of a flag-driven subcommand.
+
+    Naming a store directory is an intent to publish into it, so
+    ``--store-dir`` alone implies ``--publish`` (the same contract as
+    ``--cache-dir`` implying ``--cache readwrite``).
+    """
+    publish = getattr(args, "publish", None)
+    if publish is not None:
+        return bool(publish)
+    return bool(getattr(args, "store_dir", None))
 
 
 def _shard_out_path(args: argparse.Namespace, stem: str) -> str | None:
@@ -562,6 +655,8 @@ def _job_from_args(
         items=getattr(args, "shard_items", None),
         cache=_resolve_cache_mode(args),
         cache_dir=getattr(args, "cache_dir", None),
+        publish=_resolve_publish(args),
+        store_dir=getattr(args, "store_dir", None),
     )
     if kind == "figure2":
         from repro.experiments.figure2 import figure2_job
@@ -927,6 +1022,15 @@ def _print_orchestration_summary(outcome, out_dir) -> None:
                       f"{view.cache_stale} stale)")
         print(f"verdict cache: {view.cache_hits} hits / "
               f"{view.cache_misses} misses{health}")
+    publication = getattr(outcome, "publication", None)
+    if publication:
+        note = (
+            "deduplicated, no new rows" if publication["deduplicated"]
+            else f"{publication['rows_added']} rows added"
+        )
+        print(f"published run {publication['run_id']} "
+              f"({publication['row_count']} rows, {note}) "
+              f"-> {publication['store']}")
 
 
 def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
@@ -944,6 +1048,7 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
     )
 
     cache = _resolve_cache_mode(args)
+    publish = _resolve_publish(args)
     try:
         if args.experiment == "figure2":
             tasksets = args.tasksets if args.tasksets is not None else 300
@@ -952,6 +1057,7 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
                 step=args.step, jobs=args.jobs_per_shard,
                 cache=cache, cache_dir=args.cache_dir,
                 placement=args.placement,
+                publish=publish, store_dir=args.store_dir,
             )
         elif args.experiment == "group2":
             tasksets = args.tasksets if args.tasksets is not None else 300
@@ -960,6 +1066,7 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
                 step=args.step, jobs=args.jobs_per_shard,
                 cache=cache, cache_dir=args.cache_dir,
                 placement=args.placement,
+                publish=publish, store_dir=args.store_dir,
             )
         else:
             if args.placement != "strided":
@@ -985,6 +1092,7 @@ def _cmd_sweep_orchestrate(args: argparse.Namespace) -> int:
                 thresholds=args.thresholds, n_tasksets=tasksets,
                 seed=args.seed, overhead=args.overhead,
                 jobs=args.jobs_per_shard,
+                publish=publish, store_dir=args.store_dir,
             )
         outcome, out_dir = _orchestrate_plan(
             plan, args, f"orchestration-{args.experiment}-m{args.m}"
@@ -1056,6 +1164,8 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
                 ("cache", "execution.cache"),
                 ("cache_dir", "execution.cache_dir"),
                 ("placement", "execution.placement"),
+                ("publish", "execution.publish"),
+                ("store_dir", "execution.store_dir"),
             )
             if getattr(args, attr) is not None
         }
@@ -1070,6 +1180,14 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             # (the cache stayed off); naming a directory is an intent
             # to use it, so it now implies --cache readwrite.
             job = job.with_overrides({"execution.cache": "readwrite"})
+        if (
+            args.publish is None
+            and args.store_dir is not None
+            and not job.execution.publish
+        ):
+            # Same contract as --cache-dir: naming a store directory
+            # is an intent to publish into it.
+            job = job.with_overrides({"execution.publish": True})
         if job.execution.shard is not None and job.execution.shard_out is None:
             # Same fallback as the legacy subcommands: a sharded run
             # always persists its artifact, or the slice's work could
@@ -1188,6 +1306,25 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
         print(f"all {len(view.shards)} shard artifacts complete; merged "
               f"result via: python -m repro sweep-merge "
               f"{args.out_dir}/shard-*.artifact.json")
+    publication = manifest.get("publication")
+    if publication is None:
+        print("published: no")
+    else:
+        from repro.engine.store import ResultStore
+
+        run_id = int(publication["run_id"])
+        try:
+            with ResultStore(publication["store"]) as store:
+                rows = store.row_count(run_id)
+        except ReproError:
+            # Manifest says published, but the store moved or broke —
+            # report the recorded count and say so.
+            print(f"published: yes ({publication['row_count']} rows at "
+                  f"publish time; store {publication['store']} "
+                  f"unreadable now)")
+        else:
+            print(f"published: yes ({rows} rows) -> run {run_id} in "
+                  f"{publication['store']}")
     return 0
 
 
@@ -1224,6 +1361,169 @@ def _cmd_sweep_cache(args: argparse.Namespace) -> int:
         if key != "directory":
             print(f"  {key}: {value}")
     return 0
+
+
+def _store_run_id(store, args: argparse.Namespace) -> int:
+    """The run ``sweep-db query``/``export-csv`` should read.
+
+    ``--run`` wins; otherwise the latest run matching the
+    ``--fingerprint``/``--kind`` filters (``runs()`` orders by id).
+    """
+    from repro.exceptions import StoreError
+
+    if args.run is not None:
+        return args.run
+    records = store.runs(fingerprint=args.fingerprint, kind=args.kind)
+    if not records:
+        raise StoreError(
+            "the store has no runs matching the given filters; publish "
+            "first or loosen --fingerprint/--kind"
+        )
+    return records[-1].run_id
+
+
+def _cmd_sweep_db(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.engine.store import open_store, publish_artifacts
+    from repro.engine.validation import validate_store
+    from repro.experiments.reporting import format_table
+
+    try:
+        if args.action == "publish":
+            if not args.artifacts:
+                print("sweep-db: publish needs at least one shard "
+                      "artifact (every shard of one sweep)",
+                      file=sys.stderr)
+                return 2
+            job = None
+            if args.job is not None:
+                from repro.engine.jobspec import load_job
+
+                job = load_job(args.job)
+            report = publish_artifacts(
+                args.store_dir, args.artifacts, job=job, source="cli",
+            )
+            if args.json:
+                print(json_module.dumps({
+                    "store": str(report.path),
+                    "run_id": report.run_id,
+                    "kind": report.kind,
+                    "fingerprint": report.fingerprint,
+                    "row_count": report.row_count,
+                    "rows_added": report.rows_added,
+                    "deduplicated": report.deduplicated,
+                }, indent=2, sort_keys=True))
+            else:
+                note = (
+                    "deduplicated, no new rows" if report.deduplicated
+                    else f"{report.rows_added} rows added"
+                )
+                print(f"published {report.kind} run {report.run_id} "
+                      f"({report.row_count} rows, {note}) -> {report.path}")
+            return 0
+
+        with open_store(args.store_dir) as store:
+            if args.action == "runs":
+                records = store.runs(
+                    fingerprint=args.fingerprint, kind=args.kind,
+                )
+                if args.json:
+                    print(json_module.dumps([
+                        {
+                            "run_id": record.run_id,
+                            "kind": record.kind,
+                            "fingerprint": record.fingerprint,
+                            "total_items": record.total_items,
+                            "expected_rows": record.expected_rows,
+                            "rows": store.row_count(record.run_id),
+                        }
+                        for record in records
+                    ], indent=2, sort_keys=True))
+                    return 0
+                print(format_table(
+                    ["run", "kind", "fingerprint", "items", "rows"],
+                    [
+                        [
+                            record.run_id,
+                            record.kind,
+                            record.fingerprint[:16],
+                            record.total_items,
+                            f"{store.row_count(record.run_id)}"
+                            f"/{record.expected_rows}",
+                        ]
+                        for record in records
+                    ],
+                    title=f"result store {store.path}",
+                ))
+                return 0
+
+            if args.action == "query":
+                run_id = _store_run_id(store, args)
+                record = store.run(run_id)
+                rows = store.rows(run_id)
+                shown = rows if args.limit is None else rows[:args.limit]
+                if args.json:
+                    print(json_module.dumps({
+                        "run_id": run_id,
+                        "kind": record.kind,
+                        "fingerprint": record.fingerprint,
+                        "rows": [
+                            {"item": item, "seq": seq, "payload": payload}
+                            for item, seq, payload in shown
+                        ],
+                    }, indent=2, sort_keys=True))
+                    return 0
+                print(f"run {run_id} ({record.kind}, "
+                      f"{record.fingerprint[:16]}...): "
+                      f"{len(rows)} rows")
+                for item, seq, payload in shown:
+                    print(f"  {item:6d} {seq:4d}  "
+                          f"{json_module.dumps(payload)}")
+                if len(shown) < len(rows):
+                    print(f"  ... {len(rows) - len(shown)} more "
+                          f"(raise --limit)")
+                return 0
+
+            if args.action == "validate":
+                report = validate_store(store)
+                if args.json:
+                    print(json_module.dumps({
+                        "runs_checked": report.runs_checked,
+                        "ok": report.ok,
+                        "incomplete": [
+                            issue.describe() for issue in report.incomplete
+                        ],
+                        "drift": [
+                            issue.describe() for issue in report.drift
+                        ],
+                    }, indent=2, sort_keys=True))
+                    return 0 if report.ok else 1
+                print(f"result store {store.path}: "
+                      f"{report.runs_checked} runs checked")
+                for issue in report.incomplete:
+                    print(f"  incomplete: {issue.describe()}")
+                for issue in report.drift:
+                    print(f"  drift: {issue.describe()}")
+                if report.ok:
+                    print("  complete, no drift")
+                    return 0
+                print(f"  {len(report.incomplete)} incomplete, "
+                      f"{len(report.drift)} drift findings")
+                return 1
+
+            # export-csv
+            if args.csv is None:
+                print("sweep-db: export-csv needs --csv PATH",
+                      file=sys.stderr)
+                return 2
+            run_id = _store_run_id(store, args)
+            path = store.export_csv(run_id, args.csv)
+            print(f"run {run_id} exported to {path}")
+            return 0
+    except ReproError as exc:
+        print(f"sweep-db: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_sweep_daemon(args: argparse.Namespace) -> int:

@@ -82,6 +82,15 @@ def _parse_opt_str(text: str) -> str | None:
     return text
 
 
+def _parse_bool(text: str) -> bool:
+    value = text.strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {text!r}")
+
+
 def _parse_floats(text: str) -> tuple[float, ...]:
     pieces = [p for p in text.replace(",", " ").split() if p]
     if not pieces:
@@ -126,6 +135,8 @@ _EXECUTION_PARSERS = {
     "cache": str,
     "cache_dir": _parse_opt_str,
     "placement": str,
+    "publish": _parse_bool,
+    "store_dir": _parse_opt_str,
 }
 
 def _coerce_float_list(name: str):
@@ -167,7 +178,8 @@ _KEY_CODERS = {
 
 _EXECUTION_KEYS = ("executor", "jobs", "chunk_size", "checkpoint",
                    "stream", "shard_out", "shard", "items",
-                   "cache", "cache_dir", "placement")
+                   "cache", "cache_dir", "placement",
+                   "publish", "store_dir")
 
 #: Workload field defaults, for the registry-driven strictness check
 #: (fields outside a kind's key set must hold exactly these values).
@@ -402,6 +414,14 @@ class ExecutionPolicy:
         this is pure policy — the merged result is bit-identical either
         way — and it only takes effect when the orchestrator partitions
         the job; inline runs ignore it.
+    publish:
+        Publish the merged result into the durable result store
+        (:mod:`repro.engine.store`) on completion.  Only whole-run
+        invocations publish: a sharded or item-subset invocation is
+        rejected, and the orchestrator publishes once after merging.
+    store_dir:
+        Result-store directory; ``None`` means the default
+        (``results/store.db``) when publishing is on.
     """
 
     executor: str = "process"
@@ -415,6 +435,8 @@ class ExecutionPolicy:
     cache: str = "off"
     cache_dir: str | None = None
     placement: str = "strided"
+    publish: bool = False
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -438,10 +460,12 @@ class ExecutionPolicy:
                 f"unknown placement {self.placement!r}; "
                 f"expected one of {PLACEMENT_KINDS}"
             )
-        for name in ("checkpoint", "stream", "shard_out", "cache_dir"):
+        for name in ("checkpoint", "stream", "shard_out", "cache_dir",
+                     "store_dir"):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, str(value))
+        object.__setattr__(self, "publish", bool(self.publish))
         if self.items is not None:
             items = tuple(sorted({int(i) for i in self.items}))
             if not items:
@@ -466,6 +490,8 @@ class ExecutionPolicy:
             "cache": self.cache,
             "cache_dir": self.cache_dir,
             "placement": self.placement,
+            "publish": self.publish,
+            "store_dir": self.store_dir,
         }
 
     @classmethod
@@ -495,6 +521,10 @@ class ExecutionPolicy:
                 kwargs["cache"] = str(payload["cache"])
             if "placement" in payload and payload["placement"] is not None:
                 kwargs["placement"] = str(payload["placement"])
+            if "publish" in payload and payload["publish"] is not None:
+                kwargs["publish"] = bool(payload["publish"])
+            if "store_dir" in payload and payload["store_dir"] is not None:
+                kwargs["store_dir"] = str(payload["store_dir"])
             if "shard" in payload and payload["shard"] is not None:
                 kwargs["shard"] = parse_shard(str(payload["shard"]))
             if "items" in payload and payload["items"] is not None:
@@ -532,6 +562,16 @@ class JobSpec:
                 "execution.cache (the verdict cache keys the grid sweeps' "
                 "full multi-method analyses; this kind's items do not go "
                 "through it)"
+            )
+        if self.execution.publish and (
+            self.execution.shard is not None
+            or self.execution.items is not None
+        ):
+            raise JobSpecError(
+                "execution.publish requires a whole-run invocation; a "
+                "sharded or item-subset invocation cannot publish a "
+                "complete row set (orchestrated runs publish once, after "
+                "the merge)"
             )
         if (
             self.execution.placement != "strided"
@@ -674,6 +714,7 @@ class JobSpec:
                 self.execution,
                 checkpoint=None, stream=None, shard_out=None,
                 shard=None, items=None, placement="strided",
+                publish=False, store_dir=None,
             ),
         )
 

@@ -109,6 +109,17 @@ class OrchestrationPlan:
     item_fingerprints:
         Per-item task-set fingerprints, in item order (required by —
         and only computed for — cache-aware placement).
+    publish:
+        Publish the merged result into the durable result store
+        (:mod:`repro.engine.store`) at finalisation, after the
+        fingerprint-validated merge succeeds.
+    store_dir:
+        Result-store directory (``None`` = the store default) when
+        ``publish`` is on.
+    job_json:
+        The originating JobSpec as a JSON string, recorded as
+        publication provenance; ``None`` for plans not built from a
+        job spec.
     """
 
     experiment: str
@@ -120,6 +131,9 @@ class OrchestrationPlan:
     supports_chunk_size: bool = True
     placement: str = "strided"
     item_fingerprints: tuple[str, ...] | None = None
+    publish: bool = False
+    store_dir: str | None = None
+    job_json: str | None = None
 
 
 @dataclass(slots=True)
@@ -173,6 +187,9 @@ class OrchestrationOutcome:
     #: Elastic re-partitions performed (stragglers split onto idle
     #: slots); 0 when ``elastic`` was off or never triggered.
     splits: int = 0
+    #: Result-store publication record (store path, run id, row
+    #: counts) when the plan published; ``None`` otherwise.
+    publication: dict | None = None
 
 
 ProgressCallback = Callable[[ClusterView], None]
@@ -318,6 +335,7 @@ class Orchestrator:
         self._splits = 0
         self._next_key = self.shard_count
         self._split_seq = 0
+        self._publication: dict | None = None
         self.progress = progress
         self._env = worker_env()
 
@@ -413,6 +431,8 @@ class Orchestrator:
 
         final_view = merger.poll()
         result = self._merge(jobs)
+        if self.plan.publish:
+            self._publication = self._publish(jobs)
         self._write_manifest(jobs, state="complete")
         attempts = {
             job.merge_key: job.attempts
@@ -426,6 +446,7 @@ class Orchestrator:
             retries=sum(max(0, a - 1) for a in attempts.values()),
             elapsed_seconds=time.perf_counter() - start,
             splits=self._splits,
+            publication=self._publication,
         )
 
     # ------------------------------------------------------------------
@@ -851,6 +872,36 @@ class Orchestrator:
 
         return merge_artifacts(self.plan.kind, paths)
 
+    def _publish(self, jobs: Sequence[_ShardJob]) -> dict:
+        """Publish the finished shard set into the result store.
+
+        Runs only after :meth:`_merge` succeeded, so the artifact set
+        is known-complete; re-running a finished orchestration
+        re-publishes as a deduplicated no-op.
+        """
+        import json
+
+        from repro.engine.store import publish_artifacts
+
+        job = (
+            json.loads(self.plan.job_json)
+            if self.plan.job_json is not None
+            else None
+        )
+        report = publish_artifacts(
+            self.plan.store_dir,
+            [job_.artifact for job_ in jobs if job_.state != "split"],
+            job=job,
+            source="orchestrator",
+        )
+        return {
+            "store": str(report.path),
+            "run_id": report.run_id,
+            "row_count": report.row_count,
+            "rows_added": report.rows_added,
+            "deduplicated": report.deduplicated,
+        }
+
     def _write_manifest(self, jobs: Sequence[_ShardJob], state: str) -> None:
         payload = {
             "version": FORMAT_VERSION,
@@ -877,6 +928,9 @@ class Orchestrator:
                 for job in jobs
             ],
         }
+        if self._publication is not None:
+            # Additive key: older readers tolerate and ignore it.
+            payload["publication"] = self._publication
         write_json_atomic(self.out_dir / MANIFEST_NAME, payload)
 
 
@@ -931,6 +985,11 @@ def plan_from_jobspec(job) -> OrchestrationPlan:
         from repro.engine.sweep import item_fingerprints as sweep_fingerprints
 
         item_fingerprints = sweep_fingerprints(job.workload.sweep_spec())
+    store_dir = job.execution.store_dir
+    if job.execution.publish and store_dir is not None:
+        # Publication happens orchestrator-side, but a resume may run
+        # from another cwd; pin the store like the cache directory.
+        store_dir = str(Path(store_dir).resolve())
     return OrchestrationPlan(
         experiment=job.kind,
         kind=job.workload.merge_kind,
@@ -941,6 +1000,9 @@ def plan_from_jobspec(job) -> OrchestrationPlan:
         supports_chunk_size=job.workload.supports_checkpoint,
         placement=job.execution.placement,
         item_fingerprints=item_fingerprints,
+        publish=job.execution.publish,
+        store_dir=store_dir,
+        job_json=job.to_json(indent=None),
     )
 
 
@@ -953,6 +1015,8 @@ def plan_figure2(
     cache: str = "off",
     cache_dir: str | None = None,
     placement: str = "strided",
+    publish: bool = False,
+    store_dir: str | None = None,
 ) -> OrchestrationPlan:
     """Plan a Figure-2 sweep (same parameters as ``run_figure2``)."""
     from repro.engine.jobspec import ExecutionPolicy
@@ -961,7 +1025,8 @@ def plan_figure2(
     return plan_from_jobspec(figure2_job(
         m=m, n_tasksets=n_tasksets, seed=seed, step=step,
         execution=ExecutionPolicy(jobs=jobs, cache=cache, cache_dir=cache_dir,
-                                  placement=placement),
+                                  placement=placement, publish=publish,
+                                  store_dir=store_dir),
     ))
 
 
@@ -974,6 +1039,8 @@ def plan_group2(
     cache: str = "off",
     cache_dir: str | None = None,
     placement: str = "strided",
+    publish: bool = False,
+    store_dir: str | None = None,
 ) -> OrchestrationPlan:
     """Plan a group-2 sweep (same parameters as ``run_group2``)."""
     from repro.engine.jobspec import ExecutionPolicy
@@ -982,7 +1049,8 @@ def plan_group2(
     return plan_from_jobspec(group2_job(
         m=m, n_tasksets=n_tasksets, seed=seed, step=step,
         execution=ExecutionPolicy(jobs=jobs, cache=cache, cache_dir=cache_dir,
-                                  placement=placement),
+                                  placement=placement, publish=publish,
+                                  store_dir=store_dir),
     ))
 
 
@@ -994,6 +1062,8 @@ def plan_splitsweep(
     seed: int = 2016,
     overhead: float = 0.0,
     jobs: int = 1,
+    publish: bool = False,
+    store_dir: str | None = None,
 ) -> OrchestrationPlan:
     """Plan a split sweep (same parameters as ``run_split_sweep``).
 
@@ -1007,7 +1077,8 @@ def plan_splitsweep(
         m=m, utilization=utilization,
         thresholds=tuple(float(t) for t in thresholds),
         n_tasksets=n_tasksets, seed=seed, overhead=overhead,
-        execution=ExecutionPolicy(jobs=jobs),
+        execution=ExecutionPolicy(jobs=jobs, publish=publish,
+                                  store_dir=store_dir),
     ))
 
 

@@ -107,10 +107,41 @@ class Session:
         for splitsweep, and so on per registered kind — dispatch goes
         through the workload-kind registry, so any registered kind runs
         here without Session changes.
+
+        A policy with ``publish`` on also publishes the completed run
+        into the durable result store (:mod:`repro.engine.store`):
+        the run's shard artifact — a temporary one when the policy
+        names no ``shard_out`` — is canonicalised and appended under
+        the job's workload fingerprint.
         """
         from repro.engine.registry import kind_spec
 
-        return kind_spec(job.kind).run(job, self.progress)
+        policy = job.execution
+        if not policy.publish:
+            return kind_spec(job.kind).run(job, self.progress)
+
+        import tempfile
+
+        from repro.engine.store import publish_artifacts
+
+        tmp_dir: tempfile.TemporaryDirectory | None = None
+        shard_out = policy.shard_out
+        effective = job
+        if shard_out is None:
+            tmp_dir = tempfile.TemporaryDirectory(prefix="repro-publish-")
+            shard_out = str(Path(tmp_dir.name) / "artifact.json")
+            effective = job.with_overrides(
+                {"execution.shard_out": shard_out}
+            )
+        try:
+            result = kind_spec(job.kind).run(effective, self.progress)
+            publish_artifacts(
+                policy.store_dir, [shard_out], job=job, source="session",
+            )
+        finally:
+            if tmp_dir is not None:
+                tmp_dir.cleanup()
+        return result
 
     def resume(self, path: str | Path):
         """Re-run the job stored at ``path`` (checkpoints resume free)."""
@@ -212,7 +243,18 @@ class Session:
             return artifact
         from repro.engine.registry import merge_artifacts
 
-        return merge_artifacts(artifact.kind, [artifact])
+        result = merge_artifacts(artifact.kind, [artifact])
+        if handle.job.execution.publish:
+            # The worker's own inline run already published; this is a
+            # deduplicated no-op then, and the safety net when the
+            # worker-side store was unreachable.
+            from repro.engine.store import publish_artifacts
+
+            publish_artifacts(
+                handle.job.execution.store_dir, [artifact],
+                job=handle.job, source="session",
+            )
+        return result
 
     # ------------------------------------------------------------------
     def _ensure_backend(self) -> DispatchBackend:

@@ -17,6 +17,8 @@ rejected the input:
   (unknown keys, version skew, kind/policy mismatches);
 * :class:`DispatchError` / :class:`OrchestrationError` — distributed
   orchestration failures (backend launches, exhausted shard retries);
+* :class:`StoreError` — durable result-store problems (corrupt or
+  version-skewed databases, incomplete publications, malformed rows);
 * :class:`LintError` — repro-lint cannot run (bad config, unparseable
   input, malformed baseline);
 * :class:`IlpError` / :class:`IlpInfeasibleError` — ILP substrate
@@ -83,6 +85,13 @@ class OrchestrationError(AnalysisError):
     """A distributed sweep cannot complete: exhausted retries, a corrupt
     orchestration manifest, or an output directory owned by a different
     sweep."""
+
+
+class StoreError(AnalysisError):
+    """The durable result store is unusable or rejected a publication:
+    a corrupt or version-skewed database, an incomplete artifact set,
+    or a stored row that does not decode under its kind's codec.  Raw
+    :mod:`sqlite3` exceptions never escape the store API."""
 
 
 class LintError(ReproError):
